@@ -1,0 +1,273 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (Figures 4, 5, 9, 10, 11 and the headline text statistics), then runs
+   one Bechamel micro-benchmark per experiment workload plus a few for the
+   core primitives.
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+open Net
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+let banner title =
+  say "";
+  say "==================================================================";
+  say "== %s" title;
+  say "=================================================================="
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: regenerate the paper's tables and figures.                  *)
+
+let regenerate_figures () =
+  banner "Topologies (Section 5.1)";
+  List.iter
+    (fun t -> say "%s" (Topology.Paper_topologies.describe t))
+    (Topology.Paper_topologies.all ());
+  banner "Figure 4: daily MOAS conflicts";
+  let summary =
+    Measurement.Report.run Measurement.Synthetic_routeviews.default_params
+  in
+  print_string (Measurement.Report.figure4_text summary);
+  banner "Figure 5: MOAS durations + Section 3 statistics";
+  print_string (Measurement.Report.figure5_text summary);
+  print_string (Measurement.Report.summary_table summary);
+  banner "Experiment 1 (Figure 9): MOAS list effectiveness, 46-AS";
+  List.iter
+    (fun f -> print_string (Experiments.Figures.render f))
+    (Experiments.Figures.figure9 ());
+  banner "Experiment 2 (Figure 10): topology sizes";
+  List.iter
+    (fun f -> print_string (Experiments.Figures.render f))
+    (Experiments.Figures.figure10 ());
+  banner "Experiment 3 (Figure 11): partial deployment";
+  List.iter
+    (fun f -> print_string (Experiments.Figures.render f))
+    (Experiments.Figures.figure11 ());
+  banner "Headline statistics (paper vs measured)";
+  print_string (Experiments.Figures.summary_table ());
+  banner "Ablations (Sections 4.3-4.4)";
+  print_string (Experiments.Ablation.render_all ());
+  banner "Fault-event detection on the Figure 4 series";
+  print_string
+    (Measurement.Anomaly.render (Measurement.Anomaly.spikes_of_summary summary));
+  say "  (expected: 1998-04-07 and the two-day 2001-04-06 event, nothing else)";
+  banner "Off-line monitor vantage study (Section 4.2)";
+  print_string
+    (Experiments.Vantage_study.render
+       (Experiments.Vantage_study.study
+          ~topology:(Topology.Paper_topologies.topology_46 ())
+          ()));
+  banner "Detection and convergence dynamics (full deployment, 46-AS)";
+  print_string
+    (Experiments.Convergence.render
+       (Experiments.Convergence.study
+          ~topology:(Topology.Paper_topologies.topology_46 ())
+          ()));
+  banner "DNS-based verification and its circular dependency (Section 2)";
+  print_string
+    (Experiments.Dns_study.render
+       (Experiments.Dns_study.study
+          ~topology:(Topology.Paper_topologies.topology_46 ())
+          ()));
+  banner "Related-work comparison (Sections 2 and 6)";
+  print_string
+    (Baselines.Comparison.render
+       (Baselines.Comparison.head_to_head
+          ~topology:(Topology.Paper_topologies.topology_46 ())
+          ()));
+  say
+    "  S-BGP is perfect while keys hold but fails closed (routeless ASes) and";
+  say
+    "  collapses on one compromised key; the MOAS list degrades gracefully and";
+  say "  needs no key infrastructure - the paper's Section 6 argument." 
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks, one per table/figure workload.    *)
+
+let victim = Prefix.of_string "192.0.2.0/24"
+
+let scenario_runner ~topology ~deployment ~n_attackers =
+  let t = topology () in
+  let rng = Mutil.Rng.of_int 97 in
+  let scenario =
+    Attack.Scenario.random rng ~graph:t.Topology.Paper_topologies.graph
+      ~stub:t.Topology.Paper_topologies.stub ~n_origins:1 ~n_attackers
+      ~deployment
+  in
+  fun () -> ignore (Attack.Scenario.run (Mutil.Rng.of_int 3) scenario)
+
+let bench_measurement_pipeline () =
+  (* a scaled-down archive: same code path as Figures 4-5 at ~1/10 size *)
+  let params =
+    {
+      Measurement.Synthetic_routeviews.default_params with
+      Measurement.Synthetic_routeviews.universe_size = 400;
+      initial_long_lived = 65;
+      final_long_lived = 139;
+      one_day_churn = 24;
+      medium_churn = 9;
+      event_1998_size = 114;
+      event_2001_size = 97;
+    }
+  in
+  fun () -> ignore (Measurement.Report.run params)
+
+let bench_trie () =
+  let prefixes =
+    List.init 512 (fun i ->
+        Prefix.make (Ipv4.of_octets (i mod 223) (i / 7 mod 255) 0 0) 16)
+  in
+  let trie =
+    Prefix_trie.of_list (List.map (fun p -> (p, Prefix.length p)) prefixes)
+  in
+  let addr = Ipv4.of_octets 100 20 3 4 in
+  fun () -> ignore (Prefix_trie.longest_match addr trie)
+
+let bench_decision () =
+  let route i =
+    {
+      Bgp.Route.prefix = victim;
+      as_path = Bgp.As_path.of_list (List.init ((i mod 5) + 1) (fun k -> 100 + k));
+      origin = Bgp.Route.Igp;
+      learned_from = Asn.make (200 + i);
+      local_pref = 100;
+      communities = Bgp.Community.Set.empty;
+    }
+  in
+  let candidates = List.init 12 route in
+  fun () -> ignore (Bgp.Decision.best ~self:(Asn.make 1) candidates)
+
+let bench_moas_check () =
+  let oracle = Moas.Origin_verification.create () in
+  Moas.Origin_verification.register oracle victim (Asn.Set.of_list [ 10; 20 ]);
+  let detector = Moas.Detector.create ~oracle ~self:(Asn.make 1) () in
+  let validator = Moas.Detector.validator detector in
+  let legit = Moas.Moas_list.encode (Asn.Set.of_list [ 10; 20 ]) in
+  let forged = Moas.Moas_list.encode (Asn.Set.of_list [ 10; 20; 666 ]) in
+  let mk ~from ~path ~communities =
+    {
+      Bgp.Route.prefix = victim;
+      as_path = Bgp.As_path.of_list path;
+      origin = Bgp.Route.Igp;
+      learned_from = Asn.make from;
+      local_pref = 100;
+      communities;
+    }
+  in
+  let candidates =
+    [
+      mk ~from:2 ~path:[ 2; 10 ] ~communities:legit;
+      mk ~from:3 ~path:[ 3; 20 ] ~communities:legit;
+      mk ~from:4 ~path:[ 666 ] ~communities:forged;
+    ]
+  in
+  fun () -> ignore (validator ~now:0.0 ~prefix:victim candidates)
+
+let bench_event_queue () =
+ fun () ->
+  let q = Sim.Event_queue.create () in
+  for i = 0 to 255 do
+    Sim.Event_queue.push q ~time:(float_of_int ((i * 37) mod 97)) i
+  done;
+  let rec drain () =
+    match Sim.Event_queue.pop q with
+    | Some _ -> drain ()
+    | None -> ()
+  in
+  drain ()
+
+let bench_topology_derivation () =
+ fun () ->
+  ignore (Topology.Paper_topologies.build ~seed:0x4d4f4153L ~target_size:25 ())
+
+let tests () =
+  [
+    Test.make ~name:"fig4+5: measurement pipeline (1/10 archive)"
+      (Staged.stage (bench_measurement_pipeline ()));
+    Test.make ~name:"fig9: 46-AS scenario, Normal BGP"
+      (Staged.stage
+         (scenario_runner ~topology:Topology.Paper_topologies.topology_46
+            ~deployment:Moas.Deployment.Disabled ~n_attackers:5));
+    Test.make ~name:"fig9: 46-AS scenario, Full MOAS"
+      (Staged.stage
+         (scenario_runner ~topology:Topology.Paper_topologies.topology_46
+            ~deployment:Moas.Deployment.Full ~n_attackers:5));
+    Test.make ~name:"fig10: 25-AS scenario, Full MOAS"
+      (Staged.stage
+         (scenario_runner ~topology:Topology.Paper_topologies.topology_25
+            ~deployment:Moas.Deployment.Full ~n_attackers:5));
+    Test.make ~name:"fig10: 63-AS scenario, Full MOAS"
+      (Staged.stage
+         (scenario_runner ~topology:Topology.Paper_topologies.topology_63
+            ~deployment:Moas.Deployment.Full ~n_attackers:5));
+    Test.make ~name:"fig11: 63-AS scenario, Half MOAS"
+      (Staged.stage
+         (scenario_runner ~topology:Topology.Paper_topologies.topology_63
+            ~deployment:(Moas.Deployment.Fraction 0.5) ~n_attackers:5));
+    Test.make ~name:"summary: topology derivation (25-AS pipeline)"
+      (Staged.stage (bench_topology_derivation ()));
+    Test.make ~name:"core: MOAS consistency check + oracle"
+      (Staged.stage (bench_moas_check ()));
+    Test.make ~name:"core: BGP decision process (12 candidates)"
+      (Staged.stage (bench_decision ()));
+    Test.make ~name:"substrate: prefix-trie longest match (512 prefixes)"
+      (Staged.stage (bench_trie ()));
+    Test.make ~name:"substrate: event queue push/pop (256 events)"
+      (Staged.stage (bench_event_queue ()));
+    Test.make ~name:"substrate: BGP wire encode+decode roundtrip"
+      (Staged.stage
+         (let update =
+            Bgp.Update.announce ~sender:(Asn.make 1)
+              {
+                Bgp.Route.prefix = victim;
+                as_path = Bgp.As_path.of_list [ 1; 2; 3 ];
+                origin = Bgp.Route.Igp;
+                learned_from = Asn.make 1;
+                local_pref = 100;
+                communities = Moas.Moas_list.encode (Asn.Set.of_list [ 3; 4 ]);
+              }
+          in
+          let message = Bgp.Wire.of_update update in
+          fun () -> ignore (Bgp.Wire.decode (Bgp.Wire.encode message))));
+  ]
+
+let run_microbenches () =
+  banner "Micro-benchmarks (Bechamel; time per run)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = Instance.[ monotonic_clock ] in
+  let analysis =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results =
+    List.concat_map
+      (fun test ->
+        let raw = Benchmark.all cfg instances test in
+        let ols = Analyze.all analysis Instance.monotonic_clock raw in
+        Hashtbl.fold
+          (fun name o acc ->
+            let ns =
+              match Analyze.OLS.estimates o with
+              | Some (est :: _) -> est
+              | Some [] | None -> nan
+            in
+            (name, ns) :: acc)
+          ols [])
+      (tests ())
+  in
+  let pretty_time ns =
+    if Float.is_nan ns then "n/a"
+    else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+    else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  let rows = List.map (fun (name, ns) -> [ name; pretty_time ns ]) results in
+  print_string (Mutil.Text_table.render ~header:[ "benchmark"; "time/run" ] rows)
+
+let () =
+  regenerate_figures ();
+  run_microbenches ();
+  say "";
+  say "done."

@@ -1,0 +1,255 @@
+(* moas_sim: command-line driver that regenerates every figure and table of
+   the paper, plus the ablations, from the reproduction libraries. *)
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+let write_csv_opt out_dir figure =
+  match out_dir with
+  | None -> ()
+  | Some dir ->
+    let header, rows = Experiments.Figures.to_csv figure in
+    let id = figure.Experiments.Figures.id in
+    let name =
+      String.concat ""
+        (List.filter_map
+           (fun c ->
+             match c with
+             | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> Some (String.make 1 c)
+             | _ -> None)
+           (List.init (String.length id) (String.get id)))
+    in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path = Filename.concat dir (String.lowercase_ascii name ^ ".csv") in
+    Mutil.Csv.write_file ~path ~header rows;
+    say "  wrote %s" path
+
+let print_figures out_dir figures =
+  List.iter
+    (fun figure ->
+      print_string (Experiments.Figures.render figure);
+      write_csv_opt out_dir figure;
+      print_newline ())
+    figures
+
+let run_fig4 () =
+  let summary = Measurement.Report.run Measurement.Synthetic_routeviews.default_params in
+  print_string (Measurement.Report.figure4_text summary);
+  say "automatically flagged fault events:";
+  print_string
+    (Measurement.Anomaly.render (Measurement.Anomaly.spikes_of_summary summary))
+
+let run_fig5 () =
+  let summary = Measurement.Report.run Measurement.Synthetic_routeviews.default_params in
+  print_string (Measurement.Report.figure5_text summary);
+  print_string (Measurement.Report.summary_table summary)
+
+let run_exp1 seed out_dir = print_figures out_dir (Experiments.Figures.figure9 ?seed ())
+let run_exp2 seed out_dir = print_figures out_dir (Experiments.Figures.figure10 ?seed ())
+let run_exp3 seed out_dir = print_figures out_dir (Experiments.Figures.figure11 ?seed ())
+
+let run_summary seed =
+  print_string (Experiments.Figures.summary_table ?seed ());
+  say "";
+  say "Qualitative claims under reproduction:";
+  List.iter (fun c -> say "  - %s" c) Experiments.Paper.claims
+
+let run_ablations () = print_string (Experiments.Ablation.render_all ())
+
+let run_compare () =
+  print_string
+    (Baselines.Comparison.render
+       (Baselines.Comparison.head_to_head
+          ~topology:(Topology.Paper_topologies.topology_46 ())
+          ()))
+
+let run_studies () =
+  let t = Topology.Paper_topologies.topology_46 () in
+  say "== DNS-based verification (Section 2 circular dependency) ==";
+  print_string (Experiments.Dns_study.render (Experiments.Dns_study.study ~topology:t ()));
+  say "";
+  say "== Off-line monitor vantage study (Section 4.2) ==";
+  print_string (Experiments.Vantage_study.render (Experiments.Vantage_study.study ~topology:t ()));
+  say "";
+  say "== Detection and convergence dynamics ==";
+  print_string (Experiments.Convergence.render (Experiments.Convergence.study ~topology:t ()))
+
+let run_simulate size n_origins n_attackers deployment policy seed runs =
+  let topology =
+    match size with
+    | 25 -> Topology.Paper_topologies.topology_25 ()
+    | 46 -> Topology.Paper_topologies.topology_46 ()
+    | 63 -> Topology.Paper_topologies.topology_63 ()
+    | n -> Topology.Paper_topologies.build ~seed:0x4d4f4153L ~target_size:n ()
+  in
+  let deployment =
+    match String.lowercase_ascii deployment with
+    | "none" | "off" -> Moas.Deployment.Disabled
+    | "full" -> Moas.Deployment.Full
+    | "half" -> Moas.Deployment.Fraction 0.5
+    | s ->
+      (match float_of_string_opt s with
+      | Some f when f >= 0.0 && f <= 1.0 -> Moas.Deployment.Fraction f
+      | _ -> failwith ("unknown deployment: " ^ s))
+  in
+  let policy_mode =
+    match String.lowercase_ascii policy with
+    | "shortest" | "shortest-path" -> Attack.Scenario.Shortest_path
+    | "gao-rexford" | "gr" -> Attack.Scenario.Gao_rexford_inferred
+    | s -> failwith ("unknown policy: " ^ s)
+  in
+  say "%s" (Topology.Paper_topologies.describe topology);
+  say "deployment: %s; policy: %s; %d origin(s), %d attacker(s), %d run(s)"
+    (Moas.Deployment.to_string deployment)
+    policy n_origins n_attackers runs;
+  let rows =
+    List.init runs (fun run ->
+        let rng = Mutil.Rng.create ~seed:(Int64.add seed (Int64.of_int run)) in
+        let base =
+          Attack.Scenario.random rng
+            ~graph:topology.Topology.Paper_topologies.graph
+            ~stub:topology.Topology.Paper_topologies.stub ~n_origins
+            ~n_attackers ~deployment
+        in
+        let scenario = { base with Attack.Scenario.policy_mode } in
+        let o = Attack.Scenario.run rng scenario in
+        [
+          string_of_int run;
+          Mutil.Text_table.percent_cell ~decimals:2
+            o.Attack.Scenario.fraction_adopting;
+          string_of_int o.Attack.Scenario.alarm_count;
+          (match o.Attack.Scenario.detection_latency with
+          | Some l -> Printf.sprintf "%.2f" l
+          | None -> "-");
+          string_of_int o.Attack.Scenario.oracle_queries;
+          string_of_int o.Attack.Scenario.updates_sent;
+          string_of_bool o.Attack.Scenario.converged;
+        ])
+  in
+  Mutil.Text_table.print
+    ~header:
+      [ "run"; "adoption"; "alarms"; "latency"; "oracle"; "updates"; "ok" ]
+    rows
+
+let run_topologies () =
+  List.iter
+    (fun t -> say "%s" (Topology.Paper_topologies.describe t))
+    (Topology.Paper_topologies.all ())
+
+let run_all seed out_dir =
+  say "== Topologies (Section 5.1) ==";
+  run_topologies ();
+  say "";
+  say "== Figure 4 ==";
+  run_fig4 ();
+  say "== Figure 5 and Section 3 statistics ==";
+  run_fig5 ();
+  say "";
+  say "== Experiment 1 (Figure 9) ==";
+  run_exp1 seed out_dir;
+  say "== Experiment 2 (Figure 10) ==";
+  run_exp2 seed out_dir;
+  say "== Experiment 3 (Figure 11) ==";
+  run_exp3 seed out_dir;
+  say "== Headline statistics ==";
+  run_summary seed;
+  say "";
+  say "== Ablations (Sections 4.3-4.4) ==";
+  run_ablations ();
+  say "";
+  say "== Related-work comparison (Sections 2 and 6) ==";
+  run_compare ();
+  say "";
+  run_studies ()
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "Root seed for the experiment sweeps (decimal integer)." in
+  Arg.(value & opt (some int64) None & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let out_dir_arg =
+  let doc = "Directory to write per-figure CSV files into." in
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc)
+
+let cmd name ~doc term = Cmd.v (Cmd.info name ~doc) term
+
+let fig4_cmd = cmd "fig4" ~doc:"Figure 4: daily MOAS conflicts, 11/1997-7/2001."
+    Term.(const run_fig4 $ const ())
+
+let fig5_cmd = cmd "fig5" ~doc:"Figure 5: MOAS duration histogram and Section 3 statistics."
+    Term.(const run_fig5 $ const ())
+
+let exp1_cmd = cmd "exp1" ~doc:"Experiment 1 (Figure 9): MOAS list effectiveness, 46-AS."
+    Term.(const run_exp1 $ seed_arg $ out_dir_arg)
+
+let exp2_cmd = cmd "exp2" ~doc:"Experiment 2 (Figure 10): topology-size comparison."
+    Term.(const run_exp2 $ seed_arg $ out_dir_arg)
+
+let exp3_cmd = cmd "exp3" ~doc:"Experiment 3 (Figure 11): partial deployment."
+    Term.(const run_exp3 $ seed_arg $ out_dir_arg)
+
+let summary_cmd = cmd "summary" ~doc:"Headline paper-vs-measured statistics."
+    Term.(const run_summary $ seed_arg)
+
+let ablations_cmd = cmd "ablations" ~doc:"Section 4.3/4.4 ablations."
+    Term.(const run_ablations $ const ())
+
+let compare_cmd = cmd "compare" ~doc:"Head-to-head against S-BGP and IRR filtering baselines."
+    Term.(const run_compare $ const ())
+
+let studies_cmd = cmd "studies" ~doc:"Vantage-point and convergence-dynamics studies."
+    Term.(const run_studies $ const ())
+
+let simulate_cmd =
+  let size =
+    Arg.(value & opt int 46 & info [ "topology" ] ~docv:"N" ~doc:"Topology size (25, 46, 63 or a custom node count).")
+  in
+  let n_origins =
+    Arg.(value & opt int 1 & info [ "origins" ] ~docv:"N" ~doc:"Legitimate origin ASes (drawn from stubs).")
+  in
+  let n_attackers =
+    Arg.(value & opt int 2 & info [ "attackers" ] ~docv:"N" ~doc:"Attacker ASes (drawn from all ASes).")
+  in
+  let deployment =
+    Arg.(value & opt string "full" & info [ "deployment" ] ~docv:"D" ~doc:"none, half, full, or a fraction in [0,1].")
+  in
+  let policy =
+    Arg.(value & opt string "shortest" & info [ "policy" ] ~docv:"P" ~doc:"shortest or gao-rexford.")
+  in
+  let sim_seed =
+    Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc:"Scenario seed.")
+  in
+  let runs =
+    Arg.(value & opt int 5 & info [ "runs" ] ~docv:"N" ~doc:"Independent runs to execute.")
+  in
+  cmd "simulate" ~doc:"Run custom attack scenarios and print per-run outcomes."
+    Term.(const run_simulate $ size $ n_origins $ n_attackers $ deployment $ policy $ sim_seed $ runs)
+
+let topologies_cmd = cmd "topologies" ~doc:"Describe the derived 25/46/63-AS topologies."
+    Term.(const run_topologies $ const ())
+
+let all_cmd = cmd "all" ~doc:"Everything: figures 4-5, experiments 1-3, summary, ablations."
+    Term.(const run_all $ seed_arg $ out_dir_arg)
+
+let main_cmd =
+  let doc =
+    "reproduction of 'Detection of Invalid Routing Announcement in the \
+     Internet' (DSN 2002)"
+  in
+  Cmd.group (Cmd.info "moas_sim" ~version:"1.0.0" ~doc)
+    [
+      fig4_cmd;
+      fig5_cmd;
+      exp1_cmd;
+      exp2_cmd;
+      exp3_cmd;
+      summary_cmd;
+      ablations_cmd;
+      compare_cmd;
+      studies_cmd;
+      simulate_cmd;
+      topologies_cmd;
+      all_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/alert_pipeline.ml: Asn Bgp List Moas Net Prefix Printf String Topology

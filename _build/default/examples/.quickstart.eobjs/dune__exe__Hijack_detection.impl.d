@@ -1,0 +1,1 @@
+examples/hijack_detection.ml: Asn Attack Experiments Moas Mutil Net Prefix Printf Topology

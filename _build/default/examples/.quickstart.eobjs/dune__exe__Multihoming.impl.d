@@ -1,0 +1,1 @@
+examples/multihoming.ml: Asn Bgp Hashtbl List Moas Net Prefix Printf Topology

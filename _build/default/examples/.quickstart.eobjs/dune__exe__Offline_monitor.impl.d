@@ -1,0 +1,1 @@
+examples/offline_monitor.ml: Array Asn Bgp List Moas Mutil Net Prefix Printf String Topology

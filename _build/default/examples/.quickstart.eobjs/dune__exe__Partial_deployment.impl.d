@@ -1,0 +1,1 @@
+examples/partial_deployment.ml: Array Asn Attack List Moas Mutil Net Prefix Printf Topology

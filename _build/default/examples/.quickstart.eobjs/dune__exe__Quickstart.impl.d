@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asn Bgp List Moas Net Prefix Printf Topology

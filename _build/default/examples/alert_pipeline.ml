@@ -1,0 +1,82 @@
+(* The full operational pipeline on one screen: detectors on every router
+   feed a central alert service; a hijack opens an incident, corroborating
+   routers escalate it, and the incident resolves when the operator fixes
+   the fault (the attacker withdraws).
+
+   Run with: dune exec examples/alert_pipeline.exe *)
+
+open Net
+module Svc = Moas.Alert_service
+
+let prefix = Prefix.of_string "192.0.2.0/24"
+
+let () =
+  let topology = Topology.Paper_topologies.topology_63 () in
+  let graph = topology.Topology.Paper_topologies.graph in
+  Printf.printf "topology: %s\n\n" (Topology.Paper_topologies.describe topology);
+  let service = Svc.create ~escalation_observers:2 () in
+  let oracle = Moas.Origin_verification.create () in
+  let origin = Asn.Set.min_elt topology.Topology.Paper_topologies.stub in
+  let attacker = Asn.Set.max_elt topology.Topology.Paper_topologies.transit in
+  Moas.Origin_verification.register oracle prefix (Asn.Set.singleton origin);
+  let validator_of asn =
+    if Asn.equal asn attacker then None
+    else
+      Some
+        (Moas.Detector.validator
+           (Moas.Detector.create ~oracle ~on_alarm:(Svc.ingest service)
+              ~self:asn ()))
+  in
+  let network = Bgp.Network.create ~validator_of graph in
+
+  Printf.printf "t=0     %s announces %s\n" (Asn.to_string origin)
+    (Prefix.to_string prefix);
+  Bgp.Network.originate ~at:0.0 network origin prefix;
+
+  Printf.printf "t=100   %s (a transit AS!) falsely originates the prefix\n"
+    (Asn.to_string attacker);
+  Bgp.Network.originate ~at:100.0 network attacker prefix;
+
+  Printf.printf "t=400   the operator fixes the misconfiguration (withdrawal)\n\n";
+  Bgp.Network.withdraw ~at:400.0 network attacker prefix;
+  ignore (Bgp.Network.run network);
+
+  print_endline "notification log:";
+  List.iter
+    (fun n ->
+      let what =
+        match n.Svc.event with
+        | `Opened -> "incident OPENED"
+        | `Escalated severity ->
+          "escalated to " ^ String.uppercase_ascii (Svc.severity_to_string severity)
+        | `Resolved -> "RESOLVED"
+      in
+      Printf.printf "  t=%-7.2f #%d %s\n" n.Svc.at n.Svc.incident_id what)
+    (Svc.notifications service);
+
+  (* the conflict went quiet after the withdrawal: close the incident *)
+  ignore (Svc.resolve_quiet service ~now:1000.0 ~idle_for:300.0);
+  print_endline "";
+  (match Svc.all_incidents service with
+  | [ incident ] ->
+    Printf.printf
+      "incident #%d summary: %d alarms from %d ASes, origins implicated %s\n"
+      incident.Svc.id incident.Svc.alarm_count
+      (Asn.Set.cardinal incident.Svc.observers)
+      (Moas.Moas_list.to_string incident.Svc.origins_implicated)
+  | _ -> print_endline "unexpected incident count");
+  Printf.printf "service state: %s\n" (Svc.summary service);
+
+  (* the routing system itself healed the moment detection kicked in *)
+  let victims =
+    Topology.As_graph.fold_nodes
+      (fun asn n ->
+        match Bgp.Network.best_origin network asn prefix with
+        | Some o when Asn.equal o origin -> n
+        | _ -> n + 1)
+      graph 0
+  in
+  Printf.printf
+    "after the withdrawal the network healed: %d AS(es) remain off the valid \
+     route\n"
+    victims

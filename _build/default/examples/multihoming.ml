@@ -1,0 +1,97 @@
+(* Valid MOAS through multi-homing (paper Section 3.2, Figure 2).
+
+   An organisation's prefix is announced by AS 4 (its own BGP session) and
+   by AS 226 (static-route configuration at the second ISP, so the ISP
+   announces the prefix as its own).  Both attach the same MOAS list
+   {4, 226}: every checker in the network sees consistent lists and no
+   alarm fires, even though two different origin ASes announce the prefix.
+
+   The second half shows AS-number substitution on egress (ASE): an
+   organisation using private AS 64600 peers with two ISPs that strip the
+   private AS number, making both ISPs appear as origins.
+
+   Run with: dune exec examples/multihoming.exe *)
+
+open Net
+
+let prefix = Prefix.of_string "10.2.0.0/16"
+
+let as4 = Asn.make 4
+let as226 = Asn.make 226
+let as_y = Asn.make 7
+let as_z = Asn.make 9
+let as_x = Asn.make 11
+
+let graph =
+  Topology.As_graph.of_edges
+    [ (as4, as_y); (as226, as_z); (as_y, as_x); (as_z, as_x); (as_y, as_z) ]
+
+(* helper to print the MOAS list carried by a route *)
+module Moas_list_string = struct
+  let of_route ~self route =
+    Moas.Moas_list.to_string (Moas.Moas_list.effective ~self route)
+end
+
+let detectors = Hashtbl.create 8
+
+let network_with_full_detection ?oracle graph =
+  Hashtbl.reset detectors;
+  let validator_of asn =
+    let detector = Moas.Detector.create ?oracle ~self:asn () in
+    Hashtbl.replace detectors asn detector;
+    Some (Moas.Detector.validator detector)
+  in
+  Bgp.Network.create ~validator_of graph
+
+let total_alarms () =
+  Hashtbl.fold (fun _ d acc -> acc + Moas.Detector.alarm_count d) detectors 0
+
+let () =
+  print_endline "=== Valid MOAS: multi-homing via static configuration ===";
+  let moas_list = Asn.Set.of_list [ as4; as226 ] in
+  let communities = Moas.Moas_list.encode moas_list in
+  let net = network_with_full_detection graph in
+  (* both entitled origins attach the identical MOAS list *)
+  Bgp.Network.originate ~communities net as4 prefix;
+  Bgp.Network.originate ~communities net as226 prefix;
+  ignore (Bgp.Network.run net);
+  List.iter
+    (fun asn ->
+      match Bgp.Network.best_route net asn prefix with
+      | Some route ->
+        Printf.printf "  %-6s -> origin %s, MOAS list %s\n" (Asn.to_string asn)
+          (Asn.to_string (Bgp.Route.origin_as ~self:asn route))
+          (Moas_list_string.of_route ~self:asn route)
+      | None -> Printf.printf "  %-6s has no route\n" (Asn.to_string asn))
+    [ as_x; as_y; as_z ];
+  Printf.printf "  alarms raised: %d (a valid MOAS is not a fault)\n\n"
+    (total_alarms ());
+
+  print_endline "=== Valid MOAS: private-AS substitution on egress (ASE) ===";
+  (* The organisation's private AS 64600 is invisible to BGP: both ISPs
+     (AS 4 and AS 226) originate the prefix themselves.  The MOAS list
+     names the two ISPs. *)
+  let org_prefix = Prefix.of_string "10.9.0.0/16" in
+  Printf.printf "  private AS 64600 is private? %b\n" (Asn.is_private (Asn.make 64600));
+  let net = network_with_full_detection graph in
+  let ase_list = Asn.Set.of_list [ as4; as226 ] in
+  let communities = Moas.Moas_list.encode ase_list in
+  Bgp.Network.originate ~communities net as4 org_prefix;
+  Bgp.Network.originate ~communities net as226 org_prefix;
+  ignore (Bgp.Network.run net);
+  Printf.printf "  AS X sees origin %s; alarms: %d\n"
+    (match Bgp.Network.best_origin net as_x org_prefix with
+    | Some o -> Asn.to_string o
+    | None -> "none")
+    (total_alarms ());
+
+  print_endline "";
+  print_endline "=== Contrast: the same two origins WITHOUT a MOAS list ===";
+  let net = network_with_full_detection graph in
+  Bgp.Network.originate net as4 prefix;
+  Bgp.Network.originate net as226 prefix;
+  ignore (Bgp.Network.run net);
+  Printf.printf
+    "  alarms raised: %d (bare multi-origin announcements are indistinguishable\n\
+    \  from a fault - exactly why the MOAS list is needed)\n"
+    (total_alarms ())

@@ -1,0 +1,71 @@
+(* Quickstart: the scenarios of the paper's Figures 1 and 3 on a five-AS
+   topology.
+
+   AS 4 originates 10.2.0.0/16 and everyone learns a route to it.  Then
+   AS 52 falsely originates the same prefix (Figure 3): without MOAS
+   checking AS X adopts the bogus shorter route; with MOAS checking it
+   detects the conflict and keeps the valid one.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Net
+
+let prefix = Prefix.of_string "10.2.0.0/16"
+
+(* Figure 1/3 topology: AS4 -- {AS Y, AS Z} -- AS X, and AS52 next to X. *)
+let as4 = Asn.make 4
+let as_y = Asn.make 7
+let as_z = Asn.make 9
+let as_x = Asn.make 11
+let as52 = Asn.make 52
+
+let graph =
+  Topology.As_graph.of_edges
+    [ (as4, as_y); (as4, as_z); (as_y, as_x); (as_z, as_x); (as52, as_x) ]
+
+let show_route net asn =
+  match Bgp.Network.best_route net asn prefix with
+  | Some route ->
+    Printf.printf "  %-5s best route: %s\n" (Asn.to_string asn)
+      (Bgp.Route.to_string route)
+  | None -> Printf.printf "  %-5s has no route\n" (Asn.to_string asn)
+
+let () =
+  print_endline "=== Step 1: AS 4 originates 10.2.0.0/16 (Figure 1) ===";
+  let net = Bgp.Network.create graph in
+  Bgp.Network.originate net as4 prefix;
+  ignore (Bgp.Network.run net);
+  List.iter (show_route net) [ as4; as_y; as_z; as_x; as52 ];
+
+  print_endline "";
+  print_endline "=== Step 2: AS 52 falsely originates the prefix (Figure 3) ===";
+  let net = Bgp.Network.create graph in
+  Bgp.Network.originate ~at:0.0 net as4 prefix;
+  Bgp.Network.originate ~at:50.0 net as52 prefix;
+  ignore (Bgp.Network.run net);
+  List.iter (show_route net) [ as_x; as_y; as_z ];
+  (match Bgp.Network.best_origin net as_x prefix with
+  | Some origin when Asn.equal origin as52 ->
+    print_endline "  -> AS X adopted the bogus route: traffic is hijacked!"
+  | _ -> print_endline "  -> AS X kept the valid route");
+
+  print_endline "";
+  print_endline "=== Step 3: the same attack with MOAS detection at AS X ===";
+  let oracle = Moas.Origin_verification.create () in
+  Moas.Origin_verification.register oracle prefix (Asn.Set.singleton as4);
+  let detector = Moas.Detector.create ~oracle ~self:as_x () in
+  let validator_of asn =
+    if Asn.equal asn as_x then Some (Moas.Detector.validator detector) else None
+  in
+  let net = Bgp.Network.create ~validator_of graph in
+  Bgp.Network.originate ~at:0.0 net as4 prefix;
+  Bgp.Network.originate ~at:50.0 net as52 prefix;
+  ignore (Bgp.Network.run net);
+  show_route net as_x;
+  List.iter
+    (fun alarm -> print_endline ("  " ^ Moas.Alarm.to_string alarm))
+    (Moas.Detector.alarms detector);
+  match Bgp.Network.best_origin net as_x prefix with
+  | Some origin when Asn.equal origin as4 ->
+    print_endline "  -> conflict detected, bogus route discarded, valid route kept"
+  | _ -> print_endline "  -> unexpected: detection failed"

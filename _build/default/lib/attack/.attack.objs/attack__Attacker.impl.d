@@ -1,0 +1,1 @@
+lib/attack/attacker.ml: Asn Bgp Moas Net Option Prefix

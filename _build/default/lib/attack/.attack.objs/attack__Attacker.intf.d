@@ -1,0 +1,1 @@
+lib/attack/attacker.mli: Asn Bgp Net Prefix

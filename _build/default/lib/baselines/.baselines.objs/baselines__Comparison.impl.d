@@ -1,0 +1,1 @@
+lib/baselines/comparison.ml: Array Asn Attack Bgp Irr_filter List Moas Mutil Net Origin_auth Prefix Printf Topology

@@ -1,0 +1,1 @@
+lib/baselines/irr_filter.ml: Asn Bgp Mutil Net Prefix Set Topology

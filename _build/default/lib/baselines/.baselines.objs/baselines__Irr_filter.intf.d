@@ -1,0 +1,1 @@
+lib/baselines/irr_filter.mli: Asn Bgp Mutil Net Prefix Topology

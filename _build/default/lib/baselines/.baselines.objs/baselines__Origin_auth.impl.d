@@ -1,0 +1,1 @@
+lib/baselines/origin_auth.ml: Asn Attack Bgp List Net Prefix

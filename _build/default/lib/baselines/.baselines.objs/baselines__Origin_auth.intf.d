@@ -1,0 +1,1 @@
+lib/baselines/origin_auth.mli: Asn Bgp Net Prefix

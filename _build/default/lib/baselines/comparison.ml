@@ -1,0 +1,177 @@
+open Net
+module Rng = Mutil.Rng
+module Stats = Mutil.Stats
+module Topo = Topology.Paper_topologies
+
+type defense = No_defense | Moas_full | Sbgp of Asn.Set.t | Irr of float
+
+let defense_to_string = function
+  | No_defense -> "Normal BGP"
+  | Moas_full -> "MOAS list (this paper)"
+  | Sbgp keys when Asn.Set.is_empty keys -> "S-BGP, keys intact"
+  | Sbgp keys -> Printf.sprintf "S-BGP, %d key(s) compromised" (Asn.Set.cardinal keys)
+  | Irr staleness -> Printf.sprintf "IRR filtering, %.0f%% stale" (100.0 *. staleness)
+
+type attack_mode = False_origin | Impersonation
+
+let attack_to_string = function
+  | False_origin -> "false origin"
+  | Impersonation -> "path forgery"
+
+type result = {
+  defense : defense;
+  attack : attack_mode;
+  mean_adopting : float;
+  mean_valid_loss : float;
+  runs : int;
+}
+
+let victim = Prefix.of_string "192.0.2.0/24"
+
+(* one concrete scenario: origin, attackers and, for the compromised-key
+   variant, the key material the adversary holds *)
+type setup = { origin : Asn.t; attacker_asns : Asn.t list }
+
+let make_setup rng (topology : Topo.t) ~n_attackers =
+  let stubs = Array.of_list (Asn.Set.elements topology.Topo.stub) in
+  let origin = Rng.pick (Rng.split_at rng 0) stubs in
+  let pool =
+    Asn.Set.elements
+      (Asn.Set.remove origin (Topology.As_graph.nodes topology.Topo.graph))
+    |> Array.of_list
+  in
+  let attacker_asns =
+    Array.to_list (Rng.sample (Rng.split_at rng 1) pool n_attackers)
+  in
+  { origin; attacker_asns }
+
+let run_one (topology : Topo.t) setup ~defense ~attack run_rng =
+  let graph = topology.Topo.graph in
+  let origin_set = Asn.Set.singleton setup.origin in
+  let attacker_set = Asn.Set.of_list setup.attacker_asns in
+  (* defense wiring *)
+  let validator_of, policy_of =
+    match defense with
+    | No_defense -> ((fun _ -> None), fun _ -> Bgp.Policy.default)
+    | Moas_full ->
+      let oracle = Moas.Origin_verification.create () in
+      Moas.Origin_verification.register oracle victim origin_set;
+      ( (fun asn ->
+          if Asn.Set.mem asn attacker_set then None
+          else
+            Some
+              (Moas.Detector.validator
+                 (Moas.Detector.create ~oracle ~self:asn ()))),
+        fun _ -> Bgp.Policy.default )
+    | Sbgp compromised ->
+      let pki = Origin_auth.create ~compromised_keys:compromised () in
+      Origin_auth.register pki victim origin_set;
+      ( (fun asn ->
+          if Asn.Set.mem asn attacker_set then None
+          else Some (Origin_auth.validator pki ~self:asn)),
+        fun _ -> Bgp.Policy.default )
+    | Irr staleness ->
+      let registry = Irr_filter.create () in
+      Irr_filter.register registry victim setup.origin;
+      (* a registry covers many prefixes; staleness is modelled on the
+         victim record directly *)
+      Irr_filter.drop_records (Rng.split_at run_rng 7) registry ~staleness;
+      let relationships = Topology.Relationships.infer_by_degree graph in
+      ( (fun _ -> None),
+        fun asn ->
+          if Asn.Set.mem asn attacker_set then Bgp.Policy.default
+          else Irr_filter.policy registry ~relationships ~self:asn )
+  in
+  let network = Bgp.Network.create ~validator_of ~policy_of graph in
+  Bgp.Network.originate ~at:0.0 network setup.origin victim;
+  List.iter
+    (fun asn ->
+      let attacker =
+        match attack with
+        | False_origin -> Attack.Attacker.make asn
+        | Impersonation ->
+          Attack.Attacker.make
+            ~forgery:(Attack.Attacker.Impersonate setup.origin) asn
+      in
+      Bgp.Network.originate ~at:50.0
+        ~communities:(Attack.Attacker.communities attacker ~legit_list:origin_set)
+        ~as_path:(Attack.Attacker.forged_path attacker)
+        network asn victim)
+    setup.attacker_asns;
+  ignore (Bgp.Network.run network);
+  let eligible = Asn.Set.diff (Topology.As_graph.nodes graph) attacker_set in
+  let adopting, routeless =
+    Asn.Set.fold
+      (fun asn (bad, lost) ->
+        match Bgp.Network.best_route network asn victim with
+        | Some route ->
+          let is_bogus =
+            Asn.Set.mem (Bgp.Route.origin_as ~self:asn route) attacker_set
+            || Bgp.Community.Set.mem Attack.Attacker.impersonation_marker
+                 route.Bgp.Route.communities
+          in
+          ((if is_bogus then bad + 1 else bad), lost)
+        | None -> (bad, lost + 1))
+      eligible (0, 0)
+  in
+  let n = float_of_int (Asn.Set.cardinal eligible) in
+  (float_of_int adopting /. n, float_of_int routeless /. n)
+
+let head_to_head ?(seed = 0x434d50L) ?(runs = 10) ?(n_attackers = 5) ~topology
+    () =
+  let root = Rng.create ~seed in
+  let setups =
+    List.init runs (fun i -> make_setup (Rng.split_at root i) topology ~n_attackers)
+  in
+  let defenses setup =
+    [
+      No_defense;
+      Moas_full;
+      Sbgp Asn.Set.empty;
+      (* the adversary holds the victim origin's key: the S-BGP
+         single-point-of-failure case of Section 6 *)
+      Sbgp (Asn.Set.singleton setup.origin);
+      Irr 0.0;
+      Irr 0.5;
+    ]
+  in
+  (* defenses are per-setup because the compromised key names the origin *)
+  List.concat_map
+    (fun attack ->
+      List.mapi
+        (fun di _ ->
+          let per_run =
+            List.mapi
+              (fun ri setup ->
+                let defense = List.nth (defenses setup) di in
+                run_one topology setup ~defense ~attack
+                  (Rng.split_at root (1000 + (ri * 10) + di)))
+              setups
+          in
+          let defense =
+            match setups with
+            | first :: _ -> List.nth (defenses first) di
+            | [] -> No_defense
+          in
+          {
+            defense;
+            attack;
+            mean_adopting = Stats.mean (List.map fst per_run);
+            mean_valid_loss = Stats.mean (List.map snd per_run);
+            runs;
+          })
+        (defenses { origin = Asn.make 1; attacker_asns = [] }))
+    [ False_origin; Impersonation ]
+
+let render results =
+  Mutil.Text_table.render
+    ~header:[ "defense"; "attack"; "adoption"; "ASes left routeless" ]
+    (List.map
+       (fun r ->
+         [
+           defense_to_string r.defense;
+           attack_to_string r.attack;
+           Mutil.Text_table.percent_cell ~decimals:2 r.mean_adopting;
+           Mutil.Text_table.percent_cell ~decimals:2 r.mean_valid_loss;
+         ])
+       results)

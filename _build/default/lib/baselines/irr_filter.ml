@@ -1,0 +1,44 @@
+open Net
+module Rng = Mutil.Rng
+
+module Record_set = Set.Make (struct
+  type t = Prefix.t * Asn.t
+
+  let compare (p1, a1) (p2, a2) =
+    match Prefix.compare p1 p2 with
+    | 0 -> Asn.compare a1 a2
+    | c -> c
+end)
+
+type t = { mutable records : Record_set.t }
+
+let create () = { records = Record_set.empty }
+
+let register t prefix asn = t.records <- Record_set.add (prefix, asn) t.records
+
+let register_set t prefix origins =
+  Asn.Set.iter (fun asn -> register t prefix asn) origins
+
+let drop_records rng t ~staleness =
+  if staleness < 0.0 || staleness > 1.0 then
+    invalid_arg "Irr_filter.drop_records: staleness out of [0,1]";
+  t.records <-
+    Record_set.filter (fun _ -> not (Rng.chance rng staleness)) t.records
+
+let holds t prefix asn = Record_set.mem (prefix, asn) t.records
+
+let record_count t = Record_set.cardinal t.records
+
+let policy t ~relationships ~self =
+  let import ~peer route =
+    let from_customer =
+      Topology.Relationships.view relationships ~self ~neighbor:peer
+      = Some Topology.Relationships.Customer
+    in
+    if not from_customer then Some route
+    else begin
+      let origin = Bgp.Route.origin_as ~self route in
+      if holds t route.Bgp.Route.prefix origin then Some route else None
+    end
+  in
+  { Bgp.Policy.default with Bgp.Policy.import }

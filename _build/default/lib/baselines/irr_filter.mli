@@ -1,0 +1,44 @@
+(** Route filtering against Internet Routing Registry records — the
+    paper's reference [21] baseline.
+
+    Providers filter the announcements of their BGP customers against the
+    registry: a customer may only announce (prefix, origin) pairs that have
+    a record.  The approach's known weakness, which the paper cites, is
+    registry staleness: records are voluntary, so a configurable fraction
+    of legitimate pairs is missing — filtering then drops good routes —
+    while the attacker is stopped only where its first transit hop actually
+    filters. *)
+
+open Net
+
+type t
+(** A registry instance. *)
+
+val create : unit -> t
+(** An empty registry. *)
+
+val register : t -> Prefix.t -> Asn.t -> unit
+(** Record that the AS may originate the prefix. *)
+
+val register_set : t -> Prefix.t -> Asn.Set.t -> unit
+(** Record several origins at once. *)
+
+val drop_records : Mutil.Rng.t -> t -> staleness:float -> unit
+(** Delete each record independently with probability [staleness],
+    modelling outdated registry contents. *)
+
+val holds : t -> Prefix.t -> Asn.t -> bool
+(** Whether the (prefix, origin) record exists. *)
+
+val record_count : t -> int
+(** Number of live records. *)
+
+val policy :
+  t ->
+  relationships:Topology.Relationships.t ->
+  self:Asn.t ->
+  Bgp.Policy.t
+(** The filtering import policy of AS [self]: announcements from customers
+    whose (prefix, origin) pair has no record are rejected; routes from
+    peers and providers pass (the registry governs customer cones only, as
+    reference [21] proposes). *)

@@ -1,0 +1,1 @@
+lib/bgp/gao_rexford.ml: Asn Net Policy Route Topology

@@ -1,0 +1,1 @@
+lib/bgp/gao_rexford.mli: Asn Net Policy Topology

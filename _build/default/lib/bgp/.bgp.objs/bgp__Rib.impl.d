@@ -1,0 +1,1 @@
+lib/bgp/rib.ml: Asn List Net Prefix Prefix_trie Route

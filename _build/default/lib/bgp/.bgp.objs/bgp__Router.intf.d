@@ -1,0 +1,1 @@
+lib/bgp/router.mli: Asn Net Policy Prefix Rib Route Update

@@ -1,0 +1,1 @@
+lib/bgp/update.ml: Asn Format Net Prefix Route

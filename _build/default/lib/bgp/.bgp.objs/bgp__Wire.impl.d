@@ -1,0 +1,1 @@
+lib/bgp/wire.ml: As_path Asn Buffer Bytes Char Community Ipv4 List Net Prefix Printf Route Update

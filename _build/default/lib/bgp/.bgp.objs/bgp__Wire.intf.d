@@ -1,0 +1,1 @@
+lib/bgp/wire.mli: As_path Asn Community Net Prefix Route Update

@@ -1,0 +1,92 @@
+open Net
+
+type segment = Seq of Asn.t list | Set of Asn.Set.t
+
+type t = segment list
+
+let empty = []
+
+let of_list ases = if ases = [] then [] else [ Seq ases ]
+
+let prepend asn = function
+  | Seq ases :: rest -> Seq (asn :: ases) :: rest
+  | path -> Seq [ asn ] :: path
+
+let segment_length = function
+  | Seq ases -> List.length ases
+  | Set _ -> 1
+
+let length t = List.fold_left (fun acc s -> acc + segment_length s) 0 t
+
+let contains t asn =
+  List.exists
+    (function
+      | Seq ases -> List.exists (Asn.equal asn) ases
+      | Set s -> Asn.Set.mem asn s)
+    t
+
+let rec last_segment = function
+  | [] -> None
+  | [ s ] -> Some s
+  | _ :: rest -> last_segment rest
+
+let origin_as t =
+  match last_segment t with
+  | Some (Seq ases) -> (
+    match List.rev ases with
+    | origin :: _ -> Some origin
+    | [] -> None)
+  | Some (Set _) | None -> None
+
+let origin_candidates t =
+  match last_segment t with
+  | Some (Seq ases) -> (
+    match List.rev ases with
+    | origin :: _ -> Asn.Set.singleton origin
+    | [] -> Asn.Set.empty)
+  | Some (Set s) -> s
+  | None -> Asn.Set.empty
+
+let ases t =
+  List.fold_left
+    (fun acc -> function
+      | Seq l -> List.fold_left (fun acc a -> Asn.Set.add a acc) acc l
+      | Set s -> Asn.Set.union s acc)
+    Asn.Set.empty t
+
+let aggregate a b =
+  let seq_of t =
+    (* flatten for comparison; sets break the common head *)
+    match t with
+    | Seq ases :: _ -> ases
+    | _ -> []
+  in
+  let rec common xs ys =
+    match (xs, ys) with
+    | x :: xs', y :: ys' when Asn.equal x y -> x :: common xs' ys'
+    | _ -> []
+  in
+  let head = common (seq_of a) (seq_of b) in
+  let rest =
+    Asn.Set.diff
+      (Asn.Set.union (ases a) (ases b))
+      (Asn.Set.of_list head)
+  in
+  let tail = if Asn.Set.is_empty rest then [] else [ Set rest ] in
+  if head = [] then tail else Seq head :: tail
+
+let compare = Stdlib.compare
+
+let equal a b = compare a b = 0
+
+let to_string t =
+  let segment_to_string = function
+    | Seq ases -> String.concat " " (List.map string_of_int ases)
+    | Set s ->
+      "{"
+      ^ String.concat "," (List.map string_of_int (Asn.Set.elements s))
+      ^ "}"
+  in
+  String.concat " " (List.map segment_to_string t)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

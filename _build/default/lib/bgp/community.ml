@@ -1,0 +1,25 @@
+open Net
+
+type t = { asn : Asn.t; value : int }
+
+let make asn value =
+  if value < 0 || value > 0xffff then
+    invalid_arg "Community.make: value out of 16-bit range";
+  { asn; value }
+
+let compare a b =
+  match Asn.compare a.asn b.asn with
+  | 0 -> Int.compare a.value b.value
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let to_string t = Printf.sprintf "%d:%d" (Asn.to_int t.asn) t.value
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

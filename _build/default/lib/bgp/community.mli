@@ -1,0 +1,26 @@
+(** BGP community attribute values (RFC 1997): four octets, by convention an
+    AS number in the first two and an AS-defined value in the last two.
+    The MOAS list of the paper is carried as a set of these. *)
+
+open Net
+
+type t = { asn : Asn.t; value : int }
+(** One community value.  [value] is the final two octets. *)
+
+val make : Asn.t -> int -> t
+(** [make asn value] validates [value] against the 16-bit range.
+    @raise Invalid_argument outside [0,65535]. *)
+
+val compare : t -> t -> int
+(** Order by AS, then value. *)
+
+val equal : t -> t -> bool
+(** Equality. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints ["AS:value"]. *)
+
+val to_string : t -> string
+(** ["<asn>:<value>"] in the conventional notation. *)
+
+module Set : Set.S with type elt = t

@@ -1,0 +1,47 @@
+open Net
+
+let prefer ~self a b =
+  ignore self;
+  let by_local_pref = Int.compare b.Route.local_pref a.Route.local_pref in
+  if by_local_pref <> 0 then by_local_pref
+  else
+    let by_length =
+      Int.compare (As_path.length a.Route.as_path) (As_path.length b.Route.as_path)
+    in
+    if by_length <> 0 then by_length
+    else
+      let by_origin =
+        Int.compare (Route.origin_rank a.Route.origin) (Route.origin_rank b.Route.origin)
+      in
+      if by_origin <> 0 then by_origin
+      else Asn.compare a.Route.learned_from b.Route.learned_from
+
+let best ~self = function
+  | [] -> None
+  | first :: rest ->
+    Some
+      (List.fold_left
+         (fun acc r -> if prefer ~self r acc < 0 then r else acc)
+         first rest)
+
+let rank ~self routes = List.sort (prefer ~self) routes
+
+let prefer_attrs a b =
+  let by_local_pref = Int.compare b.Route.local_pref a.Route.local_pref in
+  if by_local_pref <> 0 then by_local_pref
+  else
+    let by_length =
+      Int.compare (As_path.length a.Route.as_path) (As_path.length b.Route.as_path)
+    in
+    if by_length <> 0 then by_length
+    else
+      Int.compare (Route.origin_rank a.Route.origin) (Route.origin_rank b.Route.origin)
+
+let best_with_incumbent ~self ~incumbent candidates =
+  let challenger = best ~self candidates in
+  match incumbent with
+  | Some current when List.exists (Route.equal current) candidates ->
+    (match challenger with
+    | Some c when prefer_attrs c current < 0 -> Some c
+    | Some _ | None -> Some current)
+  | Some _ | None -> challenger

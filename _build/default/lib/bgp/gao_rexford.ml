@@ -1,0 +1,32 @@
+open Net
+module Rel = Topology.Relationships
+
+(* All three tiers sit below the origination default (100): a locally
+   originated route always beats anything learned, which is what keeps the
+   system safe when several ASes originate the same prefix. *)
+let local_pref_customer = 95
+let local_pref_peer = 90
+let local_pref_provider = 85
+
+let policy rels ~self =
+  let relationship_of peer = Rel.view rels ~self ~neighbor:peer in
+  let import ~peer route =
+    let local_pref =
+      match relationship_of peer with
+      | Some Rel.Customer -> local_pref_customer
+      | Some Rel.Peer | None -> local_pref_peer
+      | Some Rel.Provider -> local_pref_provider
+    in
+    Some { route with Route.local_pref }
+  in
+  let export ~peer route =
+    let learned_from = route.Route.learned_from in
+    let originated = Asn.equal learned_from self in
+    let from_customer = relationship_of learned_from = Some Rel.Customer in
+    let to_customer = relationship_of peer = Some Rel.Customer in
+    if originated || from_customer || to_customer then
+      (* local_pref is a local notion: reset before it crosses the wire *)
+      Some { route with Route.local_pref = 100 }
+    else None
+  in
+  { Policy.import; export }

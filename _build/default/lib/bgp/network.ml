@@ -1,0 +1,155 @@
+open Net
+
+type link_delay = Asn.t -> Asn.t -> float
+
+type t = {
+  engine : Sim.Engine.t;
+  graph : Topology.As_graph.t;
+  routers : Router.t Asn.Map.t;
+  (* failed peerings, stored under the (min, max) endpoint pair *)
+  down_links : (Asn.t * Asn.t, unit) Hashtbl.t;
+}
+
+(* Deterministic per-link jitter in [0, 0.25): breaks the timing symmetry
+   of a uniform delay without any hidden randomness. *)
+let default_link_delay a b =
+  let h = (Asn.to_int a * 2654435761) lxor (Asn.to_int b * 40503) in
+  1.0 +. (float_of_int (abs h mod 1000) /. 4000.0)
+
+let create ?(policy_of = fun _ -> Policy.default)
+    ?(validator_of = fun _ -> None) ?(mrai_of = fun _ -> 0.0)
+    ?damping_of ?(link_delay = default_link_delay) graph =
+  let engine = Sim.Engine.create () in
+  let routers =
+    Topology.As_graph.fold_nodes
+      (fun asn acc ->
+        let damping =
+          match damping_of with
+          | Some f -> f asn
+          | None -> None
+        in
+        let router =
+          Router.create ~policy:(policy_of asn) ?validator:(validator_of asn)
+            ~mrai:(mrai_of asn) ?damping asn
+        in
+        Asn.Map.add asn router acc)
+      graph Asn.Map.empty
+  in
+  let t = { engine; graph; routers; down_links = Hashtbl.create 8 } in
+  Asn.Map.iter
+    (fun asn router ->
+      Asn.Set.iter (Router.add_peer router) (Topology.As_graph.neighbors graph asn);
+      let send ~peer update =
+        let delay = link_delay asn peer in
+        if delay <= 0.0 then invalid_arg "Network: link delay must be positive";
+        Sim.Engine.schedule engine ~delay (fun engine ->
+            (* a message in flight when the session fails is lost *)
+            let link = if asn < peer then (asn, peer) else (peer, asn) in
+            if not (Hashtbl.mem t.down_links link) then
+              match Asn.Map.find_opt peer t.routers with
+              | Some receiver ->
+                Router.handle_update receiver ~now:(Sim.Engine.now engine) update
+              | None -> ())
+      in
+      let schedule ~delay k =
+        Sim.Engine.schedule engine ~delay (fun engine -> k (Sim.Engine.now engine))
+      in
+      Router.set_transport router ~send ~schedule)
+    routers;
+  t
+
+let engine t = t.engine
+let graph t = t.graph
+
+let router t asn =
+  match Asn.Map.find_opt asn t.routers with
+  | Some r -> r
+  | None -> raise Not_found
+
+let routers t = t.routers
+
+let originate ?(at = 0.0) ?origin ?local_pref ?communities ?as_path t asn
+    prefix =
+  let r = router t asn in
+  Sim.Engine.schedule_at t.engine ~time:at (fun engine ->
+      let route =
+        Route.originate ?origin ?local_pref ?communities ?as_path ~self:asn
+          prefix
+      in
+      Router.originate r ~now:(Sim.Engine.now engine) route)
+
+let withdraw ?(at = 0.0) t asn prefix =
+  let r = router t asn in
+  Sim.Engine.schedule_at t.engine ~time:at (fun engine ->
+      Router.withdraw_origin r ~now:(Sim.Engine.now engine) prefix)
+
+let link_key a b = if a < b then (a, b) else (b, a)
+
+let check_peering t a b =
+  if not (Topology.As_graph.mem_edge t.graph a b) then
+    invalid_arg
+      (Printf.sprintf "Network: %s and %s do not peer" (Asn.to_string a)
+         (Asn.to_string b))
+
+let link_is_up t a b = not (Hashtbl.mem t.down_links (link_key a b))
+
+let fail_link ?(at = 0.0) t a b =
+  check_peering t a b;
+  Sim.Engine.schedule_at t.engine ~time:at (fun engine ->
+      if link_is_up t a b then begin
+        Hashtbl.replace t.down_links (link_key a b) ();
+        let now = Sim.Engine.now engine in
+        Router.peer_down (router t a) ~now b;
+        Router.peer_down (router t b) ~now a
+      end)
+
+let restore_link ?(at = 0.0) t a b =
+  check_peering t a b;
+  Sim.Engine.schedule_at t.engine ~time:at (fun engine ->
+      if not (link_is_up t a b) then begin
+        Hashtbl.remove t.down_links (link_key a b);
+        let now = Sim.Engine.now engine in
+        Router.peer_up (router t a) ~now b;
+        Router.peer_up (router t b) ~now a
+      end)
+
+let run ?(max_events = 10_000_000) t = Sim.Engine.run ~max_events t.engine
+
+let best_route t asn prefix = Router.best (router t asn) prefix
+
+let best_origin t asn prefix = Router.best_origin (router t asn) prefix
+
+let forward_path t ~from addr =
+  let max_hops = Asn.Map.cardinal t.routers + 1 in
+  let rec walk asn acc hops =
+    if hops > max_hops then None (* forwarding loop *)
+    else begin
+      let rib = Router.rib (router t asn) in
+      match Prefix_trie.longest_match addr (Rib.loc_rib_trie rib) with
+      | None -> None (* no route: packet dropped *)
+      | Some (_, route) ->
+        if As_path.length route.Route.as_path = 0 then
+          (* the covering prefix is originated here: delivered *)
+          Some (List.rev (asn :: acc))
+        else begin
+          let next = route.Route.learned_from in
+          if Asn.equal next asn then Some (List.rev (asn :: acc))
+          else walk next (asn :: acc) (hops + 1)
+        end
+    end
+  in
+  if Asn.Map.mem from t.routers then walk from [] 0 else None
+
+let delivered_to t ~from addr =
+  match forward_path t ~from addr with
+  | Some path -> (
+    match List.rev path with
+    | last :: _ -> Some last
+    | [] -> None)
+  | None -> None
+
+let total_updates_sent t =
+  Asn.Map.fold (fun _ r acc -> acc + Router.updates_sent r) t.routers 0
+
+let total_updates_received t =
+  Asn.Map.fold (fun _ r acc -> acc + Router.updates_received r) t.routers 0

@@ -1,0 +1,94 @@
+(** A BGP network: one {!Router} per AS of an {!Topology.As_graph.t},
+    connected through the discrete-event engine with per-link message
+    latency.  This corresponds to the paper's SSFnet set-up, where each
+    simulation node is one AS and each link a BGP peering. *)
+
+open Net
+
+type t
+(** A wired network. *)
+
+type link_delay = Asn.t -> Asn.t -> float
+(** Message latency of the session between two ASes (called with the
+    sender first); must be positive. *)
+
+val create :
+  ?policy_of:(Asn.t -> Policy.t) ->
+  ?validator_of:(Asn.t -> Router.validator option) ->
+  ?mrai_of:(Asn.t -> float) ->
+  ?damping_of:(Asn.t -> Router.damping option) ->
+  ?link_delay:link_delay ->
+  Topology.As_graph.t ->
+  t
+(** Build a router per AS and a session per edge.  The default link delay
+    is 1.0 plus a small deterministic per-link offset (derived from the
+    endpoint AS numbers) that breaks timing symmetry the way heterogeneous
+    links do in reality. *)
+
+val engine : t -> Sim.Engine.t
+(** The underlying event engine (for custom scheduling). *)
+
+val graph : t -> Topology.As_graph.t
+(** The topology the network was built over. *)
+
+val router : t -> Asn.t -> Router.t
+(** The router of an AS. @raise Not_found for an unknown AS. *)
+
+val routers : t -> Router.t Asn.Map.t
+(** All routers. *)
+
+val originate :
+  ?at:float ->
+  ?origin:Route.origin_attr ->
+  ?local_pref:int ->
+  ?communities:Community.Set.t ->
+  ?as_path:As_path.t ->
+  t ->
+  Asn.t ->
+  Prefix.t ->
+  unit
+(** Schedule an origination of [prefix] by the AS at time [at] (default 0).
+    [as_path] forges the announced path (see {!Route.originate}). *)
+
+val withdraw : ?at:float -> t -> Asn.t -> Prefix.t -> unit
+(** Schedule the AS to stop originating the prefix. *)
+
+val fail_link : ?at:float -> t -> Asn.t -> Asn.t -> unit
+(** Schedule a session failure on the peering between two ASes: both ends
+    flush the routes learned over it and in-flight messages on the link are
+    lost.  @raise Invalid_argument if the ASes do not peer. *)
+
+val restore_link : ?at:float -> t -> Asn.t -> Asn.t -> unit
+(** Schedule the re-establishment of a failed session; both ends perform
+    the initial table exchange. *)
+
+val link_is_up : t -> Asn.t -> Asn.t -> bool
+(** Current state of a peering (true unless failed). *)
+
+val run : ?max_events:int -> t -> Sim.Engine.outcome
+(** Run the engine until quiescence (BGP convergence) or the event budget
+    (default 10 million, a safety net against protocol oscillation). *)
+
+val best_route : t -> Asn.t -> Prefix.t -> Route.t option
+(** The AS's selected route after a run. *)
+
+val best_origin : t -> Asn.t -> Prefix.t -> Asn.t option
+(** Origin AS of the selected route. *)
+
+val forward_path : t -> from:Asn.t -> Ipv4.t -> Asn.t list option
+(** AS-level packet forwarding: starting at [from], repeatedly follow the
+    longest-prefix-match best route's supplier until an AS that originates
+    the covering prefix is reached.  Returns the traversed ASes (including
+    both ends), or [None] when some hop has no route or forwarding loops —
+    this is how hijacked traffic "arrives at the faulty AS and gets
+    dropped" (Section 3.3). *)
+
+val delivered_to : t -> from:Asn.t -> Ipv4.t -> Asn.t option
+(** Final AS of {!forward_path}: where a packet for the address actually
+    lands when sent from [from]. *)
+
+val total_updates_sent : t -> int
+(** Sum of UPDATE messages emitted by all routers (message overhead). *)
+
+val total_updates_received : t -> int
+(** Sum of UPDATE messages processed by all routers. *)

@@ -1,0 +1,60 @@
+open Net
+
+type t = {
+  mutable adj_in : Route.t Asn.Map.t Prefix.Map.t;
+  mutable loc : Route.t Prefix_trie.t;
+}
+
+let create () = { adj_in = Prefix.Map.empty; loc = Prefix_trie.empty }
+
+let set_in t ~peer route =
+  let prefix = route.Route.prefix in
+  t.adj_in <-
+    Prefix.Map.update prefix
+      (function
+        | Some per_peer -> Some (Asn.Map.add peer route per_peer)
+        | None -> Some (Asn.Map.singleton peer route))
+      t.adj_in
+
+let withdraw_in t ~peer prefix =
+  t.adj_in <-
+    Prefix.Map.update prefix
+      (function
+        | Some per_peer ->
+          let per_peer = Asn.Map.remove peer per_peer in
+          if Asn.Map.is_empty per_peer then None else Some per_peer
+        | None -> None)
+      t.adj_in
+
+let routes_in t prefix =
+  match Prefix.Map.find_opt prefix t.adj_in with
+  | Some per_peer -> Asn.Map.fold (fun _ r acc -> r :: acc) per_peer [] |> List.rev
+  | None -> []
+
+let peers_with_route t prefix =
+  match Prefix.Map.find_opt prefix t.adj_in with
+  | Some per_peer -> Asn.Map.fold (fun peer _ acc -> peer :: acc) per_peer [] |> List.rev
+  | None -> []
+
+let set_best t route = t.loc <- Prefix_trie.add route.Route.prefix route t.loc
+
+let clear_best t prefix = t.loc <- Prefix_trie.remove prefix t.loc
+
+let best t prefix = Prefix_trie.find_opt prefix t.loc
+
+let best_bindings t = Prefix_trie.bindings t.loc
+
+let loc_rib_trie t = t.loc
+
+let prefixes_in t =
+  Prefix.Map.fold (fun p _ acc -> Prefix.Set.add p acc) t.adj_in Prefix.Set.empty
+
+let flush_peer t ~peer =
+  let affected =
+    Prefix.Map.fold
+      (fun prefix per_peer acc ->
+        if Asn.Map.mem peer per_peer then prefix :: acc else acc)
+      t.adj_in []
+  in
+  List.iter (fun prefix -> withdraw_in t ~peer prefix) affected;
+  List.rev affected

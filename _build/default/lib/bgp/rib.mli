@@ -1,0 +1,48 @@
+(** Routing information bases of one BGP speaker.
+
+    The Adj-RIB-In stores the latest route received from each peer for each
+    prefix; the Loc-RIB holds the selected best route per prefix.  Both are
+    plain data so tests can inspect them directly. *)
+
+open Net
+
+type t
+(** Mutable RIB state of one speaker. *)
+
+val create : unit -> t
+(** Empty RIBs. *)
+
+val set_in : t -> peer:Asn.t -> Route.t -> unit
+(** Record the latest announcement from [peer] for the route's prefix,
+    replacing any previous one (implicit withdrawal). *)
+
+val withdraw_in : t -> peer:Asn.t -> Prefix.t -> unit
+(** Remove [peer]'s entry for [prefix], if any. *)
+
+val routes_in : t -> Prefix.t -> Route.t list
+(** All Adj-RIB-In candidates for a prefix, ordered by peer AS number. *)
+
+val peers_with_route : t -> Prefix.t -> Asn.t list
+(** Peers currently contributing a candidate for the prefix. *)
+
+val set_best : t -> Route.t -> unit
+(** Install a best route in the Loc-RIB. *)
+
+val clear_best : t -> Prefix.t -> unit
+(** Remove the Loc-RIB entry for a prefix. *)
+
+val best : t -> Prefix.t -> Route.t option
+(** Selected route for a prefix, if any. *)
+
+val best_bindings : t -> (Prefix.t * Route.t) list
+(** Loc-RIB contents. *)
+
+val loc_rib_trie : t -> Route.t Net.Prefix_trie.t
+(** The Loc-RIB as a prefix trie (longest-match forwarding view). *)
+
+val prefixes_in : t -> Prefix.Set.t
+(** Prefixes that currently have at least one Adj-RIB-In candidate. *)
+
+val flush_peer : t -> peer:Asn.t -> Prefix.t list
+(** Drop every Adj-RIB-In entry learned from [peer] (session loss) and
+    return the prefixes that were affected. *)

@@ -1,0 +1,56 @@
+open Net
+
+type origin_attr = Igp | Egp | Incomplete
+
+let origin_rank = function
+  | Igp -> 0
+  | Egp -> 1
+  | Incomplete -> 2
+
+let origin_attr_to_string = function
+  | Igp -> "IGP"
+  | Egp -> "EGP"
+  | Incomplete -> "INCOMPLETE"
+
+type t = {
+  prefix : Prefix.t;
+  as_path : As_path.t;
+  origin : origin_attr;
+  learned_from : Asn.t;
+  local_pref : int;
+  communities : Community.Set.t;
+}
+
+let originate ?(origin = Igp) ?(local_pref = 100)
+    ?(communities = Community.Set.empty) ?(as_path = As_path.empty) ~self
+    prefix =
+  { prefix; as_path; origin; learned_from = self; local_pref; communities }
+
+let origin_as ~self t =
+  match As_path.origin_as t.as_path with
+  | Some asn -> asn
+  | None -> self
+
+let received ~from t = { t with learned_from = from }
+
+let advertised_by asn t = { t with as_path = As_path.prepend asn t.as_path }
+
+let with_communities communities t = { t with communities }
+
+let strip_communities t = { t with communities = Community.Set.empty }
+
+let equal a b =
+  Prefix.equal a.prefix b.prefix
+  && As_path.equal a.as_path b.as_path
+  && a.origin = b.origin
+  && Asn.equal a.learned_from b.learned_from
+  && a.local_pref = b.local_pref
+  && Community.Set.equal a.communities b.communities
+
+let pp fmt t =
+  Format.fprintf fmt "%a via [%a] from %a lp=%d{%s}" Prefix.pp t.prefix
+    As_path.pp t.as_path Asn.pp t.learned_from t.local_pref
+    (String.concat ";"
+       (List.map Community.to_string (Community.Set.elements t.communities)))
+
+let to_string t = Format.asprintf "%a" pp t

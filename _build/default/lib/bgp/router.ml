@@ -1,0 +1,452 @@
+open Net
+
+type validator = now:float -> prefix:Prefix.t -> Route.t list -> Route.t list
+
+type damping = {
+  penalty_withdraw : float;
+  penalty_update : float;
+  suppress_threshold : float;
+  reuse_threshold : float;
+  half_life : float;
+}
+
+let default_damping =
+  {
+    penalty_withdraw = 1000.0;
+    penalty_update = 500.0;
+    suppress_threshold = 2000.0;
+    reuse_threshold = 750.0;
+    half_life = 900.0;
+  }
+
+(* per (peer, prefix) damping state *)
+type flap_state = {
+  mutable penalty : float;
+  mutable stamped_at : float;
+  mutable suppressed : bool;
+  mutable first_seen : bool; (* the initial announcement is not a flap *)
+}
+
+type t = {
+  asn : Asn.t;
+  policy : Policy.t;
+  mutable validator : validator option;
+  mrai : float;
+  damping : damping option;
+  flaps : (Asn.t * Prefix.t, flap_state) Hashtbl.t;
+  rib : Rib.t;
+  mutable peer_set : Asn.Set.t;
+  mutable originated : Route.t Prefix.Map.t;
+  mutable aggregates : Prefix.Set.t;
+  (* what was last advertised to each peer, to suppress duplicate updates
+     and to know when an explicit withdrawal is due *)
+  mutable advertised : Route.t Prefix.Map.t Asn.Map.t;
+  (* MRAI state: per-peer time of last advertisement batch and the set of
+     prefixes whose advertisement is deferred until the interval expires *)
+  mutable last_batch : float Asn.Map.t;
+  mutable deferred : Prefix.Set.t Asn.Map.t;
+  mutable send : (peer:Asn.t -> Update.t -> unit) option;
+  mutable schedule : (delay:float -> (float -> unit) -> unit) option;
+  mutable received_count : int;
+  mutable sent_count : int;
+}
+
+let create ?(policy = Policy.default) ?validator ?(mrai = 0.0) ?damping asn =
+  if mrai < 0.0 then invalid_arg "Router.create: negative mrai";
+  (match damping with
+  | Some d when d.reuse_threshold >= d.suppress_threshold ->
+    invalid_arg "Router.create: damping reuse must be below suppress"
+  | _ -> ());
+  {
+    asn;
+    policy;
+    validator;
+    mrai;
+    damping;
+    flaps = Hashtbl.create 16;
+    rib = Rib.create ();
+    peer_set = Asn.Set.empty;
+    originated = Prefix.Map.empty;
+    aggregates = Prefix.Set.empty;
+    advertised = Asn.Map.empty;
+    last_batch = Asn.Map.empty;
+    deferred = Asn.Map.empty;
+    send = None;
+    schedule = None;
+    received_count = 0;
+    sent_count = 0;
+  }
+
+let asn t = t.asn
+
+let add_peer t peer =
+  if Asn.equal peer t.asn then invalid_arg "Router.add_peer: self peering";
+  t.peer_set <- Asn.Set.add peer t.peer_set
+
+let peers t = Asn.Set.elements t.peer_set
+
+let set_transport t ~send ~schedule =
+  t.send <- Some send;
+  t.schedule <- Some schedule
+
+let set_validator t v = t.validator <- v
+
+let transport_send t ~peer update =
+  match t.send with
+  | Some send ->
+    t.sent_count <- t.sent_count + 1;
+    send ~peer update
+  | None -> failwith "Router: transport not wired (call set_transport)"
+
+let transport_schedule t ~delay k =
+  match t.schedule with
+  | Some schedule -> schedule ~delay k
+  | None -> failwith "Router: transport not wired (call set_transport)"
+
+(* ---------------- route-flap damping (RFC 2439) ---------------- *)
+
+let decayed_penalty damping state ~now =
+  let dt = Float.max 0.0 (now -. state.stamped_at) in
+  state.penalty *. (0.5 ** (dt /. damping.half_life))
+
+let flap_state t ~peer prefix =
+  let key = (peer, prefix) in
+  match Hashtbl.find_opt t.flaps key with
+  | Some state -> state
+  | None ->
+    let state =
+      { penalty = 0.0; stamped_at = 0.0; suppressed = false; first_seen = false }
+    in
+    Hashtbl.add t.flaps key state;
+    state
+
+let flap_penalty t ~peer prefix ~now =
+  match t.damping with
+  | None -> 0.0
+  | Some damping ->
+    (match Hashtbl.find_opt t.flaps (peer, prefix) with
+    | None -> 0.0
+    | Some state -> decayed_penalty damping state ~now)
+
+let is_suppressed t ~peer prefix ~now =
+  match t.damping with
+  | None -> false
+  | Some damping ->
+    (match Hashtbl.find_opt t.flaps (peer, prefix) with
+    | None -> false
+    | Some state ->
+      if not state.suppressed then false
+      else begin
+        let penalty = decayed_penalty damping state ~now in
+        if penalty < damping.reuse_threshold then begin
+          state.suppressed <- false;
+          state.penalty <- penalty;
+          state.stamped_at <- now;
+          false
+        end
+        else true
+      end)
+
+(* record one flap; returns true when the route just became suppressed *)
+let note_flap t ~now ~peer prefix ~increment =
+  match t.damping with
+  | None -> false
+  | Some damping ->
+    let state = flap_state t ~peer prefix in
+    if not state.first_seen then begin
+      (* the very first announcement is legitimate birth, not a flap *)
+      state.first_seen <- true;
+      state.stamped_at <- now;
+      false
+    end
+    else begin
+      let penalty = decayed_penalty damping state ~now +. increment in
+      state.penalty <- penalty;
+      state.stamped_at <- now;
+      if (not state.suppressed) && penalty >= damping.suppress_threshold then begin
+        state.suppressed <- true;
+        true
+      end
+      else false
+    end
+
+let candidates t prefix =
+  let originated =
+    match Prefix.Map.find_opt prefix t.originated with
+    | Some r -> [ r ]
+    | None -> []
+  in
+  originated @ Rib.routes_in t.rib prefix
+
+let valid_candidates t ~now prefix =
+  let all = candidates t prefix in
+  let all =
+    if t.damping = None then all
+    else
+      List.filter
+        (fun r ->
+          Asn.equal r.Route.learned_from t.asn
+          || not (is_suppressed t ~peer:r.Route.learned_from prefix ~now))
+        all
+  in
+  match t.validator with
+  | Some validate -> validate ~now ~prefix all
+  | None -> all
+
+let best t prefix = Rib.best t.rib prefix
+
+let best_origin t prefix =
+  Option.map (fun r -> Route.origin_as ~self:t.asn r) (best t prefix)
+
+let rib t = t.rib
+
+let updates_received t = t.received_count
+let updates_sent t = t.sent_count
+
+(* ------------------------------------------------------------------ *)
+(* Advertisement: compute what a peer should currently hear for a prefix
+   and emit an UPDATE only if it differs from what it last heard.        *)
+
+let desired_advertisement t ~peer prefix =
+  match best t prefix with
+  | None -> None
+  | Some route ->
+    (* split horizon: never advertise a route back to the peer that
+       supplied it *)
+    if (not (As_path.length route.Route.as_path = 0))
+       && Asn.equal route.Route.learned_from peer
+    then None
+    else
+      (match t.policy.Policy.export ~peer route with
+      | None -> None
+      | Some exported -> Some (Route.advertised_by t.asn exported))
+
+let last_advertised t ~peer prefix =
+  match Asn.Map.find_opt peer t.advertised with
+  | Some per_prefix -> Prefix.Map.find_opt prefix per_prefix
+  | None -> None
+
+let record_advertised t ~peer prefix route_opt =
+  t.advertised <-
+    Asn.Map.update peer
+      (fun per_prefix ->
+        let per_prefix = Option.value ~default:Prefix.Map.empty per_prefix in
+        Some
+          (match route_opt with
+          | Some route -> Prefix.Map.add prefix route per_prefix
+          | None -> Prefix.Map.remove prefix per_prefix))
+      t.advertised
+
+let sync_peer_prefix t ~peer prefix =
+  let desired = desired_advertisement t ~peer prefix in
+  let current = last_advertised t ~peer prefix in
+  match (desired, current) with
+  | None, None -> ()
+  | Some d, Some c when Route.equal d c -> ()
+  | Some d, _ ->
+    record_advertised t ~peer prefix (Some d);
+    transport_send t ~peer (Update.announce ~sender:t.asn d)
+  | None, Some _ ->
+    record_advertised t ~peer prefix None;
+    transport_send t ~peer (Update.withdraw ~sender:t.asn prefix)
+
+(* MRAI gating: a peer whose last batch is too recent gets the prefix
+   queued; a timer fires when the interval expires and syncs every queued
+   prefix at once. *)
+let rec advertise_to_peer t ~now peer prefix =
+  if t.mrai <= 0.0 then begin
+    sync_peer_prefix t ~peer prefix;
+    t.last_batch <- Asn.Map.add peer now t.last_batch
+  end
+  else
+    let last = Option.value ~default:neg_infinity (Asn.Map.find_opt peer t.last_batch) in
+    if now -. last >= t.mrai then begin
+      sync_peer_prefix t ~peer prefix;
+      t.last_batch <- Asn.Map.add peer now t.last_batch
+    end
+    else begin
+      let was_empty =
+        match Asn.Map.find_opt peer t.deferred with
+        | None -> true
+        | Some s -> Prefix.Set.is_empty s
+      in
+      t.deferred <-
+        Asn.Map.update peer
+          (fun s ->
+            Some (Prefix.Set.add prefix (Option.value ~default:Prefix.Set.empty s)))
+          t.deferred;
+      if was_empty then
+        transport_schedule t
+          ~delay:(last +. t.mrai -. now)
+          (fun fire_time -> flush_deferred t ~now:fire_time peer)
+    end
+
+and flush_deferred t ~now peer =
+  let queued =
+    Option.value ~default:Prefix.Set.empty (Asn.Map.find_opt peer t.deferred)
+  in
+  t.deferred <- Asn.Map.add peer Prefix.Set.empty t.deferred;
+  if not (Prefix.Set.is_empty queued) then begin
+    t.last_batch <- Asn.Map.add peer now t.last_batch;
+    Prefix.Set.iter (fun prefix -> sync_peer_prefix t ~peer prefix) queued
+  end
+
+let advertise_all t ~now prefix =
+  Asn.Set.iter (fun peer -> advertise_to_peer t ~now peer prefix) t.peer_set
+
+(* ------------------------------------------------------------------ *)
+(* Decision *)
+
+let rec reselect t ~now prefix =
+  let valid = valid_candidates t ~now prefix in
+  let old_best = Rib.best t.rib prefix in
+  let new_best = Decision.best_with_incumbent ~self:t.asn ~incumbent:old_best valid in
+  let changed =
+    match (new_best, old_best) with
+    | None, None -> false
+    | Some n, Some o -> not (Route.equal n o)
+    | Some _, None | None, Some _ -> true
+  in
+  if changed then begin
+    (match new_best with
+    | Some route -> Rib.set_best t.rib route
+    | None -> Rib.clear_best t.rib prefix);
+    advertise_all t ~now prefix;
+    (* a change to a child route may alter a configured aggregate; the
+       summary is strictly shorter, so this recursion terminates *)
+    Prefix.Set.iter
+      (fun summary ->
+        if Prefix.is_strict_subprefix ~sub:prefix ~of_:summary then
+          refresh_aggregate t ~now summary)
+      t.aggregates
+  end
+
+and refresh_aggregate t ~now summary =
+  let children =
+    List.filter
+      (fun (p, _) -> Prefix.is_strict_subprefix ~sub:p ~of_:summary)
+      (Rib.best_bindings t.rib)
+  in
+  (match children with
+  | [] -> t.originated <- Prefix.Map.remove summary t.originated
+  | (_, first) :: rest ->
+    let as_path =
+      List.fold_left
+        (fun acc (_, r) -> As_path.aggregate acc r.Route.as_path)
+        first.Route.as_path rest
+    in
+    (* the origin ASes of the components stand behind the aggregate; their
+       communities (including any MOAS lists) are merged *)
+    let communities =
+      List.fold_left
+        (fun acc (_, r) -> Community.Set.union acc r.Route.communities)
+        first.Route.communities rest
+    in
+    let aggregate =
+      {
+        Route.prefix = summary;
+        as_path;
+        origin = first.Route.origin;
+        learned_from = t.asn;
+        local_pref = 100;
+        communities;
+      }
+    in
+    t.originated <- Prefix.Map.add summary aggregate t.originated);
+  reselect t ~now summary
+
+let refresh t ~now prefix = reselect t ~now prefix
+
+let configure_aggregate t ~now summary =
+  t.aggregates <- Prefix.Set.add summary t.aggregates;
+  refresh_aggregate t ~now summary
+
+let remove_aggregate t ~now summary =
+  if Prefix.Set.mem summary t.aggregates then begin
+    t.aggregates <- Prefix.Set.remove summary t.aggregates;
+    t.originated <- Prefix.Map.remove summary t.originated;
+    reselect t ~now summary
+  end
+
+let peer_down t ~now peer =
+  if Asn.Set.mem peer t.peer_set then begin
+    t.peer_set <- Asn.Set.remove peer t.peer_set;
+    (* what the peer heard from us is void with the session *)
+    t.advertised <- Asn.Map.remove peer t.advertised;
+    t.deferred <- Asn.Map.remove peer t.deferred;
+    t.last_batch <- Asn.Map.remove peer t.last_batch;
+    let affected = Rib.flush_peer t.rib ~peer in
+    List.iter (fun prefix -> reselect t ~now prefix) affected
+  end
+
+let peer_up t ~now peer =
+  if not (Asn.Set.mem peer t.peer_set) then begin
+    add_peer t peer;
+    (* initial table exchange: everything in the Loc-RIB goes out *)
+    List.iter
+      (fun (prefix, _) -> advertise_to_peer t ~now peer prefix)
+      (Rib.best_bindings t.rib)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Inputs *)
+
+let originate t ~now route =
+  let route = { route with Route.learned_from = t.asn } in
+  t.originated <- Prefix.Map.add route.Route.prefix route t.originated;
+  reselect t ~now route.Route.prefix
+
+let withdraw_origin t ~now prefix =
+  t.originated <- Prefix.Map.remove prefix t.originated;
+  reselect t ~now prefix
+
+(* when a suppressed route will decay to the reuse threshold *)
+let reuse_delay damping state ~now =
+  let penalty = decayed_penalty damping state ~now in
+  if penalty <= damping.reuse_threshold then 0.0
+  else damping.half_life *. (Float.log (penalty /. damping.reuse_threshold) /. Float.log 2.0)
+
+let handle_update t ~now (update : Update.t) =
+  t.received_count <- t.received_count + 1;
+  let peer = update.Update.sender in
+  (* damping bookkeeping: announcements after the first and withdrawals
+     count as flaps; a route crossing the suppress threshold schedules its
+     own re-evaluation at the projected reuse time *)
+  (match t.damping with
+  | None -> ()
+  | Some damping ->
+    let prefix = Update.prefix update in
+    let increment =
+      match update.Update.payload with
+      | Update.Announce _ -> damping.penalty_update
+      | Update.Withdraw _ -> damping.penalty_withdraw
+    in
+    if note_flap t ~now ~peer prefix ~increment then begin
+      (* later flaps may push the penalty further up, so the timer re-arms
+         itself until the route actually becomes reusable *)
+      let rec recheck fire_time =
+        if is_suppressed t ~peer prefix ~now:fire_time then begin
+          let state = flap_state t ~peer prefix in
+          let delay = Float.max 0.1 (reuse_delay damping state ~now:fire_time) in
+          transport_schedule t ~delay recheck
+        end
+        else reselect t ~now:fire_time prefix
+      in
+      let state = flap_state t ~peer prefix in
+      let delay = Float.max 0.1 (reuse_delay damping state ~now) in
+      transport_schedule t ~delay recheck
+    end);
+  (match update.Update.payload with
+  | Update.Announce route ->
+    if As_path.contains route.Route.as_path t.asn then
+      (* loop detection: a route that already crossed this AS is dropped,
+         implicitly withdrawing any previous route from that peer *)
+      Rib.withdraw_in t.rib ~peer (Update.prefix update)
+    else begin
+      let route = Route.received ~from:peer route in
+      match t.policy.Policy.import ~peer route with
+      | Some accepted -> Rib.set_in t.rib ~peer accepted
+      | None -> Rib.withdraw_in t.rib ~peer (Update.prefix update)
+    end
+  | Update.Withdraw prefix -> Rib.withdraw_in t.rib ~peer prefix);
+  reselect t ~now (Update.prefix update)

@@ -1,0 +1,19 @@
+open Net
+
+type payload = Announce of Route.t | Withdraw of Prefix.t
+
+type t = { sender : Asn.t; payload : payload }
+
+let announce ~sender route = { sender; payload = Announce route }
+
+let withdraw ~sender prefix = { sender; payload = Withdraw prefix }
+
+let prefix t =
+  match t.payload with
+  | Announce r -> r.Route.prefix
+  | Withdraw p -> p
+
+let pp fmt t =
+  match t.payload with
+  | Announce r -> Format.fprintf fmt "%a announces %a" Asn.pp t.sender Route.pp r
+  | Withdraw p -> Format.fprintf fmt "%a withdraws %a" Asn.pp t.sender Prefix.pp p

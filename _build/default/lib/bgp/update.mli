@@ -1,0 +1,22 @@
+(** BGP UPDATE messages as exchanged between simulated speakers. *)
+
+open Net
+
+type payload =
+  | Announce of Route.t  (** reachability with attributes *)
+  | Withdraw of Prefix.t  (** loss of reachability *)
+
+type t = { sender : Asn.t; payload : payload }
+(** A message on the wire between two peers. *)
+
+val announce : sender:Asn.t -> Route.t -> t
+(** Build an announcement. *)
+
+val withdraw : sender:Asn.t -> Prefix.t -> t
+(** Build a withdrawal. *)
+
+val prefix : t -> Prefix.t
+(** The prefix the update is about. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering. *)

@@ -1,0 +1,1 @@
+lib/core/alarm.ml: Asn Format List Moas_list Net Prefix Printf String

@@ -1,0 +1,1 @@
+lib/core/alarm.mli: Asn Format Net Prefix

@@ -1,0 +1,1 @@
+lib/core/alert_service.ml: Alarm Asn Int List Net Prefix Printf

@@ -1,0 +1,1 @@
+lib/core/alert_service.mli: Alarm Asn Net Prefix

@@ -1,0 +1,1 @@
+lib/core/deployment.ml: Array Asn Float Mutil Net Printf

@@ -1,0 +1,1 @@
+lib/core/detector.mli: Alarm Asn Bgp Net Origin_verification Prefix

@@ -1,0 +1,1 @@
+lib/core/moas_list.ml: Asn Bgp List Net String

@@ -1,0 +1,1 @@
+lib/core/moas_list.mli: Asn Bgp Net

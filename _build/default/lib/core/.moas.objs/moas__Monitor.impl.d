@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Asn Bgp Hashtbl List Moas_list Net Option Prefix Printf String

@@ -1,0 +1,1 @@
+lib/core/origin_verification.ml: Asn Net Prefix

@@ -1,0 +1,1 @@
+lib/core/origin_verification.mli: Asn Net Prefix

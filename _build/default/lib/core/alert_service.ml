@@ -1,0 +1,121 @@
+open Net
+
+type severity = Info | Warning | Critical
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Critical -> "critical"
+
+type incident = {
+  id : int;
+  prefix : Prefix.t;
+  opened_at : float;
+  mutable last_alarm_at : float;
+  mutable alarm_count : int;
+  mutable observers : Asn.Set.t;
+  mutable origins_implicated : Asn.Set.t;
+  mutable severity : severity;
+  mutable resolved_at : float option;
+}
+
+type notification = {
+  at : float;
+  incident_id : int;
+  event : [ `Opened | `Escalated of severity | `Resolved ];
+}
+
+type t = {
+  escalation_observers : int;
+  mutable next_id : int;
+  mutable live : incident Prefix.Map.t;
+  mutable closed_rev : incident list;
+  mutable notifications_rev : notification list;
+}
+
+let create ?(escalation_observers = 3) () =
+  if escalation_observers < 1 then
+    invalid_arg "Alert_service.create: need at least one observer";
+  {
+    escalation_observers;
+    next_id = 1;
+    live = Prefix.Map.empty;
+    closed_rev = [];
+    notifications_rev = [];
+  }
+
+let notify t ~at ~incident_id event =
+  t.notifications_rev <- { at; incident_id; event } :: t.notifications_rev
+
+let ingest t (alarm : Alarm.t) =
+  let prefix = alarm.Alarm.prefix in
+  match Prefix.Map.find_opt prefix t.live with
+  | Some incident ->
+    incident.last_alarm_at <- max incident.last_alarm_at alarm.Alarm.time;
+    incident.alarm_count <- incident.alarm_count + 1;
+    incident.observers <- Asn.Set.add alarm.Alarm.observer incident.observers;
+    incident.origins_implicated <-
+      Asn.Set.union incident.origins_implicated alarm.Alarm.origins_seen;
+    if
+      incident.severity <> Critical
+      && Asn.Set.cardinal incident.observers >= t.escalation_observers
+    then begin
+      incident.severity <- Critical;
+      notify t ~at:alarm.Alarm.time ~incident_id:incident.id
+        (`Escalated Critical)
+    end
+  | None ->
+    let incident =
+      {
+        id = t.next_id;
+        prefix;
+        opened_at = alarm.Alarm.time;
+        last_alarm_at = alarm.Alarm.time;
+        alarm_count = 1;
+        observers = Asn.Set.singleton alarm.Alarm.observer;
+        origins_implicated = alarm.Alarm.origins_seen;
+        severity = Warning;
+        resolved_at = None;
+      }
+    in
+    t.next_id <- t.next_id + 1;
+    t.live <- Prefix.Map.add prefix incident t.live;
+    notify t ~at:alarm.Alarm.time ~incident_id:incident.id `Opened
+
+let resolve_quiet t ~now ~idle_for =
+  if idle_for < 0.0 then invalid_arg "Alert_service.resolve_quiet: negative idle";
+  let resolved = ref 0 in
+  t.live <-
+    Prefix.Map.filter
+      (fun _ incident ->
+        if now -. incident.last_alarm_at >= idle_for then begin
+          incident.resolved_at <- Some now;
+          t.closed_rev <- incident :: t.closed_rev;
+          notify t ~at:now ~incident_id:incident.id `Resolved;
+          incr resolved;
+          false
+        end
+        else true)
+      t.live;
+  !resolved
+
+let by_id a b = Int.compare a.id b.id
+
+let live_incidents t =
+  Prefix.Map.fold (fun _ i acc -> i :: acc) t.live [] |> List.sort by_id
+
+let all_incidents t =
+  (live_incidents t @ t.closed_rev) |> List.sort by_id
+
+let notifications t = List.rev t.notifications_rev
+
+let incident_for t prefix = Prefix.Map.find_opt prefix t.live
+
+let summary t =
+  let live = live_incidents t in
+  let critical = List.filter (fun i -> i.severity = Critical) live in
+  Printf.sprintf
+    "%d live incident(s) (%d critical), %d resolved, %d notification(s) sent"
+    (List.length live) (List.length critical)
+    (List.length t.closed_rev)
+    (List.length t.notifications_rev)

@@ -1,0 +1,67 @@
+(** Incident management on top of raw alarms.
+
+    The paper stops at "generate an alarm signal; further investigation
+    should be conducted" (Section 4.2).  An operational deployment needs
+    the layer this module provides: alarms from many routers about the
+    same prefix are aggregated into a single {e incident} with a
+    lifecycle, duplicate notifications are suppressed, and incidents
+    resolve when the conflict stops being observed — the shape later
+    systems (e.g. PHAS) standardised. *)
+
+open Net
+
+type severity = Info | Warning | Critical
+
+val severity_to_string : severity -> string
+(** Report label. *)
+
+type incident = {
+  id : int;  (** monotonically increasing *)
+  prefix : Prefix.t;
+  opened_at : float;
+  mutable last_alarm_at : float;
+  mutable alarm_count : int;  (** alarms folded into this incident *)
+  mutable observers : Asn.Set.t;  (** ASes that reported it *)
+  mutable origins_implicated : Asn.Set.t;
+  mutable severity : severity;
+  mutable resolved_at : float option;
+}
+
+type notification = {
+  at : float;
+  incident_id : int;
+  event : [ `Opened | `Escalated of severity | `Resolved ];
+}
+
+type t
+(** The service state. *)
+
+val create : ?escalation_observers:int -> unit -> t
+(** A fresh service.  An incident escalates from [Warning] to [Critical]
+    once at least [escalation_observers] distinct ASes have reported it
+    (default 3) — one confused router is noise, many are an event. *)
+
+val ingest : t -> Alarm.t -> unit
+(** Fold one alarm in: opens a new incident for a prefix without a live
+    one, otherwise updates the existing incident.  Emits notifications on
+    open and on escalation only (repeat alarms are silent). *)
+
+val resolve_quiet : t -> now:float -> idle_for:float -> int
+(** Resolve every live incident whose last alarm is older than
+    [idle_for]; returns how many were resolved (each emits a [`Resolved]
+    notification). *)
+
+val live_incidents : t -> incident list
+(** Unresolved incidents, oldest first. *)
+
+val all_incidents : t -> incident list
+(** Every incident ever opened, oldest first. *)
+
+val notifications : t -> notification list
+(** Notification log, oldest first. *)
+
+val incident_for : t -> Prefix.t -> incident option
+(** The live incident for a prefix, if any. *)
+
+val summary : t -> string
+(** One-paragraph operational summary. *)

@@ -1,0 +1,23 @@
+open Net
+module Rng = Mutil.Rng
+
+type t = Disabled | Full | Fraction of float | Exactly of Asn.Set.t
+
+let to_string = function
+  | Disabled -> "Normal BGP"
+  | Full -> "Full MOAS Detection"
+  | Fraction f -> Printf.sprintf "%.0f%% MOAS Detection" (100.0 *. f)
+  | Exactly s -> Printf.sprintf "MOAS Detection at %d ASes" (Asn.Set.cardinal s)
+
+let capable_set rng all = function
+  | Disabled -> Asn.Set.empty
+  | Full -> all
+  | Exactly s -> Asn.Set.inter s all
+  | Fraction f ->
+    if f < 0.0 || f > 1.0 then
+      invalid_arg "Deployment.capable_set: fraction out of [0,1]";
+    let universe = Array.of_list (Asn.Set.elements all) in
+    let count =
+      int_of_float (Float.round (f *. float_of_int (Array.length universe)))
+    in
+    Asn.Set.of_list (Array.to_list (Rng.sample rng universe count))

@@ -1,0 +1,20 @@
+(** Deployment plans: which ASes run the MOAS consistency check.  The paper
+    evaluates full deployment (Experiments 1-2), a random half of the
+    network (Experiment 3), and implicitly no deployment ("Normal BGP"). *)
+
+open Net
+
+type t =
+  | Disabled  (** plain BGP everywhere — the paper's baseline *)
+  | Full  (** every AS checks MOAS lists *)
+  | Fraction of float
+      (** a random fraction of ASes checks (0.5 in Experiment 3) *)
+  | Exactly of Asn.Set.t  (** an explicit capable set, for tests *)
+
+val to_string : t -> string
+(** Short label, e.g. ["Full MOAS Detection"]. *)
+
+val capable_set : Mutil.Rng.t -> Asn.Set.t -> t -> Asn.Set.t
+(** [capable_set rng all plan] chooses the ASes that can process MOAS
+    lists.  [Fraction f] rounds [f * |all|] to the nearest integer and
+    samples uniformly; [Exactly s] is intersected with [all]. *)

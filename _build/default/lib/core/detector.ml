@@ -1,0 +1,104 @@
+open Net
+
+module StringSet = Set.Make (String)
+
+type verify = now:float -> Prefix.t -> Asn.Set.t option
+
+type t = {
+  self : Asn.t;
+  verifier : verify option;
+  on_alarm : Alarm.t -> unit;
+  check_self_consistency : bool;
+  mutable seen_signatures : StringSet.t;
+  mutable alarms_rev : Alarm.t list;
+  mutable alarm_count : int;
+  (* entitled origin sets learned from the oracle; the MOASRR record does
+     not evaporate once read, so the verdict is remembered and applied to
+     every later candidate — this also keeps the filter monotone, which
+     guarantees BGP convergence under partial deployment *)
+  mutable verified : Asn.Set.t Prefix.Map.t;
+}
+
+let create ?oracle ?verify ?(on_alarm = fun _ -> ())
+    ?(check_self_consistency = true) ~self () =
+  let verifier =
+    match (verify, oracle) with
+    | Some v, _ -> Some v
+    | None, Some oracle ->
+      Some (fun ~now:_ prefix -> Origin_verification.query oracle prefix)
+    | None, None -> None
+  in
+  {
+    self;
+    verifier;
+    on_alarm;
+    check_self_consistency;
+    seen_signatures = StringSet.empty;
+    alarms_rev = [];
+    alarm_count = 0;
+    verified = Prefix.Map.empty;
+  }
+
+let distinct_lists lists =
+  List.sort_uniq Asn.Set.compare lists
+
+let raise_alarm t ~now ~prefix ~lists ~origins =
+  let alarm =
+    Alarm.make ~observer:t.self ~prefix ~time:now ~conflicting_lists:lists
+      ~origins_seen:origins
+  in
+  let signature = Alarm.signature alarm in
+  if not (StringSet.mem signature t.seen_signatures) then begin
+    t.seen_signatures <- StringSet.add signature t.seen_signatures;
+    t.alarms_rev <- alarm :: t.alarms_rev;
+    t.alarm_count <- t.alarm_count + 1;
+    t.on_alarm alarm
+  end
+
+let filter_entitled t entitled routes =
+  List.filter
+    (fun r -> Asn.Set.mem (Bgp.Route.origin_as ~self:t.self r) entitled)
+    routes
+
+let validator t : Bgp.Router.validator =
+ fun ~now ~prefix routes ->
+  let routes =
+    if t.check_self_consistency then
+      List.filter (Moas_list.self_consistent ~self:t.self) routes
+    else routes
+  in
+  (* a verdict already obtained from the registry applies permanently *)
+  let routes =
+    match Prefix.Map.find_opt prefix t.verified with
+    | Some entitled -> filter_entitled t entitled routes
+    | None -> routes
+  in
+  let lists =
+    distinct_lists (List.map (Moas_list.effective ~self:t.self) routes)
+  in
+  if Moas_list.all_consistent lists then routes
+  else begin
+    let origins =
+      List.fold_left
+        (fun acc r -> Asn.Set.add (Bgp.Route.origin_as ~self:t.self r) acc)
+        Asn.Set.empty routes
+    in
+    raise_alarm t ~now ~prefix ~lists ~origins;
+    match t.verifier with
+    | None -> routes (* detect-only deployment: alarm but do not filter *)
+    | Some verify ->
+      (match verify ~now prefix with
+      | None -> routes (* no verdict obtainable: fail open *)
+      | Some entitled ->
+        t.verified <- Prefix.Map.add prefix entitled t.verified;
+        filter_entitled t entitled routes)
+  end
+
+let alarms t = List.rev t.alarms_rev
+
+let alarm_count t = t.alarm_count
+
+let reset t =
+  t.seen_signatures <- StringSet.empty;
+  t.alarms_rev <- [];
+  t.alarm_count <- 0

@@ -1,0 +1,50 @@
+(** The per-router MOAS conflict detector — the paper's core mechanism
+    (Section 4.2), packaged as a {!Bgp.Router.validator}.
+
+    On every decision the detector compares the MOAS lists of all candidate
+    routes for the prefix (a route without a list counts as carrying the
+    implicit list [{origin}], footnote 3).  When the lists disagree it
+    raises an {!Alarm.t}; if an origin-verification backend is available
+    ([verify] takes precedence over [oracle] when both are given)
+    it then discards every candidate whose origin is not entitled, which
+    stops the false route from being selected or propagated — the behaviour
+    assumed in the paper's Experiment 1.  Without a backend the detector
+    is detect-only: it alarms but lets BGP proceed (the off-line monitoring
+    deployment of Section 4.2). *)
+
+open Net
+
+type t
+(** Detector state for one router. *)
+
+type verify = now:float -> Prefix.t -> Asn.Set.t option
+(** A pluggable origin-verification backend: the entitled origin set for
+    the prefix, or [None] when no verdict can be obtained (the detector
+    then fails open).  {!Origin_verification} and a DNS MOASRR lookup are
+    the two backends used in the experiments. *)
+
+val create :
+  ?oracle:Origin_verification.t ->
+  ?verify:verify ->
+  ?on_alarm:(Alarm.t -> unit) ->
+  ?check_self_consistency:bool ->
+  self:Asn.t ->
+  unit ->
+  t
+(** A detector for the router of AS [self].  [on_alarm] is invoked once per
+    distinct conflict signature (repeated BGP churn over the same conflict
+    does not re-alarm).  [check_self_consistency] (default true) also
+    rejects routes whose carried list omits their own origin — a local
+    check needing no second opinion. *)
+
+val validator : t -> Bgp.Router.validator
+(** The validation function to install on the router. *)
+
+val alarms : t -> Alarm.t list
+(** Alarms raised so far, oldest first. *)
+
+val alarm_count : t -> int
+(** Number of alarms raised. *)
+
+val reset : t -> unit
+(** Forget alarms and de-duplication state. *)

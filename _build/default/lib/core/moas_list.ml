@@ -1,0 +1,51 @@
+open Net
+
+let ml_val = 0xff02
+
+let member_community asn = Bgp.Community.make asn ml_val
+
+let encode ases =
+  Asn.Set.fold
+    (fun asn acc -> Bgp.Community.Set.add (member_community asn) acc)
+    ases Bgp.Community.Set.empty
+
+let decode communities =
+  let members =
+    Bgp.Community.Set.fold
+      (fun c acc ->
+        if c.Bgp.Community.value = ml_val then Asn.Set.add c.Bgp.Community.asn acc
+        else acc)
+      communities Asn.Set.empty
+  in
+  if Asn.Set.is_empty members then None else Some members
+
+let strip communities =
+  Bgp.Community.Set.filter (fun c -> c.Bgp.Community.value <> ml_val) communities
+
+let attach ases communities =
+  Bgp.Community.Set.union (encode ases) (strip communities)
+
+let effective ~self route =
+  match decode route.Bgp.Route.communities with
+  | Some members -> members
+  | None ->
+    (* footnote 3: no list means the implicit list {origin}; a route whose
+       path ends in an AS_SET (aggregation) implies the whole set *)
+    let candidates = Bgp.As_path.origin_candidates route.Bgp.Route.as_path in
+    if Asn.Set.is_empty candidates then
+      Asn.Set.singleton (Bgp.Route.origin_as ~self route)
+    else candidates
+
+let consistent a b = Asn.Set.equal a b
+
+let all_consistent = function
+  | [] | [ _ ] -> true
+  | first :: rest -> List.for_all (consistent first) rest
+
+let self_consistent ~self route =
+  match decode route.Bgp.Route.communities with
+  | None -> true
+  | Some members -> Asn.Set.mem (Bgp.Route.origin_as ~self route) members
+
+let to_string ases =
+  "{" ^ String.concat "," (List.map Asn.to_string (Asn.Set.elements ases)) ^ "}"

@@ -1,0 +1,106 @@
+open Net
+
+type finding = {
+  prefix : Prefix.t;
+  first_seen : float;
+  distinct_lists : Asn.Set.t list;
+  origins : Asn.Set.t;
+  feeds : Asn.Set.t;
+}
+
+type t = {
+  (* per prefix, the latest route from each feed *)
+  mutable tables : Bgp.Route.t Asn.Map.t Prefix.Map.t;
+  mutable history : finding list; (* reverse chronological *)
+  mutable known_signatures : (string, unit) Hashtbl.t;
+}
+
+let create () =
+  { tables = Prefix.Map.empty; history = []; known_signatures = Hashtbl.create 64 }
+
+let conflict_of_entries prefix entries ~time =
+  let routes = Asn.Map.bindings entries in
+  let lists =
+    List.map
+      (fun (feed, route) -> Moas_list.effective ~self:feed route)
+      routes
+    |> List.sort_uniq Asn.Set.compare
+  in
+  if Moas_list.all_consistent lists then None
+  else
+    let origins =
+      List.fold_left
+        (fun acc (feed, route) ->
+          Asn.Set.add (Bgp.Route.origin_as ~self:feed route) acc)
+        Asn.Set.empty routes
+    in
+    let feeds =
+      List.fold_left (fun acc (feed, _) -> Asn.Set.add feed acc) Asn.Set.empty
+        routes
+    in
+    Some { prefix; first_seen = time; distinct_lists = lists; origins; feeds }
+
+let signature finding =
+  Printf.sprintf "%s|%s"
+    (Prefix.to_string finding.prefix)
+    (String.concat ";" (List.map Moas_list.to_string finding.distinct_lists))
+
+let check t ~time prefix =
+  match Prefix.Map.find_opt prefix t.tables with
+  | None -> ()
+  | Some entries ->
+    (match conflict_of_entries prefix entries ~time with
+    | None -> ()
+    | Some finding ->
+      let s = signature finding in
+      if not (Hashtbl.mem t.known_signatures s) then begin
+        Hashtbl.add t.known_signatures s ();
+        t.history <- finding :: t.history
+      end)
+
+let observe_route t ~time ~feed route =
+  let prefix = route.Bgp.Route.prefix in
+  t.tables <-
+    Prefix.Map.update prefix
+      (fun entries ->
+        Some (Asn.Map.add feed route (Option.value ~default:Asn.Map.empty entries)))
+      t.tables;
+  check t ~time prefix
+
+let observe_withdraw t ~time:_ ~feed prefix =
+  t.tables <-
+    Prefix.Map.update prefix
+      (function
+        | Some entries ->
+          let entries = Asn.Map.remove feed entries in
+          if Asn.Map.is_empty entries then None else Some entries
+        | None -> None)
+      t.tables
+
+let observe_update t ~time ~feed (update : Bgp.Update.t) =
+  match update.Bgp.Update.payload with
+  | Bgp.Update.Announce route -> observe_route t ~time ~feed route
+  | Bgp.Update.Withdraw prefix -> observe_withdraw t ~time ~feed prefix
+
+let observe_table t ~time ~feed routes =
+  (* drop the feed's previous snapshot, then ingest the new one *)
+  t.tables <-
+    Prefix.Map.filter_map
+      (fun _ entries ->
+        let entries = Asn.Map.remove feed entries in
+        if Asn.Map.is_empty entries then None else Some entries)
+      t.tables;
+  List.iter (observe_route t ~time ~feed) routes
+
+let findings t =
+  Prefix.Map.fold
+    (fun prefix entries acc ->
+      match conflict_of_entries prefix entries ~time:0.0 with
+      | Some f -> f :: acc
+      | None -> acc)
+    t.tables []
+  |> List.rev
+
+let all_findings_ever t = List.rev t.history
+
+let prefixes_tracked t = Prefix.Map.cardinal t.tables

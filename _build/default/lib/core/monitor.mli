@@ -1,0 +1,47 @@
+(** The off-line deployment path of Section 4.2: a monitoring process that
+    periodically downloads BGP routing messages (or full tables via the BGP
+    MIB) from multiple peers and checks MOAS list consistency across them,
+    with no router modification at all.
+
+    The monitor keeps, per prefix, the latest route seen from each feed and
+    reports a finding whenever the effective MOAS lists across feeds
+    disagree. *)
+
+open Net
+
+type finding = {
+  prefix : Prefix.t;
+  first_seen : float;  (** time the conflict was first observable *)
+  distinct_lists : Asn.Set.t list;  (** the disagreeing lists, sorted *)
+  origins : Asn.Set.t;  (** origin ASes involved *)
+  feeds : Asn.Set.t;  (** the peers whose routes exposed the conflict *)
+}
+
+type t
+(** Mutable monitor state. *)
+
+val create : unit -> t
+(** A fresh monitor with no feeds observed. *)
+
+val observe_route : t -> time:float -> feed:Asn.t -> Bgp.Route.t -> unit
+(** Ingest one route of a feed's table or message stream. *)
+
+val observe_withdraw : t -> time:float -> feed:Asn.t -> Prefix.t -> unit
+(** The feed no longer carries the prefix. *)
+
+val observe_update : t -> time:float -> feed:Asn.t -> Bgp.Update.t -> unit
+(** Ingest one UPDATE message from a feed. *)
+
+val observe_table : t -> time:float -> feed:Asn.t -> Bgp.Route.t list -> unit
+(** Ingest a full table snapshot from a feed, replacing its previous one. *)
+
+val findings : t -> finding list
+(** Current conflicts, ordered by prefix.  Conflicts that have disappeared
+    (e.g. the bogus route was withdrawn) are no longer reported. *)
+
+val all_findings_ever : t -> finding list
+(** Every conflict observed since creation, including resolved ones,
+    ordered by first detection time. *)
+
+val prefixes_tracked : t -> int
+(** Number of prefixes with at least one live route across feeds. *)

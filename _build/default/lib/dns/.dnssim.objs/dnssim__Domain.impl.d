@@ -1,0 +1,1 @@
+lib/dns/domain.ml: Format Ipv4 List Map Net Prefix Stdlib String

@@ -1,0 +1,1 @@
+lib/dns/domain.mli: Format Map Net

@@ -1,0 +1,1 @@
+lib/dns/resolver.ml: Asn Domain Hashtbl Ipv4 List Net Zone

@@ -1,0 +1,1 @@
+lib/dns/resolver.mli: Asn Domain Ipv4 Net Prefix Zone

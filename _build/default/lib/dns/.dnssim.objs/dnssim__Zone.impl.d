@@ -1,0 +1,1 @@
+lib/dns/zone.ml: Asn Domain Ipv4 List Net Option Printf String

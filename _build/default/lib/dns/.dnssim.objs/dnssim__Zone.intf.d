@@ -1,0 +1,1 @@
+lib/dns/zone.mli: Asn Domain Ipv4 Net

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Asn Attack Bgp Buffer Hashtbl List Moas Mutil Net Prefix Prefix_trie Printf Sweep Topology

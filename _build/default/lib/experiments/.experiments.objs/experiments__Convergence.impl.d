@@ -1,0 +1,1 @@
+lib/experiments/convergence.ml: Asn Attack Bgp List Moas Mutil Net Prefix Printf Topology

@@ -1,0 +1,1 @@
+lib/experiments/convergence.mli: Topology

@@ -1,0 +1,1 @@
+lib/experiments/dns_study.ml: Array Asn Bgp Dnssim Hashtbl Ipv4 List Moas Mutil Net Prefix Printf Topology

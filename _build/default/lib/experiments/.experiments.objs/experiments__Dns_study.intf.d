@@ -1,0 +1,1 @@
+lib/experiments/dns_study.mli: Topology

@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Float List Moas Mutil Printf String Sweep Topology

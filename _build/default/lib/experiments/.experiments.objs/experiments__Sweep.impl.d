@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Array Asn Attack Float List Moas Mutil Net Prefix Topology

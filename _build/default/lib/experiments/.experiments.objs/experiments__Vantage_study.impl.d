@@ -1,0 +1,1 @@
+lib/experiments/vantage_study.ml: Array Asn Bgp List Moas Mutil Net Prefix Printf Topology

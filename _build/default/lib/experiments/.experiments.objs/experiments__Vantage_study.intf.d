@@ -1,0 +1,1 @@
+lib/experiments/vantage_study.mli: Topology

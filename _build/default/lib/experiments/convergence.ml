@@ -1,0 +1,100 @@
+open Net
+module Rng = Mutil.Rng
+module Stats = Mutil.Stats
+module Topo = Topology.Paper_topologies
+
+type point = {
+  n_attackers : int;
+  mean_detection_latency : float;
+  max_detection_latency : float;
+  detection_rate : float;
+  mean_settle_time : float;
+  mean_updates : float;
+  mean_wire_octets : float;
+}
+
+(* a representative UPDATE for octet accounting: a 3-hop announcement
+   carrying a two-entry MOAS list *)
+let representative_update_octets =
+  Bgp.Wire.update_size
+    (Bgp.Update.announce ~sender:(Asn.make 1)
+       {
+         Bgp.Route.prefix = Prefix.of_string "192.0.2.0/24";
+         as_path = Bgp.As_path.of_list [ 1; 2; 3 ];
+         origin = Bgp.Route.Igp;
+         learned_from = Asn.make 1;
+         local_pref = 100;
+         communities = Moas.Moas_list.encode (Asn.Set.of_list [ 3; 4 ]);
+       })
+
+let study ?(seed = 0x434f4e56L) ?(runs = 10)
+    ?(n_attackers_list = [ 1; 3; 7; 14 ]) ~topology () =
+  let root = Rng.create ~seed in
+  List.map
+    (fun n_attackers ->
+      let outcomes =
+        List.init runs (fun run ->
+            let rng = Rng.split_at root ((n_attackers * 1000) + run) in
+            let scenario =
+              Attack.Scenario.random rng ~graph:topology.Topo.graph
+                ~stub:topology.Topo.stub ~n_origins:1 ~n_attackers
+                ~deployment:Moas.Deployment.Full
+            in
+            (Attack.Scenario.run (Rng.split_at rng 99) scenario, scenario))
+      in
+      let latencies =
+        List.filter_map
+          (fun (o, _) -> o.Attack.Scenario.detection_latency)
+          outcomes
+      in
+      let settle_times =
+        List.map
+          (fun (o, s) ->
+            o.Attack.Scenario.converged_at -. s.Attack.Scenario.attack_at)
+          outcomes
+      in
+      let updates =
+        List.map
+          (fun (o, _) -> float_of_int o.Attack.Scenario.updates_sent)
+          outcomes
+      in
+      {
+        n_attackers;
+        mean_detection_latency = Stats.mean latencies;
+        max_detection_latency =
+          (match latencies with
+          | [] -> 0.0
+          | _ -> snd (Stats.min_max latencies));
+        detection_rate =
+          float_of_int (List.length latencies) /. float_of_int runs;
+        mean_settle_time = Stats.mean settle_times;
+        mean_updates = Stats.mean updates;
+        mean_wire_octets =
+          Stats.mean updates *. float_of_int representative_update_octets;
+      })
+    n_attackers_list
+
+let render points =
+  Mutil.Text_table.render
+    ~header:
+      [
+        "attackers";
+        "detection rate";
+        "mean latency";
+        "max latency";
+        "settle time";
+        "updates";
+        "~wire KB";
+      ]
+    (List.map
+       (fun p ->
+         [
+           string_of_int p.n_attackers;
+           Mutil.Text_table.percent_cell ~decimals:0 p.detection_rate;
+           Printf.sprintf "%.2f" p.mean_detection_latency;
+           Printf.sprintf "%.2f" p.max_detection_latency;
+           Printf.sprintf "%.2f" p.mean_settle_time;
+           Printf.sprintf "%.0f" p.mean_updates;
+           Printf.sprintf "%.1f" (p.mean_wire_octets /. 1024.0);
+         ])
+       points)

@@ -1,0 +1,34 @@
+(** Detection and convergence dynamics — timing aspects the paper leaves
+    implicit (its metric is the post-convergence steady state).
+
+    For a set of random attacked scenarios with full deployment this
+    module reports how quickly the first alarm fires after the bogus
+    announcement, how long BGP needs to settle again, and how much UPDATE
+    traffic each phase costs, as a function of attacker count. *)
+
+type point = {
+  n_attackers : int;
+  mean_detection_latency : float;
+      (** first alarm time minus attack time, over detecting runs *)
+  max_detection_latency : float;
+  detection_rate : float;  (** fraction of runs with at least one alarm *)
+  mean_settle_time : float;
+      (** last event time minus attack time: re-convergence duration *)
+  mean_updates : float;  (** total UPDATE messages in the run *)
+  mean_wire_octets : float;
+      (** total exact wire octets of those messages (RFC 4271 encoding of
+          one representative update times the message count) *)
+}
+
+val study :
+  ?seed:int64 ->
+  ?runs:int ->
+  ?n_attackers_list:int list ->
+  topology:Topology.Paper_topologies.t ->
+  unit ->
+  point list
+(** Run the study (default: 10 runs per point over 1, 3, 7 and 14
+    attackers). *)
+
+val render : point list -> string
+(** Text table. *)

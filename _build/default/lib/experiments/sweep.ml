@@ -1,0 +1,140 @@
+open Net
+module Rng = Mutil.Rng
+module Stats = Mutil.Stats
+
+type point = {
+  n_attackers : int;
+  attacker_fraction : float;
+  mean_adopting : float;
+  stderr_adopting : float;
+  mean_alarm_count : float;
+  mean_oracle_queries : float;
+  mean_updates : float;
+  detection_rate : float;
+  all_converged : bool;
+}
+
+type config = {
+  seed : int64;
+  topology : Topology.Paper_topologies.t;
+  n_origins : int;
+  deployment : Moas.Deployment.t;
+  origin_selections : int;
+  attacker_selections : int;
+  community_dropper_fraction : float;
+  attach_list_always : bool;
+  policy_mode : Attack.Scenario.policy_mode;
+}
+
+let config ?(origin_selections = 3) ?(attacker_selections = 5)
+    ?(community_dropper_fraction = 0.0) ?(attach_list_always = false)
+    ?(policy_mode = Attack.Scenario.Shortest_path) ?(seed = 0x45585031L)
+    ~topology ~n_origins ~deployment () =
+  if origin_selections < 1 || attacker_selections < 1 then
+    invalid_arg "Sweep.config: need at least one selection of each kind";
+  {
+    seed;
+    topology;
+    n_origins;
+    deployment;
+    origin_selections;
+    attacker_selections;
+    community_dropper_fraction;
+    attach_list_always;
+    policy_mode;
+  }
+
+(* Derived, order-independent streams: origins depend only on the origin
+   selection index, attackers on both indices, so origin set [oi] is
+   identical across every attacker selection and every deployment — the
+   Normal-BGP and Full-MOAS curves face the same adversaries. *)
+let root cfg = Rng.create ~seed:cfg.seed
+
+let origins_for cfg ~selection =
+  let rng = Rng.split_at (root cfg) (1000 + selection) in
+  let stubs =
+    Array.of_list (Asn.Set.elements cfg.topology.Topology.Paper_topologies.stub)
+  in
+  if cfg.n_origins > Array.length stubs then
+    invalid_arg "Sweep: not enough stub ASes for the requested origins";
+  Array.to_list (Rng.sample rng stubs cfg.n_origins)
+
+let attackers_for cfg ~origin_selection ~attacker_selection ~n_attackers
+    ~origins =
+  let rng =
+    Rng.split_at (root cfg)
+      (2000 + (origin_selection * 100) + attacker_selection)
+  in
+  let origin_set = Asn.Set.of_list origins in
+  let pool =
+    Asn.Set.elements
+      (Asn.Set.diff
+         (Topology.As_graph.nodes cfg.topology.Topology.Paper_topologies.graph)
+         origin_set)
+    |> Array.of_list
+  in
+  if n_attackers > Array.length pool then
+    invalid_arg "Sweep: more attackers than available ASes";
+  Rng.sample rng pool n_attackers
+  |> Array.to_list
+  |> List.map (fun asn -> Attack.Attacker.make asn)
+
+let run_point cfg ~n_attackers =
+  let graph = cfg.topology.Topology.Paper_topologies.graph in
+  let total_ases = Topology.As_graph.node_count graph in
+  let outcomes = ref [] in
+  for oi = 0 to cfg.origin_selections - 1 do
+    let origins = origins_for cfg ~selection:oi in
+    for ai = 0 to cfg.attacker_selections - 1 do
+      let attackers =
+        attackers_for cfg ~origin_selection:oi ~attacker_selection:ai
+          ~n_attackers ~origins
+      in
+      let scenario =
+        Attack.Scenario.make ~deployment:cfg.deployment
+          ~attach_list_always:cfg.attach_list_always
+          ~community_dropper_fraction:cfg.community_dropper_fraction
+          ~policy_mode:cfg.policy_mode ~graph
+          ~victim_prefix:(Prefix.of_string "192.0.2.0/24")
+          ~legit_origins:origins ~attackers ()
+      in
+      let run_rng =
+        Rng.split_at (root cfg) (3000 + (oi * 100) + ai)
+      in
+      outcomes := Attack.Scenario.run run_rng scenario :: !outcomes
+    done
+  done;
+  let outcomes = List.rev !outcomes in
+  let adopting =
+    List.map (fun o -> o.Attack.Scenario.fraction_adopting) outcomes
+  in
+  let floats f = List.map (fun o -> float_of_int (f o)) outcomes in
+  {
+    n_attackers;
+    attacker_fraction = float_of_int n_attackers /. float_of_int total_ases;
+    mean_adopting = Stats.mean adopting;
+    stderr_adopting = Stats.stderr_of_mean adopting;
+    mean_alarm_count = Stats.mean (floats (fun o -> o.Attack.Scenario.alarm_count));
+    mean_oracle_queries =
+      Stats.mean (floats (fun o -> o.Attack.Scenario.oracle_queries));
+    mean_updates = Stats.mean (floats (fun o -> o.Attack.Scenario.updates_sent));
+    detection_rate =
+      Stats.mean
+        (List.map
+           (fun o -> if o.Attack.Scenario.detected then 1.0 else 0.0)
+           outcomes);
+    all_converged = List.for_all (fun o -> o.Attack.Scenario.converged) outcomes;
+  }
+
+let run cfg ~n_attackers_list =
+  List.map (fun n -> run_point cfg ~n_attackers:n) n_attackers_list
+
+let default_attacker_counts topology =
+  let n =
+    Topology.As_graph.node_count topology.Topology.Paper_topologies.graph
+  in
+  let fractions = [ 0.02; 0.05; 0.08; 0.12; 0.16; 0.20; 0.25; 0.30; 0.35; 0.40; 0.45 ] in
+  List.map
+    (fun f -> max 1 (int_of_float (Float.round (f *. float_of_int n))))
+    fractions
+  |> List.sort_uniq compare

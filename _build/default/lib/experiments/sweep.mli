@@ -1,0 +1,57 @@
+(** Parameter sweeps with the paper's averaging discipline: every data
+    point is the mean of 15 runs obtained from 3 independent origin-AS
+    selections crossed with 5 attacker selections (Section 5.2,
+    footnote 4). *)
+
+open Net
+
+type point = {
+  n_attackers : int;
+  attacker_fraction : float;  (** of all ASes, the paper's x axis *)
+  mean_adopting : float;  (** mean fraction of remaining ASes adopting *)
+  stderr_adopting : float;  (** standard error over the runs *)
+  mean_alarm_count : float;  (** distinct alarms per run *)
+  mean_oracle_queries : float;
+  mean_updates : float;
+  detection_rate : float;  (** fraction of runs with at least one alarm *)
+  all_converged : bool;
+}
+
+type config = {
+  seed : int64;
+  topology : Topology.Paper_topologies.t;
+  n_origins : int;
+  deployment : Moas.Deployment.t;
+  origin_selections : int;  (** default 3 *)
+  attacker_selections : int;  (** default 5 *)
+  community_dropper_fraction : float;  (** default 0 *)
+  attach_list_always : bool;  (** default false *)
+  policy_mode : Attack.Scenario.policy_mode;  (** default shortest path *)
+}
+
+val config :
+  ?origin_selections:int ->
+  ?attacker_selections:int ->
+  ?community_dropper_fraction:float ->
+  ?attach_list_always:bool ->
+  ?policy_mode:Attack.Scenario.policy_mode ->
+  ?seed:int64 ->
+  topology:Topology.Paper_topologies.t ->
+  n_origins:int ->
+  deployment:Moas.Deployment.t ->
+  unit ->
+  config
+(** Build a sweep configuration with the paper's defaults. *)
+
+val run_point : config -> n_attackers:int -> point
+(** Average the configured number of runs for one attacker count. *)
+
+val run : config -> n_attackers_list:int list -> point list
+(** One point per attacker count. *)
+
+val default_attacker_counts : Topology.Paper_topologies.t -> int list
+(** Attacker counts spanning roughly 2%..45% of the topology, the x range
+    of Figures 9-11. *)
+
+val origins_for : config -> selection:int -> Asn.t list
+(** The origin ASes used by a given origin selection (for tests). *)

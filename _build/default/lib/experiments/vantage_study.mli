@@ -1,0 +1,30 @@
+(** How many monitor feeds does the off-line deployment need?
+
+    Section 4.2 proposes running the MOAS check from an external monitor
+    that periodically downloads routing tables "from multiple peers".
+    This study measures the detection rate of such a monitor as a function
+    of the number of feeds it polls, for random attacked scenarios on a
+    paper topology: with one feed a conflict is visible only if that very
+    feed adopted a different origin than the rest of the world; with
+    enough feeds the monitor approaches on-router detection. *)
+
+type point = {
+  feed_count : int;
+  detection_rate : float;  (** fraction of attacked runs the monitor caught *)
+  mean_conflicts : float;  (** findings per caught run *)
+}
+
+val study :
+  ?seed:int64 ->
+  ?runs:int ->
+  ?feed_counts:int list ->
+  topology:Topology.Paper_topologies.t ->
+  unit ->
+  point list
+(** For each feed count, run attacked plain-BGP scenarios (no router
+    checks anything), poll the tables of randomly chosen feed ASes, and
+    measure how often the monitor observes the MOAS conflict.  Defaults:
+    12 runs over feed counts 1, 2, 4, 8, 16. *)
+
+val render : point list -> string
+(** Text table. *)

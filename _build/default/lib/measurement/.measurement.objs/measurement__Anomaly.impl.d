@@ -1,0 +1,1 @@
+lib/measurement/anomaly.ml: Array Float List Moas_cases Mutil Printf String

@@ -1,0 +1,1 @@
+lib/measurement/anomaly.mli: Moas_cases Mutil

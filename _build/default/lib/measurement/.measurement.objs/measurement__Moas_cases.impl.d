@@ -1,0 +1,1 @@
+lib/measurement/moas_cases.ml: Asn Hashtbl List Mutil Net Option Prefix

@@ -1,0 +1,1 @@
+lib/measurement/moas_cases.mli: Asn Mutil Net Prefix

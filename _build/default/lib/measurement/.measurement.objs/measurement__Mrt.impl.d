@@ -1,0 +1,1 @@
+lib/measurement/mrt.ml: Asn Bgp Buffer Bytes Char Hashtbl Ipv4 List Net Option Prefix Printf

@@ -1,0 +1,1 @@
+lib/measurement/mrt.mli: Asn Bgp Net Prefix

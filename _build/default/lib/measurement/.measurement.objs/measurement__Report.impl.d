@@ -1,0 +1,1 @@
+lib/measurement/report.ml: List Moas_cases Mutil Printf Synthetic_routeviews

@@ -1,0 +1,1 @@
+lib/measurement/report.mli: Moas_cases Mutil Synthetic_routeviews

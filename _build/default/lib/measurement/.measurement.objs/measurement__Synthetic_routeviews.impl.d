@@ -1,0 +1,1 @@
+lib/measurement/synthetic_routeviews.ml: Array Asn Hashtbl Ipv4 List Mutil Net Prefix

@@ -1,0 +1,1 @@
+lib/measurement/synthetic_routeviews.mli: Asn Mutil Net Prefix

@@ -1,0 +1,163 @@
+open Net
+module Day = Mutil.Day
+
+type case_state = {
+  moas_days : int;
+  max_origins : int;
+  first_day : Day.t;
+  last_day : Day.t;
+  origins_ever : Asn.Set.t;
+}
+
+type accum = {
+  per_prefix : case_state Prefix.Map.t;
+  daily_rev : (Day.t * int) list;
+  observed : int;
+}
+
+let empty = { per_prefix = Prefix.Map.empty; daily_rev = []; observed = 0 }
+
+let ingest acc ~day table =
+  let today_count = ref 0 in
+  let per_prefix =
+    List.fold_left
+      (fun per_prefix (prefix, origins) ->
+        if Asn.Set.cardinal origins <= 1 then per_prefix
+        else begin
+          incr today_count;
+          Prefix.Map.update prefix
+            (function
+              | Some st ->
+                Some
+                  {
+                    moas_days = st.moas_days + 1;
+                    max_origins = max st.max_origins (Asn.Set.cardinal origins);
+                    first_day = st.first_day;
+                    last_day = day;
+                    origins_ever = Asn.Set.union st.origins_ever origins;
+                  }
+              | None ->
+                Some
+                  {
+                    moas_days = 1;
+                    max_origins = Asn.Set.cardinal origins;
+                    first_day = day;
+                    last_day = day;
+                    origins_ever = origins;
+                  })
+            per_prefix
+        end)
+      acc.per_prefix table
+  in
+  {
+    per_prefix;
+    daily_rev = (day, !today_count) :: acc.daily_rev;
+    observed = acc.observed + 1;
+  }
+
+type case = {
+  prefix : Prefix.t;
+  moas_days : int;
+  max_origins : int;
+  first_day : Day.t;
+  last_day : Day.t;
+  origins_ever : Asn.Set.t;
+}
+
+type summary = {
+  cases : case list;
+  daily_counts : (Day.t * int) list;
+  observed_day_count : int;
+  total_cases : int;
+  one_day_cases : int;
+}
+
+let finalize acc =
+  let cases =
+    Prefix.Map.fold
+      (fun prefix (st : case_state) cases ->
+        {
+          prefix;
+          moas_days = st.moas_days;
+          max_origins = st.max_origins;
+          first_day = st.first_day;
+          last_day = st.last_day;
+          origins_ever = st.origins_ever;
+        }
+        :: cases)
+      acc.per_prefix []
+    |> List.rev
+  in
+  {
+    cases;
+    daily_counts = List.rev acc.daily_rev;
+    observed_day_count = acc.observed;
+    total_cases = List.length cases;
+    one_day_cases = List.length (List.filter (fun c -> c.moas_days = 1) cases);
+  }
+
+let duration_histogram summary =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      Hashtbl.replace tbl c.moas_days
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl c.moas_days)))
+    summary.cases;
+  Hashtbl.fold (fun d n acc -> (d, n) :: acc) tbl [] |> List.sort compare
+
+let duration_buckets summary =
+  let buckets =
+    [
+      ("1 day", fun d -> d = 1);
+      ("2 days", fun d -> d = 2);
+      ("3-7 days", fun d -> d >= 3 && d <= 7);
+      ("8-30 days", fun d -> d >= 8 && d <= 30);
+      ("31-90 days", fun d -> d >= 31 && d <= 90);
+      ("91-365 days", fun d -> d >= 91 && d <= 365);
+      (">365 days", fun d -> d > 365);
+    ]
+  in
+  List.map
+    (fun (label, pred) ->
+      (label, List.length (List.filter (fun c -> pred c.moas_days) summary.cases)))
+    buckets
+
+let origin_multiplicity summary =
+  let total = float_of_int (max 1 summary.total_cases) in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      Hashtbl.replace tbl c.max_origins
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl c.max_origins)))
+    summary.cases;
+  Hashtbl.fold (fun k n acc -> (k, float_of_int n /. total) :: acc) tbl []
+  |> List.sort compare
+
+let median_daily_in_year summary year =
+  let in_year =
+    List.filter_map
+      (fun (day, count) ->
+        let y, _, _ = Day.to_ymd day in
+        if y = year then Some (float_of_int count) else None)
+      summary.daily_counts
+  in
+  Mutil.Stats.median in_year
+
+let max_daily summary =
+  match summary.daily_counts with
+  | [] -> invalid_arg "Moas_cases.max_daily: no observed day"
+  | first :: rest ->
+    List.fold_left
+      (fun (bd, bc) (d, c) -> if c > bc then (d, c) else (bd, bc))
+      first rest
+
+let cases_on summary day =
+  match List.assoc_opt day summary.daily_counts with
+  | Some c -> c
+  | None -> 0
+
+let one_day_cases_attributed_to summary asn =
+  List.length
+    (List.filter
+       (fun c -> c.moas_days = 1 && Asn.Set.mem asn c.origins_ever)
+       summary.cases)

@@ -1,0 +1,182 @@
+open Net
+
+type record = {
+  timestamp : int;
+  peer_as : Asn.t;
+  prefix : Prefix.t;
+  as_path : Bgp.As_path.t;
+}
+
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+let mrt_type_table_dump = 12
+let mrt_subtype_afi_ipv4 = 1
+
+let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let put_u16 buf v =
+  put_u8 buf (v lsr 8);
+  put_u8 buf v
+
+let put_u32 buf v =
+  put_u16 buf (v lsr 16);
+  put_u16 buf (v land 0xffff)
+
+(* the per-record attribute section reuses the BGP wire codec: ORIGIN,
+   AS_PATH, NEXT_HOP, LOCAL_PREF as a standard attribute blob *)
+let attribute_blob as_path =
+  let message =
+    {
+      Bgp.Wire.withdrawn = [];
+      attributes =
+        Some
+          {
+            Bgp.Wire.origin = Bgp.Route.Igp;
+            as_path;
+            local_pref = 100;
+            communities = Bgp.Community.Set.empty;
+          };
+      nlri = [];
+    }
+  in
+  let whole = Bgp.Wire.encode message in
+  (* strip header (16+2+1) and the withdrawn-length field (2) and the
+     attribute-length field (2): keep just the attribute octets *)
+  let offset = Bgp.Wire.marker_length + 3 + 2 + 2 in
+  Bytes.sub whole offset (Bytes.length whole - offset)
+
+let encode_record r =
+  let attrs = attribute_blob r.as_path in
+  let buf = Buffer.create (32 + Bytes.length attrs) in
+  put_u32 buf r.timestamp;
+  put_u16 buf mrt_type_table_dump;
+  put_u16 buf mrt_subtype_afi_ipv4;
+  (* record body *)
+  put_u16 buf 0 (* view *);
+  put_u16 buf 0 (* sequence *);
+  put_u32 buf (Ipv4.to_int (Prefix.network r.prefix));
+  put_u8 buf (Prefix.length r.prefix);
+  put_u8 buf 1 (* status *);
+  put_u32 buf r.timestamp (* originated *);
+  put_u32 buf 0 (* peer IP: unmodelled *);
+  put_u16 buf (Asn.to_int r.peer_as);
+  put_u16 buf (Bytes.length attrs);
+  Buffer.add_bytes buf attrs;
+  Buffer.to_bytes buf
+
+let encode_records records =
+  let buf = Buffer.create 4096 in
+  List.iter (fun r -> Buffer.add_bytes buf (encode_record r)) records;
+  Buffer.to_bytes buf
+
+let record_size r = Bytes.length (encode_record r)
+
+type cursor = { data : bytes; mutable pos : int }
+
+let take_u8 c =
+  if c.pos >= Bytes.length c.data then malformed "truncated at %d" c.pos;
+  let v = Char.code (Bytes.get c.data c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let take_u16 c =
+  let hi = take_u8 c in
+  (hi lsl 8) lor take_u8 c
+
+let take_u32 c =
+  let hi = take_u16 c in
+  (hi lsl 16) lor take_u16 c
+
+let decode_record c =
+  let timestamp = take_u32 c in
+  let typ = take_u16 c in
+  if typ <> mrt_type_table_dump then malformed "MRT type %d" typ;
+  let subtype = take_u16 c in
+  if subtype <> mrt_subtype_afi_ipv4 then malformed "MRT subtype %d" subtype;
+  let _view = take_u16 c in
+  let _seq = take_u16 c in
+  let network = take_u32 c in
+  let mask = take_u8 c in
+  if mask > 32 then malformed "mask %d" mask;
+  let _status = take_u8 c in
+  let _originated = take_u32 c in
+  let _peer_ip = take_u32 c in
+  let peer_as = Asn.make (take_u16 c) in
+  let attr_len = take_u16 c in
+  let attr_end = c.pos + attr_len in
+  if attr_end > Bytes.length c.data then malformed "attributes overrun";
+  (* rebuild a BGP UPDATE around the attribute blob so the wire codec can
+     parse it *)
+  let prefix = Prefix.make (Ipv4.of_int network) mask in
+  let update_payload = Buffer.create (attr_len + 32) in
+  put_u16 update_payload 0 (* withdrawn length *);
+  put_u16 update_payload attr_len;
+  Buffer.add_bytes update_payload (Bytes.sub c.data c.pos attr_len);
+  c.pos <- attr_end;
+  (* one NLRI so the wire decoder accepts the attributes *)
+  let nlri = Buffer.create 8 in
+  put_u8 nlri (Prefix.length prefix);
+  let net = Ipv4.to_int (Prefix.network prefix) in
+  for i = 0 to ((Prefix.length prefix + 7) / 8) - 1 do
+    put_u8 nlri ((net lsr (24 - (8 * i))) land 0xff)
+  done;
+  Buffer.add_buffer update_payload nlri;
+  let total = Bgp.Wire.marker_length + 3 + Buffer.length update_payload in
+  let whole = Buffer.create total in
+  for _ = 1 to Bgp.Wire.marker_length do
+    Buffer.add_char whole '\xff'
+  done;
+  put_u16 whole total;
+  put_u8 whole 2;
+  Buffer.add_buffer whole update_payload;
+  let message =
+    try Bgp.Wire.decode (Buffer.to_bytes whole)
+    with Bgp.Wire.Malformed m -> malformed "attribute blob: %s" m
+  in
+  let as_path =
+    match message.Bgp.Wire.attributes with
+    | Some attrs -> attrs.Bgp.Wire.as_path
+    | None -> malformed "record without attributes"
+  in
+  { timestamp; peer_as; prefix; as_path }
+
+let decode_records data =
+  let c = { data; pos = 0 } in
+  let rec loop acc =
+    if c.pos >= Bytes.length data then List.rev acc
+    else loop (decode_record c :: acc)
+  in
+  loop []
+
+let records_of_table ~timestamp table =
+  List.concat_map
+    (fun (prefix, origins) ->
+      List.map
+        (fun origin ->
+          {
+            timestamp;
+            peer_as = origin;
+            prefix;
+            as_path = Bgp.As_path.of_list [ origin ];
+          })
+        (Asn.Set.elements origins))
+    table
+
+let table_of_records records =
+  let tbl = Hashtbl.create 1024 in
+  List.iter
+    (fun r ->
+      let origin =
+        match Bgp.As_path.origin_as r.as_path with
+        | Some o -> o
+        | None -> r.peer_as
+      in
+      let existing =
+        Option.value ~default:Asn.Set.empty (Hashtbl.find_opt tbl r.prefix)
+      in
+      Hashtbl.replace tbl r.prefix (Asn.Set.add origin existing))
+    records;
+  Hashtbl.fold (fun prefix origins acc -> (prefix, origins) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Prefix.compare a b)

@@ -1,0 +1,75 @@
+module Day = Mutil.Day
+module Plot = Mutil.Ascii_plot
+module Table = Mutil.Text_table
+
+let run params =
+  Synthetic_routeviews.fold_dumps params ~init:Moas_cases.empty
+    ~f:(fun acc dump ->
+      Moas_cases.ingest acc ~day:dump.Synthetic_routeviews.day
+        dump.Synthetic_routeviews.table)
+  |> Moas_cases.finalize
+
+let figure4_series summary =
+  {
+    Plot.label = "daily MOAS conflicts";
+    points =
+      List.map
+        (fun (day, count) ->
+          (float_of_int (Day.diff day Day.measurement_start), float_of_int count))
+        summary.Moas_cases.daily_counts;
+  }
+
+let figure4_text summary =
+  let series = figure4_series summary in
+  let max_day, max_count = Moas_cases.max_daily summary in
+  Plot.plot ~height:18
+    ~title:"Figure 4: number of MOAS conflicts, 11/1997 - 7/2001"
+    ~x_label:"days since 1997-11-08" ~y_label:"# of conflicts" [ series ]
+  ^ Printf.sprintf "  peak: %d conflicts on %s\n  event days: %s -> %d, %s -> %d\n"
+      max_count (Day.to_string max_day)
+      (Day.to_string Synthetic_routeviews.event_1998)
+      (Moas_cases.cases_on summary Synthetic_routeviews.event_1998)
+      (Day.to_string Synthetic_routeviews.event_2001)
+      (Moas_cases.cases_on summary Synthetic_routeviews.event_2001)
+
+let figure5_text summary =
+  let buckets = Moas_cases.duration_buckets summary in
+  Plot.bar_chart ~title:"Figure 5: duration of MOAS cases (days, bucketed)"
+    (List.map (fun (label, n) -> (label, float_of_int n)) buckets)
+
+let summary_table summary =
+  let total = summary.Moas_cases.total_cases in
+  let one_day = summary.Moas_cases.one_day_cases in
+  let one_day_frac = float_of_int one_day /. float_of_int (max 1 total) in
+  let ev98 =
+    Moas_cases.one_day_cases_attributed_to summary
+      Synthetic_routeviews.fault_as_1998
+  in
+  let ev98_frac = float_of_int ev98 /. float_of_int (max 1 one_day) in
+  let multiplicity = Moas_cases.origin_multiplicity summary in
+  let frac_of n =
+    match List.assoc_opt n multiplicity with
+    | Some f -> f
+    | None -> 0.0
+  in
+  let rows =
+    [
+      [ "observed days"; "1279"; string_of_int summary.Moas_cases.observed_day_count ];
+      [ "total MOAS cases"; "~3824"; string_of_int total ];
+      [ "one-day cases"; "1373 (35.9%)";
+        Printf.sprintf "%d (%s)" one_day (Table.percent_cell ~decimals:1 one_day_frac) ];
+      [ "one-day cases from 1998-04-07 fault"; "82.7%";
+        Table.percent_cell ~decimals:1 ev98_frac ];
+      [ "median daily count 1998"; "683";
+        Table.float_cell ~decimals:0 (Moas_cases.median_daily_in_year summary 1998) ];
+      [ "median daily count 2001"; "1294";
+        Table.float_cell ~decimals:0 (Moas_cases.median_daily_in_year summary 2001) ];
+      [ "cases involving 2 origin ASes"; "96.14%";
+        Table.percent_cell ~decimals:2 (frac_of 2) ];
+      [ "cases involving 3 origin ASes"; "2.7%";
+        Table.percent_cell ~decimals:2 (frac_of 3) ];
+      [ "2001-04-06 fault day count"; "~2260 (incl. base)";
+        string_of_int (Moas_cases.cases_on summary Synthetic_routeviews.event_2001) ];
+    ]
+  in
+  Table.render ~header:[ "Section 3 statistic"; "paper"; "measured" ] rows

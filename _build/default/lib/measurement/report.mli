@@ -1,0 +1,21 @@
+(** Rendering of the measurement results as the paper's Figures 4 and 5
+    plus the Section 3 headline statistics, with paper-reported values next
+    to the measured ones. *)
+
+val run : Synthetic_routeviews.params -> Moas_cases.summary
+(** Stream the synthetic archive through the analyzer. *)
+
+val figure4_series : Moas_cases.summary -> Mutil.Ascii_plot.series
+(** Daily number of MOAS conflicts over the window (Figure 4); x is the
+    day offset from the measurement start. *)
+
+val figure4_text : Moas_cases.summary -> string
+(** Figure 4 as an ASCII plot with event annotations. *)
+
+val figure5_text : Moas_cases.summary -> string
+(** Figure 5: duration histogram (bucketed bar chart plus the head of the
+    exact histogram). *)
+
+val summary_table : Moas_cases.summary -> string
+(** Paper-vs-measured table for every Section 3 statistic the paper
+    reports. *)

@@ -1,0 +1,17 @@
+type t = int
+
+let make n =
+  if n < 0 || n > 65535 then invalid_arg "Asn.make: out of 16-bit range";
+  n
+
+let to_int t = t
+let compare = Int.compare
+let equal = Int.equal
+
+let to_string t = "AS" ^ string_of_int t
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let is_private t = t >= 64512 && t <= 65534
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

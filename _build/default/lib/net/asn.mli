@@ -1,0 +1,31 @@
+(** Autonomous System numbers.  The paper predates 4-byte AS numbers, so a
+    16-bit range is enforced on construction; the carrier type is [int] for
+    cheap arithmetic and container keys. *)
+
+type t = int
+(** An AS number in [0, 65535]. *)
+
+val make : int -> t
+(** Validate the 16-bit range. @raise Invalid_argument outside [0,65535]. *)
+
+val to_int : t -> int
+(** Identity, provided for symmetry. *)
+
+val compare : t -> t -> int
+(** Numeric order. *)
+
+val equal : t -> t -> bool
+(** Equality. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints ["AS<n>"]. *)
+
+val to_string : t -> string
+(** ["AS<n>"]. *)
+
+val is_private : t -> bool
+(** RFC 1930 private range, 64512-65534, used by the ASE multi-homing
+    technique of the paper's Section 3.2. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,67 @@
+type t = { network : Ipv4.t; length : int }
+
+let mask len =
+  if len = 0 then 0 else 0xffffffff lsl (32 - len) land 0xffffffff
+
+let make addr len =
+  if len < 0 || len > 32 then invalid_arg "Prefix.make: length out of range";
+  { network = Ipv4.of_int (Ipv4.to_int addr land mask len); length = len }
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> invalid_arg ("Prefix.of_string: missing '/' in " ^ s)
+  | Some i ->
+    let addr = Ipv4.of_string (String.sub s 0 i) in
+    let len_str = String.sub s (i + 1) (String.length s - i - 1) in
+    (match int_of_string_opt len_str with
+    | Some len when len >= 0 && len <= 32 -> make addr len
+    | _ -> invalid_arg ("Prefix.of_string: bad length in " ^ s))
+
+let to_string t = Printf.sprintf "%s/%d" (Ipv4.to_string t.network) t.length
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let network t = t.network
+let length t = t.length
+
+let compare a b =
+  match Ipv4.compare a.network b.network with
+  | 0 -> Int.compare a.length b.length
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let contains_addr t addr =
+  Ipv4.to_int addr land mask t.length = Ipv4.to_int t.network
+
+let subsumes p q =
+  p.length <= q.length
+  && Ipv4.to_int q.network land mask p.length = Ipv4.to_int p.network
+
+let is_strict_subprefix ~sub ~of_ = subsumes of_ sub && not (equal sub of_)
+
+let split t =
+  if t.length >= 32 then invalid_arg "Prefix.split: cannot split a /32";
+  let len = t.length + 1 in
+  let lo = make t.network len in
+  let hi = make (Ipv4.of_int (Ipv4.to_int t.network lor (1 lsl (32 - len)))) len in
+  (lo, hi)
+
+let supernet t =
+  if t.length = 0 then invalid_arg "Prefix.supernet: /0 has no parent";
+  make t.network (t.length - 1)
+
+let bit t i =
+  if i < 0 || i >= t.length then invalid_arg "Prefix.bit: index out of range";
+  Ipv4.bit t.network i
+
+let hash t = (Ipv4.to_int t.network * 31) lxor t.length
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

@@ -1,0 +1,58 @@
+(** IPv4 address prefixes in CIDR notation, the objects whose origin the
+    MOAS mechanism validates. *)
+
+type t = private { network : Ipv4.t; length : int }
+(** A prefix; the private representation guarantees the host bits of
+    [network] are zero and [0 <= length <= 32]. *)
+
+val make : Ipv4.t -> int -> t
+(** [make addr len] masks [addr] to [len] bits.
+    @raise Invalid_argument if [len] is outside [0,32]. *)
+
+val of_string : string -> t
+(** Parse ["a.b.c.d/len"]. @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+(** CIDR notation. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-printer (CIDR). *)
+
+val network : t -> Ipv4.t
+(** Network address. *)
+
+val length : t -> int
+(** Prefix length. *)
+
+val compare : t -> t -> int
+(** Total order: by network address, then by length. *)
+
+val equal : t -> t -> bool
+(** Equality. *)
+
+val contains_addr : t -> Ipv4.t -> bool
+(** [contains_addr p a] tests membership of an address. *)
+
+val subsumes : t -> t -> bool
+(** [subsumes p q] is true when [q] is equal to or more specific than [p]
+    (i.e. [p] covers [q]'s address space). *)
+
+val is_strict_subprefix : sub:t -> of_:t -> bool
+(** [is_strict_subprefix ~sub ~of_] is [subsumes of_ sub && sub <> of_]:
+    exactly the "announce a route to a prefix longer than p" attack of the
+    paper's Section 4.3. *)
+
+val split : t -> t * t
+(** The two /(n+1) halves. @raise Invalid_argument on a /32. *)
+
+val supernet : t -> t
+(** The /(n-1) parent. @raise Invalid_argument on a /0. *)
+
+val bit : t -> int -> bool
+(** [bit p i] is bit [i] of the network address, for [0 <= i < length p]. *)
+
+val hash : t -> int
+(** Hash compatible with {!equal}. *)
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

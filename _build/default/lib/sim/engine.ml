@@ -1,0 +1,49 @@
+type t = {
+  mutable clock : float;
+  mutable executed : int;
+  queue : handler Event_queue.t;
+}
+
+and handler = t -> unit
+
+let create () = { clock = 0.0; executed = 0; queue = Event_queue.create () }
+
+let now t = t.clock
+
+let schedule t ~delay h =
+  if delay < 0.0 || Float.is_nan delay then
+    invalid_arg "Engine.schedule: negative delay";
+  Event_queue.push t.queue ~time:(t.clock +. delay) h
+
+let schedule_at t ~time h =
+  if time < t.clock || Float.is_nan time then
+    invalid_arg "Engine.schedule_at: time in the past";
+  Event_queue.push t.queue ~time h
+
+let pending t = Event_queue.length t.queue
+let events_executed t = t.executed
+
+type outcome = Quiescent | Event_limit_reached | Time_limit_reached
+
+let run ?(max_events = max_int) ?(until = infinity) t =
+  let rec loop budget =
+    if budget <= 0 then Event_limit_reached
+    else
+      match Event_queue.peek_time t.queue with
+      | None -> Quiescent
+      | Some time when time > until -> Time_limit_reached
+      | Some _ ->
+        (match Event_queue.pop t.queue with
+        | None -> Quiescent
+        | Some (time, h) ->
+          t.clock <- time;
+          t.executed <- t.executed + 1;
+          h t;
+          loop (budget - 1))
+  in
+  loop max_events
+
+let reset t =
+  Event_queue.clear t.queue;
+  t.clock <- 0.0;
+  t.executed <- 0

@@ -1,0 +1,41 @@
+(** Discrete-event simulation engine in the style of SSFnet's scheduler:
+    handlers schedule further events; the engine runs events in timestamp
+    order until the queue drains (quiescence) or a limit is hit. *)
+
+type t
+(** An engine instance with its own clock and event queue. *)
+
+type handler = t -> unit
+(** An event is an arbitrary callback; it may schedule more events. *)
+
+val create : unit -> t
+(** A fresh engine with the clock at 0. *)
+
+val now : t -> float
+(** Current simulation time. *)
+
+val schedule : t -> delay:float -> handler -> unit
+(** [schedule t ~delay h] runs [h] at [now t +. delay].
+    @raise Invalid_argument on a negative delay. *)
+
+val schedule_at : t -> time:float -> handler -> unit
+(** Schedule at an absolute time, which must not be in the past. *)
+
+val pending : t -> int
+(** Number of scheduled events not yet executed. *)
+
+val events_executed : t -> int
+(** Total number of events executed so far. *)
+
+type outcome =
+  | Quiescent  (** The queue drained: the system converged. *)
+  | Event_limit_reached  (** Stopped after executing the event budget. *)
+  | Time_limit_reached  (** Stopped upon passing the time horizon. *)
+
+val run : ?max_events:int -> ?until:float -> t -> outcome
+(** Execute events in order.  [max_events] bounds the number of events
+    (default unlimited); [until] is a time horizon: events strictly later
+    than it remain queued.  Returns why the run stopped. *)
+
+val reset : t -> unit
+(** Clear the queue and rewind the clock to 0. *)

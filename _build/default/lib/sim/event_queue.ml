@@ -1,0 +1,82 @@
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array; (* min-heap on (time, seq); slot 0 unused *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let dummy payload = { time = 0.0; seq = 0; payload }
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let is_empty t = t.size = 0
+let length t = t.size
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t entry =
+  let cap = Array.length t.heap in
+  if t.size + 1 >= cap then begin
+    let ncap = max 16 (2 * cap) in
+    let nh = Array.make ncap (dummy entry.payload) in
+    Array.blit t.heap 0 nh 0 cap;
+    t.heap <- nh
+  end
+
+let push t ~time payload =
+  if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
+  let entry = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  t.size <- t.size + 1;
+  let heap = t.heap in
+  (* sift up from the new last slot *)
+  let rec sift i =
+    if i > 1 then begin
+      let parent = i / 2 in
+      if before entry heap.(parent) then begin
+        heap.(i) <- heap.(parent);
+        sift parent
+      end
+      else heap.(i) <- entry
+    end
+    else heap.(i) <- entry
+  in
+  sift t.size
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let heap = t.heap in
+    let top = heap.(1) in
+    let last = heap.(t.size) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      (* sift the old last element down from the root *)
+      let n = t.size in
+      let rec sift i =
+        let l = 2 * i and r = (2 * i) + 1 in
+        let smallest = ref i in
+        let best = ref last in
+        if l <= n && before heap.(l) !best then begin
+          smallest := l;
+          best := heap.(l)
+        end;
+        if r <= n && before heap.(r) !best then smallest := r;
+        if !smallest <> i then begin
+          heap.(i) <- heap.(!smallest);
+          sift !smallest
+        end
+        else heap.(i) <- last
+      in
+      sift 1
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time t = if t.size = 0 then None else Some t.heap.(1).time
+
+let clear t =
+  t.size <- 0;
+  t.heap <- [||]

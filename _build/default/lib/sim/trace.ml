@@ -1,0 +1,20 @@
+type 'a record = { time : float; event : 'a }
+
+type 'a t = { mutable rev_records : 'a record list; mutable count : int }
+
+let create () = { rev_records = []; count = 0 }
+
+let record t ~time event =
+  t.rev_records <- { time; event } :: t.rev_records;
+  t.count <- t.count + 1
+
+let to_list t = List.rev t.rev_records
+
+let length t = t.count
+
+let filter pred t =
+  List.filter (fun r -> pred r.event) (to_list t)
+
+let clear t =
+  t.rev_records <- [];
+  t.count <- 0

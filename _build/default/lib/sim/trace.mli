@@ -1,0 +1,26 @@
+(** Lightweight event tracing.  A trace collects timestamped records that
+    tests, the offline monitor, and the examples can replay or assert on. *)
+
+type 'a record = { time : float; event : 'a }
+(** A timestamped record. *)
+
+type 'a t
+(** A mutable append-only trace. *)
+
+val create : unit -> 'a t
+(** A fresh empty trace. *)
+
+val record : 'a t -> time:float -> 'a -> unit
+(** Append one record. *)
+
+val to_list : 'a t -> 'a record list
+(** Records in the order they were appended. *)
+
+val length : 'a t -> int
+(** Number of records. *)
+
+val filter : ('a -> bool) -> 'a t -> 'a record list
+(** Records whose event satisfies the predicate, in order. *)
+
+val clear : 'a t -> unit
+(** Drop all records. *)

@@ -1,0 +1,1 @@
+lib/topology/algorithms.ml: As_graph Asn Hashtbl Int List Net Option Queue

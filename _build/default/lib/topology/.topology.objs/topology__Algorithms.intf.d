@@ -1,0 +1,1 @@
+lib/topology/algorithms.mli: As_graph Asn Net

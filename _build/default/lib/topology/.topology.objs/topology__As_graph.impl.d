@@ -1,0 +1,1 @@
+lib/topology/as_graph.ml: Asn Format List Net

@@ -1,0 +1,1 @@
+lib/topology/generate.ml: As_graph Asn List Mutil Net

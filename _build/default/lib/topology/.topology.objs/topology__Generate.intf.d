@@ -1,0 +1,1 @@
+lib/topology/generate.mli: As_graph Asn Mutil Net

@@ -1,0 +1,1 @@
+lib/topology/inference.ml: As_graph Asn List Net

@@ -1,0 +1,1 @@
+lib/topology/inference.mli: As_graph Asn Net Route_table

@@ -1,0 +1,1 @@
+lib/topology/paper_topologies.ml: Algorithms As_graph Asn Generate Hashtbl Inference Int64 List Mutil Net Printf Route_table Sampling

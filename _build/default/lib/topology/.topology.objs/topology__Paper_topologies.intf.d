@@ -1,0 +1,1 @@
+lib/topology/paper_topologies.mli: As_graph Asn Net

@@ -1,0 +1,1 @@
+lib/topology/relationships.ml: As_graph Asn Generate List Map Net

@@ -1,0 +1,1 @@
+lib/topology/relationships.mli: As_graph Asn Generate Net

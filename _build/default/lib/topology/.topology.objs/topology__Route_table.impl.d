@@ -1,0 +1,1 @@
+lib/topology/route_table.ml: As_graph Asn List Net Queue Set

@@ -1,0 +1,1 @@
+lib/topology/route_table.mli: As_graph Asn Net

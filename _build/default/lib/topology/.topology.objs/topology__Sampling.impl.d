@@ -1,0 +1,1 @@
+lib/topology/sampling.ml: Algorithms Array As_graph Asn Float Inference Mutil Net

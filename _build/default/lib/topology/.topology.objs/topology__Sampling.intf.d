@@ -1,0 +1,1 @@
+lib/topology/sampling.mli: As_graph Asn Inference Mutil Net

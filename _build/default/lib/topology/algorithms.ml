@@ -1,0 +1,98 @@
+open Net
+
+let bfs_distances g src =
+  if not (As_graph.mem_node g src) then Asn.Map.empty
+  else begin
+    let dist = ref (Asn.Map.singleton src 0) in
+    let queue = Queue.create () in
+    Queue.push src queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      let du = Asn.Map.find u !dist in
+      (* iterate peers in increasing order for determinism *)
+      Asn.Set.iter
+        (fun v ->
+          if not (Asn.Map.mem v !dist) then begin
+            dist := Asn.Map.add v (du + 1) !dist;
+            Queue.push v queue
+          end)
+        (As_graph.neighbors g u)
+    done;
+    !dist
+  end
+
+let shortest_path g src dst =
+  if not (As_graph.mem_node g src && As_graph.mem_node g dst) then None
+  else begin
+    (* BFS from dst so that walking parent pointers from src yields the
+       path in forward order; parents prefer the lowest AS number *)
+    let dist = bfs_distances g dst in
+    match Asn.Map.find_opt src dist with
+    | None -> None
+    | Some _ ->
+      let rec walk u acc =
+        if Asn.equal u dst then List.rev (dst :: acc)
+        else
+          let du = Asn.Map.find u dist in
+          let next =
+            Asn.Set.fold
+              (fun v best ->
+                match (Asn.Map.find_opt v dist, best) with
+                | Some dv, None when dv = du - 1 -> Some v
+                | Some dv, Some b when dv = du - 1 && v < b -> Some v
+                | _ -> best)
+              (As_graph.neighbors g u)
+              None
+          in
+          (match next with
+          | Some v -> walk v (u :: acc)
+          | None -> assert false)
+      in
+      Some (walk src [])
+  end
+
+let connected_components g =
+  let remaining = ref (As_graph.nodes g) in
+  let components = ref [] in
+  while not (Asn.Set.is_empty !remaining) do
+    let seed = Asn.Set.min_elt !remaining in
+    let comp =
+      Asn.Map.fold
+        (fun asn _ acc -> Asn.Set.add asn acc)
+        (bfs_distances g seed) Asn.Set.empty
+    in
+    components := comp :: !components;
+    remaining := Asn.Set.diff !remaining comp
+  done;
+  List.sort
+    (fun a b ->
+      match Int.compare (Asn.Set.cardinal b) (Asn.Set.cardinal a) with
+      | 0 -> Asn.compare (Asn.Set.min_elt a) (Asn.Set.min_elt b)
+      | c -> c)
+    !components
+
+let is_connected g = List.length (connected_components g) <= 1
+
+let largest_component g =
+  match connected_components g with
+  | [] -> Asn.Set.empty
+  | c :: _ -> c
+
+let eccentricity g asn =
+  Asn.Map.fold (fun _ d acc -> max d acc) (bfs_distances g asn) 0
+
+let diameter g =
+  As_graph.fold_nodes (fun asn acc -> max (eccentricity g asn) acc) g 0
+
+let average_degree g =
+  let n = As_graph.node_count g in
+  if n = 0 then 0.0 else 2.0 *. float_of_int (As_graph.edge_count g) /. float_of_int n
+
+let degree_histogram g =
+  let tbl = Hashtbl.create 16 in
+  As_graph.fold_nodes
+    (fun asn () ->
+      let d = As_graph.degree g asn in
+      Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d)))
+    g ();
+  Hashtbl.fold (fun d n acc -> (d, n) :: acc) tbl [] |> List.sort compare

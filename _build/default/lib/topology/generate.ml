@@ -1,0 +1,138 @@
+open Net
+module Rng = Mutil.Rng
+
+type params = {
+  tier1_count : int;
+  tier2_count : int;
+  tier2_uplinks : int;
+  tier2_peering_prob : float;
+  stub_count : int;
+  stub_multihome_prob : float;
+}
+
+let default_params =
+  {
+    tier1_count = 8;
+    tier2_count = 72;
+    tier2_uplinks = 3;
+    tier2_peering_prob = 0.18;
+    stub_count = 640;
+    stub_multihome_prob = 0.45;
+  }
+
+type internet = {
+  graph : As_graph.t;
+  tier1 : Asn.Set.t;
+  tier2 : Asn.Set.t;
+  stub : Asn.Set.t;
+}
+
+let transit_ases t = Asn.Set.union t.tier1 t.tier2
+
+(* AS number ranges: tier-1 from 100, tier-2 from 1000, stubs from 10000.
+   Ranges never overlap for any sane parameter choice. *)
+let tier1_asn i = Asn.make (100 + i)
+let tier2_asn i = Asn.make (1000 + i)
+let stub_asn i = Asn.make (10000 + i)
+
+(* Pick a provider among [candidates] with probability proportional to
+   (degree + 1): classic preferential attachment, which yields the
+   heavy-tailed degree distribution of the real AS graph. *)
+let preferential_pick rng graph candidates ~excluding =
+  let weighted =
+    List.filter_map
+      (fun asn ->
+        if Asn.Set.mem asn excluding then None
+        else Some (asn, As_graph.degree graph asn + 1))
+      candidates
+  in
+  match weighted with
+  | [] -> None
+  | _ ->
+    let total = List.fold_left (fun acc (_, w) -> acc + w) 0 weighted in
+    let target = Rng.int rng total in
+    let rec walk acc = function
+      | [] -> assert false
+      | [ (asn, _) ] -> asn
+      | (asn, w) :: rest -> if acc + w > target then asn else walk (acc + w) rest
+    in
+    Some (walk 0 weighted)
+
+let validate p =
+  if p.tier1_count < 2 then invalid_arg "Generate: need at least 2 tier-1 ASes";
+  if p.tier2_count < 0 || p.stub_count < 0 then
+    invalid_arg "Generate: negative counts";
+  if p.tier2_uplinks < 1 then invalid_arg "Generate: tier-2 needs an uplink";
+  if p.tier2_peering_prob < 0.0 || p.tier2_peering_prob > 1.0 then
+    invalid_arg "Generate: tier2_peering_prob out of [0,1]";
+  if p.stub_multihome_prob < 0.0 || p.stub_multihome_prob > 1.0 then
+    invalid_arg "Generate: stub_multihome_prob out of [0,1]"
+
+let generate rng p =
+  validate p;
+  let tier1 = List.init p.tier1_count tier1_asn in
+  let tier2 = List.init p.tier2_count tier2_asn in
+  let stubs = List.init p.stub_count stub_asn in
+  (* tier-1 clique *)
+  let graph =
+    List.fold_left
+      (fun g a ->
+        List.fold_left (fun g b -> if a < b then As_graph.add_edge g a b else g) g tier1)
+      As_graph.empty tier1
+  in
+  (* tier-2: each buys transit from [tier2_uplinks] distinct providers drawn
+     preferentially from tier-1 and already-attached tier-2 ASes, then peers
+     laterally with other tier-2 ASes with a small probability *)
+  let graph, attached_tier2 =
+    List.fold_left
+      (fun (g, attached) t2 ->
+        let candidates = tier1 @ attached in
+        let rec attach g chosen k =
+          if k = 0 then g
+          else
+            match preferential_pick rng g candidates ~excluding:chosen with
+            | None -> g
+            | Some provider ->
+              attach (As_graph.add_edge g t2 provider)
+                (Asn.Set.add provider chosen)
+                (k - 1)
+        in
+        let g = attach g (Asn.Set.singleton t2) p.tier2_uplinks in
+        let g =
+          List.fold_left
+            (fun g other ->
+              if Rng.chance rng p.tier2_peering_prob then
+                As_graph.add_edge g t2 other
+              else g)
+            g attached
+        in
+        (g, t2 :: attached))
+      (graph, []) tier2
+  in
+  ignore attached_tier2;
+  (* stubs: one provider, a second with some probability, drawn
+     preferentially from all transit ASes *)
+  let transit = tier1 @ tier2 in
+  let graph =
+    List.fold_left
+      (fun g s ->
+        let chosen = Asn.Set.singleton s in
+        match preferential_pick rng g transit ~excluding:chosen with
+        | None -> g
+        | Some p1 ->
+          let g = As_graph.add_edge g s p1 in
+          if Rng.chance rng p.stub_multihome_prob then
+            match
+              preferential_pick rng g transit ~excluding:(Asn.Set.add p1 chosen)
+            with
+            | Some p2 -> As_graph.add_edge g s p2
+            | None -> g
+          else g)
+      graph stubs
+  in
+  {
+    graph;
+    tier1 = Asn.Set.of_list tier1;
+    tier2 = Asn.Set.of_list tier2;
+    stub = Asn.Set.of_list stubs;
+  }

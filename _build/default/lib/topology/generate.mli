@@ -1,0 +1,40 @@
+(** Synthetic Internet-like AS topology generator.
+
+    This substitutes for the Oregon RouteViews table the paper mined
+    (DESIGN.md substitution 1).  The generator grows a three-tier hierarchy:
+    a clique of tier-1 backbones, tier-2 regional transit providers that
+    multi-home into the core and peer laterally, and stub ASes (enterprise and
+    campus networks) that attach to one or more transit providers chosen by
+    preferential attachment.  The result reproduces the structural features
+    the paper's argument relies on: a richly connected transit mesh and a
+    large stub fringe. *)
+
+open Net
+
+type params = {
+  tier1_count : int;        (** backbone ASes, fully meshed *)
+  tier2_count : int;        (** regional transit ASes *)
+  tier2_uplinks : int;      (** providers each tier-2 AS buys from *)
+  tier2_peering_prob : float;  (** probability of a lateral tier-2 peering *)
+  stub_count : int;         (** edge ASes *)
+  stub_multihome_prob : float;  (** probability a stub has a second provider *)
+}
+
+val default_params : params
+(** 8 tier-1, 72 tier-2 (2 uplinks, 6% lateral peering), 640 stubs with a
+    35% multi-homing probability: a few-hundred-AS Internet in miniature. *)
+
+type internet = {
+  graph : As_graph.t;
+  tier1 : Asn.Set.t;
+  tier2 : Asn.Set.t;
+  stub : Asn.Set.t;
+}
+(** A generated topology with its ground-truth role assignment. *)
+
+val generate : Mutil.Rng.t -> params -> internet
+(** Grow a topology.  The result is connected by construction and
+    deterministic in the generator state. *)
+
+val transit_ases : internet -> Asn.Set.t
+(** Ground-truth transit set: tier-1 union tier-2. *)

@@ -1,0 +1,107 @@
+open Net
+module Rng = Mutil.Rng
+
+type t = {
+  name : string;
+  graph : As_graph.t;
+  transit : Asn.Set.t;
+  stub : Asn.Set.t;
+}
+
+(* The synthetic Internet and its inferred classification are shared by all
+   topology sizes built from the same seed. *)
+let classified_internet seed =
+  let rng = Rng.create ~seed in
+  let internet = Generate.generate rng Generate.default_params in
+  (* The Oregon collector peers with dozens of routers; every extra vantage
+     exposes peerings that are invisible from the others' shortest-path
+     trees.  Use every tier-1, a third of the tier-2s and a sprinkling of
+     stubs as vantage points. *)
+  let vantages =
+    Asn.Set.elements internet.Generate.tier1
+    @ (Asn.Set.elements internet.Generate.tier2
+      |> List.filteri (fun i _ -> i mod 3 = 0))
+    @ (Asn.Set.elements internet.Generate.stub
+      |> List.filteri (fun i _ -> i mod 20 = 0))
+  in
+  let paths =
+    Route_table.paths_from_vantages internet.Generate.graph ~vantages
+  in
+  Inference.infer paths
+
+(* The paper observes that its larger topologies are more richly connected
+   ("ASes are more richly connected in the larger topology", Section 5.3) —
+   the property its Experiment 2 robustness result rests on.  Random stub
+   samples vary widely in density, so the search additionally screens the
+   average peering degree against a schedule interpolating the paper's
+   description: near-tree for 25 ASes, mesh-like for 63. *)
+let degree_target_for size =
+  if size <= 30 then (2.1, 2.3)
+  else if size <= 50 then (3.4, 4.4)
+  else (5.4, 5.8)
+
+let build ?degree_range ~seed ~target_size () =
+  if target_size < 3 then invalid_arg "Paper_topologies.build: target too small";
+  let lo_deg, hi_deg =
+    match degree_range with
+    | Some range -> range
+    | None -> degree_target_for target_size
+  in
+  let classified = classified_internet seed in
+  let rng = Rng.create ~seed:(Int64.add seed 0x5eedL) in
+  (* scan stub counts around a heuristic starting point over several
+     attempts; each attempt uses an independent child stream so results do
+     not depend on scan order *)
+  let rec search attempt =
+    if attempt > 20000 then
+      failwith
+        (Printf.sprintf "Paper_topologies.build: no %d-AS topology found"
+           target_size)
+    else begin
+      let stub_count = 2 + (attempt mod (max 2 target_size)) in
+      let attempt_rng = Rng.split_at rng attempt in
+      match Sampling.sample attempt_rng classified ~stub_count with
+      | Some sample
+        when As_graph.node_count sample.Sampling.graph = target_size
+             &&
+             let d = Algorithms.average_degree sample.Sampling.graph in
+             d >= lo_deg && d <= hi_deg ->
+        {
+          name = Printf.sprintf "%d-AS" target_size;
+          graph = sample.Sampling.graph;
+          transit = sample.Sampling.transit;
+          stub = sample.Sampling.stub;
+        }
+      | Some _ | None -> search (attempt + 1)
+    end
+  in
+  search 0
+
+let default_seed = 0x4d4f4153L (* "MOAS" *)
+
+let memo = Hashtbl.create 4
+
+let build_memo target_size =
+  match Hashtbl.find_opt memo target_size with
+  | Some t -> t
+  | None ->
+    let t = build ~seed:default_seed ~target_size () in
+    Hashtbl.add memo target_size t;
+    t
+
+let topology_25 () = build_memo 25
+let topology_46 () = build_memo 46
+let topology_63 () = build_memo 63
+
+let all () = [ topology_25 (); topology_46 (); topology_63 () ]
+
+let describe t =
+  Printf.sprintf
+    "%s: %d nodes, %d edges, %d transit / %d stub, avg degree %.2f, diameter %d"
+    t.name
+    (As_graph.node_count t.graph)
+    (As_graph.edge_count t.graph)
+    (Asn.Set.cardinal t.transit)
+    (Asn.Set.cardinal t.stub)
+    (Algorithms.average_degree t.graph)
+    (Algorithms.diameter t.graph)

@@ -1,0 +1,40 @@
+(** The three simulation topologies of the paper — 25, 46 and 63 ASes —
+    derived with the full Section 5.1 pipeline: generate a synthetic
+    Internet, dump a vantage point's routing table, infer peering and the
+    transit/stub split from the AS paths, sample stubs, keep their ISPs,
+    prune weak transit ASes, and verify connectivity.  A deterministic
+    search over the sampled stub count and per-attempt randomness lands on
+    the exact target size. *)
+
+open Net
+
+type t = {
+  name : string;           (** e.g. ["46-AS"] *)
+  graph : As_graph.t;
+  transit : Asn.Set.t;
+  stub : Asn.Set.t;
+}
+
+val build : ?degree_range:float * float -> seed:int64 -> target_size:int -> unit -> t
+(** Derive a connected topology with exactly [target_size] ASes whose
+    average peering degree falls in [degree_range].  The default range
+    follows the paper's Section 5.3 observation that its larger topologies
+    are more richly connected: near-tree density for 25 ASes, mesh-like for
+    63.  @raise Failure if no attempt satisfies both criteria (does not
+    happen for the paper's sizes with the default generator). *)
+
+val topology_25 : unit -> t
+(** The 25-AS topology (memoised; fixed seed). *)
+
+val topology_46 : unit -> t
+(** The 46-AS topology (memoised; fixed seed). *)
+
+val topology_63 : unit -> t
+(** The 63-AS topology (memoised; fixed seed). *)
+
+val all : unit -> t list
+(** The three paper topologies, smallest first. *)
+
+val describe : t -> string
+(** One-line structural summary (nodes, edges, transit/stub split, average
+    degree, diameter). *)

@@ -1,0 +1,110 @@
+open Net
+
+type relationship = Customer | Provider | Peer
+
+let relationship_to_string = function
+  | Customer -> "customer"
+  | Provider -> "provider"
+  | Peer -> "peer"
+
+(* Per-edge record, stored once under the (min, max) endpoint pair. *)
+type edge_rel =
+  | Low_provides_high  (** the smaller-numbered AS is the provider *)
+  | High_provides_low
+  | Peering
+
+module Edge_map = Map.Make (struct
+  type t = Asn.t * Asn.t
+
+  let compare = compare
+end)
+
+type t = edge_rel Edge_map.t
+
+let key a b = if a < b then (a, b) else (b, a)
+
+let view t ~self ~neighbor =
+  match Edge_map.find_opt (key self neighbor) t with
+  | None -> None
+  | Some rel ->
+    let self_is_low = self < neighbor in
+    (match (rel, self_is_low) with
+    | Peering, _ -> Some Peer
+    | Low_provides_high, true | High_provides_low, false -> Some Customer
+    | Low_provides_high, false | High_provides_low, true -> Some Provider)
+
+let add_rel t a b ~provider =
+  let rel =
+    if Asn.equal provider a then if a < b then Low_provides_high else High_provides_low
+    else if a < b then High_provides_low
+    else Low_provides_high
+  in
+  Edge_map.add (key a b) rel t
+
+let add_peering t a b = Edge_map.add (key a b) Peering t
+
+let of_ground_truth (internet : Generate.internet) =
+  let tier_of asn =
+    if Asn.Set.mem asn internet.Generate.tier1 then 1
+    else if Asn.Set.mem asn internet.Generate.tier2 then 2
+    else 3
+  in
+  List.fold_left
+    (fun t (a, b) ->
+      let ta = tier_of a and tb = tier_of b in
+      if ta = tb then
+        (* lateral edge within a tier: settlement-free peering *)
+        add_peering t a b
+      else if ta < tb then add_rel t a b ~provider:a
+      else add_rel t a b ~provider:b)
+    Edge_map.empty
+    (As_graph.edges internet.Generate.graph)
+
+let infer_by_degree ?(peer_ratio = 1.25) graph =
+  List.fold_left
+    (fun t (a, b) ->
+      let da = float_of_int (As_graph.degree graph a) in
+      let db = float_of_int (As_graph.degree graph b) in
+      if da > peer_ratio *. db then add_rel t a b ~provider:a
+      else if db > peer_ratio *. da then add_rel t a b ~provider:b
+      else add_peering t a b)
+    Edge_map.empty (As_graph.edges graph)
+
+let select_neighbors t graph asn wanted =
+  Asn.Set.filter
+    (fun neighbor -> view t ~self:asn ~neighbor = Some wanted)
+    (As_graph.neighbors graph asn)
+
+let providers t graph asn = select_neighbors t graph asn Provider
+let customers t graph asn = select_neighbors t graph asn Customer
+let peers t graph asn = select_neighbors t graph asn Peer
+
+let is_valley_free t path =
+  (* walk in propagation order (origin first); each step x -> y is uphill
+     when y is x's provider, flat on a peering, downhill when y is x's
+     customer; valid shape: uphill* flat? downhill* *)
+  let steps =
+    let rec pair_up = function
+      | x :: (y :: _ as rest) -> (x, y) :: pair_up rest
+      | [ _ ] | [] -> []
+    in
+    pair_up (List.rev path)
+  in
+  let classify (x, y) =
+    match view t ~self:x ~neighbor:y with
+    | Some Provider -> `Up
+    | Some Peer -> `Flat
+    | Some Customer -> `Down
+    | None -> `Unknown
+  in
+  let rec walk state = function
+    | [] -> true
+    | step :: rest ->
+      (match (state, classify step) with
+      | _, `Unknown -> false
+      | `Climbing, `Up -> walk `Climbing rest
+      | `Climbing, `Flat -> walk `Descending rest
+      | (`Climbing | `Descending), `Down -> walk `Descending rest
+      | `Descending, (`Up | `Flat) -> false)
+  in
+  walk `Climbing steps

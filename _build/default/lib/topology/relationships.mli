@@ -1,0 +1,49 @@
+(** AS business relationships (customer-provider and peer-peer).
+
+    The paper's simulation routes on path length alone, but real BGP routes
+    through Gao-Rexford policies; this module provides the relationship
+    substrate for the policy-routing ablation.  Relationships come either
+    from the synthetic generator's ground truth (tier edges) or from the
+    classic degree heuristic when only a bare graph is available. *)
+
+open Net
+
+type relationship =
+  | Customer  (** the neighbour pays us for transit *)
+  | Provider  (** we pay the neighbour for transit *)
+  | Peer      (** settlement-free lateral peering *)
+
+val relationship_to_string : relationship -> string
+(** Short label. *)
+
+type t
+(** Relationship assignment over a set of peerings. *)
+
+val view : t -> self:Asn.t -> neighbor:Asn.t -> relationship option
+(** [view t ~self ~neighbor] is the relationship of [neighbor] as seen from
+    [self]; [None] when the edge is unknown to the assignment. *)
+
+val of_ground_truth : Generate.internet -> t
+(** Relationships implied by the generator's tiers: tier-1/tier-1 edges are
+    peerings, every other inter-tier edge is provider-customer (the
+    higher-tier AS is the provider), and tier-2 lateral edges are
+    peerings. *)
+
+val infer_by_degree : ?peer_ratio:float -> As_graph.t -> t
+(** The degree heuristic (Gao 2001): on each edge the AS with markedly
+    higher degree is the provider; degrees within [peer_ratio] (default
+    1.25) of each other make the edge a peering. *)
+
+val providers : t -> As_graph.t -> Asn.t -> Asn.Set.t
+(** Neighbours that [asn] buys transit from. *)
+
+val customers : t -> As_graph.t -> Asn.t -> Asn.Set.t
+(** Neighbours that buy transit from [asn]. *)
+
+val peers : t -> As_graph.t -> Asn.t -> Asn.Set.t
+(** Settlement-free peers of [asn]. *)
+
+val is_valley_free : t -> Asn.t list -> bool
+(** Whether an AS path (first element nearest the observer) satisfies the
+    valley-free rule: once the path goes over the top (provider-to-customer
+    or peer step), it never climbs again. *)

@@ -1,0 +1,55 @@
+open Net
+
+type path = Asn.t list
+
+(* One BFS from the vantage, parents preferring low AS numbers, gives a
+   deterministic shortest-path tree; reading parent chains back yields the
+   table's AS paths. *)
+let paths_from g ~vantage =
+  if not (As_graph.mem_node g vantage) then []
+  else begin
+    let parent = ref Asn.Map.empty in
+    let dist = ref (Asn.Map.singleton vantage 0) in
+    let queue = Queue.create () in
+    Queue.push vantage queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      let du = Asn.Map.find u !dist in
+      Asn.Set.iter
+        (fun v ->
+          if not (Asn.Map.mem v !dist) then begin
+            dist := Asn.Map.add v (du + 1) !dist;
+            parent := Asn.Map.add v u !parent;
+            Queue.push v queue
+          end)
+        (As_graph.neighbors g u)
+    done;
+    let path_to dest =
+      (* accumulating while climbing parent pointers yields the path already
+         in neighbor-first order *)
+      let rec climb u acc =
+        if Asn.equal u vantage then acc
+        else climb (Asn.Map.find u !parent) (u :: acc)
+      in
+      climb dest []
+    in
+    Asn.Map.fold
+      (fun dest _ acc -> if Asn.equal dest vantage then acc else path_to dest :: acc)
+      !dist []
+    |> List.sort (fun a b ->
+           match (List.rev a, List.rev b) with
+           | origin_a :: _, origin_b :: _ -> Asn.compare origin_a origin_b
+           | _ -> 0)
+  end
+
+let paths_from_vantages g ~vantages =
+  let module PathSet = Set.Make (struct
+    type t = Asn.t list
+
+    let compare = compare
+  end) in
+  List.fold_left
+    (fun acc v ->
+      List.fold_left (fun acc p -> PathSet.add p acc) acc (paths_from g ~vantage:v))
+    PathSet.empty vantages
+  |> PathSet.elements

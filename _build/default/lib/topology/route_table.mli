@@ -1,0 +1,19 @@
+(** Synthetic BGP routing table: the AS paths a vantage point's router
+    would carry, one per destination AS.  This is the input format of the
+    paper's topology-inference step (Section 5.1), which mined the Oregon
+    RouteViews table in exactly this shape. *)
+
+open Net
+
+type path = Asn.t list
+(** An AS path as it appears in a table dump: first element is the
+    vantage's BGP neighbor, last element is the origin AS. *)
+
+val paths_from : As_graph.t -> vantage:Asn.t -> path list
+(** Shortest AS path (deterministic low-AS tie-break) from the vantage to
+    every other reachable AS, excluding the vantage itself from each path —
+    the view its BGP table would give.  Paths are sorted by origin AS. *)
+
+val paths_from_vantages : As_graph.t -> vantages:Asn.t list -> path list
+(** Union of the views of several vantage points (the paper peers with
+    multiple routers), duplicates removed. *)

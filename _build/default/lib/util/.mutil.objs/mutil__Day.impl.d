@@ -1,0 +1,1 @@
+lib/util/day.ml: Printf

@@ -1,0 +1,116 @@
+type series = { label : string; points : (float * float) list }
+
+let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |]
+
+let bounds all_points =
+  match all_points with
+  | [] -> (0.0, 1.0, 0.0, 1.0)
+  | (x0, y0) :: rest ->
+    let xmin, xmax, ymin, ymax =
+      List.fold_left
+        (fun (xl, xh, yl, yh) (x, y) ->
+          (min xl x, max xh x, min yl y, max yh y))
+        (x0, x0, y0, y0) rest
+    in
+    let pad_range lo hi = if hi -. lo < 1e-9 then (lo -. 0.5, hi +. 0.5) else (lo, hi) in
+    let xmin, xmax = pad_range xmin xmax in
+    let ymin, ymax = pad_range ymin ymax in
+    (xmin, xmax, ymin, ymax)
+
+let plot ?(width = 72) ?(height = 20) ?(x_label = "") ?(y_label = "") ~title
+    series_list =
+  let all = List.concat_map (fun s -> s.points) series_list in
+  let xmin, xmax, ymin, ymax = bounds all in
+  let canvas = Array.make_matrix height width ' ' in
+  let to_col x =
+    let f = (x -. xmin) /. (xmax -. xmin) in
+    min (width - 1) (max 0 (int_of_float (f *. float_of_int (width - 1))))
+  in
+  let to_row y =
+    let f = (y -. ymin) /. (ymax -. ymin) in
+    let r = int_of_float (f *. float_of_int (height - 1)) in
+    height - 1 - min (height - 1) (max 0 r)
+  in
+  List.iteri
+    (fun si s ->
+      let glyph = glyphs.(si mod Array.length glyphs) in
+      (* draw a crude polyline between consecutive points sorted by x *)
+      let pts = List.sort (fun (a, _) (b, _) -> compare a b) s.points in
+      let draw_segment (x1, y1) (x2, y2) =
+        let c1 = to_col x1 and c2 = to_col x2 in
+        let steps = max 1 (abs (c2 - c1)) in
+        for k = 0 to steps do
+          let f = float_of_int k /. float_of_int steps in
+          let x = x1 +. (f *. (x2 -. x1)) in
+          let y = y1 +. (f *. (y2 -. y1)) in
+          canvas.(to_row y).(to_col x) <- glyph
+        done
+      in
+      (match pts with
+      | [] -> ()
+      | [ (x, y) ] -> canvas.(to_row y).(to_col x) <- glyph
+      | first :: rest ->
+        ignore
+          (List.fold_left
+             (fun prev cur ->
+               draw_segment prev cur;
+               cur)
+             first rest)))
+    series_list;
+  let buf = Buffer.create ((width + 16) * (height + 6)) in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  if y_label <> "" then (
+    Buffer.add_string buf ("  y: " ^ y_label);
+    Buffer.add_char buf '\n');
+  let ylab_top = Printf.sprintf "%10.2f" ymax in
+  let ylab_bot = Printf.sprintf "%10.2f" ymin in
+  Array.iteri
+    (fun r row ->
+      let label =
+        if r = 0 then ylab_top
+        else if r = height - 1 then ylab_bot
+        else String.make 10 ' '
+      in
+      Buffer.add_string buf label;
+      Buffer.add_string buf " |";
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    canvas;
+  Buffer.add_string buf (String.make 11 ' ');
+  Buffer.add_char buf '+';
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "%s%.2f%s%.2f" (String.make 12 ' ') xmin
+       (String.make (max 1 (width - 16)) ' ')
+       xmax);
+  Buffer.add_char buf '\n';
+  if x_label <> "" then (
+    Buffer.add_string buf ("  x: " ^ x_label);
+    Buffer.add_char buf '\n');
+  List.iteri
+    (fun si s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %c %s\n" glyphs.(si mod Array.length glyphs) s.label))
+    series_list;
+  Buffer.contents buf
+
+let bar_chart ?(width = 50) ~title entries =
+  let vmax = List.fold_left (fun acc (_, v) -> max acc v) 0.0 entries in
+  let lw =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 entries
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (label, v) ->
+      let n =
+        if vmax <= 0.0 then 0
+        else int_of_float (v /. vmax *. float_of_int width)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-*s | %s %.2f\n" lw label (String.make n '#') v))
+    entries;
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** Minimal CSV writer used to persist experiment series for external
+    plotting. *)
+
+val escape : string -> string
+(** Quote a field if it contains a comma, quote, or newline. *)
+
+val row_to_string : string list -> string
+(** One CSV line, without the trailing newline. *)
+
+val to_string : header:string list -> string list list -> string
+(** Full CSV document with header. *)
+
+val write_file : path:string -> header:string list -> string list list -> unit
+(** Write a CSV document to [path], creating parent-relative files only. *)

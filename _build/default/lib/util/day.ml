@@ -1,0 +1,58 @@
+type t = int
+
+let is_leap_year y = (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0
+
+let days_in_month y m =
+  match m with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 -> if is_leap_year y then 29 else 28
+  | _ -> invalid_arg "Day: month out of range"
+
+let days_in_year y = if is_leap_year y then 366 else 365
+
+let of_ymd year month day =
+  if year < 1997 then invalid_arg "Day.of_ymd: year before 1997";
+  if month < 1 || month > 12 then invalid_arg "Day.of_ymd: month out of range";
+  if day < 1 || day > days_in_month year month then
+    invalid_arg "Day.of_ymd: day out of range";
+  let days_before_year =
+    let rec loop y acc = if y >= year then acc else loop (y + 1) (acc + days_in_year y) in
+    loop 1997 0
+  in
+  let days_before_month =
+    let rec loop m acc =
+      if m >= month then acc else loop (m + 1) (acc + days_in_month year m)
+    in
+    loop 1 0
+  in
+  days_before_year + days_before_month + (day - 1)
+
+let to_ymd t =
+  if t < 0 then invalid_arg "Day.to_ymd: negative day";
+  let rec find_year y rem =
+    let dy = days_in_year y in
+    if rem < dy then (y, rem) else find_year (y + 1) (rem - dy)
+  in
+  let year, rem = find_year 1997 t in
+  let rec find_month m rem =
+    let dm = days_in_month year m in
+    if rem < dm then (m, rem) else find_month (m + 1) (rem - dm)
+  in
+  let month, rem = find_month 1 rem in
+  (year, month, rem + 1)
+
+let to_string t =
+  let y, m, d = to_ymd t in
+  Printf.sprintf "%04d-%02d-%02d" y m d
+
+let to_mm_yy t =
+  let y, m, _ = to_ymd t in
+  Printf.sprintf "%02d/%02d" m (y mod 100)
+
+let add t n = t + n
+let diff a b = a - b
+
+let measurement_start = of_ymd 1997 11 8
+let measurement_end = of_ymd 2001 7 18
+let measurement_days = measurement_end - measurement_start + 1

@@ -1,0 +1,40 @@
+(** Calendar-day arithmetic for the measurement pipeline (Figures 4 and 5).
+
+    A day is represented as the number of days since 1997-01-01, which
+    predates the paper's measurement window (1997-11-08 .. 2001-07-18). *)
+
+type t = int
+(** Days since 1997-01-01 (day 0). *)
+
+val of_ymd : int -> int -> int -> t
+(** [of_ymd year month day] converts a Gregorian calendar date.
+    @raise Invalid_argument on out-of-range dates or dates before 1997. *)
+
+val to_ymd : t -> int * int * int
+(** Inverse of {!of_ymd}. *)
+
+val to_string : t -> string
+(** ISO-8601 [YYYY-MM-DD]. *)
+
+val to_mm_yy : t -> string
+(** [MM/YY] label as used on the paper's Figure 4 x-axis. *)
+
+val add : t -> int -> t
+(** [add d n] is [n] days later. *)
+
+val diff : t -> t -> int
+(** [diff a b] is [a - b] in days. *)
+
+val is_leap_year : int -> bool
+(** Gregorian leap-year predicate. *)
+
+val measurement_start : t
+(** 1997-11-08, first day of the paper's measurement. *)
+
+val measurement_end : t
+(** 2001-07-18, last day of the paper's measurement. *)
+
+val measurement_days : int
+(** Calendar length of the window inclusive (1349 days).  The paper reports
+    a 1279-day measurement over this window: the Oregon collector missed
+    roughly 70 daily snapshots, which the synthetic generator reproduces. *)

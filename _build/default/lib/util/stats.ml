@@ -1,0 +1,86 @@
+let sum = List.fold_left ( +. ) 0.0
+
+let mean = function
+  | [] -> 0.0
+  | xs -> sum xs /. float_of_int (List.length xs)
+
+let mean_array arr =
+  if Array.length arr = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 arr /. float_of_int (Array.length arr)
+
+let variance xs =
+  let n = List.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let acc = List.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+    acc /. float_of_int (n - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let stderr_of_mean xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ -> stddev xs /. sqrt (float_of_int (List.length xs))
+
+let sorted xs = List.sort compare xs
+
+let median xs =
+  match sorted xs with
+  | [] -> 0.0
+  | s ->
+    let n = List.length s in
+    let a = Array.of_list s in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let percentile p xs =
+  match sorted xs with
+  | [] -> 0.0
+  | s ->
+    let a = Array.of_list s in
+    let n = Array.length a in
+    if n = 1 then a.(0)
+    else
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = min (lo + 1) (n - 1) in
+      let frac = rank -. float_of_int lo in
+      a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty list"
+  | x :: rest ->
+    List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) rest
+
+type histogram = { bucket_edges : float array; counts : int array }
+
+let histogram ~edges xs =
+  let nb = Array.length edges - 1 in
+  if nb < 1 then invalid_arg "Stats.histogram: need at least two edges";
+  for i = 0 to nb - 1 do
+    if edges.(i) >= edges.(i + 1) then
+      invalid_arg "Stats.histogram: edges must be strictly increasing"
+  done;
+  let counts = Array.make nb 0 in
+  let place v =
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if v < edges.(mid + 1) then search lo mid else search (mid + 1) hi
+    in
+    let b = if v < edges.(0) then 0 else search 0 (nb - 1) in
+    counts.(b) <- counts.(b) + 1
+  in
+  List.iter place xs;
+  { bucket_edges = edges; counts }
+
+let int_histogram ~max_value xs =
+  if max_value < 0 then invalid_arg "Stats.int_histogram: negative max";
+  let counts = Array.make (max_value + 1) 0 in
+  let place v =
+    let slot = if v < 0 then 0 else min v max_value in
+    counts.(slot) <- counts.(slot) + 1
+  in
+  List.iter place xs;
+  counts

@@ -1,0 +1,42 @@
+(** Small descriptive-statistics toolkit used by the experiment harness and
+    the measurement pipeline. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 for the empty list. *)
+
+val mean_array : float array -> float
+(** Arithmetic mean of an array; 0 for the empty array. *)
+
+val variance : float list -> float
+(** Unbiased sample variance (n-1 denominator); 0 for fewer than 2 points. *)
+
+val stddev : float list -> float
+(** Square root of {!variance}. *)
+
+val stderr_of_mean : float list -> float
+(** Standard error of the mean: stddev / sqrt n. *)
+
+val median : float list -> float
+(** Median (average of middle two for even length); 0 for the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0,100], nearest-rank with linear
+    interpolation; 0 for the empty list. *)
+
+val min_max : float list -> float * float
+(** Smallest and largest value.  @raise Invalid_argument on empty input. *)
+
+val sum : float list -> float
+(** Sum of the list. *)
+
+type histogram = { bucket_edges : float array; counts : int array }
+(** A histogram with [n+1] edges delimiting [n] buckets; bucket [i] counts
+    values in [[edges.(i), edges.(i+1))], the last bucket being closed. *)
+
+val histogram : edges:float array -> float list -> histogram
+(** Build a histogram from explicit bucket edges (strictly increasing).
+    Values outside the range are clamped into the first/last bucket. *)
+
+val int_histogram : max_value:int -> int list -> int array
+(** [int_histogram ~max_value xs] counts occurrences of each value in
+    [0..max_value]; larger values land in the last slot. *)

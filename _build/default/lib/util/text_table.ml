@@ -1,0 +1,66 @@
+type align = Left | Right | Center
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+    | Center ->
+      let left = (width - n) / 2 in
+      String.make left ' ' ^ s ^ String.make (width - n - left) ' '
+
+let render ?align ~header rows =
+  let ncols = List.length header in
+  List.iteri
+    (fun i row ->
+      if List.length row <> ncols then
+        invalid_arg
+          (Printf.sprintf "Text_table.render: row %d has %d cells, expected %d"
+             i (List.length row) ncols))
+    rows;
+  let aligns =
+    match align with
+    | Some a when List.length a = ncols -> Array.of_list a
+    | Some _ -> invalid_arg "Text_table.render: align arity mismatch"
+    | None -> Array.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  measure header;
+  List.iter measure rows;
+  let buf = Buffer.create 1024 in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line row =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i cell ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad aligns.(i) widths.(i) cell);
+        Buffer.add_string buf " |")
+      row;
+    Buffer.add_char buf '\n'
+  in
+  rule ();
+  line header;
+  rule ();
+  List.iter line rows;
+  rule ();
+  Buffer.contents buf
+
+let print ?align ~header rows = print_string (render ?align ~header rows)
+
+let float_cell ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+
+let percent_cell ?(decimals = 2) v = Printf.sprintf "%.*f%%" decimals (v *. 100.0)

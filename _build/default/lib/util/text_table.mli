@@ -1,0 +1,21 @@
+(** Plain-text table rendering for experiment and benchmark reports. *)
+
+type align = Left | Right | Center
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  string
+(** [render ~header rows] lays out a boxed ASCII table.  Every row must have
+    the same arity as [header].  [align] gives per-column alignment and
+    defaults to left for the first column and right for the rest. *)
+
+val print : ?align:align list -> header:string list -> string list list -> unit
+(** {!render} followed by [print_string]. *)
+
+val float_cell : ?decimals:int -> float -> string
+(** Format a float with a fixed number of decimals (default 2). *)
+
+val percent_cell : ?decimals:int -> float -> string
+(** Format a fraction in [0,1] as a percentage string such as ["12.34%"]. *)

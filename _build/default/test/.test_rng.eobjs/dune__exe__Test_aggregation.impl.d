@@ -1,0 +1,1 @@
+test/test_aggregation.ml: Alcotest Asn Bgp List Moas Net Option Prefix Sim Testutil Topology

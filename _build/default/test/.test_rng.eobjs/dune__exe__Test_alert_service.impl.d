@@ -1,0 +1,1 @@
+test/test_alert_service.ml: Alcotest Asn Bgp Experiments List Moas Net Option Prefix Testutil Topology

@@ -1,0 +1,1 @@
+test/test_as_graph.ml: Alcotest Asn List Net Printf QCheck2 Testutil Topology

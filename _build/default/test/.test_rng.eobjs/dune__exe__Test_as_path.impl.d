@@ -1,0 +1,1 @@
+test/test_as_path.ml: Alcotest Asn Bgp List Net QCheck2 Testutil

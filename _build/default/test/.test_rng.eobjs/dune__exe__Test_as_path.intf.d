@@ -1,0 +1,1 @@
+test/test_as_path.mli:

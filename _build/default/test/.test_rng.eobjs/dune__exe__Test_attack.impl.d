@@ -1,0 +1,1 @@
+test/test_attack.ml: Alcotest Asn Attack Bgp List Moas Mutil Net Option Prefix QCheck2 Testutil Topology

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Asn Attack Baselines Bgp List Moas Mutil Net Printf Testutil Topology

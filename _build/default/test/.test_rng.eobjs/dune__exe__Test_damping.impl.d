@@ -1,0 +1,1 @@
+test/test_damping.ml: Alcotest Asn Bgp List Net Sim Testutil Topology

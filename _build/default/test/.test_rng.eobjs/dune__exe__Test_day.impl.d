@@ -1,0 +1,1 @@
+test/test_day.ml: Alcotest List Mutil Printf QCheck2 Testutil

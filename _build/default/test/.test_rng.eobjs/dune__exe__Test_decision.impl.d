@@ -1,0 +1,1 @@
+test/test_decision.ml: Alcotest Asn Bgp List Net Option QCheck2 Testutil

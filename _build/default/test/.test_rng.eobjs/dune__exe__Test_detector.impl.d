@@ -1,0 +1,1 @@
+test/test_detector.ml: Alcotest Asn Bgp List Moas Net QCheck2 Testutil

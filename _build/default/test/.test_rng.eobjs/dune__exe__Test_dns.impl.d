@@ -1,0 +1,1 @@
+test/test_dns.ml: Alcotest Asn Bgp Dnssim Experiments Ipv4 List Net Option Prefix Testutil Topology

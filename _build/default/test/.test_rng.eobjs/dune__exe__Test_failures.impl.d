@@ -1,0 +1,1 @@
+test/test_failures.ml: Alcotest Asn Bgp Hashtbl List Moas Net Option Printf Sim Testutil Topology

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Experiments Float Lazy List Measurement Moas Topology

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Asn Attack Bgp Experiments Float List Measurement Moas Mutil Net Printf String Testutil Topology

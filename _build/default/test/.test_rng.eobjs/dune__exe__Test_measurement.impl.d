@@ -1,0 +1,1 @@
+test/test_measurement.ml: Alcotest Array Asn Lazy List Measurement Mutil Net Option Prefix Printf Testutil

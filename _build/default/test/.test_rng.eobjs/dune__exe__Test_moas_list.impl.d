@@ -1,0 +1,1 @@
+test/test_moas_list.ml: Alcotest Asn Bgp List Moas Mutil Net Option QCheck2 Testutil

@@ -1,0 +1,1 @@
+test/test_moas_list.mli:

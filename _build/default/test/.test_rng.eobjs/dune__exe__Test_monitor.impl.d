@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Asn Bgp List Moas Net Prefix Testutil

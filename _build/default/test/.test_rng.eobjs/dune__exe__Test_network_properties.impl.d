@@ -1,0 +1,1 @@
+test/test_network_properties.ml: Alcotest Array Asn Attack Bgp Hashtbl Ipv4 List Moas Mutil Net Prefix Printf QCheck2 Sim Testutil Topology

@@ -1,0 +1,1 @@
+test/test_prefix.ml: Alcotest Asn Ipv4 List Net Prefix QCheck2 Testutil

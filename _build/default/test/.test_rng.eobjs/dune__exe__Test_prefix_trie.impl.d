@@ -1,0 +1,1 @@
+test/test_prefix_trie.ml: Alcotest Ipv4 List Net Option Prefix Prefix_trie QCheck2 Testutil

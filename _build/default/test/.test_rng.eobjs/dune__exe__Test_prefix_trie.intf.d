@@ -1,0 +1,1 @@
+test/test_prefix_trie.mli:

@@ -1,0 +1,1 @@
+test/test_relationships.ml: Alcotest Asn Attack Bgp Lazy List Moas Mutil Net Option Printf Testutil Topology

@@ -1,0 +1,1 @@
+test/test_rib_policy.ml: Alcotest Asn Bgp Ipv4 List Net Option Prefix Testutil

@@ -1,0 +1,1 @@
+test/test_router_network.ml: Alcotest Asn Bgp List Net Option Printf Sim Testutil Topology

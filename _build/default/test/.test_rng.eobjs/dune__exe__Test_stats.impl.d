@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array List Mutil QCheck2 Testutil

@@ -1,0 +1,1 @@
+test/test_studies.ml: Alcotest Experiments List Measurement Mutil Printf Testutil Topology

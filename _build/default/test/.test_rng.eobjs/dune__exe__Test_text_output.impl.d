@@ -1,0 +1,1 @@
+test/test_text_output.ml: Alcotest Filename List Mutil QCheck2 String Sys Testutil

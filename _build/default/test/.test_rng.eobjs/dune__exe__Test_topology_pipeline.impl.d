@@ -1,0 +1,1 @@
+test/test_topology_pipeline.ml: Alcotest Asn List Mutil Net Printf Testutil Topology

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Asn Bgp Bytes Char Ipv4 List Measurement Moas Net Prefix QCheck2 Testutil

@@ -1,0 +1,171 @@
+(* Tests for the incident-management layer (Alert_service) and the
+   convergence study. *)
+
+open Net
+module Svc = Moas.Alert_service
+
+let victim = Testutil.victim
+
+let alarm ?(observer = 11) ?(time = 1.0) ?(prefix = victim) () =
+  Moas.Alarm.make ~observer:(Asn.make observer) ~prefix ~time
+    ~conflicting_lists:[ Asn.Set.of_list [ 1; 2 ]; Asn.Set.singleton 666 ]
+    ~origins_seen:(Asn.Set.of_list [ 1; 2; 666 ])
+
+let test_open_incident () =
+  let svc = Svc.create () in
+  Svc.ingest svc (alarm ());
+  match Svc.live_incidents svc with
+  | [ incident ] ->
+    Alcotest.check Testutil.prefix_testable "prefix" victim incident.Svc.prefix;
+    Alcotest.(check int) "one alarm" 1 incident.Svc.alarm_count;
+    Alcotest.(check bool) "warning severity" true
+      (incident.Svc.severity = Svc.Warning);
+    Alcotest.(check bool) "origins recorded" true
+      (Asn.Set.mem (Asn.make 666) incident.Svc.origins_implicated)
+  | l -> Alcotest.failf "expected one incident, got %d" (List.length l)
+
+let test_aggregation_no_duplicate_notifications () =
+  let svc = Svc.create () in
+  Svc.ingest svc (alarm ~observer:11 ~time:1.0 ());
+  Svc.ingest svc (alarm ~observer:11 ~time:2.0 ());
+  Svc.ingest svc (alarm ~observer:12 ~time:3.0 ());
+  Alcotest.(check int) "one incident" 1 (List.length (Svc.live_incidents svc));
+  (* only the open notification so far (escalation needs 3 observers) *)
+  Alcotest.(check int) "one notification" 1 (List.length (Svc.notifications svc));
+  match Svc.incident_for svc victim with
+  | Some i ->
+    Alcotest.(check int) "alarms folded" 3 i.Svc.alarm_count;
+    Alcotest.(check int) "observers tracked" 2 (Asn.Set.cardinal i.Svc.observers)
+  | None -> Alcotest.fail "incident missing"
+
+let test_escalation () =
+  let svc = Svc.create ~escalation_observers:3 () in
+  Svc.ingest svc (alarm ~observer:11 ~time:1.0 ());
+  Svc.ingest svc (alarm ~observer:12 ~time:2.0 ());
+  Alcotest.(check bool) "still warning" true
+    ((Option.get (Svc.incident_for svc victim)).Svc.severity = Svc.Warning);
+  Svc.ingest svc (alarm ~observer:13 ~time:3.0 ());
+  Alcotest.(check bool) "critical at 3 observers" true
+    ((Option.get (Svc.incident_for svc victim)).Svc.severity = Svc.Critical);
+  let escalations =
+    List.filter
+      (fun n ->
+        match n.Svc.event with
+        | `Escalated _ -> true
+        | `Opened | `Resolved -> false)
+      (Svc.notifications svc)
+  in
+  Alcotest.(check int) "exactly one escalation notice" 1 (List.length escalations);
+  (* further alarms do not re-escalate *)
+  Svc.ingest svc (alarm ~observer:14 ~time:4.0 ());
+  Alcotest.(check int) "no repeat escalation" 1
+    (List.length
+       (List.filter
+          (fun n ->
+            match n.Svc.event with
+            | `Escalated _ -> true
+            | `Opened | `Resolved -> false)
+          (Svc.notifications svc)))
+
+let test_distinct_prefixes_distinct_incidents () =
+  let svc = Svc.create () in
+  Svc.ingest svc (alarm ());
+  Svc.ingest svc (alarm ~prefix:(Prefix.of_string "10.0.0.0/8") ());
+  Alcotest.(check int) "two incidents" 2 (List.length (Svc.live_incidents svc));
+  let ids = List.map (fun i -> i.Svc.id) (Svc.live_incidents svc) in
+  Alcotest.(check (list int)) "ids increase" [ 1; 2 ] ids
+
+let test_resolution () =
+  let svc = Svc.create () in
+  Svc.ingest svc (alarm ~time:1.0 ());
+  Alcotest.(check int) "nothing to resolve while fresh" 0
+    (Svc.resolve_quiet svc ~now:2.0 ~idle_for:100.0);
+  Alcotest.(check int) "resolves after quiet period" 1
+    (Svc.resolve_quiet svc ~now:200.0 ~idle_for:100.0);
+  Alcotest.(check int) "no live incidents left" 0
+    (List.length (Svc.live_incidents svc));
+  Alcotest.(check int) "history keeps it" 1 (List.length (Svc.all_incidents svc));
+  (match Svc.all_incidents svc with
+  | [ i ] -> Alcotest.(check bool) "resolved stamp" true (i.Svc.resolved_at = Some 200.0)
+  | _ -> Alcotest.fail "history mismatch");
+  (* a new alarm for the same prefix opens a NEW incident *)
+  Svc.ingest svc (alarm ~time:300.0 ());
+  Alcotest.(check int) "fresh incident id" 2
+    (Option.get (Svc.incident_for svc victim)).Svc.id
+
+let test_summary_text () =
+  let svc = Svc.create () in
+  Svc.ingest svc (alarm ());
+  Testutil.check_contains ~what:"summary" (Svc.summary svc) "1 live incident"
+
+let test_end_to_end_with_scenario () =
+  (* wire the service to real detectors through a scenario-style run *)
+  let t = Topology.Paper_topologies.topology_46 () in
+  let graph = t.Topology.Paper_topologies.graph in
+  (* detection squelches the bogus route at the first capable hop, so only
+     the attacker's direct neighbours ever alarm: escalate at two *)
+  let svc = Svc.create ~escalation_observers:2 () in
+  let oracle = Moas.Origin_verification.create () in
+  let origin = Asn.Set.min_elt t.Topology.Paper_topologies.stub in
+  let attacker = Asn.Set.max_elt t.Topology.Paper_topologies.stub in
+  Moas.Origin_verification.register oracle victim (Asn.Set.singleton origin);
+  let validator_of asn =
+    if Asn.equal asn attacker then None
+    else
+      Some
+        (Moas.Detector.validator
+           (Moas.Detector.create ~oracle ~on_alarm:(Svc.ingest svc) ~self:asn ()))
+  in
+  let net = Bgp.Network.create ~validator_of graph in
+  Bgp.Network.originate ~at:0.0 net origin victim;
+  Bgp.Network.originate ~at:50.0 net attacker victim;
+  ignore (Bgp.Network.run net);
+  (match Svc.live_incidents svc with
+  | [ incident ] ->
+    Alcotest.(check bool) "several observers folded into one incident" true
+      (Asn.Set.cardinal incident.Svc.observers > 1);
+    Alcotest.(check bool) "escalated to critical" true
+      (incident.Svc.severity = Svc.Critical);
+    Alcotest.(check bool) "attacker implicated" true
+      (Asn.Set.mem attacker incident.Svc.origins_implicated)
+  | l -> Alcotest.failf "expected one incident, got %d" (List.length l));
+  Alcotest.(check int) "resolves once quiet" 1
+    (Svc.resolve_quiet svc ~now:10_000.0 ~idle_for:1_000.0)
+
+let test_convergence_study () =
+  let t = Topology.Paper_topologies.topology_46 () in
+  let points =
+    Experiments.Convergence.study ~runs:4 ~n_attackers_list:[ 1; 5 ] ~topology:t ()
+  in
+  Alcotest.(check int) "two points" 2 (List.length points);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "always detected" true
+        (p.Experiments.Convergence.detection_rate > 0.99);
+      Alcotest.(check bool) "latency within settle time" true
+        (p.Experiments.Convergence.mean_detection_latency
+        <= p.Experiments.Convergence.mean_settle_time +. 1e-9);
+      Alcotest.(check bool) "positive octet accounting" true
+        (p.Experiments.Convergence.mean_wire_octets > 0.0))
+    points;
+  let rendered = Experiments.Convergence.render points in
+  Testutil.check_contains ~what:"render" rendered "detection rate"
+
+let () =
+  Alcotest.run "alert_service"
+    [
+      ( "incidents",
+        [
+          Alcotest.test_case "open" `Quick test_open_incident;
+          Alcotest.test_case "aggregation" `Quick
+            test_aggregation_no_duplicate_notifications;
+          Alcotest.test_case "escalation" `Quick test_escalation;
+          Alcotest.test_case "distinct prefixes" `Quick
+            test_distinct_prefixes_distinct_incidents;
+          Alcotest.test_case "resolution" `Quick test_resolution;
+          Alcotest.test_case "summary" `Quick test_summary_text;
+          Alcotest.test_case "end to end" `Quick test_end_to_end_with_scenario;
+        ] );
+      ( "convergence",
+        [ Alcotest.test_case "study" `Quick test_convergence_study ] );
+    ]

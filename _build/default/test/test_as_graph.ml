@@ -1,0 +1,179 @@
+(* Tests for Topology.As_graph and Topology.Algorithms. *)
+
+open Net
+module G = Topology.As_graph
+module Alg = Topology.Algorithms
+
+let test_empty () =
+  Alcotest.(check int) "no nodes" 0 (G.node_count G.empty);
+  Alcotest.(check int) "no edges" 0 (G.edge_count G.empty);
+  Alcotest.(check bool) "empty is connected (trivially)" true (Alg.is_connected G.empty)
+
+let test_add_edge_symmetric () =
+  let g = G.add_edge G.empty 1 2 in
+  Alcotest.(check bool) "edge a->b" true (G.mem_edge g 1 2);
+  Alcotest.(check bool) "edge b->a" true (G.mem_edge g 2 1);
+  Alcotest.(check int) "one edge" 1 (G.edge_count g);
+  Alcotest.(check int) "two nodes" 2 (G.node_count g)
+
+let test_add_edge_idempotent () =
+  let g = G.add_edge (G.add_edge G.empty 1 2) 1 2 in
+  Alcotest.(check int) "edge not duplicated" 1 (G.edge_count g)
+
+let test_self_loop_rejected () =
+  Alcotest.check_raises "self loop" (Invalid_argument "As_graph.add_edge: self-loop")
+    (fun () -> ignore (G.add_edge G.empty 3 3))
+
+let test_remove_node () =
+  let g = Testutil.small_graph () in
+  let g' = G.remove_node g 3 in
+  Alcotest.(check bool) "node gone" false (G.mem_node g' 3);
+  Alcotest.(check bool) "edges to it gone" false (G.mem_edge g' 2 3);
+  Alcotest.(check int) "degree of former peer drops" 1 (G.degree g' 5);
+  (* original untouched: the structure is persistent *)
+  Alcotest.(check bool) "original intact" true (G.mem_edge g 2 3)
+
+let test_neighbors_degree () =
+  let g = Testutil.small_graph () in
+  Alcotest.(check (list int)) "neighbors of 3" [ 2; 5; 6 ]
+    (Asn.Set.elements (G.neighbors g 3));
+  Alcotest.(check int) "degree" 3 (G.degree g 3);
+  Alcotest.(check int) "degree of unknown node" 0 (G.degree g 99)
+
+let test_induced () =
+  let g = Testutil.small_graph () in
+  let sub = G.induced g (Asn.Set.of_list [ 1; 2; 3; 6 ]) in
+  Alcotest.(check int) "nodes kept" 4 (G.node_count sub);
+  Alcotest.(check bool) "internal edge kept" true (G.mem_edge sub 2 3);
+  Alcotest.(check bool) "edge to removed endpoint dropped" false (G.mem_edge sub 1 4);
+  Alcotest.(check bool) "edge 3-6 kept" true (G.mem_edge sub 3 6)
+
+let test_edges_listing () =
+  let g = G.of_edges [ (2, 1); (3, 2) ] in
+  Alcotest.(check (list (pair int int))) "sorted, small endpoint first"
+    [ (1, 2); (2, 3) ] (G.edges g)
+
+let test_bfs () =
+  let g = Testutil.small_graph () in
+  let dist = Alg.bfs_distances g 1 in
+  let d n = Asn.Map.find n dist in
+  Alcotest.(check int) "self" 0 (d 1);
+  Alcotest.(check int) "direct" 1 (d 2);
+  Alcotest.(check int) "two hops" 2 (d 3);
+  Alcotest.(check int) "via 4-5" 2 (d 5);
+  Alcotest.(check int) "stub behind 3" 3 (d 6)
+
+let test_shortest_path () =
+  let g = Testutil.small_graph () in
+  (match Alg.shortest_path g 1 6 with
+  | Some path ->
+    Alcotest.(check int) "path length" 4 (List.length path);
+    Alcotest.(check int) "starts at source" 1 (List.hd path);
+    Alcotest.(check int) "ends at destination" 6 (List.nth path 3)
+  | None -> Alcotest.fail "expected a path");
+  Alcotest.(check bool) "unreachable" true
+    (Alg.shortest_path g 1 99 = None)
+
+let test_shortest_path_is_valid_walk () =
+  let g = Testutil.small_graph () in
+  match Alg.shortest_path g 6 4 with
+  | None -> Alcotest.fail "expected path"
+  | Some path ->
+    let rec check = function
+      | a :: (b :: _ as rest) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "edge %d-%d exists" a b)
+          true (G.mem_edge g a b);
+        check rest
+      | _ -> ()
+    in
+    check path
+
+let test_components () =
+  let g = G.of_edges [ (1, 2); (3, 4); (4, 5) ] in
+  let comps = Alg.connected_components g in
+  Alcotest.(check int) "two components" 2 (List.length comps);
+  Alcotest.(check int) "largest first" 3
+    (Asn.Set.cardinal (List.hd comps));
+  Alcotest.(check bool) "not connected" false (Alg.is_connected g);
+  Alcotest.(check (list int)) "largest component members" [ 3; 4; 5 ]
+    (Asn.Set.elements (Alg.largest_component g))
+
+let test_diameter () =
+  let line = G.of_edges [ (1, 2); (2, 3); (3, 4) ] in
+  Alcotest.(check int) "line diameter" 3 (Alg.diameter line);
+  let star = G.of_edges [ (1, 2); (1, 3); (1, 4) ] in
+  Alcotest.(check int) "star diameter" 2 (Alg.diameter star)
+
+let test_degree_stats () =
+  let star = G.of_edges [ (1, 2); (1, 3); (1, 4) ] in
+  Alcotest.(check (float 1e-9)) "avg degree" 1.5 (Alg.average_degree star);
+  Alcotest.(check (list (pair int int))) "histogram" [ (1, 3); (3, 1) ]
+    (Alg.degree_histogram star)
+
+let graph_gen =
+  QCheck2.Gen.(
+    map
+      (fun pairs ->
+        List.filter_map
+          (fun (a, b) ->
+            let a = (a mod 20) + 1 and b = (b mod 20) + 1 in
+            if a = b then None else Some (a, b))
+          pairs)
+      (list_size (int_range 0 60) (pair (int_range 0 40) (int_range 0 40))))
+
+let prop_handshake =
+  Testutil.qtest "sum of degrees = 2 * edges" graph_gen (fun edges ->
+      let g = G.of_edges edges in
+      let degree_sum = G.fold_nodes (fun n acc -> acc + G.degree g n) g 0 in
+      degree_sum = 2 * G.edge_count g)
+
+let prop_components_partition =
+  Testutil.qtest "components partition the node set" graph_gen (fun edges ->
+      let g = G.of_edges edges in
+      let comps = Alg.connected_components g in
+      let union =
+        List.fold_left Asn.Set.union Asn.Set.empty comps
+      in
+      let total = List.fold_left (fun n c -> n + Asn.Set.cardinal c) 0 comps in
+      Asn.Set.equal union (G.nodes g) && total = G.node_count g)
+
+let prop_induced_subset =
+  Testutil.qtest "induced graph keeps only selected nodes" graph_gen
+    (fun edges ->
+      let g = G.of_edges edges in
+      let keep =
+        G.fold_nodes
+          (fun n acc -> if n mod 2 = 0 then Asn.Set.add n acc else acc)
+          g Asn.Set.empty
+      in
+      let sub = G.induced g keep in
+      Asn.Set.subset (G.nodes sub) keep
+      && List.for_all (fun (a, b) -> G.mem_edge g a b) (G.edges sub))
+
+let () =
+  Alcotest.run "as_graph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "symmetric edges" `Quick test_add_edge_symmetric;
+          Alcotest.test_case "idempotent edges" `Quick test_add_edge_idempotent;
+          Alcotest.test_case "self loops rejected" `Quick test_self_loop_rejected;
+          Alcotest.test_case "remove node" `Quick test_remove_node;
+          Alcotest.test_case "neighbors/degree" `Quick test_neighbors_degree;
+          Alcotest.test_case "induced subgraph" `Quick test_induced;
+          Alcotest.test_case "edge listing" `Quick test_edges_listing;
+        ] );
+      ( "algorithms",
+        [
+          Alcotest.test_case "bfs distances" `Quick test_bfs;
+          Alcotest.test_case "shortest path" `Quick test_shortest_path;
+          Alcotest.test_case "path validity" `Quick test_shortest_path_is_valid_walk;
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "diameter" `Quick test_diameter;
+          Alcotest.test_case "degree stats" `Quick test_degree_stats;
+        ] );
+      ( "properties",
+        [ prop_handshake; prop_components_partition; prop_induced_subset ] );
+    ]

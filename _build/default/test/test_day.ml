@@ -1,0 +1,85 @@
+(* Tests for Mutil.Day: calendar arithmetic over the measurement window. *)
+
+module Day = Mutil.Day
+
+let test_epoch () =
+  Alcotest.(check int) "1997-01-01 is day 0" 0 (Day.of_ymd 1997 1 1);
+  Alcotest.(check int) "1997-01-02 is day 1" 1 (Day.of_ymd 1997 1 2);
+  Alcotest.(check int) "1997-02-01" 31 (Day.of_ymd 1997 2 1)
+
+let test_leap_years () =
+  Alcotest.(check bool) "2000 is leap" true (Day.is_leap_year 2000);
+  Alcotest.(check bool) "1900 is not leap" false (Day.is_leap_year 1900);
+  Alcotest.(check bool) "1996 is leap" true (Day.is_leap_year 1996);
+  Alcotest.(check bool) "1999 is not leap" false (Day.is_leap_year 1999);
+  (* Feb 29, 2000 exists *)
+  let d = Day.of_ymd 2000 2 29 in
+  Alcotest.(check (triple int int int)) "2000-02-29 roundtrip" (2000, 2, 29)
+    (Day.to_ymd d)
+
+let test_roundtrip_known () =
+  List.iter
+    (fun (y, m, d) ->
+      let day = Day.of_ymd y m d in
+      Alcotest.(check (triple int int int))
+        (Printf.sprintf "%04d-%02d-%02d" y m d)
+        (y, m, d) (Day.to_ymd day))
+    [
+      (1997, 11, 8); (1998, 4, 7); (2001, 4, 6); (2001, 7, 18); (1999, 12, 31);
+      (2000, 1, 1); (2000, 12, 31);
+    ]
+
+let test_window () =
+  Alcotest.(check string) "start" "1997-11-08" (Day.to_string Day.measurement_start);
+  Alcotest.(check string) "end" "2001-07-18" (Day.to_string Day.measurement_end);
+  Alcotest.(check int) "window length" 1349 Day.measurement_days
+
+let test_ordering () =
+  Alcotest.(check bool) "events ordered" true
+    (Day.of_ymd 1998 4 7 < Day.of_ymd 2001 4 6)
+
+let test_add_diff () =
+  let d = Day.of_ymd 1998 4 7 in
+  Alcotest.(check string) "add 1" "1998-04-08" (Day.to_string (Day.add d 1));
+  Alcotest.(check int) "diff" 365 (Day.diff (Day.of_ymd 1999 4 7) d)
+
+let test_mm_yy () =
+  Alcotest.(check string) "mm/yy label" "04/98" (Day.to_mm_yy (Day.of_ymd 1998 4 7));
+  Alcotest.(check string) "mm/yy for 2001" "07/01" (Day.to_mm_yy (Day.of_ymd 2001 7 18))
+
+let test_validation () =
+  Alcotest.check_raises "pre-1997" (Invalid_argument "Day.of_ymd: year before 1997")
+    (fun () -> ignore (Day.of_ymd 1996 12 31));
+  Alcotest.check_raises "bad month" (Invalid_argument "Day.of_ymd: month out of range")
+    (fun () -> ignore (Day.of_ymd 1998 13 1));
+  Alcotest.check_raises "bad day" (Invalid_argument "Day.of_ymd: day out of range")
+    (fun () -> ignore (Day.of_ymd 1999 2 29))
+
+let prop_roundtrip =
+  Testutil.qtest "to_ymd . of_ymd over a decade"
+    QCheck2.Gen.(int_range 0 3650)
+    (fun d ->
+      let y, m, dd = Day.to_ymd d in
+      Day.of_ymd y m dd = d)
+
+let prop_add_assoc =
+  Testutil.qtest "add distributes"
+    QCheck2.Gen.(triple (int_range 0 2000) (int_range 0 500) (int_range 0 500))
+    (fun (d, a, b) -> Day.add (Day.add d a) b = Day.add d (a + b))
+
+let () =
+  Alcotest.run "day"
+    [
+      ( "calendar",
+        [
+          Alcotest.test_case "epoch" `Quick test_epoch;
+          Alcotest.test_case "leap years" `Quick test_leap_years;
+          Alcotest.test_case "known roundtrips" `Quick test_roundtrip_known;
+          Alcotest.test_case "measurement window" `Quick test_window;
+          Alcotest.test_case "ordering" `Quick test_ordering;
+          Alcotest.test_case "add/diff" `Quick test_add_diff;
+          Alcotest.test_case "mm/yy" `Quick test_mm_yy;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ("properties", [ prop_roundtrip; prop_add_assoc ]);
+    ]

@@ -1,0 +1,197 @@
+(* Tests for the experiment harness: Sweep averaging discipline, figure
+   generation, ablations, and the qualitative claims of the paper. *)
+
+module Sweep = Experiments.Sweep
+module Figures = Experiments.Figures
+module Ablation = Experiments.Ablation
+module Topo = Topology.Paper_topologies
+
+let t46 = lazy (Topo.topology_46 ())
+
+let cfg ?(deployment = Moas.Deployment.Disabled) ?(n_origins = 1) () =
+  Sweep.config ~topology:(Lazy.force t46) ~n_origins ~deployment ()
+
+let test_origins_stable_across_selections () =
+  let c = cfg () in
+  (* same selection index gives the same origins no matter when queried *)
+  Alcotest.(check (list int)) "selection 0 stable"
+    (Sweep.origins_for c ~selection:0)
+    (Sweep.origins_for c ~selection:0);
+  Alcotest.(check bool) "distinct selections differ" true
+    (Sweep.origins_for c ~selection:0 <> Sweep.origins_for c ~selection:1)
+
+let test_origins_are_stubs () =
+  let c = cfg ~n_origins:2 () in
+  let stubs = (Lazy.force t46).Topo.stub in
+  List.iter
+    (fun o ->
+      Alcotest.(check bool) "origin from stub pool" true (Net.Asn.Set.mem o stubs))
+    (Sweep.origins_for c ~selection:2)
+
+let test_point_shape () =
+  let c = cfg () in
+  let p = Sweep.run_point c ~n_attackers:3 in
+  Alcotest.(check int) "attacker count recorded" 3 p.Sweep.n_attackers;
+  Alcotest.(check bool) "fraction in range" true
+    (p.Sweep.mean_adopting >= 0.0 && p.Sweep.mean_adopting <= 1.0);
+  Alcotest.(check (float 1e-9)) "attacker fraction" (3.0 /. 46.0)
+    p.Sweep.attacker_fraction;
+  Alcotest.(check bool) "all runs converged" true p.Sweep.all_converged
+
+let test_point_deterministic () =
+  let c = cfg ~deployment:(Moas.Deployment.Fraction 0.5) () in
+  let a = Sweep.run_point c ~n_attackers:5 in
+  let b = Sweep.run_point c ~n_attackers:5 in
+  Alcotest.(check (float 0.0)) "same mean" a.Sweep.mean_adopting b.Sweep.mean_adopting;
+  Alcotest.(check (float 0.0)) "same stderr" a.Sweep.stderr_adopting
+    b.Sweep.stderr_adopting
+
+let test_no_attackers_point () =
+  let c = cfg ~deployment:Moas.Deployment.Full () in
+  let p = Sweep.run_point c ~n_attackers:0 in
+  Alcotest.(check (float 0.0)) "nothing to adopt" 0.0 p.Sweep.mean_adopting;
+  Alcotest.(check (float 0.0)) "no alarms in benign runs" 0.0
+    p.Sweep.mean_alarm_count
+
+let test_default_attacker_counts () =
+  let counts = Sweep.default_attacker_counts (Lazy.force t46) in
+  Alcotest.(check bool) "non-empty ascending" true
+    (counts = List.sort_uniq compare counts);
+  List.iter
+    (fun n -> Alcotest.(check bool) "within range" true (n >= 1 && n <= 21))
+    counts
+
+let test_full_detection_dominates_normal () =
+  (* the paper's headline: at every sweep point full detection adopts no
+     more than normal BGP *)
+  let normal = Sweep.run (cfg ()) ~n_attackers_list:[ 2; 8; 14 ] in
+  let full =
+    Sweep.run (cfg ~deployment:Moas.Deployment.Full ()) ~n_attackers_list:[ 2; 8; 14 ]
+  in
+  List.iter2
+    (fun (n : Sweep.point) (f : Sweep.point) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "full <= normal at %d attackers" n.Sweep.n_attackers)
+        true
+        (f.Sweep.mean_adopting <= n.Sweep.mean_adopting +. 1e-9);
+      Alcotest.(check bool) "full detection detects" true
+        (f.Sweep.detection_rate > 0.99))
+    normal full
+
+let test_figure9_shape () =
+  let figures = Figures.figure9 () in
+  Alcotest.(check int) "two sub-figures" 2 (List.length figures);
+  List.iter
+    (fun f ->
+      Alcotest.(check int) "two series" 2 (List.length f.Figures.series);
+      List.iter
+        (fun s ->
+          Alcotest.(check bool) "series non-empty" true
+            (List.length s.Mutil.Ascii_plot.points > 5))
+        f.Figures.series)
+    figures
+
+let test_figure_render_and_csv () =
+  match Figures.figure9 () with
+  | fig :: _ ->
+    let text = Figures.render fig in
+    Testutil.check_contains ~what:"figure render" text "Figure 9(a)";
+    Testutil.check_contains ~what:"figure render" text "Normal BGP";
+    Testutil.check_contains ~what:"figure render" text "% attackers";
+    let header, rows = Figures.to_csv fig in
+    Alcotest.(check int) "csv columns" 3 (List.length header);
+    List.iter
+      (fun row -> Alcotest.(check int) "row arity" 3 (List.length row))
+      rows
+  | [] -> Alcotest.fail "no figure"
+
+let test_summary_table () =
+  let table = Figures.summary_table () in
+  Testutil.check_contains ~what:"summary" table "paper";
+  Testutil.check_contains ~what:"summary" table "46-AS, 30% attackers, Full MOAS";
+  Testutil.check_contains ~what:"summary" table "half deployment"
+
+let test_ablation_subprefix () =
+  let r = Ablation.subprefix_hijack ~topology:(Lazy.force t46) () in
+  Alcotest.(check int) "no MOAS alarm on sub-prefix hijack" 0 r.Ablation.moas_alarms;
+  Alcotest.(check bool) "traffic is nonetheless captured" true
+    (r.Ablation.hijacked_fraction > 0.5)
+
+let test_ablation_overhead () =
+  let points = Ablation.list_overhead ~max_size:4 in
+  (* each additional MOAS-list entry costs exactly one 4-octet community *)
+  let sizes = List.map (fun p -> p.Ablation.bytes_per_update) points in
+  (match sizes with
+  | a :: rest ->
+    ignore
+      (List.fold_left
+         (fun prev cur ->
+           Alcotest.(check int) "4 octets per extra origin" 4 (cur - prev);
+           cur)
+         a rest)
+  | [] -> Alcotest.fail "no overhead points");
+  Alcotest.(check (list int)) "one community per origin" [ 1; 2; 3; 4 ]
+    (List.map (fun p -> p.Ablation.communities_per_update) points)
+
+let test_ablation_droppers_never_hide () =
+  let points =
+    Ablation.community_droppers ~fractions:[ 0.0; 0.3 ]
+      ~topology:(Lazy.force t46) ()
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "no missed detection at dropper fraction %.1f"
+           p.Ablation.dropper_fraction)
+        0.0 p.Ablation.missed_detection_rate)
+    points;
+  (match points with
+  | [ clean; dirty ] ->
+    Alcotest.(check (float 0.0)) "no false alarms without droppers" 0.0
+      clean.Ablation.false_alarm_rate;
+    Alcotest.(check bool) "droppers cause false alarms" true
+      (dirty.Ablation.false_alarm_rate > 0.0)
+  | _ -> Alcotest.fail "expected two points")
+
+let test_ablation_oracle_accounting () =
+  let acct =
+    Ablation.oracle_query_accounting ~topology:(Lazy.force t46) ~n_attackers:3 ()
+  in
+  Alcotest.(check bool) "queries are rare" true (acct.Ablation.queries_per_update < 0.5);
+  Alcotest.(check bool) "but some happen" true (acct.Ablation.oracle_queries > 0)
+
+let test_ablation_mrai () =
+  let points = Ablation.mrai_sensitivity ~mrais:[ 0.0; 30.0 ] ~topology:(Lazy.force t46) () in
+  match points with
+  | [ (_, a0, _); (_, a30, _) ] ->
+    Alcotest.(check (float 1e-9)) "MRAI does not change adoption" a0 a30
+  | _ -> Alcotest.fail "expected two points"
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "sweep",
+        [
+          Alcotest.test_case "origin selections" `Quick test_origins_stable_across_selections;
+          Alcotest.test_case "origins are stubs" `Quick test_origins_are_stubs;
+          Alcotest.test_case "point shape" `Quick test_point_shape;
+          Alcotest.test_case "deterministic" `Quick test_point_deterministic;
+          Alcotest.test_case "benign point" `Quick test_no_attackers_point;
+          Alcotest.test_case "attacker counts" `Quick test_default_attacker_counts;
+          Alcotest.test_case "full beats normal" `Slow test_full_detection_dominates_normal;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "figure 9 shape" `Slow test_figure9_shape;
+          Alcotest.test_case "render + csv" `Slow test_figure_render_and_csv;
+          Alcotest.test_case "summary table" `Slow test_summary_table;
+        ] );
+      ( "ablations",
+        [
+          Alcotest.test_case "subprefix limitation" `Quick test_ablation_subprefix;
+          Alcotest.test_case "list overhead" `Quick test_ablation_overhead;
+          Alcotest.test_case "droppers never hide" `Slow test_ablation_droppers_never_hide;
+          Alcotest.test_case "oracle accounting" `Quick test_ablation_oracle_accounting;
+          Alcotest.test_case "MRAI sensitivity" `Quick test_ablation_mrai;
+        ] );
+    ]

@@ -1,0 +1,104 @@
+(* Tests for the off-line monitor (Section 4.2 deployment path). *)
+
+open Net
+module M = Moas.Monitor
+
+let victim = Testutil.victim
+let legit = Testutil.moas_communities [ 10; 20 ]
+
+let valid ~from ~origin = Testutil.route ~communities:legit ~from [ from; origin ]
+let forged ~from ~attacker =
+  Testutil.route
+    ~communities:(Testutil.moas_communities [ 10; 20; attacker ])
+    ~from [ attacker ]
+
+let test_no_conflict_single_feed () =
+  let m = M.create () in
+  M.observe_route m ~time:1.0 ~feed:(Asn.make 1) (valid ~from:1 ~origin:10);
+  Alcotest.(check int) "tracked" 1 (M.prefixes_tracked m);
+  Alcotest.(check int) "no conflict" 0 (List.length (M.findings m))
+
+let test_consistent_feeds () =
+  let m = M.create () in
+  M.observe_route m ~time:1.0 ~feed:(Asn.make 1) (valid ~from:1 ~origin:10);
+  M.observe_route m ~time:1.0 ~feed:(Asn.make 2) (valid ~from:2 ~origin:20);
+  Alcotest.(check int) "valid MOAS is consistent" 0 (List.length (M.findings m))
+
+let test_conflict_across_feeds () =
+  let m = M.create () in
+  M.observe_route m ~time:1.0 ~feed:(Asn.make 1) (valid ~from:1 ~origin:10);
+  M.observe_route m ~time:2.0 ~feed:(Asn.make 2) (forged ~from:2 ~attacker:666);
+  match M.findings m with
+  | [ f ] ->
+    Alcotest.check Testutil.prefix_testable "prefix" victim f.M.prefix;
+    Alcotest.(check int) "two lists" 2 (List.length f.M.distinct_lists);
+    Alcotest.(check bool) "attacker among origins" true
+      (Asn.Set.mem (Asn.make 666) f.M.origins);
+    Alcotest.check Testutil.asn_set_testable "both feeds implicated"
+      (Asn.Set.of_list [ 1; 2 ])
+      f.M.feeds
+  | l -> Alcotest.failf "expected one finding, got %d" (List.length l)
+
+let test_conflict_resolves_on_withdraw () =
+  let m = M.create () in
+  M.observe_route m ~time:1.0 ~feed:(Asn.make 1) (valid ~from:1 ~origin:10);
+  M.observe_route m ~time:2.0 ~feed:(Asn.make 2) (forged ~from:2 ~attacker:666);
+  Alcotest.(check int) "live conflict" 1 (List.length (M.findings m));
+  M.observe_withdraw m ~time:3.0 ~feed:(Asn.make 2) victim;
+  Alcotest.(check int) "resolved after withdrawal" 0 (List.length (M.findings m));
+  (* but history remembers *)
+  Alcotest.(check int) "history keeps it" 1 (List.length (M.all_findings_ever m))
+
+let test_observe_update_dispatch () =
+  let m = M.create () in
+  M.observe_update m ~time:1.0 ~feed:(Asn.make 1)
+    (Bgp.Update.announce ~sender:(Asn.make 1) (valid ~from:1 ~origin:10));
+  Alcotest.(check int) "announce ingested" 1 (M.prefixes_tracked m);
+  M.observe_update m ~time:2.0 ~feed:(Asn.make 1)
+    (Bgp.Update.withdraw ~sender:(Asn.make 1) victim);
+  Alcotest.(check int) "withdraw ingested" 0 (M.prefixes_tracked m)
+
+let test_table_snapshot_replaces () =
+  let m = M.create () in
+  let p2 = Prefix.of_string "10.0.0.0/8" in
+  M.observe_table m ~time:1.0 ~feed:(Asn.make 1)
+    [ valid ~from:1 ~origin:10; Testutil.route ~prefix:p2 ~from:1 [ 1; 30 ] ];
+  Alcotest.(check int) "two prefixes tracked" 2 (M.prefixes_tracked m);
+  (* a fresh snapshot no longer carries the second prefix *)
+  M.observe_table m ~time:2.0 ~feed:(Asn.make 1) [ valid ~from:1 ~origin:10 ];
+  Alcotest.(check int) "stale entries dropped" 1 (M.prefixes_tracked m)
+
+let test_same_feed_conflicting_over_time () =
+  (* a single feed that flips origin between snapshots is NOT a live
+     conflict (the monitor sees tables, not history) *)
+  let m = M.create () in
+  M.observe_route m ~time:1.0 ~feed:(Asn.make 1) (valid ~from:1 ~origin:10);
+  M.observe_route m ~time:2.0 ~feed:(Asn.make 1) (forged ~from:1 ~attacker:666);
+  Alcotest.(check int) "latest route replaces, one list only" 0
+    (List.length (M.findings m))
+
+let test_history_dedup () =
+  let m = M.create () in
+  M.observe_route m ~time:1.0 ~feed:(Asn.make 1) (valid ~from:1 ~origin:10);
+  M.observe_route m ~time:2.0 ~feed:(Asn.make 2) (forged ~from:2 ~attacker:666);
+  (* the same conflict re-observed in a later poll *)
+  M.observe_route m ~time:3.0 ~feed:(Asn.make 2) (forged ~from:2 ~attacker:666);
+  Alcotest.(check int) "history not duplicated" 1
+    (List.length (M.all_findings_ever m))
+
+let () =
+  Alcotest.run "monitor"
+    [
+      ( "monitor",
+        [
+          Alcotest.test_case "single feed" `Quick test_no_conflict_single_feed;
+          Alcotest.test_case "consistent feeds" `Quick test_consistent_feeds;
+          Alcotest.test_case "conflict across feeds" `Quick test_conflict_across_feeds;
+          Alcotest.test_case "conflict resolves" `Quick test_conflict_resolves_on_withdraw;
+          Alcotest.test_case "update dispatch" `Quick test_observe_update_dispatch;
+          Alcotest.test_case "snapshot replaces" `Quick test_table_snapshot_replaces;
+          Alcotest.test_case "per-feed replacement" `Quick
+            test_same_feed_conflicting_over_time;
+          Alcotest.test_case "history dedup" `Quick test_history_dedup;
+        ] );
+    ]

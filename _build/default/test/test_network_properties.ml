@@ -1,0 +1,221 @@
+(* Randomized system-level properties of the BGP network and the MOAS
+   mechanism over arbitrary connected topologies and multi-prefix
+   workloads. *)
+
+open Net
+module Network = Bgp.Network
+module G = Topology.As_graph
+
+let victim = Testutil.victim
+
+(* random connected graph: a random spanning tree plus extra edges *)
+let connected_graph_gen =
+  QCheck2.Gen.(
+    let* n = int_range 3 20 in
+    let* parents = list_repeat (n - 1) (int_range 0 1000) in
+    let* extras = list_size (int_range 0 15) (pair (int_range 0 1000) (int_range 0 1000)) in
+    let tree =
+      List.mapi (fun i p -> (i + 2, 1 + (p mod (i + 1)))) parents
+    in
+    let extra_edges =
+      List.filter_map
+        (fun (a, b) ->
+          let a = 1 + (a mod n) and b = 1 + (b mod n) in
+          if a = b then None else Some (a, b))
+        extras
+    in
+    return (G.of_edges (tree @ extra_edges)))
+
+let prop_convergence =
+  Testutil.qtest ~count:60 "BGP converges on random connected graphs"
+    connected_graph_gen
+    (fun g ->
+      let net = Network.create g in
+      Network.originate net (Asn.Set.min_elt (G.nodes g)) victim;
+      Network.run net = Sim.Engine.Quiescent)
+
+let prop_full_reachability =
+  Testutil.qtest ~count:60 "every AS of a connected graph learns the route"
+    connected_graph_gen
+    (fun g ->
+      let net = Network.create g in
+      let origin = Asn.Set.min_elt (G.nodes g) in
+      Network.originate net origin victim;
+      ignore (Network.run net);
+      G.fold_nodes
+        (fun asn ok -> ok && Network.best_route net asn victim <> None)
+        g true)
+
+let prop_shortest_paths =
+  Testutil.qtest ~count:60 "selected paths are BFS-shortest"
+    connected_graph_gen
+    (fun g ->
+      let net = Network.create g in
+      let origin = Asn.Set.min_elt (G.nodes g) in
+      Network.originate net origin victim;
+      ignore (Network.run net);
+      let dist = Topology.Algorithms.bfs_distances g origin in
+      G.fold_nodes
+        (fun asn ok ->
+          ok
+          &&
+          match Network.best_route net asn victim with
+          | Some route ->
+            Bgp.As_path.length route.Bgp.Route.as_path = Asn.Map.find asn dist
+          | None -> false)
+        g true)
+
+let prop_selected_paths_loop_free =
+  Testutil.qtest ~count:60 "no selected AS path contains the selector"
+    connected_graph_gen
+    (fun g ->
+      let net = Network.create g in
+      Network.originate net (Asn.Set.min_elt (G.nodes g)) victim;
+      ignore (Network.run net);
+      G.fold_nodes
+        (fun asn ok ->
+          ok
+          &&
+          match Network.best_route net asn victim with
+          | Some route -> not (Bgp.As_path.contains route.Bgp.Route.as_path asn)
+          | None -> true)
+        g true)
+
+let prop_withdrawal_clears_everything =
+  Testutil.qtest ~count:40 "withdrawal leaves no stale route anywhere"
+    connected_graph_gen
+    (fun g ->
+      let net = Network.create g in
+      let origin = Asn.Set.min_elt (G.nodes g) in
+      Network.originate ~at:0.0 net origin victim;
+      Network.withdraw ~at:100.0 net origin victim;
+      ignore (Network.run net);
+      G.fold_nodes
+        (fun asn ok -> ok && Network.best_route net asn victim = None)
+        g true)
+
+let prop_detection_protects_random_graphs =
+  Testutil.qtest ~count:40
+    "full MOAS deployment never does worse than plain BGP (random graphs)"
+    QCheck2.Gen.(pair connected_graph_gen (int_range 0 1000))
+    (fun (g, pick) ->
+      let nodes = Array.of_list (Asn.Set.elements (G.nodes g)) in
+      let origin = nodes.(pick mod Array.length nodes) in
+      let attacker = nodes.((pick + 1) mod Array.length nodes) in
+      QCheck2.assume (not (Asn.equal origin attacker));
+      let adoption ~deployment =
+        let scenario =
+          Attack.Scenario.make ~deployment ~graph:g ~victim_prefix:victim
+            ~legit_origins:[ origin ]
+            ~attackers:[ Attack.Attacker.make attacker ]
+            ()
+        in
+        (Testutil.run_scenario scenario).Attack.Scenario.fraction_adopting
+      in
+      adoption ~deployment:Moas.Deployment.Full
+      <= adoption ~deployment:Moas.Deployment.Disabled +. 1e-9)
+
+(* ---------------- multi-prefix workload ---------------- *)
+
+let test_full_table_with_selective_hijacks () =
+  (* a routing table of 60 prefixes from different stub origins; three of
+     them are hijacked; full deployment must contain exactly those three
+     conflicts without disturbing the other 57 prefixes *)
+  let t = Topology.Paper_topologies.topology_46 () in
+  let graph = t.Topology.Paper_topologies.graph in
+  let stubs = Array.of_list (Asn.Set.elements t.Topology.Paper_topologies.stub) in
+  let rng = Mutil.Rng.of_int 123 in
+  let prefixes =
+    List.init 60 (fun i ->
+        Prefix.make (Ipv4.of_octets 10 (i / 8) (i mod 8 * 32) 0) 22)
+  in
+  let assignments =
+    List.map (fun p -> (p, stubs.(Mutil.Rng.int rng (Array.length stubs)))) prefixes
+  in
+  let hijacked = List.filteri (fun i _ -> i mod 20 = 3) assignments in
+  let attacker =
+    Asn.Set.max_elt t.Topology.Paper_topologies.transit
+  in
+  let oracle = Moas.Origin_verification.create () in
+  List.iter
+    (fun (p, origin) ->
+      Moas.Origin_verification.register oracle p (Asn.Set.singleton origin))
+    assignments;
+  let detectors = Hashtbl.create 64 in
+  let validator_of asn =
+    if Asn.equal asn attacker then None
+    else begin
+      let d = Moas.Detector.create ~oracle ~self:asn () in
+      Hashtbl.replace detectors asn d;
+      Some (Moas.Detector.validator d)
+    end
+  in
+  let net = Network.create ~validator_of graph in
+  List.iter (fun (p, origin) -> Network.originate ~at:0.0 net origin p) assignments;
+  List.iter (fun (p, _) -> Network.originate ~at:50.0 net attacker p) hijacked;
+  Alcotest.(check bool) "converged" true (Network.run net = Sim.Engine.Quiescent);
+  (* every non-hijacked prefix reaches everyone from its true origin *)
+  let hijacked_set = List.map fst hijacked in
+  List.iter
+    (fun (p, origin) ->
+      if not (List.exists (Prefix.equal p) hijacked_set) then
+        G.fold_nodes
+          (fun asn () ->
+            match Network.best_origin net asn p with
+            | Some o ->
+              if not (Asn.equal o origin) then
+                Alcotest.failf "prefix %s wrong origin at AS%d"
+                  (Prefix.to_string p) asn
+            | None ->
+              Alcotest.failf "prefix %s missing at AS%d" (Prefix.to_string p) asn)
+          graph ())
+    assignments;
+  (* the hijacked prefixes are protected at every non-attacker AS *)
+  List.iter
+    (fun (p, _) ->
+      G.fold_nodes
+        (fun asn () ->
+          if not (Asn.equal asn attacker) then
+            match Network.best_origin net asn p with
+            | Some o when Asn.equal o attacker ->
+              Alcotest.failf "hijack of %s adopted at AS%d" (Prefix.to_string p) asn
+            | _ -> ())
+        graph ())
+    hijacked;
+  (* alarms concern exactly the hijacked prefixes *)
+  let alarmed_prefixes =
+    Hashtbl.fold
+      (fun _ d acc ->
+        List.fold_left
+          (fun acc alarm -> Prefix.Set.add alarm.Moas.Alarm.prefix acc)
+          acc (Moas.Detector.alarms d))
+      detectors Prefix.Set.empty
+  in
+  Alcotest.(check int) "alarms only on the hijacked prefixes" 3
+    (Prefix.Set.cardinal alarmed_prefixes);
+  List.iter
+    (fun (p, _) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "alarm covers %s" (Prefix.to_string p))
+        true
+        (Prefix.Set.mem p alarmed_prefixes))
+    hijacked
+
+let () =
+  Alcotest.run "network_properties"
+    [
+      ( "random graphs",
+        [
+          prop_convergence;
+          prop_full_reachability;
+          prop_shortest_paths;
+          prop_selected_paths_loop_free;
+          prop_withdrawal_clears_everything;
+          prop_detection_protects_random_graphs;
+        ] );
+      ( "multi-prefix",
+        [
+          Alcotest.test_case "full table, selective hijacks" `Quick
+            test_full_table_with_selective_hijacks;
+        ] );
+    ]

@@ -1,0 +1,160 @@
+(* Tests for Net.Ipv4 and Net.Prefix. *)
+
+open Net
+
+let test_ipv4_parse_print () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Ipv4.to_string (Ipv4.of_string s)))
+    [ "0.0.0.0"; "255.255.255.255"; "10.2.0.1"; "192.0.2.255" ]
+
+let test_ipv4_octets () =
+  let a = Ipv4.of_octets 10 2 3 4 in
+  Alcotest.(check (list int)) "octets roundtrip" [ 10; 2; 3; 4 ]
+    (let x, y, z, w = Ipv4.to_octets a in
+     [ x; y; z; w ]);
+  Alcotest.(check int) "numeric value" 0x0a020304 (Ipv4.to_int a)
+
+let test_ipv4_invalid () =
+  List.iter
+    (fun s ->
+      match Ipv4.of_string s with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "accepted malformed address %S" s)
+    [ ""; "1.2.3"; "1.2.3.4.5"; "256.1.1.1"; "-1.0.0.0"; "a.b.c.d"; "1.2.3.04x" ]
+
+let test_ipv4_bits () =
+  let a = Ipv4.of_octets 128 0 0 1 in
+  Alcotest.(check bool) "msb set" true (Ipv4.bit a 0);
+  Alcotest.(check bool) "bit 1 clear" false (Ipv4.bit a 1);
+  Alcotest.(check bool) "lsb set" true (Ipv4.bit a 31)
+
+let test_prefix_parse_print () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Prefix.to_string (Prefix.of_string s)))
+    [ "0.0.0.0/0"; "10.0.0.0/8"; "192.0.2.0/24"; "192.0.2.1/32" ]
+
+let test_prefix_masks_host_bits () =
+  let p = Prefix.make (Ipv4.of_string "10.2.3.4") 8 in
+  Alcotest.(check string) "host bits zeroed" "10.0.0.0/8" (Prefix.to_string p)
+
+let test_prefix_invalid () =
+  List.iter
+    (fun s ->
+      match Prefix.of_string s with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "accepted malformed prefix %S" s)
+    [ "10.0.0.0"; "10.0.0.0/33"; "10.0.0.0/-1"; "10.0.0.0/x"; "/8" ]
+
+let test_contains () =
+  let p = Prefix.of_string "10.0.0.0/8" in
+  Alcotest.(check bool) "inside" true (Prefix.contains_addr p (Ipv4.of_string "10.255.1.2"));
+  Alcotest.(check bool) "outside" false (Prefix.contains_addr p (Ipv4.of_string "11.0.0.0"));
+  let all = Prefix.of_string "0.0.0.0/0" in
+  Alcotest.(check bool) "default route contains everything" true
+    (Prefix.contains_addr all (Ipv4.of_string "203.0.113.7"))
+
+let test_subsumes () =
+  let p8 = Prefix.of_string "10.0.0.0/8" in
+  let p16 = Prefix.of_string "10.2.0.0/16" in
+  Alcotest.(check bool) "/8 subsumes /16" true (Prefix.subsumes p8 p16);
+  Alcotest.(check bool) "/16 not subsumes /8" false (Prefix.subsumes p16 p8);
+  Alcotest.(check bool) "reflexive" true (Prefix.subsumes p8 p8);
+  Alcotest.(check bool) "disjoint" false
+    (Prefix.subsumes p16 (Prefix.of_string "10.3.0.0/24"))
+
+let test_strict_subprefix () =
+  let p = Prefix.of_string "192.0.2.0/24" in
+  let sub, _ = Prefix.split p in
+  Alcotest.(check bool) "split half is strict subprefix" true
+    (Prefix.is_strict_subprefix ~sub ~of_:p);
+  Alcotest.(check bool) "not of itself" false
+    (Prefix.is_strict_subprefix ~sub:p ~of_:p)
+
+let test_split_supernet () =
+  let p = Prefix.of_string "192.0.2.0/24" in
+  let lo, hi = Prefix.split p in
+  Alcotest.(check string) "low half" "192.0.2.0/25" (Prefix.to_string lo);
+  Alcotest.(check string) "high half" "192.0.2.128/25" (Prefix.to_string hi);
+  Alcotest.check Testutil.prefix_testable "supernet of half" p (Prefix.supernet lo);
+  Alcotest.check_raises "cannot split /32"
+    (Invalid_argument "Prefix.split: cannot split a /32") (fun () ->
+      ignore (Prefix.split (Prefix.of_string "1.2.3.4/32")));
+  Alcotest.check_raises "no parent of /0"
+    (Invalid_argument "Prefix.supernet: /0 has no parent") (fun () ->
+      ignore (Prefix.supernet (Prefix.of_string "0.0.0.0/0")))
+
+let test_compare_total_order () =
+  let l =
+    List.map Prefix.of_string
+      [ "10.0.0.0/8"; "10.0.0.0/16"; "9.0.0.0/8"; "11.0.0.0/8" ]
+  in
+  let sorted = List.sort Prefix.compare l |> List.map Prefix.to_string in
+  Alcotest.(check (list string)) "sorted by network then length"
+    [ "9.0.0.0/8"; "10.0.0.0/8"; "10.0.0.0/16"; "11.0.0.0/8" ]
+    sorted
+
+let test_asn () =
+  Alcotest.(check bool) "private range" true (Asn.is_private (Asn.make 64512));
+  Alcotest.(check bool) "public asn" false (Asn.is_private (Asn.make 8584));
+  Alcotest.(check string) "printing" "AS8584" (Asn.to_string (Asn.make 8584));
+  Alcotest.check_raises "17-bit rejected"
+    (Invalid_argument "Asn.make: out of 16-bit range") (fun () ->
+      ignore (Asn.make 65536))
+
+let prop_prefix_roundtrip =
+  Testutil.qtest "prefix of_string . to_string" Testutil.prefix_gen (fun p ->
+      Prefix.equal p (Prefix.of_string (Prefix.to_string p)))
+
+let prop_split_partition =
+  Testutil.qtest "split halves partition the parent"
+    QCheck2.Gen.(pair Testutil.ipv4_gen (int_range 0 31))
+    (fun (addr, len) ->
+      let p = Prefix.make addr len in
+      let lo, hi = Prefix.split p in
+      Prefix.subsumes p lo && Prefix.subsumes p hi
+      && (not (Prefix.subsumes lo hi))
+      && not (Prefix.subsumes hi lo))
+
+let prop_contains_network =
+  Testutil.qtest "a prefix contains its own network address" Testutil.prefix_gen
+    (fun p -> Prefix.contains_addr p (Prefix.network p))
+
+let prop_subsumes_transitive =
+  Testutil.qtest "subsumes is transitive along the supernet chain"
+    QCheck2.Gen.(pair Testutil.ipv4_gen (int_range 2 32))
+    (fun (addr, len) ->
+      let p = Prefix.make addr len in
+      let q = Prefix.supernet p in
+      let r = Prefix.supernet q in
+      Prefix.subsumes r p)
+
+let () =
+  Alcotest.run "prefix"
+    [
+      ( "ipv4",
+        [
+          Alcotest.test_case "parse/print" `Quick test_ipv4_parse_print;
+          Alcotest.test_case "octets" `Quick test_ipv4_octets;
+          Alcotest.test_case "invalid input" `Quick test_ipv4_invalid;
+          Alcotest.test_case "bit access" `Quick test_ipv4_bits;
+        ] );
+      ( "prefix",
+        [
+          Alcotest.test_case "parse/print" `Quick test_prefix_parse_print;
+          Alcotest.test_case "host bits masked" `Quick test_prefix_masks_host_bits;
+          Alcotest.test_case "invalid input" `Quick test_prefix_invalid;
+          Alcotest.test_case "contains" `Quick test_contains;
+          Alcotest.test_case "subsumes" `Quick test_subsumes;
+          Alcotest.test_case "strict subprefix" `Quick test_strict_subprefix;
+          Alcotest.test_case "split/supernet" `Quick test_split_supernet;
+          Alcotest.test_case "total order" `Quick test_compare_total_order;
+        ] );
+      ("asn", [ Alcotest.test_case "asn basics" `Quick test_asn ]);
+      ( "properties",
+        [
+          prop_prefix_roundtrip;
+          prop_split_partition;
+          prop_contains_network;
+          prop_subsumes_transitive;
+        ] );
+    ]

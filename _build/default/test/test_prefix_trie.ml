@@ -1,0 +1,187 @@
+(* Tests for Net.Prefix_trie, including a model-based comparison against
+   Prefix.Map over random operation sequences. *)
+
+open Net
+
+let p = Prefix.of_string
+
+let test_empty () =
+  Alcotest.(check bool) "empty" true (Prefix_trie.is_empty Prefix_trie.empty);
+  Alcotest.(check int) "cardinal 0" 0 (Prefix_trie.cardinal Prefix_trie.empty);
+  Alcotest.(check bool) "no match" true
+    (Prefix_trie.longest_match (Ipv4.of_string "1.2.3.4") Prefix_trie.empty = None)
+
+let test_add_find () =
+  let t = Prefix_trie.add (p "10.0.0.0/8") "a" Prefix_trie.empty in
+  Alcotest.(check (option string)) "exact" (Some "a")
+    (Prefix_trie.find_opt (p "10.0.0.0/8") t);
+  Alcotest.(check (option string)) "different length misses" None
+    (Prefix_trie.find_opt (p "10.0.0.0/16") t);
+  Alcotest.(check bool) "mem" true (Prefix_trie.mem (p "10.0.0.0/8") t)
+
+let test_replace () =
+  let t =
+    Prefix_trie.empty
+    |> Prefix_trie.add (p "10.0.0.0/8") 1
+    |> Prefix_trie.add (p "10.0.0.0/8") 2
+  in
+  Alcotest.(check (option int)) "replaced" (Some 2)
+    (Prefix_trie.find_opt (p "10.0.0.0/8") t);
+  Alcotest.(check int) "still one binding" 1 (Prefix_trie.cardinal t)
+
+let test_remove_prunes () =
+  let t =
+    Prefix_trie.empty
+    |> Prefix_trie.add (p "10.2.3.0/24") ()
+    |> Prefix_trie.remove (p "10.2.3.0/24")
+  in
+  Alcotest.(check bool) "empty again after remove" true (Prefix_trie.is_empty t)
+
+let test_longest_match () =
+  let t =
+    Prefix_trie.of_list
+      [ (p "0.0.0.0/0", "default"); (p "10.0.0.0/8", "eight");
+        (p "10.2.0.0/16", "sixteen"); (p "10.2.3.0/24", "twentyfour") ]
+  in
+  let lookup addr =
+    match Prefix_trie.longest_match (Ipv4.of_string addr) t with
+    | Some (_, v) -> v
+    | None -> "none"
+  in
+  Alcotest.(check string) "most specific" "twentyfour" (lookup "10.2.3.99");
+  Alcotest.(check string) "sixteen" "sixteen" (lookup "10.2.4.1");
+  Alcotest.(check string) "eight" "eight" (lookup "10.3.0.1");
+  Alcotest.(check string) "default" "default" (lookup "192.0.2.1")
+
+let test_matches_order () =
+  let t =
+    Prefix_trie.of_list
+      [ (p "0.0.0.0/0", 0); (p "10.0.0.0/8", 8); (p "10.2.0.0/16", 16) ]
+  in
+  let ms = Prefix_trie.matches (Ipv4.of_string "10.2.0.1") t in
+  Alcotest.(check (list int)) "most specific first" [ 16; 8; 0 ]
+    (List.map snd ms)
+
+let test_covered () =
+  let t =
+    Prefix_trie.of_list
+      [
+        (p "10.0.0.0/8", "top");
+        (p "10.2.0.0/16", "sub");
+        (p "10.2.3.0/24", "subsub");
+        (p "11.0.0.0/8", "other");
+      ]
+  in
+  let covered = Prefix_trie.covered (p "10.2.0.0/16") t |> List.map snd in
+  Alcotest.(check (list string)) "covered finds the subtree" [ "sub"; "subsub" ]
+    (List.sort compare covered);
+  (* detecting the paper's sub-prefix hijack: a /25 inside a /24 *)
+  let victim = p "192.0.2.0/24" in
+  let sub, _ = Prefix.split victim in
+  let t = Prefix_trie.of_list [ (victim, "valid"); (sub, "hijack") ] in
+  Alcotest.(check int) "sub-prefix visible under the victim" 2
+    (List.length (Prefix_trie.covered victim t))
+
+let test_update () =
+  let t = Prefix_trie.of_list [ (p "10.0.0.0/8", 1) ] in
+  let t = Prefix_trie.update (p "10.0.0.0/8") (Option.map succ) t in
+  Alcotest.(check (option int)) "updated" (Some 2)
+    (Prefix_trie.find_opt (p "10.0.0.0/8") t);
+  let t = Prefix_trie.update (p "10.0.0.0/8") (fun _ -> None) t in
+  Alcotest.(check bool) "deleted via update" true (Prefix_trie.is_empty t)
+
+let test_bindings_sorted_and_complete () =
+  let prefixes =
+    [ p "10.0.0.0/8"; p "10.128.0.0/9"; p "0.0.0.0/0"; p "192.0.2.0/24" ]
+  in
+  let t = Prefix_trie.of_list (List.map (fun q -> (q, Prefix.to_string q)) prefixes) in
+  Alcotest.(check int) "cardinal" 4 (Prefix_trie.cardinal t);
+  let keys = List.map fst (Prefix_trie.bindings t) in
+  Alcotest.(check (list string)) "all present"
+    (List.sort compare (List.map Prefix.to_string prefixes))
+    (List.sort compare (List.map Prefix.to_string keys))
+
+let test_persistence () =
+  let t0 = Prefix_trie.of_list [ (p "10.0.0.0/8", 1) ] in
+  let t1 = Prefix_trie.add (p "11.0.0.0/8") 2 t0 in
+  Alcotest.(check int) "old version untouched" 1 (Prefix_trie.cardinal t0);
+  Alcotest.(check int) "new version extended" 2 (Prefix_trie.cardinal t1)
+
+(* model-based property: a random sequence of add/remove agrees with
+   Prefix.Map, and longest_match agrees with a naive scan *)
+let op_gen =
+  QCheck2.Gen.(
+    list_size (int_range 0 60)
+      (pair bool
+         (map2
+            (fun i len -> Prefix.make (Ipv4.of_int (i * 7919 mod 65536 * 65536)) len)
+            (int_range 0 200) (int_range 0 24))))
+
+let apply_ops ops =
+  List.fold_left
+    (fun (trie, map) (add, prefix) ->
+      if add then (Prefix_trie.add prefix 0 trie, Prefix.Map.add prefix 0 map)
+      else (Prefix_trie.remove prefix trie, Prefix.Map.remove prefix map))
+    (Prefix_trie.empty, Prefix.Map.empty)
+    ops
+
+let prop_model_bindings =
+  Testutil.qtest ~count:300 "trie agrees with Map over random op sequences"
+    op_gen
+    (fun ops ->
+      let trie, map = apply_ops ops in
+      let trie_bindings =
+        List.map (fun (q, _) -> Prefix.to_string q) (Prefix_trie.bindings trie)
+        |> List.sort compare
+      in
+      let map_bindings =
+        List.map (fun (q, _) -> Prefix.to_string q) (Prefix.Map.bindings map)
+        |> List.sort compare
+      in
+      trie_bindings = map_bindings)
+
+let prop_longest_match_model =
+  Testutil.qtest ~count:300 "longest_match agrees with naive scan"
+    QCheck2.Gen.(pair op_gen Testutil.ipv4_gen)
+    (fun (ops, addr) ->
+      let trie, map = apply_ops ops in
+      let naive =
+        Prefix.Map.fold
+          (fun q _ best ->
+            if Prefix.contains_addr q addr then
+              match best with
+              | Some b when Prefix.length b >= Prefix.length q -> best
+              | _ -> Some q
+            else best)
+          map None
+      in
+      let got = Option.map fst (Prefix_trie.longest_match addr trie) in
+      (match (naive, got) with
+      | None, None -> true
+      | Some a, Some b -> Prefix.equal a b
+      | _ -> false))
+
+let prop_cardinal =
+  Testutil.qtest ~count:300 "cardinal equals model size" op_gen (fun ops ->
+      let trie, map = apply_ops ops in
+      Prefix_trie.cardinal trie = Prefix.Map.cardinal map)
+
+let () =
+  Alcotest.run "prefix_trie"
+    [
+      ( "operations",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "add/find" `Quick test_add_find;
+          Alcotest.test_case "replace" `Quick test_replace;
+          Alcotest.test_case "remove prunes" `Quick test_remove_prunes;
+          Alcotest.test_case "longest match" `Quick test_longest_match;
+          Alcotest.test_case "matches order" `Quick test_matches_order;
+          Alcotest.test_case "covered subtree" `Quick test_covered;
+          Alcotest.test_case "update" `Quick test_update;
+          Alcotest.test_case "bindings" `Quick test_bindings_sorted_and_complete;
+          Alcotest.test_case "persistence" `Quick test_persistence;
+        ] );
+      ( "model-based",
+        [ prop_model_bindings; prop_longest_match_model; prop_cardinal ] );
+    ]

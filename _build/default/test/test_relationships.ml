@@ -1,0 +1,219 @@
+(* Tests for Topology.Relationships and the Gao-Rexford policy layer. *)
+
+open Net
+module Rel = Topology.Relationships
+module GR = Bgp.Gao_rexford
+module Rng = Mutil.Rng
+
+(* a small ground-truth internet for relationship checks *)
+let internet =
+  lazy
+    (Topology.Generate.generate (Rng.of_int 7)
+       {
+         Topology.Generate.tier1_count = 3;
+         tier2_count = 6;
+         tier2_uplinks = 2;
+         tier2_peering_prob = 0.5;
+         stub_count = 20;
+         stub_multihome_prob = 0.5;
+       })
+
+let test_ground_truth_views () =
+  let net = Lazy.force internet in
+  let rels = Rel.of_ground_truth net in
+  let t1 = Asn.Set.elements net.Topology.Generate.tier1 in
+  (* tier-1s peer with each other *)
+  (match t1 with
+  | a :: b :: _ ->
+    Alcotest.(check (option string)) "tier1-tier1 is peering" (Some "peer")
+      (Option.map Rel.relationship_to_string (Rel.view rels ~self:a ~neighbor:b))
+  | _ -> Alcotest.fail "expected tier-1 ASes");
+  (* a stub's transit neighbours are its providers *)
+  let stub = Asn.Set.min_elt net.Topology.Generate.stub in
+  Asn.Set.iter
+    (fun provider ->
+      Alcotest.(check (option string)) "stub buys transit" (Some "provider")
+        (Option.map Rel.relationship_to_string
+           (Rel.view rels ~self:stub ~neighbor:provider));
+      (* and symmetrically the provider sees a customer *)
+      Alcotest.(check (option string)) "provider sells transit" (Some "customer")
+        (Option.map Rel.relationship_to_string
+           (Rel.view rels ~self:provider ~neighbor:stub)))
+    (Topology.As_graph.neighbors net.Topology.Generate.graph stub)
+
+let test_view_unknown_edge () =
+  let rels = Rel.infer_by_degree (Testutil.small_graph ()) in
+  Alcotest.(check bool) "non-edge unknown" true
+    (Rel.view rels ~self:(Asn.make 1) ~neighbor:(Asn.make 99) = None)
+
+let test_degree_inference () =
+  (* star: the hub has degree 4, leaves 1 -> hub is everyone's provider *)
+  let g = Topology.As_graph.of_edges [ (1, 10); (2, 10); (3, 10); (4, 10) ] in
+  let rels = Rel.infer_by_degree g in
+  List.iter
+    (fun leaf ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "hub provides %d" leaf)
+        (Some "provider")
+        (Option.map Rel.relationship_to_string
+           (Rel.view rels ~self:leaf ~neighbor:10)))
+    [ 1; 2; 3; 4 ];
+  (* equal-degree edge becomes a peering *)
+  let g2 = Topology.As_graph.of_edges [ (1, 2) ] in
+  let rels2 = Rel.infer_by_degree g2 in
+  Alcotest.(check (option string)) "balanced edge is peering" (Some "peer")
+    (Option.map Rel.relationship_to_string (Rel.view rels2 ~self:1 ~neighbor:2))
+
+let test_degree_inference_no_provider_cycle () =
+  (* provider chains follow strictly increasing degree, so no cycles *)
+  let t = Topology.Paper_topologies.topology_46 () in
+  let g = t.Topology.Paper_topologies.graph in
+  let rels = Rel.infer_by_degree g in
+  (* walk provider links from every node; a cycle would exceed n steps *)
+  let n = Topology.As_graph.node_count g in
+  Topology.As_graph.fold_nodes
+    (fun start () ->
+      let rec climb asn steps =
+        if steps > n then Alcotest.fail "provider cycle detected"
+        else
+          match Asn.Set.min_elt_opt (Rel.providers rels g asn) with
+          | Some p -> climb p (steps + 1)
+          | None -> ()
+      in
+      climb start 0)
+    g ()
+
+let test_selectors_partition_neighbors () =
+  let net = Lazy.force internet in
+  let g = net.Topology.Generate.graph in
+  let rels = Rel.of_ground_truth net in
+  Topology.As_graph.fold_nodes
+    (fun asn () ->
+      let p = Rel.providers rels g asn in
+      let c = Rel.customers rels g asn in
+      let e = Rel.peers rels g asn in
+      let all = Asn.Set.union p (Asn.Set.union c e) in
+      Alcotest.check Testutil.asn_set_testable
+        (Printf.sprintf "roles partition neighbors of %d" asn)
+        (Topology.As_graph.neighbors g asn)
+        all;
+      Alcotest.(check int) "roles disjoint"
+        (Asn.Set.cardinal all)
+        (Asn.Set.cardinal p + Asn.Set.cardinal c + Asn.Set.cardinal e))
+    g ()
+
+let test_valley_free () =
+  (* two tier-1 peers (101, 102); 1001 buys from both; 1002 buys from 102;
+     stub 10001 buys from 1001 *)
+  let internet =
+    {
+      Topology.Generate.graph =
+        Topology.As_graph.of_edges
+          [ (101, 102); (1001, 101); (1001, 102); (1002, 102); (10001, 1001) ];
+      tier1 = Asn.Set.of_list [ 101; 102 ];
+      tier2 = Asn.Set.of_list [ 1001; 1002 ];
+      stub = Asn.Set.singleton 10001;
+    }
+  in
+  let rels = Rel.of_ground_truth internet in
+  (* up, up, peer, down: the shape real routes have *)
+  Alcotest.(check bool) "up-up-peer-down is valley free" true
+    (Rel.is_valley_free rels [ 1002; 102; 101; 1001; 10001 ]);
+  (* pure uphill *)
+  Alcotest.(check bool) "pure uphill ok" true
+    (Rel.is_valley_free rels [ 101; 1001; 10001 ]);
+  (* 1002 -> 102 (up), 102 -> 1001 (down to customer), 1001 -> 101 (up):
+     the path [101; 1001; 102; 1002] climbs again after descending *)
+  Alcotest.(check bool) "down then up is a valley" false
+    (Rel.is_valley_free rels [ 101; 1001; 102; 1002 ]);
+  (* a path over an unknown edge cannot be certified *)
+  Alcotest.(check bool) "unknown edge rejected" false
+    (Rel.is_valley_free rels [ 101; 9999 ])
+
+let test_gao_rexford_import_prefs () =
+  let net = Lazy.force internet in
+  let rels = Rel.of_ground_truth net in
+  let stub = Asn.Set.min_elt net.Topology.Generate.stub in
+  let provider =
+    Asn.Set.min_elt (Topology.As_graph.neighbors net.Topology.Generate.graph stub)
+  in
+  let policy = GR.policy rels ~self:provider in
+  let from_customer =
+    Option.get
+      (policy.Bgp.Policy.import ~peer:stub (Testutil.route ~from:(Asn.to_int stub) [ Asn.to_int stub ]))
+  in
+  Alcotest.(check int) "customer route preferred" GR.local_pref_customer
+    from_customer.Bgp.Route.local_pref
+
+let test_gao_rexford_export_valley_free () =
+  let net = Lazy.force internet in
+  let g = net.Topology.Generate.graph in
+  let rels = Rel.of_ground_truth net in
+  (* pick a tier-2 AS with both a provider and a peer or second provider *)
+  let t2 = Asn.Set.min_elt net.Topology.Generate.tier2 in
+  let policy = GR.policy rels ~self:t2 in
+  let providers = Rel.providers rels g t2 in
+  let customers = Rel.customers rels g t2 in
+  match (Asn.Set.min_elt_opt providers, Asn.Set.min_elt_opt customers) with
+  | Some provider, Some customer ->
+    (* a provider-learned route must not flow to another provider/peer *)
+    let provider_route =
+      Testutil.route ~from:(Asn.to_int provider)
+        [ Asn.to_int provider; 9999 mod 65536 ]
+    in
+    Alcotest.(check bool) "provider route goes to customers" true
+      (policy.Bgp.Policy.export ~peer:customer provider_route <> None);
+    Asn.Set.iter
+      (fun other_provider ->
+        if not (Asn.equal other_provider provider) then
+          Alcotest.(check bool) "provider route never climbs again" true
+            (policy.Bgp.Policy.export ~peer:other_provider provider_route = None))
+      providers;
+    (* a customer-learned route is exported everywhere *)
+    let customer_route =
+      Testutil.route ~from:(Asn.to_int customer) [ Asn.to_int customer ]
+    in
+    Alcotest.(check bool) "customer route goes up" true
+      (policy.Bgp.Policy.export ~peer:provider customer_route <> None)
+  | _ -> Alcotest.fail "tier-2 AS lacks provider or customer"
+
+let test_scenario_with_policy_converges () =
+  let t = Topology.Paper_topologies.topology_46 () in
+  let rng = Rng.of_int 12 in
+  let base =
+    Attack.Scenario.random rng ~graph:t.Topology.Paper_topologies.graph
+      ~stub:t.Topology.Paper_topologies.stub ~n_origins:1 ~n_attackers:3
+      ~deployment:Moas.Deployment.Full
+  in
+  let scenario =
+    { base with Attack.Scenario.policy_mode = Attack.Scenario.Gao_rexford_inferred }
+  in
+  let outcome = Testutil.run_scenario scenario in
+  Alcotest.(check bool) "policy routing converges" true
+    outcome.Attack.Scenario.converged;
+  Alcotest.(check bool) "detection still effective" true
+    (outcome.Attack.Scenario.fraction_adopting < 0.3)
+
+let () =
+  Alcotest.run "relationships"
+    [
+      ( "relationships",
+        [
+          Alcotest.test_case "ground truth views" `Quick test_ground_truth_views;
+          Alcotest.test_case "unknown edge" `Quick test_view_unknown_edge;
+          Alcotest.test_case "degree inference" `Quick test_degree_inference;
+          Alcotest.test_case "no provider cycles" `Quick
+            test_degree_inference_no_provider_cycle;
+          Alcotest.test_case "selectors partition" `Quick
+            test_selectors_partition_neighbors;
+          Alcotest.test_case "valley-free" `Quick test_valley_free;
+        ] );
+      ( "gao_rexford",
+        [
+          Alcotest.test_case "import preferences" `Quick test_gao_rexford_import_prefs;
+          Alcotest.test_case "valley-free export" `Quick
+            test_gao_rexford_export_valley_free;
+          Alcotest.test_case "scenario convergence" `Quick
+            test_scenario_with_policy_converges;
+        ] );
+    ]

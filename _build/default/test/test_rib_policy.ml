@@ -1,0 +1,154 @@
+(* Tests for Bgp.Rib, Bgp.Policy, Bgp.Route and Bgp.Update helpers. *)
+
+open Net
+module Rib = Bgp.Rib
+module Policy = Bgp.Policy
+
+let r = Testutil.route
+let victim = Testutil.victim
+
+let test_rib_set_and_get () =
+  let rib = Rib.create () in
+  Rib.set_in rib ~peer:(Asn.make 1) (r ~from:1 [ 1; 10 ]);
+  Rib.set_in rib ~peer:(Asn.make 2) (r ~from:2 [ 2; 10 ]);
+  Alcotest.(check int) "two candidates" 2 (List.length (Rib.routes_in rib victim));
+  Alcotest.(check (list int)) "peer listing" [ 1; 2 ] (Rib.peers_with_route rib victim)
+
+let test_rib_implicit_withdrawal () =
+  let rib = Rib.create () in
+  Rib.set_in rib ~peer:(Asn.make 1) (r ~from:1 [ 1; 10 ]);
+  Rib.set_in rib ~peer:(Asn.make 1) (r ~from:1 [ 1; 2; 10 ]);
+  match Rib.routes_in rib victim with
+  | [ only ] ->
+    Alcotest.(check int) "latest announcement replaces" 3
+      (Bgp.As_path.length only.Bgp.Route.as_path)
+  | l -> Alcotest.failf "expected 1 candidate, got %d" (List.length l)
+
+let test_rib_withdraw () =
+  let rib = Rib.create () in
+  Rib.set_in rib ~peer:(Asn.make 1) (r ~from:1 [ 1; 10 ]);
+  Rib.withdraw_in rib ~peer:(Asn.make 1) victim;
+  Alcotest.(check int) "gone" 0 (List.length (Rib.routes_in rib victim));
+  (* withdrawing twice is harmless *)
+  Rib.withdraw_in rib ~peer:(Asn.make 1) victim;
+  Alcotest.(check bool) "prefix fully forgotten" true
+    (Prefix.Set.is_empty (Rib.prefixes_in rib))
+
+let test_rib_best () =
+  let rib = Rib.create () in
+  Alcotest.(check bool) "empty loc-rib" true (Rib.best rib victim = None);
+  let route = r ~from:1 [ 1; 10 ] in
+  Rib.set_best rib route;
+  Alcotest.check Testutil.route_testable "installed" route
+    (Option.get (Rib.best rib victim));
+  Rib.clear_best rib victim;
+  Alcotest.(check bool) "cleared" true (Rib.best rib victim = None)
+
+let test_rib_multiple_prefixes () =
+  let rib = Rib.create () in
+  let p2 = Prefix.of_string "10.0.0.0/8" in
+  Rib.set_best rib (r ~from:1 [ 1; 10 ]);
+  Rib.set_best rib (r ~prefix:p2 ~from:2 [ 2; 20 ]);
+  Alcotest.(check int) "two loc-rib entries" 2 (List.length (Rib.best_bindings rib));
+  (* the loc-rib trie supports longest-prefix forwarding *)
+  let host = Ipv4.of_string "10.1.2.3" in
+  match Net.Prefix_trie.longest_match host (Rib.loc_rib_trie rib) with
+  | Some (q, _) -> Alcotest.check Testutil.prefix_testable "lpm" p2 q
+  | None -> Alcotest.fail "expected a match"
+
+let test_policy_default () =
+  let route = r ~from:1 [ 1; 10 ] in
+  Alcotest.(check (option Testutil.route_testable)) "import passes"
+    (Some route)
+    (Policy.default.Policy.import ~peer:(Asn.make 1) route);
+  Alcotest.(check (option Testutil.route_testable)) "export passes"
+    (Some route)
+    (Policy.default.Policy.export ~peer:(Asn.make 1) route)
+
+let test_policy_dropper () =
+  let communities = Testutil.moas_communities [ 10; 20 ] in
+  let route = r ~communities ~from:1 [ 1; 10 ] in
+  let dropper = Policy.drop_communities_on_export Policy.default in
+  (match dropper.Policy.export ~peer:(Asn.make 2) route with
+  | Some exported ->
+    Alcotest.(check bool) "communities stripped" true
+      (Bgp.Community.Set.is_empty exported.Bgp.Route.communities)
+  | None -> Alcotest.fail "dropper must not filter");
+  (* import side untouched *)
+  match dropper.Policy.import ~peer:(Asn.make 2) route with
+  | Some imported ->
+    Alcotest.(check bool) "import keeps communities" false
+      (Bgp.Community.Set.is_empty imported.Bgp.Route.communities)
+  | None -> Alcotest.fail "import must pass"
+
+let test_policy_reject_when () =
+  let p =
+    Policy.reject_import_when
+      (fun ~peer:_ route -> Bgp.As_path.length route.Bgp.Route.as_path > 2)
+      Policy.default
+  in
+  Alcotest.(check bool) "short accepted" true
+    (p.Policy.import ~peer:(Asn.make 1) (r ~from:1 [ 1; 10 ]) <> None);
+  Alcotest.(check bool) "long rejected" true
+    (p.Policy.import ~peer:(Asn.make 1) (r ~from:1 [ 1; 2; 3; 10 ]) = None)
+
+let test_policy_compose_export () =
+  let p =
+    Policy.compose_export
+      (fun ~peer:_ route -> Some { route with Bgp.Route.local_pref = 7 })
+      (Policy.drop_communities_on_export Policy.default)
+  in
+  let communities = Testutil.moas_communities [ 10 ] in
+  match p.Policy.export ~peer:(Asn.make 1) (r ~communities ~from:1 [ 1; 10 ]) with
+  | Some e ->
+    Alcotest.(check int) "second stage applied" 7 e.Bgp.Route.local_pref;
+    Alcotest.(check bool) "first stage applied" true
+      (Bgp.Community.Set.is_empty e.Bgp.Route.communities)
+  | None -> Alcotest.fail "export chain must pass"
+
+let test_route_helpers () =
+  let self = Asn.make 4 in
+  let originated = Bgp.Route.originate ~self victim in
+  Alcotest.(check int) "originated path empty" 0
+    (Bgp.As_path.length originated.Bgp.Route.as_path);
+  Alcotest.(check int) "origin of originated route is self" 4
+    (Bgp.Route.origin_as ~self originated);
+  let advertised = Bgp.Route.advertised_by self originated in
+  Alcotest.(check int) "advertised origin" 4
+    (Bgp.Route.origin_as ~self:(Asn.make 1) advertised);
+  let received = Bgp.Route.received ~from:(Asn.make 9) advertised in
+  Alcotest.(check int) "learned_from stamped" 9
+    (Asn.to_int received.Bgp.Route.learned_from)
+
+let test_update_helpers () =
+  let u = Bgp.Update.announce ~sender:(Asn.make 1) (r ~from:1 [ 1; 10 ]) in
+  Alcotest.check Testutil.prefix_testable "announce prefix" victim
+    (Bgp.Update.prefix u);
+  let w = Bgp.Update.withdraw ~sender:(Asn.make 1) victim in
+  Alcotest.check Testutil.prefix_testable "withdraw prefix" victim
+    (Bgp.Update.prefix w)
+
+let () =
+  Alcotest.run "rib_policy"
+    [
+      ( "rib",
+        [
+          Alcotest.test_case "set/get" `Quick test_rib_set_and_get;
+          Alcotest.test_case "implicit withdrawal" `Quick test_rib_implicit_withdrawal;
+          Alcotest.test_case "withdraw" `Quick test_rib_withdraw;
+          Alcotest.test_case "loc-rib" `Quick test_rib_best;
+          Alcotest.test_case "multiple prefixes + lpm" `Quick test_rib_multiple_prefixes;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "default" `Quick test_policy_default;
+          Alcotest.test_case "community dropper" `Quick test_policy_dropper;
+          Alcotest.test_case "reject predicate" `Quick test_policy_reject_when;
+          Alcotest.test_case "export composition" `Quick test_policy_compose_export;
+        ] );
+      ( "route/update",
+        [
+          Alcotest.test_case "route helpers" `Quick test_route_helpers;
+          Alcotest.test_case "update helpers" `Quick test_update_helpers;
+        ] );
+    ]

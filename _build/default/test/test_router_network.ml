@@ -1,0 +1,314 @@
+(* Tests for Bgp.Router (unit level, with a manual transport) and
+   Bgp.Network (integration over small topologies). *)
+
+open Net
+module Router = Bgp.Router
+module Network = Bgp.Network
+module Update = Bgp.Update
+
+let victim = Testutil.victim
+
+(* a synchronous loopback transport capturing everything a router sends *)
+let wire router =
+  let sent = ref [] in
+  Router.set_transport router
+    ~send:(fun ~peer update -> sent := (peer, update) :: !sent)
+    ~schedule:(fun ~delay:_ _ -> ());
+  fun () ->
+    let out = List.rev !sent in
+    sent := [];
+    out
+
+let announce ~from path ?(communities = Bgp.Community.Set.empty) () =
+  Update.announce ~sender:(Asn.make from)
+    (Testutil.route ~communities ~from path)
+
+let test_originate_advertises_to_all_peers () =
+  let router = Router.create (Asn.make 1) in
+  Router.add_peer router (Asn.make 2);
+  Router.add_peer router (Asn.make 3);
+  let drain = wire router in
+  Router.originate router ~now:0.0 (Bgp.Route.originate ~self:(Asn.make 1) victim);
+  let sent = drain () in
+  Alcotest.(check int) "one update per peer" 2 (List.length sent);
+  List.iter
+    (fun (_, u) ->
+      match u.Update.payload with
+      | Update.Announce route ->
+        Alcotest.(check int) "origin prepended" 1
+          (Bgp.Route.origin_as ~self:(Asn.make 99) route |> Asn.to_int)
+      | Update.Withdraw _ -> Alcotest.fail "expected announce")
+    sent
+
+let test_loop_detection () =
+  let router = Router.create (Asn.make 7) in
+  Router.add_peer router (Asn.make 2);
+  let drain = wire router in
+  (* a path already containing AS 7 must be discarded *)
+  Router.handle_update router ~now:1.0 (announce ~from:2 [ 2; 7; 10 ] ());
+  ignore (drain ());
+  Alcotest.(check bool) "looping route not installed" true
+    (Router.best router victim = None)
+
+let test_loop_detection_implicit_withdraw () =
+  let router = Router.create (Asn.make 7) in
+  Router.add_peer router (Asn.make 2);
+  (* peer 3 heard the first route and must hear the withdrawal *)
+  Router.add_peer router (Asn.make 3);
+  let drain = wire router in
+  Router.handle_update router ~now:1.0 (announce ~from:2 [ 2; 10 ] ());
+  Alcotest.(check bool) "first route installed" true
+    (Router.best router victim <> None);
+  ignore (drain ());
+  (* the same peer now sends a looping path: the old route must go away *)
+  Router.handle_update router ~now:2.0 (announce ~from:2 [ 2; 7; 10 ] ());
+  Alcotest.(check bool) "looping replacement withdraws" true
+    (Router.best router victim = None);
+  (* and the loss is propagated as an explicit withdrawal *)
+  let sent = drain () in
+  Alcotest.(check bool) "withdraw emitted" true
+    (List.exists
+       (fun (_, u) ->
+         match u.Update.payload with
+         | Update.Withdraw _ -> true
+         | Update.Announce _ -> false)
+       sent)
+
+let test_split_horizon () =
+  let router = Router.create (Asn.make 1) in
+  Router.add_peer router (Asn.make 2);
+  Router.add_peer router (Asn.make 3);
+  let drain = wire router in
+  Router.handle_update router ~now:1.0 (announce ~from:2 [ 2; 10 ] ());
+  let sent = drain () in
+  let targets = List.map (fun (peer, _) -> Asn.to_int peer) sent in
+  Alcotest.(check (list int)) "only the other peer hears it" [ 3 ] targets
+
+let test_no_duplicate_advertisements () =
+  let router = Router.create (Asn.make 1) in
+  Router.add_peer router (Asn.make 2);
+  Router.add_peer router (Asn.make 3);
+  let drain = wire router in
+  Router.handle_update router ~now:1.0 (announce ~from:2 [ 2; 10 ] ());
+  ignore (drain ());
+  (* the identical announcement again: nothing new to say *)
+  Router.handle_update router ~now:2.0 (announce ~from:2 [ 2; 10 ] ());
+  Alcotest.(check int) "duplicate suppressed" 0 (List.length (drain ()))
+
+let test_better_route_replaces () =
+  let router = Router.create (Asn.make 1) in
+  Router.add_peer router (Asn.make 2);
+  Router.add_peer router (Asn.make 3);
+  Router.add_peer router (Asn.make 4);
+  let drain = wire router in
+  Router.handle_update router ~now:1.0 (announce ~from:2 [ 2; 9; 10 ] ());
+  ignore (drain ());
+  Router.handle_update router ~now:2.0 (announce ~from:3 [ 3; 10 ] ());
+  (match Router.best router victim with
+  | Some best ->
+    Alcotest.(check int) "shorter route installed" 2
+      (Bgp.As_path.length best.Bgp.Route.as_path)
+  | None -> Alcotest.fail "route expected");
+  let sent = drain () in
+  (* the new best is announced to 2 and 4; peer 3, which now supplies the
+     best route, gets a withdrawal of the previously advertised one *)
+  let kind u =
+    match u.Update.payload with
+    | Update.Announce _ -> "announce"
+    | Update.Withdraw _ -> "withdraw"
+  in
+  let tagged =
+    List.map (fun (peer, u) -> (Asn.to_int peer, kind u)) sent
+    |> List.sort compare
+  in
+  Alcotest.(check (list (pair int string)))
+    "re-advertised around split horizon"
+    [ (2, "announce"); (3, "withdraw"); (4, "announce") ]
+    tagged
+
+let test_withdraw_falls_back () =
+  let router = Router.create (Asn.make 1) in
+  Router.add_peer router (Asn.make 2);
+  Router.add_peer router (Asn.make 3);
+  let drain = wire router in
+  Router.handle_update router ~now:1.0 (announce ~from:2 [ 2; 10 ] ());
+  Router.handle_update router ~now:2.0 (announce ~from:3 [ 3; 8; 10 ] ());
+  ignore (drain ());
+  Router.handle_update router ~now:3.0
+    (Update.withdraw ~sender:(Asn.make 2) victim);
+  match Router.best router victim with
+  | Some best ->
+    Alcotest.(check int) "fell back to the longer route" 3
+      (Bgp.As_path.length best.Bgp.Route.as_path)
+  | None -> Alcotest.fail "backup route expected"
+
+let test_validator_filters () =
+  let validator ~now:_ ~prefix:_ routes =
+    List.filter
+      (fun route -> Bgp.Route.origin_as ~self:(Asn.make 1) route <> Asn.make 666)
+      routes
+  in
+  let router = Router.create ~validator (Asn.make 1) in
+  Router.add_peer router (Asn.make 2);
+  let (_ : unit -> (Net.Asn.t * Update.t) list) = wire router in
+  Router.handle_update router ~now:1.0 (announce ~from:2 [ 2; 666 ] ());
+  Alcotest.(check bool) "filtered origin never selected" true
+    (Router.best router victim = None);
+  Router.handle_update router ~now:2.0 (announce ~from:2 [ 2; 10 ] ());
+  Alcotest.(check bool) "clean origin selected" true
+    (Router.best router victim <> None)
+
+let test_counters () =
+  let router = Router.create (Asn.make 1) in
+  Router.add_peer router (Asn.make 2);
+  let (_ : unit -> (Net.Asn.t * Update.t) list) = wire router in
+  Router.handle_update router ~now:1.0 (announce ~from:2 [ 2; 10 ] ());
+  Alcotest.(check int) "received counted" 1 (Router.updates_received router);
+  Alcotest.(check bool) "sent counted" true (Router.updates_sent router >= 0)
+
+(* ---------------- network integration ---------------- *)
+
+let test_network_line_convergence () =
+  let g = Topology.As_graph.of_edges [ (1, 2); (2, 3); (3, 4) ] in
+  let net = Network.create g in
+  Network.originate net 1 victim;
+  Alcotest.(check bool) "quiescent" true (Network.run net = Sim.Engine.Quiescent);
+  List.iter
+    (fun asn ->
+      match Network.best_route net asn victim with
+      | Some route ->
+        Alcotest.(check int)
+          (Printf.sprintf "AS%d path length = distance" asn)
+          (asn - 1)
+          (Bgp.As_path.length route.Bgp.Route.as_path)
+      | None -> Alcotest.failf "AS%d missing route" asn)
+    [ 1; 2; 3; 4 ]
+
+let test_network_ring_prefers_short_side () =
+  (* ring of 6: node 4 is 3 hops either way from 1; others take the near side *)
+  let g =
+    Topology.As_graph.of_edges [ (1, 2); (2, 3); (3, 4); (4, 5); (5, 6); (6, 1) ]
+  in
+  let net = Network.create g in
+  Network.originate net 1 victim;
+  ignore (Network.run net);
+  let len asn =
+    Bgp.As_path.length (Option.get (Network.best_route net asn victim)).Bgp.Route.as_path
+  in
+  Alcotest.(check int) "AS2 one hop" 1 (len 2);
+  Alcotest.(check int) "AS6 one hop" 1 (len 6);
+  Alcotest.(check int) "AS3 two hops" 2 (len 3);
+  Alcotest.(check int) "AS4 three hops" 3 (len 4)
+
+let test_network_withdraw_ripples () =
+  let g = Topology.As_graph.of_edges [ (1, 2); (2, 3) ] in
+  let net = Network.create g in
+  Network.originate ~at:0.0 net 1 victim;
+  Network.withdraw ~at:50.0 net 1 victim;
+  ignore (Network.run net);
+  List.iter
+    (fun asn ->
+      Alcotest.(check bool)
+        (Printf.sprintf "AS%d has no route after withdrawal" asn)
+        true
+        (Network.best_route net asn victim = None))
+    [ 1; 2; 3 ]
+
+let test_network_two_origins_anycast () =
+  (* valid MOAS: both ends of a line originate; the middle splits *)
+  let g = Topology.As_graph.of_edges [ (1, 2); (2, 3); (3, 4); (4, 5) ] in
+  let net = Network.create g in
+  Network.originate net 1 victim;
+  Network.originate net 5 victim;
+  ignore (Network.run net);
+  let origin asn = Asn.to_int (Option.get (Network.best_origin net asn victim)) in
+  Alcotest.(check int) "AS2 reaches the near origin" 1 (origin 2);
+  Alcotest.(check int) "AS4 reaches the near origin" 5 (origin 4)
+
+let test_network_converges_on_paper_topologies () =
+  List.iter
+    (fun t ->
+      let net = Network.create t.Topology.Paper_topologies.graph in
+      let origin = Asn.Set.min_elt t.Topology.Paper_topologies.stub in
+      Network.originate net origin victim;
+      Alcotest.(check bool)
+        (t.Topology.Paper_topologies.name ^ " converges")
+        true
+        (Network.run net = Sim.Engine.Quiescent);
+      Topology.As_graph.fold_nodes
+        (fun asn () ->
+          Alcotest.(check bool)
+            (Printf.sprintf "AS%d reached" asn)
+            true
+            (Network.best_route net asn victim <> None))
+        t.Topology.Paper_topologies.graph ())
+    (Topology.Paper_topologies.all ())
+
+let test_network_path_lengths_match_bfs () =
+  let t = Topology.Paper_topologies.topology_46 () in
+  let g = t.Topology.Paper_topologies.graph in
+  let origin = Asn.Set.min_elt t.Topology.Paper_topologies.stub in
+  let net = Network.create g in
+  Network.originate net origin victim;
+  ignore (Network.run net);
+  let dist = Topology.Algorithms.bfs_distances g origin in
+  Topology.As_graph.fold_nodes
+    (fun asn () ->
+      if not (Asn.equal asn origin) then begin
+        let got =
+          Bgp.As_path.length
+            (Option.get (Network.best_route net asn victim)).Bgp.Route.as_path
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "AS%d selects a shortest path" asn)
+          (Asn.Map.find asn dist) got
+      end)
+    g ()
+
+let test_network_mrai_converges_same () =
+  let g = Topology.As_graph.of_edges [ (1, 2); (2, 3); (3, 4); (4, 1); (2, 4) ] in
+  let run mrai =
+    let net = Network.create ~mrai_of:(fun _ -> mrai) g in
+    Network.originate net 3 victim;
+    ignore (Network.run net);
+    List.map
+      (fun asn ->
+        Bgp.As_path.length
+          (Option.get (Network.best_route net asn victim)).Bgp.Route.as_path)
+      [ 1; 2; 3; 4 ]
+  in
+  Alcotest.(check (list int)) "MRAI does not change the outcome" (run 0.0)
+    (run 30.0)
+
+let () =
+  Alcotest.run "router_network"
+    [
+      ( "router",
+        [
+          Alcotest.test_case "originate advertises" `Quick
+            test_originate_advertises_to_all_peers;
+          Alcotest.test_case "loop detection" `Quick test_loop_detection;
+          Alcotest.test_case "loop implicit withdraw" `Quick
+            test_loop_detection_implicit_withdraw;
+          Alcotest.test_case "split horizon" `Quick test_split_horizon;
+          Alcotest.test_case "duplicate suppression" `Quick
+            test_no_duplicate_advertisements;
+          Alcotest.test_case "better route replaces" `Quick test_better_route_replaces;
+          Alcotest.test_case "withdraw falls back" `Quick test_withdraw_falls_back;
+          Alcotest.test_case "validator hook" `Quick test_validator_filters;
+          Alcotest.test_case "counters" `Quick test_counters;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "line convergence" `Quick test_network_line_convergence;
+          Alcotest.test_case "ring shortest side" `Quick
+            test_network_ring_prefers_short_side;
+          Alcotest.test_case "withdraw ripples" `Quick test_network_withdraw_ripples;
+          Alcotest.test_case "two-origin anycast" `Quick test_network_two_origins_anycast;
+          Alcotest.test_case "paper topologies converge" `Slow
+            test_network_converges_on_paper_topologies;
+          Alcotest.test_case "paths are shortest" `Slow
+            test_network_path_lengths_match_bfs;
+          Alcotest.test_case "MRAI invariance" `Quick test_network_mrai_converges_same;
+        ] );
+    ]

@@ -1,0 +1,163 @@
+(* Tests for the discrete-event engine: Event_queue ordering, Engine
+   scheduling semantics, and Trace. *)
+
+module Eq = Sim.Event_queue
+module Engine = Sim.Engine
+module Trace = Sim.Trace
+
+let test_queue_empty () =
+  let q = Eq.create () in
+  Alcotest.(check bool) "fresh queue empty" true (Eq.is_empty q);
+  Alcotest.(check (option (pair (float 0.0) int))) "pop empty" None (Eq.pop q);
+  Alcotest.(check (option (float 0.0))) "peek empty" None (Eq.peek_time q)
+
+let test_queue_orders_by_time () =
+  let q = Eq.create () in
+  List.iter (fun t -> Eq.push q ~time:t (int_of_float t)) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let order = ref [] in
+  let rec drain () =
+    match Eq.pop q with
+    | Some (_, v) ->
+      order := v :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "ascending time" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_queue_fifo_ties () =
+  let q = Eq.create () in
+  List.iter (fun v -> Eq.push q ~time:7.0 v) [ 1; 2; 3; 4 ];
+  let rec drain acc =
+    match Eq.pop q with
+    | Some (_, v) -> drain (v :: acc)
+    | None -> List.rev acc
+  in
+  Alcotest.(check (list int)) "insertion order preserved on ties" [ 1; 2; 3; 4 ]
+    (drain [])
+
+let test_queue_interleaved () =
+  let q = Eq.create () in
+  Eq.push q ~time:2.0 "b";
+  Eq.push q ~time:1.0 "a";
+  Alcotest.(check (option (pair (float 0.0) string))) "first pop" (Some (1.0, "a")) (Eq.pop q);
+  Eq.push q ~time:0.5 "c";
+  Alcotest.(check (option (pair (float 0.0) string))) "new earlier event wins" (Some (0.5, "c"))
+    (Eq.pop q);
+  Alcotest.(check int) "one left" 1 (Eq.length q)
+
+let test_queue_rejects_nan () =
+  let q = Eq.create () in
+  Alcotest.check_raises "NaN time" (Invalid_argument "Event_queue.push: NaN time")
+    (fun () -> Eq.push q ~time:Float.nan ())
+
+let test_queue_clear () =
+  let q = Eq.create () in
+  Eq.push q ~time:1.0 ();
+  Eq.clear q;
+  Alcotest.(check bool) "cleared" true (Eq.is_empty q)
+
+let prop_queue_sorted =
+  Testutil.qtest "pops are sorted for arbitrary pushes"
+    QCheck2.Gen.(list_size (int_range 0 200) (float_range 0.0 1000.0))
+    (fun times ->
+      let q = Eq.create () in
+      List.iter (fun t -> Eq.push q ~time:t t) times;
+      let rec drain acc =
+        match Eq.pop q with
+        | Some (t, _) -> drain (t :: acc)
+        | None -> List.rev acc
+      in
+      let popped = drain [] in
+      popped = List.sort compare times)
+
+let test_engine_runs_in_order () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  Engine.schedule engine ~delay:3.0 (fun e ->
+      log := ("c", Engine.now e) :: !log);
+  Engine.schedule engine ~delay:1.0 (fun e ->
+      log := ("a", Engine.now e) :: !log;
+      (* handlers can schedule further events *)
+      Engine.schedule e ~delay:1.0 (fun e -> log := ("b", Engine.now e) :: !log));
+  let outcome = Engine.run engine in
+  Alcotest.(check bool) "quiescent" true (outcome = Engine.Quiescent);
+  Alcotest.(check (list (pair string (float 1e-9)))) "order and clock"
+    [ ("a", 1.0); ("b", 2.0); ("c", 3.0) ]
+    (List.rev !log);
+  Alcotest.(check int) "3 events executed" 3 (Engine.events_executed engine)
+
+let test_engine_event_limit () =
+  let engine = Engine.create () in
+  (* a self-perpetuating event: the budget must stop it *)
+  let rec tick e = Engine.schedule e ~delay:1.0 tick in
+  Engine.schedule engine ~delay:1.0 tick;
+  let outcome = Engine.run ~max_events:10 engine in
+  Alcotest.(check bool) "limit reached" true (outcome = Engine.Event_limit_reached);
+  Alcotest.(check int) "exactly budget" 10 (Engine.events_executed engine)
+
+let test_engine_time_horizon () =
+  let engine = Engine.create () in
+  let ran = ref 0 in
+  Engine.schedule engine ~delay:1.0 (fun _ -> incr ran);
+  Engine.schedule engine ~delay:100.0 (fun _ -> incr ran);
+  let outcome = Engine.run ~until:10.0 engine in
+  Alcotest.(check bool) "horizon" true (outcome = Engine.Time_limit_reached);
+  Alcotest.(check int) "only events within horizon ran" 1 !ran;
+  Alcotest.(check int) "late event still queued" 1 (Engine.pending engine)
+
+let test_engine_rejects_past () =
+  let engine = Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      Engine.schedule engine ~delay:(-1.0) (fun _ -> ()));
+  Engine.schedule engine ~delay:5.0 (fun _ -> ());
+  ignore (Engine.run engine);
+  Alcotest.check_raises "absolute time in the past"
+    (Invalid_argument "Engine.schedule_at: time in the past") (fun () ->
+      Engine.schedule_at engine ~time:1.0 (fun _ -> ()))
+
+let test_engine_reset () =
+  let engine = Engine.create () in
+  Engine.schedule engine ~delay:1.0 (fun _ -> ());
+  ignore (Engine.run engine);
+  Engine.reset engine;
+  Alcotest.(check (float 0.0)) "clock rewound" 0.0 (Engine.now engine);
+  Alcotest.(check int) "no pending" 0 (Engine.pending engine);
+  Alcotest.(check int) "counter reset" 0 (Engine.events_executed engine)
+
+let test_trace () =
+  let tr = Trace.create () in
+  Trace.record tr ~time:1.0 "a";
+  Trace.record tr ~time:2.0 "b";
+  Trace.record tr ~time:3.0 "a";
+  Alcotest.(check int) "length" 3 (Trace.length tr);
+  Alcotest.(check (list string)) "order preserved" [ "a"; "b"; "a" ]
+    (List.map (fun r -> r.Trace.event) (Trace.to_list tr));
+  Alcotest.(check int) "filter" 2 (List.length (Trace.filter (( = ) "a") tr));
+  Trace.clear tr;
+  Alcotest.(check int) "cleared" 0 (Trace.length tr)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "event_queue",
+        [
+          Alcotest.test_case "empty" `Quick test_queue_empty;
+          Alcotest.test_case "time order" `Quick test_queue_orders_by_time;
+          Alcotest.test_case "FIFO ties" `Quick test_queue_fifo_ties;
+          Alcotest.test_case "interleaved push/pop" `Quick test_queue_interleaved;
+          Alcotest.test_case "NaN rejected" `Quick test_queue_rejects_nan;
+          Alcotest.test_case "clear" `Quick test_queue_clear;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "in-order execution" `Quick test_engine_runs_in_order;
+          Alcotest.test_case "event limit" `Quick test_engine_event_limit;
+          Alcotest.test_case "time horizon" `Quick test_engine_time_horizon;
+          Alcotest.test_case "past scheduling rejected" `Quick test_engine_rejects_past;
+          Alcotest.test_case "reset" `Quick test_engine_reset;
+        ] );
+      ("trace", [ Alcotest.test_case "record/filter" `Quick test_trace ]);
+      ("properties", [ prop_queue_sorted ]);
+    ]

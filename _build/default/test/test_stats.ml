@@ -1,0 +1,109 @@
+(* Tests for Mutil.Stats. *)
+
+module Stats = Mutil.Stats
+
+let feq ?(eps = 1e-9) name expected actual =
+  if abs_float (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %f, got %f" name expected actual
+
+let test_mean () =
+  feq "empty" 0.0 (Stats.mean []);
+  feq "single" 5.0 (Stats.mean [ 5.0 ]);
+  feq "several" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  feq "array" 2.0 (Stats.mean_array [| 1.0; 2.0; 3.0 |])
+
+let test_variance_stddev () =
+  feq "variance of constant" 0.0 (Stats.variance [ 4.0; 4.0; 4.0 ]);
+  (* sample variance of 1..5 is 2.5 *)
+  feq "variance 1..5" 2.5 (Stats.variance [ 1.0; 2.0; 3.0; 4.0; 5.0 ]);
+  feq "stddev 1..5" (sqrt 2.5) (Stats.stddev [ 1.0; 2.0; 3.0; 4.0; 5.0 ]);
+  feq "variance short list" 0.0 (Stats.variance [ 1.0 ])
+
+let test_stderr () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0 ] in
+  feq "stderr of n=4" (Stats.stddev xs /. 2.0) (Stats.stderr_of_mean xs);
+  feq "stderr single" 0.0 (Stats.stderr_of_mean [ 3.0 ])
+
+let test_median () =
+  feq "odd length" 3.0 (Stats.median [ 5.0; 1.0; 3.0 ]);
+  feq "even length" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ]);
+  feq "empty" 0.0 (Stats.median [])
+
+let test_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  feq "p0" 1.0 (Stats.percentile 0.0 xs);
+  feq "p50" 3.0 (Stats.percentile 50.0 xs);
+  feq "p100" 5.0 (Stats.percentile 100.0 xs);
+  feq "p25 interpolates" 2.0 (Stats.percentile 25.0 xs);
+  feq "p10 interpolates" 1.4 (Stats.percentile 10.0 xs)
+
+let test_min_max () =
+  let lo, hi = Stats.min_max [ 3.0; -1.0; 7.0 ] in
+  feq "min" (-1.0) lo;
+  feq "max" 7.0 hi;
+  Alcotest.check_raises "empty raises"
+    (Invalid_argument "Stats.min_max: empty list") (fun () ->
+      ignore (Stats.min_max []))
+
+let test_histogram () =
+  let h = Stats.histogram ~edges:[| 0.0; 1.0; 2.0; 3.0 |] [ 0.5; 1.5; 1.9; 2.5; 3.0 ] in
+  Alcotest.(check (array int)) "bucket counts" [| 1; 2; 2 |] h.Stats.counts
+
+let test_histogram_clamps () =
+  let h = Stats.histogram ~edges:[| 0.0; 1.0; 2.0 |] [ -5.0; 10.0 ] in
+  Alcotest.(check (array int)) "out-of-range clamps" [| 1; 1 |] h.Stats.counts
+
+let test_histogram_bad_edges () =
+  Alcotest.check_raises "non-increasing"
+    (Invalid_argument "Stats.histogram: edges must be strictly increasing")
+    (fun () -> ignore (Stats.histogram ~edges:[| 1.0; 1.0 |] []))
+
+let test_int_histogram () =
+  let h = Stats.int_histogram ~max_value:3 [ 0; 1; 1; 2; 7; -1 ] in
+  Alcotest.(check (array int)) "counts with clamping" [| 2; 2; 1; 1 |] h
+
+let prop_mean_bounds =
+  Testutil.qtest "mean lies within min..max"
+    QCheck2.Gen.(list_size (int_range 1 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let m = Stats.mean xs in
+      let lo, hi = Stats.min_max xs in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
+let prop_median_bounds =
+  Testutil.qtest "median lies within min..max"
+    QCheck2.Gen.(list_size (int_range 1 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let m = Stats.median xs in
+      let lo, hi = Stats.min_max xs in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
+let prop_histogram_total =
+  Testutil.qtest "histogram counts partition the sample"
+    QCheck2.Gen.(list_size (int_range 0 100) (float_range (-10.) 10.))
+    (fun xs ->
+      let h = Stats.histogram ~edges:[| -5.0; 0.0; 5.0 |] xs in
+      Array.fold_left ( + ) 0 h.Stats.counts = List.length xs)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "descriptive",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "variance/stddev" `Quick test_variance_stddev;
+          Alcotest.test_case "stderr" `Quick test_stderr;
+          Alcotest.test_case "median" `Quick test_median;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "min_max" `Quick test_min_max;
+        ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "basic buckets" `Quick test_histogram;
+          Alcotest.test_case "clamping" `Quick test_histogram_clamps;
+          Alcotest.test_case "bad edges" `Quick test_histogram_bad_edges;
+          Alcotest.test_case "int histogram" `Quick test_int_histogram;
+        ] );
+      ( "properties",
+        [ prop_mean_bounds; prop_median_bounds; prop_histogram_total ] );
+    ]

@@ -1,0 +1,249 @@
+(* Tests for the Section 5.1 pipeline: Generate, Route_table, Inference,
+   Sampling and Paper_topologies. *)
+
+open Net
+module G = Topology.As_graph
+module Gen = Topology.Generate
+module Rt = Topology.Route_table
+module Inf = Topology.Inference
+module Samp = Topology.Sampling
+module Topo = Topology.Paper_topologies
+module Rng = Mutil.Rng
+
+let small_params =
+  {
+    Gen.tier1_count = 4;
+    tier2_count = 10;
+    tier2_uplinks = 2;
+    tier2_peering_prob = 0.2;
+    stub_count = 60;
+    stub_multihome_prob = 0.4;
+  }
+
+let gen_internet ?(seed = 5) () = Gen.generate (Rng.of_int seed) small_params
+
+let test_generate_connected () =
+  let net = gen_internet () in
+  Alcotest.(check bool) "connected" true (Topology.Algorithms.is_connected net.Gen.graph);
+  Alcotest.(check int) "node count" (4 + 10 + 60) (G.node_count net.Gen.graph)
+
+let test_generate_roles_disjoint () =
+  let net = gen_internet () in
+  Alcotest.(check bool) "tier1/tier2 disjoint" true
+    (Asn.Set.is_empty (Asn.Set.inter net.Gen.tier1 net.Gen.tier2));
+  Alcotest.(check bool) "stub disjoint from transit" true
+    (Asn.Set.is_empty (Asn.Set.inter net.Gen.stub (Gen.transit_ases net)));
+  Alcotest.(check int) "roles cover all nodes"
+    (G.node_count net.Gen.graph)
+    (Asn.Set.cardinal net.Gen.tier1
+    + Asn.Set.cardinal net.Gen.tier2
+    + Asn.Set.cardinal net.Gen.stub)
+
+let test_generate_tier1_clique () =
+  let net = gen_internet () in
+  let t1 = Asn.Set.elements net.Gen.tier1 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if a < b then
+            Alcotest.(check bool)
+              (Printf.sprintf "tier1 %d-%d peered" a b)
+              true
+              (G.mem_edge net.Gen.graph a b))
+        t1)
+    t1
+
+let test_generate_stub_is_stub () =
+  let net = gen_internet () in
+  (* every stub connects only to transit ASes *)
+  Asn.Set.iter
+    (fun s ->
+      let peers = G.neighbors net.Gen.graph s in
+      Alcotest.(check bool) "stub peers with transit only" true
+        (Asn.Set.subset peers (Gen.transit_ases net));
+      Alcotest.(check bool) "stub has a provider" true (not (Asn.Set.is_empty peers)))
+    net.Gen.stub
+
+let test_generate_deterministic () =
+  let a = gen_internet ~seed:9 () and b = gen_internet ~seed:9 () in
+  Alcotest.(check (list (pair int int))) "same edges for same seed"
+    (G.edges a.Gen.graph) (G.edges b.Gen.graph)
+
+let test_route_table_paths_valid () =
+  let net = gen_internet () in
+  let vantage = Asn.Set.min_elt net.Gen.tier1 in
+  let paths = Rt.paths_from net.Gen.graph ~vantage in
+  Alcotest.(check int) "one path per other AS"
+    (G.node_count net.Gen.graph - 1)
+    (List.length paths);
+  List.iter
+    (fun path ->
+      (match path with
+      | [] -> Alcotest.fail "empty path"
+      | first :: _ ->
+        Alcotest.(check bool) "first hop peers with vantage" true
+          (G.mem_edge net.Gen.graph vantage first));
+      let rec walk = function
+        | a :: (b :: _ as rest) ->
+          Alcotest.(check bool) "consecutive ASes peer" true (G.mem_edge net.Gen.graph a b);
+          walk rest
+        | _ -> ()
+      in
+      walk path)
+    paths
+
+let test_route_table_shortest () =
+  let net = gen_internet () in
+  let vantage = Asn.Set.min_elt net.Gen.tier1 in
+  let dist = Topology.Algorithms.bfs_distances net.Gen.graph vantage in
+  List.iter
+    (fun path ->
+      match List.rev path with
+      | origin :: _ ->
+        Alcotest.(check int)
+          (Printf.sprintf "path to %d is shortest" origin)
+          (Asn.Map.find origin dist) (List.length path)
+      | [] -> ())
+    (Rt.paths_from net.Gen.graph ~vantage)
+
+let test_inference_paper_example () =
+  (* the example of Section 5.1: path 1239 6453 4621 *)
+  let classified = Inf.infer [ [ 1239; 6453; 4621 ] ] in
+  Alcotest.(check bool) "edge 1239-6453" true (G.mem_edge classified.Inf.graph 1239 6453);
+  Alcotest.(check bool) "edge 6453-4621" true (G.mem_edge classified.Inf.graph 6453 4621);
+  Alcotest.(check bool) "no edge 1239-4621" false (G.mem_edge classified.Inf.graph 1239 4621);
+  Alcotest.check Testutil.asn_set_testable "1239 and 6453 are transit"
+    (Asn.Set.of_list [ 1239; 6453 ])
+    classified.Inf.transit;
+  Alcotest.check Testutil.asn_set_testable "4621 is a stub"
+    (Asn.Set.singleton 4621) classified.Inf.stub
+
+let test_inference_merges_paths () =
+  let classified = Inf.infer [ [ 1; 2; 3 ]; [ 1; 2; 4 ]; [ 5; 3 ] ] in
+  Alcotest.(check int) "five ASes" 5 (G.node_count classified.Inf.graph);
+  (* 3 is an origin in one path but transit in none; 5 carries 3 *)
+  Alcotest.(check bool) "3 stays stub" true (Asn.Set.mem 3 classified.Inf.stub);
+  Alcotest.(check bool) "5 is transit" true (Asn.Set.mem 5 classified.Inf.transit)
+
+let test_inference_recovers_generator_roles () =
+  let net = gen_internet () in
+  let vantages = Asn.Set.elements net.Gen.tier1 @ Asn.Set.elements net.Gen.tier2 in
+  let paths = Rt.paths_from_vantages net.Gen.graph ~vantages in
+  let classified = Inf.infer paths in
+  (* inferred stubs are never ground-truth transit carriers of the
+     generator... the reverse can happen (an unused transit looks stub),
+     but generator stubs must never be classified transit *)
+  Alcotest.(check bool) "no generator stub classified transit" true
+    (Asn.Set.is_empty (Asn.Set.inter classified.Inf.transit net.Gen.stub))
+
+let test_prune_weak_transit () =
+  (* chain 1-2-3 with stub 4 on 3: pruning degree-1 transit ASes cascades
+     down the whole chain (1, then 2, then 3); stubs are never pruned *)
+  let g = G.of_edges [ (1, 2); (2, 3); (3, 4) ] in
+  let transit = Asn.Set.of_list [ 1; 2; 3 ] in
+  let pruned = Samp.prune_weak_transit g ~transit in
+  Alcotest.(check bool) "1 pruned" false (G.mem_node pruned 1);
+  Alcotest.(check bool) "2 pruned (cascade)" false (G.mem_node pruned 2);
+  Alcotest.(check bool) "3 pruned (one peer left)" false (G.mem_node pruned 3);
+  Alcotest.(check bool) "stub never pruned" true (G.mem_node pruned 4);
+  (* a transit AS protected by two stubs stays *)
+  let g = G.of_edges [ (10, 11); (10, 12) ] in
+  let pruned = Samp.prune_weak_transit g ~transit:(Asn.Set.singleton 10) in
+  Alcotest.(check bool) "transit with two stubs kept" true (G.mem_node pruned 10)
+
+let test_sampling_invariants () =
+  let net = gen_internet () in
+  let vantages = Asn.Set.elements net.Gen.tier1 in
+  let classified = Inf.infer (Rt.paths_from_vantages net.Gen.graph ~vantages) in
+  let rng = Rng.of_int 3 in
+  let checked = ref 0 in
+  for attempt = 0 to 30 do
+    match Samp.sample (Rng.split_at rng attempt) classified ~stub_count:8 with
+    | None -> ()
+    | Some s ->
+      incr checked;
+      Alcotest.(check bool) "connected" true
+        (Topology.Algorithms.is_connected s.Samp.graph);
+      (* no weak transit left *)
+      Asn.Set.iter
+        (fun t ->
+          Alcotest.(check bool) "transit degree >= 2" true
+            (G.degree s.Samp.graph t >= 2))
+        s.Samp.transit;
+      (* all edges existed in the inferred graph *)
+      List.iter
+        (fun (a, b) ->
+          Alcotest.(check bool) "edge preserved from parent" true
+            (G.mem_edge classified.Inf.graph a b))
+        (G.edges s.Samp.graph)
+  done;
+  Alcotest.(check bool) "at least one sample succeeded" true (!checked > 0)
+
+let test_paper_topologies_sizes () =
+  List.iter2
+    (fun t expected ->
+      Alcotest.(check int) (t.Topo.name ^ " size") expected
+        (G.node_count t.Topo.graph);
+      Alcotest.(check bool) (t.Topo.name ^ " connected") true
+        (Topology.Algorithms.is_connected t.Topo.graph))
+    (Topo.all ()) [ 25; 46; 63 ]
+
+let test_paper_topologies_density_schedule () =
+  match Topo.all () with
+  | [ t25; t46; t63 ] ->
+    let d t = Topology.Algorithms.average_degree t.Topo.graph in
+    Alcotest.(check bool) "larger topologies are more richly connected" true
+      (d t25 < d t46 && d t46 < d t63)
+  | _ -> Alcotest.fail "expected three topologies"
+
+let test_paper_topologies_deterministic () =
+  let a = Topo.build ~seed:77L ~target_size:25 () in
+  let b = Topo.build ~seed:77L ~target_size:25 () in
+  Alcotest.(check (list (pair int int))) "same seed, same topology"
+    (G.edges a.Topo.graph) (G.edges b.Topo.graph)
+
+let test_paper_topologies_roles () =
+  List.iter
+    (fun t ->
+      Alcotest.(check int) (t.Topo.name ^ " roles partition nodes")
+        (G.node_count t.Topo.graph)
+        (Asn.Set.cardinal t.Topo.transit + Asn.Set.cardinal t.Topo.stub))
+    (Topo.all ())
+
+let () =
+  Alcotest.run "topology_pipeline"
+    [
+      ( "generate",
+        [
+          Alcotest.test_case "connected" `Quick test_generate_connected;
+          Alcotest.test_case "roles disjoint" `Quick test_generate_roles_disjoint;
+          Alcotest.test_case "tier-1 clique" `Quick test_generate_tier1_clique;
+          Alcotest.test_case "stubs only buy transit" `Quick test_generate_stub_is_stub;
+          Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
+        ] );
+      ( "route_table",
+        [
+          Alcotest.test_case "paths are valid walks" `Quick test_route_table_paths_valid;
+          Alcotest.test_case "paths are shortest" `Quick test_route_table_shortest;
+        ] );
+      ( "inference",
+        [
+          Alcotest.test_case "paper example" `Quick test_inference_paper_example;
+          Alcotest.test_case "merges paths" `Quick test_inference_merges_paths;
+          Alcotest.test_case "consistent with generator" `Quick
+            test_inference_recovers_generator_roles;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "pruning cascade" `Quick test_prune_weak_transit;
+          Alcotest.test_case "sample invariants" `Quick test_sampling_invariants;
+        ] );
+      ( "paper_topologies",
+        [
+          Alcotest.test_case "exact sizes" `Quick test_paper_topologies_sizes;
+          Alcotest.test_case "density schedule" `Quick test_paper_topologies_density_schedule;
+          Alcotest.test_case "deterministic" `Quick test_paper_topologies_deterministic;
+          Alcotest.test_case "role partition" `Quick test_paper_topologies_roles;
+        ] );
+    ]

@@ -1,0 +1,82 @@
+(** Shared helpers for the test suites: route constructors, Alcotest
+    testables, and qcheck generators for the domain types. *)
+
+open Net
+
+let prefix_testable = Alcotest.testable Prefix.pp Prefix.equal
+let route_testable = Alcotest.testable Bgp.Route.pp Bgp.Route.equal
+
+let asn_set_testable =
+  Alcotest.testable
+    (fun fmt s ->
+      Format.pp_print_string fmt
+        ("{"
+        ^ String.concat "," (List.map string_of_int (Asn.Set.elements s))
+        ^ "}"))
+    Asn.Set.equal
+
+let victim = Prefix.of_string "192.0.2.0/24"
+
+(* A route as received from [peer], with the path [path] (first element =
+   sending AS, last = origin). *)
+let route ?(prefix = victim) ?(local_pref = 100) ?(origin = Bgp.Route.Igp)
+    ?(communities = Bgp.Community.Set.empty) ~from path =
+  {
+    Bgp.Route.prefix;
+    as_path = Bgp.As_path.of_list path;
+    origin;
+    learned_from = Asn.make from;
+    local_pref;
+    communities;
+  }
+
+let moas_communities ases = Moas.Moas_list.encode (Asn.Set.of_list ases)
+
+(* qcheck generators *)
+
+let asn_gen = QCheck2.Gen.int_range 1 65535
+
+let ipv4_gen = QCheck2.Gen.map Ipv4.of_int (QCheck2.Gen.int_range 0 0xffffffff)
+
+let prefix_gen =
+  QCheck2.Gen.map2
+    (fun addr len -> Prefix.make addr len)
+    ipv4_gen
+    (QCheck2.Gen.int_range 0 32)
+
+let asn_set_gen =
+  QCheck2.Gen.map Asn.Set.of_list (QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 6) asn_gen)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+(* a tiny deterministic graph used by several suites:
+
+      1 --- 2 --- 3
+       \         /
+        4 ----- 5          plus stub 6 hanging off 3          *)
+let small_graph () =
+  Topology.As_graph.of_edges
+    [ (1, 2); (2, 3); (1, 4); (4, 5); (5, 3); (3, 6) ]
+
+(* run a scenario and return the outcome, with fixed randomness *)
+let run_scenario ?(seed = 42) scenario =
+  Attack.Scenario.run (Mutil.Rng.of_int seed) scenario
+
+(* substring search, for asserting on rendered reports *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else begin
+    let rec scan i =
+      if i + nn > nh then false
+      else if String.sub haystack i nn = needle then true
+      else scan (i + 1)
+    in
+    scan 0
+  end
+
+let check_contains ?(what = "output") haystack needle =
+  if not (contains haystack needle) then
+    Alcotest.failf "%s does not contain %S:\n%s" what needle haystack
