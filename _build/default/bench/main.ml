@@ -1,9 +1,14 @@
 (* Benchmark harness: regenerates every table and figure of the paper
-   (Figures 4, 5, 9, 10, 11 and the headline text statistics), then runs
-   one Bechamel micro-benchmark per experiment workload plus a few for the
+   (Figures 4, 5, 9, 10, 11 and the headline text statistics), runs a set
+   of instrumented convergence workloads through the lib/obs metrics
+   registry, dumps everything as JSON lines (BENCH_1.json), then runs one
+   Bechamel micro-benchmark per experiment workload plus a few for the
    core primitives.
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe
+   Smoke mode (figures + metrics dump, no Bechamel):
+     dune exec bench/main.exe -- --smoke
+   or: dune build @bench-smoke *)
 
 open Bechamel
 open Toolkit
@@ -20,13 +25,14 @@ let banner title =
 (* ------------------------------------------------------------------ *)
 (* Part 1: regenerate the paper's tables and figures.                  *)
 
-let regenerate_figures () =
+let regenerate_figures ?(tracer = Obs.Span.noop) () =
   banner "Topologies (Section 5.1)";
   List.iter
     (fun t -> say "%s" (Topology.Paper_topologies.describe t))
     (Topology.Paper_topologies.all ());
   banner "Figure 4: daily MOAS conflicts";
   let summary =
+    Obs.Span.with_span tracer "measurement pipeline (Figures 4+5)" @@ fun () ->
     Measurement.Report.run Measurement.Synthetic_routeviews.default_params
   in
   print_string (Measurement.Report.figure4_text summary);
@@ -36,19 +42,20 @@ let regenerate_figures () =
   banner "Experiment 1 (Figure 9): MOAS list effectiveness, 46-AS";
   List.iter
     (fun f -> print_string (Experiments.Figures.render f))
-    (Experiments.Figures.figure9 ());
+    (Experiments.Figures.figure9 ~tracer ());
   banner "Experiment 2 (Figure 10): topology sizes";
   List.iter
     (fun f -> print_string (Experiments.Figures.render f))
-    (Experiments.Figures.figure10 ());
+    (Experiments.Figures.figure10 ~tracer ());
   banner "Experiment 3 (Figure 11): partial deployment";
   List.iter
     (fun f -> print_string (Experiments.Figures.render f))
-    (Experiments.Figures.figure11 ());
+    (Experiments.Figures.figure11 ~tracer ());
   banner "Headline statistics (paper vs measured)";
-  print_string (Experiments.Figures.summary_table ());
+  print_string (Experiments.Figures.summary_table ~tracer ());
   banner "Ablations (Sections 4.3-4.4)";
-  print_string (Experiments.Ablation.render_all ());
+  print_string
+    (Obs.Span.with_span tracer "ablations" Experiments.Ablation.render_all);
   banner "Fault-event detection on the Figure 4 series";
   print_string
     (Measurement.Anomaly.render (Measurement.Anomaly.spikes_of_summary summary));
@@ -56,35 +63,91 @@ let regenerate_figures () =
   banner "Off-line monitor vantage study (Section 4.2)";
   print_string
     (Experiments.Vantage_study.render
-       (Experiments.Vantage_study.study
-          ~topology:(Topology.Paper_topologies.topology_46 ())
-          ()));
+       ( Obs.Span.with_span tracer "vantage study" @@ fun () ->
+         Experiments.Vantage_study.study
+           ~topology:(Topology.Paper_topologies.topology_46 ())
+           () ));
   banner "Detection and convergence dynamics (full deployment, 46-AS)";
   print_string
     (Experiments.Convergence.render
-       (Experiments.Convergence.study
-          ~topology:(Topology.Paper_topologies.topology_46 ())
-          ()));
+       ( Obs.Span.with_span tracer "convergence study" @@ fun () ->
+         Experiments.Convergence.study
+           ~topology:(Topology.Paper_topologies.topology_46 ())
+           () ));
   banner "DNS-based verification and its circular dependency (Section 2)";
   print_string
     (Experiments.Dns_study.render
-       (Experiments.Dns_study.study
-          ~topology:(Topology.Paper_topologies.topology_46 ())
-          ()));
+       ( Obs.Span.with_span tracer "DNS study" @@ fun () ->
+         Experiments.Dns_study.study
+           ~topology:(Topology.Paper_topologies.topology_46 ())
+           () ));
   banner "Related-work comparison (Sections 2 and 6)";
   print_string
     (Baselines.Comparison.render
-       (Baselines.Comparison.head_to_head
-          ~topology:(Topology.Paper_topologies.topology_46 ())
-          ()));
+       ( Obs.Span.with_span tracer "baseline comparison" @@ fun () ->
+         Baselines.Comparison.head_to_head
+           ~topology:(Topology.Paper_topologies.topology_46 ())
+           () ));
   say
     "  S-BGP is perfect while keys hold but fails closed (routeless ASes) and";
   say
     "  collapses on one compromised key; the MOAS list degrades gracefully and";
-  say "  needs no key infrastructure - the paper's Section 6 argument." 
+  say "  needs no key infrastructure - the paper's Section 6 argument."
 
 (* ------------------------------------------------------------------ *)
-(* Part 2: Bechamel micro-benchmarks, one per table/figure workload.    *)
+(* Part 2: instrumented convergence workloads.  One live registry per
+   topology; the engine, every router and every detector feed it, and the
+   per-workload dumps (stamped with a "workload" label) make up the bulk
+   of BENCH_1.json. *)
+
+let workloads =
+  [
+    ("25-AS", Topology.Paper_topologies.topology_25, 3);
+    ("46-AS", Topology.Paper_topologies.topology_46, 5);
+    ("63-AS", Topology.Paper_topologies.topology_63, 8);
+  ]
+
+let run_instrumented_workloads () =
+  banner "Instrumented workloads (lib/obs registry, Full MOAS deployment)";
+  List.map
+    (fun (name, topology, n_attackers) ->
+      let t = topology () in
+      let metrics = Obs.Registry.create () in
+      let rng = Mutil.Rng.of_int 97 in
+      let scenario =
+        Attack.Scenario.random rng ~graph:t.Topology.Paper_topologies.graph
+          ~stub:t.Topology.Paper_topologies.stub ~n_origins:1 ~n_attackers
+          ~deployment:Moas.Deployment.Full
+      in
+      ignore (Attack.Scenario.run ~metrics (Mutil.Rng.of_int 3) scenario);
+      say "";
+      say "-- workload %s: 1 origin, %d attackers --" name n_attackers;
+      say "   events executed: %d, updates sent: %d, received: %d, alarms: %d"
+        (Obs.Registry.counter_value metrics "sim_events_executed")
+        (Obs.Registry.counter_value metrics "bgp_updates_sent_total")
+        (Obs.Registry.counter_value metrics "bgp_updates_received_total")
+        (Obs.Registry.counter_value metrics "moas_alarms_total");
+      (name, metrics))
+    workloads
+
+(* ------------------------------------------------------------------ *)
+(* Part 3: the JSON-lines dump consumed by the perf trajectory. *)
+
+let write_dump ~out ~tracer named_registries =
+  let oc = open_out out in
+  List.iter
+    (fun (workload, metrics) ->
+      output_string oc
+        (Obs.Registry.to_json_lines ~extra:[ ("workload", workload) ] metrics))
+    named_registries;
+  output_string oc
+    (Obs.Span.to_json_lines ~extra:[ ("workload", "figures") ] tracer);
+  close_out oc;
+  say "";
+  say "metrics dump written to %s" out
+
+(* ------------------------------------------------------------------ *)
+(* Part 4: Bechamel micro-benchmarks, one per table/figure workload.    *)
 
 let victim = Prefix.of_string "192.0.2.0/24"
 
@@ -142,7 +205,10 @@ let bench_decision () =
 let bench_moas_check () =
   let oracle = Moas.Origin_verification.create () in
   Moas.Origin_verification.register oracle victim (Asn.Set.of_list [ 10; 20 ]);
-  let detector = Moas.Detector.create ~oracle ~self:(Asn.make 1) () in
+  let detector =
+    Moas.Detector.create ~backend:(Moas.Detector.Oracle oracle)
+      ~self:(Asn.make 1) ()
+  in
   let validator = Moas.Detector.validator detector in
   let legit = Moas.Moas_list.encode (Asn.Set.of_list [ 10; 20 ]) in
   let forged = Moas.Moas_list.encode (Asn.Set.of_list [ 10; 20; 666 ]) in
@@ -266,8 +332,26 @@ let run_microbenches () =
   let rows = List.map (fun (name, ns) -> [ name; pretty_time ns ]) results in
   print_string (Mutil.Text_table.render ~header:[ "benchmark"; "time/run" ] rows)
 
+(* ------------------------------------------------------------------ *)
+
 let () =
-  regenerate_figures ();
-  run_microbenches ();
+  let smoke = ref false in
+  let out = ref "BENCH_1.json" in
+  let spec =
+    [
+      ("--smoke", Arg.Set smoke, " figures + metrics dump only, skip Bechamel");
+      ("--out", Arg.Set_string out, "FILE metrics dump destination (default BENCH_1.json)");
+    ]
+  in
+  Arg.parse (Arg.align spec)
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "main.exe [--smoke] [--out FILE]";
+  let tracer = Obs.Span.create () in
+  regenerate_figures ~tracer ();
+  let named_registries = run_instrumented_workloads () in
+  banner "Phase timings (lib/obs spans)";
+  print_string (Obs.Span.to_table tracer);
+  write_dump ~out:!out ~tracer named_registries;
+  if not !smoke then run_microbenches ();
   say "";
   say "done."

@@ -24,10 +24,14 @@ let () =
     else
       Some
         (Moas.Detector.validator
-           (Moas.Detector.create ~oracle ~on_alarm:(Svc.ingest service)
-              ~self:asn ()))
+           (Moas.Detector.create ~backend:(Moas.Detector.Oracle oracle)
+              ~on_alarm:(Svc.ingest service) ~self:asn ()))
   in
-  let network = Bgp.Network.create ~validator_of graph in
+  let network =
+    Bgp.Network.make
+      ~config:Bgp.Network.Config.(default |> with_validator_of validator_of)
+      graph
+  in
 
   Printf.printf "t=0     %s announces %s\n" (Asn.to_string origin)
     (Prefix.to_string prefix);

@@ -37,7 +37,7 @@ let () =
                (Asn.Set.of_list [ origin1; origin2 ]))))
   in
   (* plain BGP network: NO router checks anything *)
-  let network = Bgp.Network.create graph in
+  let network = Bgp.Network.make graph in
   let moas_list = Asn.Set.of_list [ origin1; origin2 ] in
   let communities = Moas.Moas_list.encode moas_list in
   Bgp.Network.originate ~at:0.0 ~communities network origin1 prefix;

@@ -32,14 +32,14 @@ let show_route net asn =
 
 let () =
   print_endline "=== Step 1: AS 4 originates 10.2.0.0/16 (Figure 1) ===";
-  let net = Bgp.Network.create graph in
+  let net = Bgp.Network.make graph in
   Bgp.Network.originate net as4 prefix;
   ignore (Bgp.Network.run net);
   List.iter (show_route net) [ as4; as_y; as_z; as_x; as52 ];
 
   print_endline "";
   print_endline "=== Step 2: AS 52 falsely originates the prefix (Figure 3) ===";
-  let net = Bgp.Network.create graph in
+  let net = Bgp.Network.make graph in
   Bgp.Network.originate ~at:0.0 net as4 prefix;
   Bgp.Network.originate ~at:50.0 net as52 prefix;
   ignore (Bgp.Network.run net);
@@ -53,11 +53,17 @@ let () =
   print_endline "=== Step 3: the same attack with MOAS detection at AS X ===";
   let oracle = Moas.Origin_verification.create () in
   Moas.Origin_verification.register oracle prefix (Asn.Set.singleton as4);
-  let detector = Moas.Detector.create ~oracle ~self:as_x () in
+  let detector =
+    Moas.Detector.create ~backend:(Moas.Detector.Oracle oracle) ~self:as_x ()
+  in
   let validator_of asn =
     if Asn.equal asn as_x then Some (Moas.Detector.validator detector) else None
   in
-  let net = Bgp.Network.create ~validator_of graph in
+  let net =
+    Bgp.Network.make
+      ~config:Bgp.Network.Config.(default |> with_validator_of validator_of)
+      graph
+  in
   Bgp.Network.originate ~at:0.0 net as4 prefix;
   Bgp.Network.originate ~at:50.0 net as52 prefix;
   ignore (Bgp.Network.run net);

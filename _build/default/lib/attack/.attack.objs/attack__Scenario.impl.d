@@ -1,1 +1,1 @@
-lib/attack/scenario.ml: Array Asn Attacker Bgp Float Hashtbl List Moas Mutil Net Option Prefix Printf Sim Topology
+lib/attack/scenario.ml: Array Asn Attacker Bgp Counter Float Hashtbl List Moas Mutil Net Obs Option Prefix Printf Sim Topology

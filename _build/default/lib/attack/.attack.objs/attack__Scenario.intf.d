@@ -1,1 +1,1 @@
-lib/attack/scenario.mli: Asn Attacker Moas Mutil Net Prefix Topology
+lib/attack/scenario.mli: Asn Attacker Moas Mutil Net Obs Prefix Topology

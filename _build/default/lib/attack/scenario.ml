@@ -73,7 +73,7 @@ type outcome = {
   droppers : Asn.Set.t;
 }
 
-let run rng scenario =
+let run ?(metrics = Obs.Registry.noop) rng scenario =
   let nodes = Topology.As_graph.nodes scenario.graph in
   let attacker_set =
     Asn.Set.of_list (List.map (fun a -> a.Attacker.asn) scenario.attackers)
@@ -107,7 +107,10 @@ let run rng scenario =
   let detectors = Hashtbl.create 64 in
   let validator_of asn =
     if Asn.Set.mem asn capable then begin
-      let detector = Moas.Detector.create ~oracle ~self:asn () in
+      let detector =
+        Moas.Detector.create ~backend:(Moas.Detector.Oracle oracle) ~metrics
+          ~self:asn ()
+      in
       Hashtbl.replace detectors asn detector;
       Some (Moas.Detector.validator detector)
     end
@@ -127,8 +130,13 @@ let run rng scenario =
     else base
   in
   let network =
-    Bgp.Network.create ~policy_of ~validator_of
-      ~mrai_of:(fun _ -> scenario.mrai)
+    Bgp.Network.make
+      ~config:
+        Bgp.Network.Config.(
+          default |> with_policy_of policy_of
+          |> with_validator_of validator_of
+          |> with_mrai_of (fun _ -> scenario.mrai)
+          |> with_metrics metrics)
       scenario.graph
   in
   (* legitimate origins: identical MOAS list on every announcement when the
@@ -191,6 +199,21 @@ let run rng scenario =
       detectors None
   in
   let eligible = Asn.Set.cardinal eligible_set in
+  if not (Obs.Registry.is_noop metrics) then begin
+    (* network-wide aggregates alongside the per-AS series, so exports
+       carry the headline numbers without client-side label summing *)
+    let open Obs.Registry in
+    Counter.add
+      (counter metrics "bgp_updates_sent_total")
+      (Bgp.Network.total_updates_sent network);
+    Counter.add
+      (counter metrics "bgp_updates_received_total")
+      (Bgp.Network.total_updates_received network);
+    Counter.add (counter metrics "moas_alarms_total") alarm_count;
+    Counter.add
+      (counter metrics "oracle_queries_total")
+      (Moas.Origin_verification.query_count oracle)
+  end;
   {
     adopters;
     eligible;

@@ -69,10 +69,16 @@ type outcome = {
   droppers : Asn.Set.t;  (** ASes that stripped communities *)
 }
 
-val run : Mutil.Rng.t -> t -> outcome
+val run : ?metrics:Obs.Registry.t -> Mutil.Rng.t -> t -> outcome
 (** Execute the scenario: legitimate announcements at [valid_at], a first
     convergence, bogus announcements at [attack_at], a second convergence,
-    then measurement over the final Loc-RIBs. *)
+    then measurement over the final Loc-RIBs.
+
+    [metrics] (default {!Obs.Registry.noop}) is wired through the engine,
+    every router and every detector, and additionally receives the
+    network-wide aggregate counters [bgp_updates_sent_total],
+    [bgp_updates_received_total], [moas_alarms_total] and
+    [oracle_queries_total]. *)
 
 val random :
   Mutil.Rng.t ->

@@ -1,1 +1,1 @@
-lib/bgp/network.ml: As_path Asn Hashtbl List Net Policy Prefix_trie Printf Rib Route Router Sim Topology
+lib/bgp/network.ml: As_path Asn Hashtbl List Net Obs Policy Prefix_trie Printf Rib Route Router Sim Topology

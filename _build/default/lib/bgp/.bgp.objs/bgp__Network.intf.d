@@ -1,1 +1,1 @@
-lib/bgp/network.mli: As_path Asn Community Ipv4 Net Policy Prefix Route Router Sim Topology
+lib/bgp/network.mli: As_path Asn Community Ipv4 Net Obs Policy Prefix Route Router Sim Topology

@@ -1,1 +1,1 @@
-lib/bgp/router.ml: As_path Asn Community Decision Float Hashtbl List Net Option Policy Prefix Rib Route Update
+lib/bgp/router.ml: As_path Asn Community Decision Float Hashtbl List Net Obs Option Policy Prefix Rib Route Update

@@ -1,1 +1,1 @@
-lib/bgp/router.mli: Asn Net Policy Prefix Rib Route Update
+lib/bgp/router.mli: Asn Net Obs Policy Prefix Rib Route Update

@@ -16,21 +16,46 @@ let default_link_delay a b =
   let h = (Asn.to_int a * 2654435761) lxor (Asn.to_int b * 40503) in
   1.0 +. (float_of_int (abs h mod 1000) /. 4000.0)
 
-let create ?(policy_of = fun _ -> Policy.default)
-    ?(validator_of = fun _ -> None) ?(mrai_of = fun _ -> 0.0)
-    ?damping_of ?(link_delay = default_link_delay) graph =
-  let engine = Sim.Engine.create () in
+module Config = struct
+  type t = {
+    policy_of : Asn.t -> Policy.t;
+    validator_of : Asn.t -> Router.validator option;
+    mrai_of : Asn.t -> float;
+    damping_of : Asn.t -> Router.damping option;
+    link_delay : link_delay;
+    metrics : Obs.Registry.t;
+  }
+
+  let default =
+    {
+      policy_of = (fun _ -> Policy.default);
+      validator_of = (fun _ -> None);
+      mrai_of = (fun _ -> 0.0);
+      damping_of = (fun _ -> None);
+      link_delay = default_link_delay;
+      metrics = Obs.Registry.noop;
+    }
+
+  let with_policy_of policy_of t = { t with policy_of }
+  let with_validator_of validator_of t = { t with validator_of }
+  let with_mrai_of mrai_of t = { t with mrai_of }
+  let with_damping_of damping_of t = { t with damping_of }
+  let with_link_delay link_delay t = { t with link_delay }
+  let with_metrics metrics t = { t with metrics }
+end
+
+let make ?(config = Config.default) graph =
+  let { Config.policy_of; validator_of; mrai_of; damping_of; link_delay; metrics }
+      =
+    config
+  in
+  let engine = Sim.Engine.create ~metrics () in
   let routers =
     Topology.As_graph.fold_nodes
       (fun asn acc ->
-        let damping =
-          match damping_of with
-          | Some f -> f asn
-          | None -> None
-        in
         let router =
           Router.create ~policy:(policy_of asn) ?validator:(validator_of asn)
-            ~mrai:(mrai_of asn) ?damping asn
+            ~mrai:(mrai_of asn) ?damping:(damping_of asn) ~metrics asn
         in
         Asn.Map.add asn router acc)
       graph Asn.Map.empty
@@ -57,6 +82,21 @@ let create ?(policy_of = fun _ -> Policy.default)
       Router.set_transport router ~send ~schedule)
     routers;
   t
+
+(* deprecated pre-Config constructor, kept for one release *)
+let create ?policy_of ?validator_of ?mrai_of ?damping_of ?link_delay graph =
+  let set value f config =
+    match value with Some v -> f v config | None -> config
+  in
+  let config =
+    Config.default
+    |> set policy_of Config.with_policy_of
+    |> set validator_of Config.with_validator_of
+    |> set mrai_of Config.with_mrai_of
+    |> set damping_of Config.with_damping_of
+    |> set link_delay Config.with_link_delay
+  in
+  make ~config graph
 
 let engine t = t.engine
 let graph t = t.graph

@@ -12,6 +12,47 @@ type link_delay = Asn.t -> Asn.t -> float
 (** Message latency of the session between two ASes (called with the
     sender first); must be positive. *)
 
+(** Per-network construction knobs, gathered in one record so that a new
+    knob (the obs registry being the first) widens this type rather than
+    every construction site.  Build one with {!Config.default} and the
+    [with_*] helpers:
+    {[
+      Network.make
+        ~config:Network.Config.(default |> with_mrai_of (fun _ -> 30.0))
+        graph
+    ]} *)
+module Config : sig
+  type t = {
+    policy_of : Asn.t -> Policy.t;  (** per-AS routing policy *)
+    validator_of : Asn.t -> Router.validator option;
+        (** per-AS route validator (the MOAS detector hook) *)
+    mrai_of : Asn.t -> float;  (** per-AS MRAI, seconds (0 = none) *)
+    damping_of : Asn.t -> Router.damping option;
+        (** per-AS route-flap damping (None = off) *)
+    link_delay : link_delay;  (** per-link message latency *)
+    metrics : Obs.Registry.t;
+        (** observability registry wired into the engine and every
+            router; {!Obs.Registry.noop} collects nothing at zero cost *)
+  }
+
+  val default : t
+  (** Default policy, no validators, MRAI 0, no damping, the default
+      link delay (1.0 plus a small deterministic per-link offset that
+      breaks timing symmetry the way heterogeneous links do in reality),
+      and the no-op registry. *)
+
+  val with_policy_of : (Asn.t -> Policy.t) -> t -> t
+  val with_validator_of : (Asn.t -> Router.validator option) -> t -> t
+  val with_mrai_of : (Asn.t -> float) -> t -> t
+  val with_damping_of : (Asn.t -> Router.damping option) -> t -> t
+  val with_link_delay : link_delay -> t -> t
+  val with_metrics : Obs.Registry.t -> t -> t
+end
+
+val make : ?config:Config.t -> Topology.As_graph.t -> t
+(** Build a router per AS and a session per edge, configured by
+    [config] (default {!Config.default}). *)
+
 val create :
   ?policy_of:(Asn.t -> Policy.t) ->
   ?validator_of:(Asn.t -> Router.validator option) ->
@@ -20,10 +61,12 @@ val create :
   ?link_delay:link_delay ->
   Topology.As_graph.t ->
   t
-(** Build a router per AS and a session per edge.  The default link delay
-    is 1.0 plus a small deterministic per-link offset (derived from the
-    endpoint AS numbers) that breaks timing symmetry the way heterogeneous
-    links do in reality. *)
+[@@alert deprecated
+    "Network.create's parallel optional arguments are superseded by \
+     Network.make with a Network.Config.t; this wrapper will be removed \
+     next release."]
+(** Deprecated equivalent of {!make}: each optional argument overrides
+    the corresponding {!Config.default} field. *)
 
 val engine : t -> Sim.Engine.t
 (** The underlying event engine (for custom scheduling). *)

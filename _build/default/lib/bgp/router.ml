@@ -49,14 +49,22 @@ type t = {
   mutable schedule : (delay:float -> (float -> unit) -> unit) option;
   mutable received_count : int;
   mutable sent_count : int;
+  (* per-AS observability handles; inert when the registry is the noop *)
+  metrics_live : bool;
+  sent_c : Obs.Registry.Counter.t;
+  received_c : Obs.Registry.Counter.t;
+  decisions_c : Obs.Registry.Counter.t;
+  loc_rib_g : Obs.Registry.Gauge.t;
 }
 
-let create ?(policy = Policy.default) ?validator ?(mrai = 0.0) ?damping asn =
+let create ?(policy = Policy.default) ?validator ?(mrai = 0.0) ?damping
+    ?(metrics = Obs.Registry.noop) asn =
   if mrai < 0.0 then invalid_arg "Router.create: negative mrai";
   (match damping with
   | Some d when d.reuse_threshold >= d.suppress_threshold ->
     invalid_arg "Router.create: damping reuse must be below suppress"
   | _ -> ());
+  let labels = [ ("as", Asn.to_string asn) ] in
   {
     asn;
     policy;
@@ -75,6 +83,11 @@ let create ?(policy = Policy.default) ?validator ?(mrai = 0.0) ?damping asn =
     schedule = None;
     received_count = 0;
     sent_count = 0;
+    metrics_live = not (Obs.Registry.is_noop metrics);
+    sent_c = Obs.Registry.counter metrics ~labels "bgp_updates_sent";
+    received_c = Obs.Registry.counter metrics ~labels "bgp_updates_received";
+    decisions_c = Obs.Registry.counter metrics ~labels "bgp_decisions";
+    loc_rib_g = Obs.Registry.gauge metrics ~labels "bgp_loc_rib_size";
   }
 
 let asn t = t.asn
@@ -95,6 +108,7 @@ let transport_send t ~peer update =
   match t.send with
   | Some send ->
     t.sent_count <- t.sent_count + 1;
+    Obs.Registry.Counter.incr t.sent_c;
     send ~peer update
   | None -> failwith "Router: transport not wired (call set_transport)"
 
@@ -298,6 +312,7 @@ let advertise_all t ~now prefix =
 (* Decision *)
 
 let rec reselect t ~now prefix =
+  Obs.Registry.Counter.incr t.decisions_c;
   let valid = valid_candidates t ~now prefix in
   let old_best = Rib.best t.rib prefix in
   let new_best = Decision.best_with_incumbent ~self:t.asn ~incumbent:old_best valid in
@@ -311,6 +326,9 @@ let rec reselect t ~now prefix =
     (match new_best with
     | Some route -> Rib.set_best t.rib route
     | None -> Rib.clear_best t.rib prefix);
+    if t.metrics_live then
+      Obs.Registry.Gauge.set t.loc_rib_g
+        (float_of_int (List.length (Rib.best_bindings t.rib)));
     advertise_all t ~now prefix;
     (* a change to a child route may alter a configured aggregate; the
        summary is strictly shorter, so this recursion terminates *)
@@ -408,6 +426,7 @@ let reuse_delay damping state ~now =
 
 let handle_update t ~now (update : Update.t) =
   t.received_count <- t.received_count + 1;
+  Obs.Registry.Counter.incr t.received_c;
   let peer = update.Update.sender in
   (* damping bookkeeping: announcements after the first and withdrawals
      count as flaps; a route crossing the suppress threshold schedules its

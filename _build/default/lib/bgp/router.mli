@@ -36,11 +36,17 @@ val create :
   ?validator:validator ->
   ?mrai:float ->
   ?damping:damping ->
+  ?metrics:Obs.Registry.t ->
   Asn.t ->
   t
 (** A router for the given AS.  [mrai] is the per-peer minimum interval
     between advertisement batches (default 0: advertise immediately);
-    [damping] enables route-flap damping (default off). *)
+    [damping] enables route-flap damping (default off).
+
+    [metrics] (default {!Obs.Registry.noop}) receives per-AS
+    instrumentation, each labelled [("as", asn)]: counters
+    [bgp_updates_sent], [bgp_updates_received] and [bgp_decisions]
+    (decision-process invocations), and gauge [bgp_loc_rib_size]. *)
 
 val flap_penalty : t -> peer:Asn.t -> Prefix.t -> now:float -> float
 (** Current (decayed) damping penalty of the peer's route for the prefix;

@@ -1,1 +1,1 @@
-lib/core/detector.ml: Alarm Asn Bgp List Moas_list Net Origin_verification Prefix Set String
+lib/core/detector.ml: Alarm Asn Bgp List Moas_list Net Obs Origin_verification Prefix Set String

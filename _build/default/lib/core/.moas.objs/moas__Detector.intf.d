@@ -1,1 +1,1 @@
-lib/core/detector.mli: Alarm Asn Bgp Net Origin_verification Prefix
+lib/core/detector.mli: Alarm Asn Bgp Net Obs Origin_verification Prefix

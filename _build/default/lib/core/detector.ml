@@ -4,6 +4,11 @@ module StringSet = Set.Make (String)
 
 type verify = now:float -> Prefix.t -> Asn.Set.t option
 
+type backend =
+  | Oracle of Origin_verification.t
+  | Custom of verify
+  | Detect_only
+
 type t = {
   self : Asn.t;
   verifier : verify option;
@@ -17,17 +22,22 @@ type t = {
      every later candidate — this also keeps the filter monotone, which
      guarantees BGP convergence under partial deployment *)
   mutable verified : Asn.Set.t Prefix.Map.t;
+  (* observability handles, inert when the registry is the noop *)
+  alarms_c : Obs.Registry.Counter.t;
+  verify_calls_c : Obs.Registry.Counter.t;
+  discarded_c : Obs.Registry.Counter.t;
 }
 
-let create ?oracle ?verify ?(on_alarm = fun _ -> ())
-    ?(check_self_consistency = true) ~self () =
+let create ?(backend = Detect_only) ?(on_alarm = fun _ -> ())
+    ?(check_self_consistency = true) ?(metrics = Obs.Registry.noop) ~self () =
   let verifier =
-    match (verify, oracle) with
-    | Some v, _ -> Some v
-    | None, Some oracle ->
+    match backend with
+    | Custom v -> Some v
+    | Oracle oracle ->
       Some (fun ~now:_ prefix -> Origin_verification.query oracle prefix)
-    | None, None -> None
+    | Detect_only -> None
   in
+  let labels = [ ("as", Asn.to_string self) ] in
   {
     self;
     verifier;
@@ -37,6 +47,10 @@ let create ?oracle ?verify ?(on_alarm = fun _ -> ())
     alarms_rev = [];
     alarm_count = 0;
     verified = Prefix.Map.empty;
+    alarms_c = Obs.Registry.counter metrics ~labels "moas_alarms";
+    verify_calls_c = Obs.Registry.counter metrics ~labels "moas_verify_calls";
+    discarded_c =
+      Obs.Registry.counter metrics ~labels "moas_routes_discarded";
   }
 
 let distinct_lists lists =
@@ -52,13 +66,19 @@ let raise_alarm t ~now ~prefix ~lists ~origins =
     t.seen_signatures <- StringSet.add signature t.seen_signatures;
     t.alarms_rev <- alarm :: t.alarms_rev;
     t.alarm_count <- t.alarm_count + 1;
+    Obs.Registry.Counter.incr t.alarms_c;
     t.on_alarm alarm
   end
 
 let filter_entitled t entitled routes =
-  List.filter
-    (fun r -> Asn.Set.mem (Bgp.Route.origin_as ~self:t.self r) entitled)
-    routes
+  let kept =
+    List.filter
+      (fun r -> Asn.Set.mem (Bgp.Route.origin_as ~self:t.self r) entitled)
+      routes
+  in
+  Obs.Registry.Counter.add t.discarded_c
+    (List.length routes - List.length kept);
+  kept
 
 let validator t : Bgp.Router.validator =
  fun ~now ~prefix routes ->
@@ -87,6 +107,7 @@ let validator t : Bgp.Router.validator =
     match t.verifier with
     | None -> routes (* detect-only deployment: alarm but do not filter *)
     | Some verify ->
+      Obs.Registry.Counter.incr t.verify_calls_c;
       (match verify ~now prefix with
       | None -> routes (* no verdict obtainable: fail open *)
       | Some entitled ->

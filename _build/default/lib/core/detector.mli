@@ -4,13 +4,12 @@
     On every decision the detector compares the MOAS lists of all candidate
     routes for the prefix (a route without a list counts as carrying the
     implicit list [{origin}], footnote 3).  When the lists disagree it
-    raises an {!Alarm.t}; if an origin-verification backend is available
-    ([verify] takes precedence over [oracle] when both are given)
-    it then discards every candidate whose origin is not entitled, which
-    stops the false route from being selected or propagated — the behaviour
-    assumed in the paper's Experiment 1.  Without a backend the detector
-    is detect-only: it alarms but lets BGP proceed (the off-line monitoring
-    deployment of Section 4.2). *)
+    raises an {!Alarm.t}; with a verification {!backend} it then discards
+    every candidate whose origin is not entitled, which stops the false
+    route from being selected or propagated — the behaviour assumed in the
+    paper's Experiment 1.  With {!Detect_only} (the default) the detector
+    alarms but lets BGP proceed (the off-line monitoring deployment of
+    Section 4.2). *)
 
 open Net
 
@@ -23,19 +22,34 @@ type verify = now:float -> Prefix.t -> Asn.Set.t option
     then fails open).  {!Origin_verification} and a DNS MOASRR lookup are
     the two backends used in the experiments. *)
 
+type backend =
+  | Oracle of Origin_verification.t
+      (** consult the origin registry on every conflict *)
+  | Custom of verify  (** a caller-supplied backend, e.g. a DNS lookup *)
+  | Detect_only  (** alarm but never filter (off-line monitoring) *)
+(** What the detector does after alarming.  One explicit variant instead
+    of the former [?oracle]/[?verify] optional-argument pair, whose
+    silent precedence rule ([verify] won when both were given) was a
+    footgun. *)
+
 val create :
-  ?oracle:Origin_verification.t ->
-  ?verify:verify ->
+  ?backend:backend ->
   ?on_alarm:(Alarm.t -> unit) ->
   ?check_self_consistency:bool ->
+  ?metrics:Obs.Registry.t ->
   self:Asn.t ->
   unit ->
   t
-(** A detector for the router of AS [self].  [on_alarm] is invoked once per
-    distinct conflict signature (repeated BGP churn over the same conflict
-    does not re-alarm).  [check_self_consistency] (default true) also
-    rejects routes whose carried list omits their own origin — a local
-    check needing no second opinion. *)
+(** A detector for the router of AS [self].  [backend] (default
+    {!Detect_only}) is consulted on conflicts.  [on_alarm] is invoked once
+    per distinct conflict signature (repeated BGP churn over the same
+    conflict does not re-alarm).  [check_self_consistency] (default true)
+    also rejects routes whose carried list omits their own origin — a
+    local check needing no second opinion.
+
+    [metrics] (default {!Obs.Registry.noop}) receives per-AS counters
+    labelled [("as", self)]: [moas_alarms], [moas_verify_calls] and
+    [moas_routes_discarded]. *)
 
 val validator : t -> Bgp.Router.validator
 (** The validation function to install on the router. *)

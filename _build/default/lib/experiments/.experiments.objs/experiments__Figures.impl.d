@@ -1,1 +1,1 @@
-lib/experiments/figures.ml: Float List Moas Mutil Printf String Sweep Topology
+lib/experiments/figures.ml: Float List Moas Mutil Obs Printf String Sweep Topology

@@ -1,1 +1,1 @@
-lib/experiments/figures.mli: Mutil
+lib/experiments/figures.mli: Mutil Obs

@@ -96,12 +96,18 @@ let subprefix_hijack ?(seed = 0x41424c32L) ~topology () =
   let validator_of asn =
     if Asn.equal asn attacker_asn then None
     else begin
-      let d = Moas.Detector.create ~oracle ~self:asn () in
+      let d =
+        Moas.Detector.create ~backend:(Moas.Detector.Oracle oracle) ~self:asn ()
+      in
       Hashtbl.replace detectors asn d;
       Some (Moas.Detector.validator d)
     end
   in
-  let network = Bgp.Network.create ~validator_of topology.Topo.graph in
+  let network =
+    Bgp.Network.make
+      ~config:Bgp.Network.Config.(default |> with_validator_of validator_of)
+      topology.Topo.graph
+  in
   Bgp.Network.originate ~at:0.0 network origin victim;
   (* the attacker announces a more-specific half of the victim prefix: a
      different NLRI, so no MOAS conflict ever arises *)

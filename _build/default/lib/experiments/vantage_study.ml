@@ -21,7 +21,7 @@ let attacked_network rng (topology : Topo.t) =
     |> Array.of_list
   in
   let attacker = Rng.pick (Rng.split_at rng 1) pool in
-  let network = Bgp.Network.create graph in
+  let network = Bgp.Network.make graph in
   Bgp.Network.originate ~at:0.0
     ~communities:(Moas.Moas_list.encode (Asn.Set.singleton origin))
     network origin victim;

@@ -1,0 +1,1 @@
+lib/obs/registry.ml: Array Buffer Char Float Hashtbl List Mutil Printf String

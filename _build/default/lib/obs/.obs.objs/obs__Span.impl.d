@@ -1,0 +1,1 @@
+lib/obs/span.ml: Buffer List Mutil Printf Registry String Sys

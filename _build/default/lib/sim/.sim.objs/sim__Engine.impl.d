@@ -1,1 +1,1 @@
-lib/sim/engine.ml: Event_queue Float
+lib/sim/engine.ml: Event_queue Float Obs Sys

@@ -1,1 +1,1 @@
-lib/sim/engine.mli:
+lib/sim/engine.mli: Obs

@@ -2,30 +2,68 @@ type t = {
   mutable clock : float;
   mutable executed : int;
   queue : handler Event_queue.t;
+  mutable queue_hwm : int;
+  (* observability: the registry is Obs.Registry.noop by default, in which
+     case every handle below is inert and [live] lets the run loop skip
+     even the wall-clock reads *)
+  metrics : Obs.Registry.t;
+  live : bool;
+  wall_clock : unit -> float;
+  events_c : Obs.Registry.Counter.t;
+  queue_hwm_g : Obs.Registry.Gauge.t;
+  run_wall_g : Obs.Registry.Gauge.t;
+  wall_per_10k_h : Obs.Registry.Histogram.t;
 }
 
 and handler = t -> unit
 
-let create () = { clock = 0.0; executed = 0; queue = Event_queue.create () }
+(* one histogram observation per this many executed events *)
+let wall_block = 10_000
+
+let create ?(metrics = Obs.Registry.noop) ?(wall_clock = Sys.time) () =
+  {
+    clock = 0.0;
+    executed = 0;
+    queue = Event_queue.create ();
+    queue_hwm = 0;
+    metrics;
+    live = not (Obs.Registry.is_noop metrics);
+    wall_clock;
+    events_c = Obs.Registry.counter metrics "sim_events_executed";
+    queue_hwm_g = Obs.Registry.gauge metrics "sim_queue_depth_hwm";
+    run_wall_g = Obs.Registry.gauge metrics "sim_run_wall_s";
+    wall_per_10k_h = Obs.Registry.histogram metrics "sim_wall_s_per_10k_events";
+  }
 
 let now t = t.clock
+let metrics t = t.metrics
+
+let note_depth t =
+  let depth = Event_queue.length t.queue in
+  if depth > t.queue_hwm then t.queue_hwm <- depth
 
 let schedule t ~delay h =
   if delay < 0.0 || Float.is_nan delay then
     invalid_arg "Engine.schedule: negative delay";
-  Event_queue.push t.queue ~time:(t.clock +. delay) h
+  Event_queue.push t.queue ~time:(t.clock +. delay) h;
+  note_depth t
 
 let schedule_at t ~time h =
   if time < t.clock || Float.is_nan time then
     invalid_arg "Engine.schedule_at: time in the past";
-  Event_queue.push t.queue ~time h
+  Event_queue.push t.queue ~time h;
+  note_depth t
 
 let pending t = Event_queue.length t.queue
 let events_executed t = t.executed
+let queue_high_water t = t.queue_hwm
 
 type outcome = Quiescent | Event_limit_reached | Time_limit_reached
 
 let run ?(max_events = max_int) ?(until = infinity) t =
+  let wall_start = if t.live then t.wall_clock () else 0.0 in
+  let block_start = ref wall_start in
+  let start_executed = t.executed in
   let rec loop budget =
     if budget <= 0 then Event_limit_reached
     else
@@ -39,11 +77,23 @@ let run ?(max_events = max_int) ?(until = infinity) t =
           t.clock <- time;
           t.executed <- t.executed + 1;
           h t;
+          if t.live && (t.executed - start_executed) mod wall_block = 0 then begin
+            let now = t.wall_clock () in
+            Obs.Registry.Histogram.observe t.wall_per_10k_h (now -. !block_start);
+            block_start := now
+          end;
           loop (budget - 1))
   in
-  loop max_events
+  let outcome = loop max_events in
+  if t.live then begin
+    Obs.Registry.Counter.add t.events_c (t.executed - start_executed);
+    Obs.Registry.Gauge.observe_max t.queue_hwm_g (float_of_int t.queue_hwm);
+    Obs.Registry.Gauge.add t.run_wall_g (t.wall_clock () -. wall_start)
+  end;
+  outcome
 
 let reset t =
   Event_queue.clear t.queue;
   t.clock <- 0.0;
-  t.executed <- 0
+  t.executed <- 0;
+  t.queue_hwm <- 0

@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Bgp List Net Obs Sim Topology

@@ -159,7 +159,7 @@ let test_detector_flags_divergent_aggregates () =
 let test_aggregation_in_network () =
   (* AS 3 aggregates its customers' space and the summary propagates *)
   let g = Topology.As_graph.of_edges [ (1, 3); (2, 3); (3, 4) ] in
-  let net = Network.create g in
+  let net = Network.make g in
   Router.configure_aggregate (Network.router net 3) ~now:0.0 summary;
   Network.originate ~at:1.0 net 1 child_a;
   Network.originate ~at:1.0 net 2 child_b;

@@ -121,7 +121,7 @@ let test_flapping_hijacker_gets_damped () =
      for as long as its penalty stays above the reuse threshold - even
      where MOAS detection is not deployed *)
   let g = Topology.As_graph.of_edges [ (1, 2); (2, 3); (3, 4) ] in
-  let net = Network.create ~damping_of:(fun _ -> Some damping) g in
+  let net = Network.make ~config:Network.Config.(default |> with_damping_of (fun _ -> Some damping)) g in
   Network.originate ~at:0.0 net 1 victim;
   (* AS4 flaps the hijack rapidly *)
   List.iter

@@ -55,7 +55,7 @@ let test_detect_only_does_not_filter () =
 
 let test_oracle_filters_forged () =
   let oracle = oracle_with_record () in
-  let d = D.create ~oracle ~self () in
+  let d = D.create ~backend:(D.Oracle oracle) ~self () in
   let v = D.validator d in
   let kept = v ~now:0.0 ~prefix:victim [ valid_route (); forged_route () ] in
   Alcotest.(check int) "only the valid route survives" 1 (List.length kept);
@@ -68,7 +68,7 @@ let test_oracle_filters_forged () =
 
 let test_verdict_is_sticky () =
   let oracle = oracle_with_record () in
-  let d = D.create ~oracle ~self () in
+  let d = D.create ~backend:(D.Oracle oracle) ~self () in
   let v = D.validator d in
   ignore (v ~now:0.0 ~prefix:victim [ valid_route (); forged_route () ]);
   (* later the valid route disappears: the forged one must STILL be
@@ -80,7 +80,7 @@ let test_verdict_is_sticky () =
 let test_no_record_fails_open () =
   let oracle = Ov.create () in
   (* no MOASRR record for the prefix *)
-  let d = D.create ~oracle ~self () in
+  let d = D.create ~backend:(D.Oracle oracle) ~self () in
   let v = D.validator d in
   let kept = v ~now:0.0 ~prefix:victim [ valid_route (); forged_route () ] in
   Alcotest.(check int) "cannot verify: keep everything" 2 (List.length kept);
@@ -149,7 +149,7 @@ let prop_soundness =
     QCheck2.Gen.(list_size (int_range 1 6) (pair (int_range 1 200) bool))
     (fun specs ->
       let oracle = oracle_with_record () in
-      let d = D.create ~oracle ~self () in
+      let d = D.create ~backend:(D.Oracle oracle) ~self () in
       let v = D.validator d in
       let routes =
         List.mapi

@@ -122,7 +122,7 @@ let test_offline_monitor_sees_conflict_routers_miss () =
   let graph = t.Topology.Paper_topologies.graph in
   let origin = Asn.Set.min_elt t.Topology.Paper_topologies.stub in
   let attacker = Asn.Set.max_elt t.Topology.Paper_topologies.stub in
-  let network = Bgp.Network.create graph in
+  let network = Bgp.Network.make graph in
   Bgp.Network.originate ~at:0.0 network origin victim;
   Bgp.Network.originate ~at:50.0 network attacker victim;
   ignore (Bgp.Network.run network);

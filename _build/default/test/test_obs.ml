@@ -1,0 +1,264 @@
+(* Tests for the observability layer: the metrics registry (counters,
+   gauges, histograms, labels, exporters), tracing spans, and the
+   integration with the instrumented simulation engine. *)
+
+module R = Obs.Registry
+module Span = Obs.Span
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+let test_counter () =
+  let reg = R.create () in
+  let c = R.counter reg "updates" in
+  R.Counter.incr c;
+  R.Counter.add c 4;
+  Alcotest.(check int) "value" 5 (R.Counter.value c);
+  Alcotest.(check int) "counter_value" 5 (R.counter_value reg "updates");
+  Alcotest.check_raises "negative add"
+    (Invalid_argument "Registry.Counter.add: negative increment") (fun () ->
+      R.Counter.add c (-1))
+
+let test_gauge () =
+  let reg = R.create () in
+  let g = R.gauge reg "depth" in
+  R.Gauge.set g 3.0;
+  R.Gauge.add g 1.5;
+  Alcotest.(check (float 1e-9)) "set+add" 4.5 (R.Gauge.value g);
+  R.Gauge.observe_max g 2.0;
+  Alcotest.(check (float 1e-9)) "max keeps larger" 4.5 (R.Gauge.value g);
+  R.Gauge.observe_max g 9.0;
+  Alcotest.(check (float 1e-9)) "max takes larger" 9.0 (R.Gauge.value g)
+
+let test_histogram () =
+  let reg = R.create () in
+  let h = R.histogram reg ~buckets:[ 1.0; 10.0 ] "lat" in
+  List.iter (R.Histogram.observe h) [ 0.5; 0.7; 5.0; 50.0 ];
+  Alcotest.(check int) "count" 4 (R.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 56.2 (R.Histogram.sum h);
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "buckets"
+    [ (1.0, 2); (10.0, 1); (infinity, 1) ]
+    (R.Histogram.buckets h);
+  Alcotest.check_raises "unsorted buckets"
+    (Invalid_argument "Registry.histogram: bucket bounds must be increasing")
+    (fun () -> ignore (R.histogram reg ~buckets:[ 2.0; 1.0 ] "bad"))
+
+let test_same_instrument () =
+  let reg = R.create () in
+  let a = R.counter reg ~labels:[ ("as", "7") ] "sent" in
+  (* same name+labels (any label order) -> the same underlying counter *)
+  let b = R.counter reg ~labels:[ ("as", "7") ] "sent" in
+  R.Counter.incr a;
+  R.Counter.incr b;
+  Alcotest.(check int) "shared" 2 (R.Counter.value a);
+  (* different labels -> a distinct series *)
+  let c = R.counter reg ~labels:[ ("as", "9") ] "sent" in
+  R.Counter.incr c;
+  Alcotest.(check int) "distinct series" 1
+    (R.counter_value reg ~labels:[ ("as", "9") ] "sent");
+  Alcotest.(check int) "sum over label sets" 3 (R.sum_counters reg "sent")
+
+let test_kind_mismatch () =
+  let reg = R.create () in
+  ignore (R.counter reg "x");
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument "Registry: x is already a counter, not a gauge")
+    (fun () -> ignore (R.gauge reg "x"))
+
+let test_noop () =
+  let reg = R.noop in
+  Alcotest.(check bool) "is_noop" true (R.is_noop reg);
+  Alcotest.(check bool) "live is not noop" false (R.is_noop (R.create ()));
+  let c = R.counter reg "sent" in
+  R.Counter.incr c;
+  Alcotest.(check int) "updates discarded" 0 (R.Counter.value c);
+  let g = R.gauge reg "depth" in
+  R.Gauge.set g 5.0;
+  Alcotest.(check (float 0.0)) "gauge inert" 0.0 (R.Gauge.value g);
+  Alcotest.(check int) "no samples" 0 (List.length (R.samples reg));
+  Alcotest.(check string) "no json" "" (R.to_json_lines reg)
+
+let test_samples_sorted () =
+  let reg = R.create () in
+  ignore (R.gauge reg "zeta");
+  ignore (R.counter reg ~labels:[ ("as", "9") ] "alpha");
+  ignore (R.counter reg ~labels:[ ("as", "10") ] "alpha");
+  let names =
+    List.map
+      (fun s -> (s.R.name, s.R.labels))
+      (R.samples reg)
+  in
+  Alcotest.(check (list (pair string (list (pair string string)))))
+    "sorted by name then labels"
+    [
+      ("alpha", [ ("as", "10") ]);
+      ("alpha", [ ("as", "9") ]);
+      ("zeta", []);
+    ]
+    names
+
+let test_json_lines () =
+  let reg = R.create () in
+  let c = R.counter reg ~labels:[ ("as", "7") ] "sent" in
+  R.Counter.add c 3;
+  R.Gauge.set (R.gauge reg "wall") 0.25;
+  Alcotest.(check string) "lines"
+    "{\"metric\":\"sent\",\"labels\":{\"as\":\"7\",\"workload\":\"46-AS\"},\"type\":\"counter\",\"value\":3}\n\
+     {\"metric\":\"wall\",\"labels\":{\"workload\":\"46-AS\"},\"type\":\"gauge\",\"value\":0.25}\n"
+    (R.to_json_lines ~extra:[ ("workload", "46-AS") ] reg)
+
+let test_csv_and_clear () =
+  let reg = R.create () in
+  R.Counter.incr (R.counter reg "n");
+  let header, rows = R.to_csv reg in
+  Alcotest.(check (list string)) "header"
+    [ "metric"; "labels"; "type"; "value" ] header;
+  Alcotest.(check (list (list string))) "rows" [ [ "n"; ""; "counter"; "1" ] ]
+    rows;
+  R.clear reg;
+  Alcotest.(check int) "cleared" 0 (List.length (R.samples reg))
+
+(* ------------------------------------------------------------------ *)
+(* Spans *)
+
+(* a deterministic wall clock: advances one second per reading *)
+let ticking_clock () =
+  let now = ref 0.0 in
+  fun () ->
+    let v = !now in
+    now := v +. 1.0;
+    v
+
+let test_span_records () =
+  let tracer = Span.create ~clock:(ticking_clock ()) () in
+  let sim = ref 10.0 in
+  let result =
+    Span.with_span tracer ~sim_clock:(fun () -> !sim) "outer" (fun () ->
+        sim := 35.0;
+        Span.with_span tracer "inner" (fun () -> ()) ;
+        42)
+  in
+  Alcotest.(check int) "thunk result" 42 result;
+  match Span.records tracer with
+  | [ inner; outer ] ->
+    Alcotest.(check string) "inner name" "inner" inner.Span.name;
+    Alcotest.(check int) "inner depth" 1 inner.Span.depth;
+    Alcotest.(check string) "outer name" "outer" outer.Span.name;
+    Alcotest.(check int) "outer depth" 0 outer.Span.depth;
+    (* clock readings: outer start 0, inner 1 and 2, outer end 3 *)
+    Alcotest.(check (float 1e-9)) "outer wall" 3.0 outer.Span.wall_s;
+    Alcotest.(check (float 1e-9)) "inner wall" 1.0 inner.Span.wall_s;
+    Alcotest.(check (float 1e-9)) "sim start" 10.0 outer.Span.sim_start;
+    Alcotest.(check (float 1e-9)) "sim end" 35.0 outer.Span.sim_end
+  | records ->
+    Alcotest.failf "expected 2 records, got %d" (List.length records)
+
+let test_span_records_on_raise () =
+  let tracer = Span.create ~clock:(ticking_clock ()) () in
+  (try
+     Span.with_span tracer "boom" (fun () -> failwith "expected")
+   with Failure _ -> ());
+  Alcotest.(check int) "span recorded despite raise" 1
+    (List.length (Span.records tracer));
+  Alcotest.(check int) "depth unwound: next span is top-level" 0
+    (Span.with_span tracer "after" (fun () -> ());
+     match List.rev (Span.records tracer) with
+     | after :: _ -> after.Span.depth
+     | [] -> -1)
+
+let test_span_noop () =
+  Alcotest.(check bool) "is_noop" true (Span.is_noop Span.noop);
+  Alcotest.(check int) "thunk still runs" 7
+    (Span.with_span Span.noop "x" (fun () -> 7));
+  Alcotest.(check int) "nothing recorded" 0
+    (List.length (Span.records Span.noop))
+
+(* ------------------------------------------------------------------ *)
+(* Engine integration: the instrumented hot path feeds the registry *)
+
+let test_engine_metrics () =
+  let reg = R.create () in
+  let wall =
+    let now = ref 0.0 in
+    fun () ->
+      now := !now +. 0.125;
+      !now
+  in
+  let engine = Sim.Engine.create ~metrics:reg ~wall_clock:wall () in
+  for i = 1 to 5 do
+    Sim.Engine.schedule engine ~delay:(float_of_int i) (fun _ -> ())
+  done;
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check int) "events counter" 5
+    (R.counter_value reg "sim_events_executed");
+  Alcotest.(check int) "high-water accessor" 5
+    (Sim.Engine.queue_high_water engine);
+  let hwm =
+    List.find_map
+      (fun s ->
+        match (s.R.name, s.R.value) with
+        | "sim_queue_depth_hwm", R.Gauge v -> Some v
+        | _ -> None)
+      (R.samples reg)
+  in
+  Alcotest.(check (option (float 1e-9))) "high-water gauge" (Some 5.0) hwm;
+  let wall_s =
+    List.find_map
+      (fun s ->
+        match (s.R.name, s.R.value) with
+        | "sim_run_wall_s", R.Gauge v -> Some v
+        | _ -> None)
+      (R.samples reg)
+  in
+  Alcotest.(check bool) "wall time recorded" true
+    (match wall_s with Some v -> v > 0.0 | None -> false)
+
+let test_network_metrics () =
+  let a = Net.Asn.make 1 and b = Net.Asn.make 2 and c = Net.Asn.make 3 in
+  let graph = Topology.As_graph.of_edges [ (a, b); (b, c) ] in
+  let reg = R.create () in
+  let net =
+    Bgp.Network.make
+      ~config:Bgp.Network.Config.(default |> with_metrics reg)
+      graph
+  in
+  Bgp.Network.originate net a (Net.Prefix.of_string "10.0.0.0/8");
+  ignore (Bgp.Network.run net);
+  Alcotest.(check bool) "updates flowed" true
+    (R.sum_counters reg "bgp_updates_sent" > 0);
+  Alcotest.(check bool) "per-AS series exist" true
+    (R.counter_value reg ~labels:[ ("as", "AS1") ] "bgp_updates_sent" > 0);
+  Alcotest.(check bool) "decision process counted" true
+    (R.sum_counters reg "bgp_decisions" > 0);
+  Alcotest.(check int) "events flowed through the engine"
+    (Sim.Engine.events_executed (Bgp.Network.engine net))
+    (R.counter_value reg "sim_events_executed")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "same instrument" `Quick test_same_instrument;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+          Alcotest.test_case "noop" `Quick test_noop;
+          Alcotest.test_case "sorted samples" `Quick test_samples_sorted;
+          Alcotest.test_case "json lines" `Quick test_json_lines;
+          Alcotest.test_case "csv + clear" `Quick test_csv_and_clear;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "records" `Quick test_span_records;
+          Alcotest.test_case "records on raise" `Quick test_span_records_on_raise;
+          Alcotest.test_case "noop" `Quick test_span_noop;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "engine metrics" `Quick test_engine_metrics;
+          Alcotest.test_case "network metrics" `Quick test_network_metrics;
+        ] );
+    ]

@@ -168,9 +168,37 @@ let test_counters () =
 
 (* ---------------- network integration ---------------- *)
 
+(* The deprecated labelled-argument constructor must keep compiling (it
+   is kept for one release) and behave exactly like Network.make with
+   the equivalent Config. *)
+module Legacy = struct
+  [@@@alert "-deprecated"]
+
+  let create_line () =
+    Network.create
+      ~mrai_of:(fun _ -> 0.0)
+      ~link_delay:(fun _ _ -> 1.0)
+      (Topology.As_graph.of_edges [ (1, 2); (2, 3); (3, 4) ])
+end
+
+let test_legacy_create_wrapper () =
+  let net = Legacy.create_line () in
+  Network.originate net 1 victim;
+  Alcotest.(check bool) "quiescent" true (Network.run net = Sim.Engine.Quiescent);
+  List.iter
+    (fun asn ->
+      match Network.best_route net asn victim with
+      | Some route ->
+        Alcotest.(check int)
+          (Printf.sprintf "AS%d path length = distance" asn)
+          (asn - 1)
+          (Bgp.As_path.length route.Bgp.Route.as_path)
+      | None -> Alcotest.failf "AS%d missing route" asn)
+    [ 1; 2; 3; 4 ]
+
 let test_network_line_convergence () =
   let g = Topology.As_graph.of_edges [ (1, 2); (2, 3); (3, 4) ] in
-  let net = Network.create g in
+  let net = Network.make g in
   Network.originate net 1 victim;
   Alcotest.(check bool) "quiescent" true (Network.run net = Sim.Engine.Quiescent);
   List.iter
@@ -189,7 +217,7 @@ let test_network_ring_prefers_short_side () =
   let g =
     Topology.As_graph.of_edges [ (1, 2); (2, 3); (3, 4); (4, 5); (5, 6); (6, 1) ]
   in
-  let net = Network.create g in
+  let net = Network.make g in
   Network.originate net 1 victim;
   ignore (Network.run net);
   let len asn =
@@ -202,7 +230,7 @@ let test_network_ring_prefers_short_side () =
 
 let test_network_withdraw_ripples () =
   let g = Topology.As_graph.of_edges [ (1, 2); (2, 3) ] in
-  let net = Network.create g in
+  let net = Network.make g in
   Network.originate ~at:0.0 net 1 victim;
   Network.withdraw ~at:50.0 net 1 victim;
   ignore (Network.run net);
@@ -217,7 +245,7 @@ let test_network_withdraw_ripples () =
 let test_network_two_origins_anycast () =
   (* valid MOAS: both ends of a line originate; the middle splits *)
   let g = Topology.As_graph.of_edges [ (1, 2); (2, 3); (3, 4); (4, 5) ] in
-  let net = Network.create g in
+  let net = Network.make g in
   Network.originate net 1 victim;
   Network.originate net 5 victim;
   ignore (Network.run net);
@@ -228,7 +256,7 @@ let test_network_two_origins_anycast () =
 let test_network_converges_on_paper_topologies () =
   List.iter
     (fun t ->
-      let net = Network.create t.Topology.Paper_topologies.graph in
+      let net = Network.make t.Topology.Paper_topologies.graph in
       let origin = Asn.Set.min_elt t.Topology.Paper_topologies.stub in
       Network.originate net origin victim;
       Alcotest.(check bool)
@@ -248,7 +276,7 @@ let test_network_path_lengths_match_bfs () =
   let t = Topology.Paper_topologies.topology_46 () in
   let g = t.Topology.Paper_topologies.graph in
   let origin = Asn.Set.min_elt t.Topology.Paper_topologies.stub in
-  let net = Network.create g in
+  let net = Network.make g in
   Network.originate net origin victim;
   ignore (Network.run net);
   let dist = Topology.Algorithms.bfs_distances g origin in
@@ -268,7 +296,7 @@ let test_network_path_lengths_match_bfs () =
 let test_network_mrai_converges_same () =
   let g = Topology.As_graph.of_edges [ (1, 2); (2, 3); (3, 4); (4, 1); (2, 4) ] in
   let run mrai =
-    let net = Network.create ~mrai_of:(fun _ -> mrai) g in
+    let net = Network.make ~config:Network.Config.(default |> with_mrai_of (fun _ -> mrai)) g in
     Network.originate net 3 victim;
     ignore (Network.run net);
     List.map
@@ -310,5 +338,7 @@ let () =
           Alcotest.test_case "paths are shortest" `Slow
             test_network_path_lengths_match_bfs;
           Alcotest.test_case "MRAI invariance" `Quick test_network_mrai_converges_same;
+          Alcotest.test_case "legacy create wrapper" `Quick
+            test_legacy_create_wrapper;
         ] );
     ]

@@ -71,6 +71,27 @@ let prop_queue_sorted =
       let popped = drain [] in
       popped = List.sort compare times)
 
+(* regression: ordering on equal timestamps is FIFO in insertion order,
+   not merely "some stable permutation" — the heap's (time, seq) key must
+   behave exactly like a stable sort of the insertion sequence. *)
+let prop_queue_fifo_on_ties =
+  Testutil.qtest "equal-time events pop in insertion order"
+    QCheck2.Gen.(list_size (int_range 0 300) (int_range 0 5))
+    (fun coarse_times ->
+      let q = Eq.create () in
+      let tagged = List.mapi (fun i t -> (float_of_int t, i)) coarse_times in
+      List.iter (fun (t, i) -> Eq.push q ~time:t (t, i)) tagged;
+      let rec drain acc =
+        match Eq.pop q with
+        | Some (_, v) -> drain (v :: acc)
+        | None -> List.rev acc
+      in
+      let popped = drain [] in
+      let expected =
+        List.stable_sort (fun (a, _) (b, _) -> compare a b) tagged
+      in
+      popped = expected)
+
 let test_engine_runs_in_order () =
   let engine = Engine.create () in
   let log = ref [] in
@@ -126,6 +147,30 @@ let test_engine_reset () =
   Alcotest.(check int) "no pending" 0 (Engine.pending engine);
   Alcotest.(check int) "counter reset" 0 (Engine.events_executed engine)
 
+(* regression: reset must restore a FULLY fresh engine even when events
+   are still pending, including the queue high-water mark, and the engine
+   must be reusable afterwards (scheduling at times "before" the old
+   clock). *)
+let test_engine_reset_discards_pending () =
+  let engine = Engine.create () in
+  let ran = ref 0 in
+  Engine.schedule engine ~delay:1.0 (fun _ -> incr ran);
+  Engine.schedule engine ~delay:100.0 (fun _ -> incr ran);
+  ignore (Engine.run ~until:10.0 engine);
+  Alcotest.(check int) "one pending before reset" 1 (Engine.pending engine);
+  Engine.reset engine;
+  Alcotest.(check (float 0.0)) "clock rewound" 0.0 (Engine.now engine);
+  Alcotest.(check int) "pending event dropped" 0 (Engine.pending engine);
+  Alcotest.(check int) "executed counter reset" 0 (Engine.events_executed engine);
+  Alcotest.(check int) "queue high-water reset" 0 (Engine.queue_high_water engine);
+  (* the rewound clock really is fresh: t=0.5 was "the past" before reset *)
+  Engine.schedule_at engine ~time:0.5 (fun _ -> incr ran);
+  let outcome = Engine.run engine in
+  Alcotest.(check bool) "reused engine quiesces" true (outcome = Engine.Quiescent);
+  Alcotest.(check int) "only the new event ran" 2 !ran;
+  Alcotest.(check int) "counter counts only the new run" 1
+    (Engine.events_executed engine)
+
 let test_trace () =
   let tr = Trace.create () in
   Trace.record tr ~time:1.0 "a";
@@ -157,7 +202,9 @@ let () =
           Alcotest.test_case "time horizon" `Quick test_engine_time_horizon;
           Alcotest.test_case "past scheduling rejected" `Quick test_engine_rejects_past;
           Alcotest.test_case "reset" `Quick test_engine_reset;
+          Alcotest.test_case "reset discards pending state" `Quick
+            test_engine_reset_discards_pending;
         ] );
       ("trace", [ Alcotest.test_case "record/filter" `Quick test_trace ]);
-      ("properties", [ prop_queue_sorted ]);
+      ("properties", [ prop_queue_sorted; prop_queue_fifo_on_ties ]);
     ]

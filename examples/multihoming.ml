@@ -36,12 +36,19 @@ let detectors = Hashtbl.create 8
 
 let network_with_full_detection ?oracle graph =
   Hashtbl.reset detectors;
+  let backend =
+    match oracle with
+    | Some oracle -> Moas.Detector.Oracle oracle
+    | None -> Moas.Detector.Detect_only
+  in
   let validator_of asn =
-    let detector = Moas.Detector.create ?oracle ~self:asn () in
+    let detector = Moas.Detector.create ~backend ~self:asn () in
     Hashtbl.replace detectors asn detector;
     Some (Moas.Detector.validator detector)
   in
-  Bgp.Network.create ~validator_of graph
+  Bgp.Network.make
+    ~config:Bgp.Network.Config.(default |> with_validator_of validator_of)
+    graph
 
 let total_alarms () =
   Hashtbl.fold (fun _ d acc -> acc + Moas.Detector.alarm_count d) detectors 0

@@ -61,7 +61,8 @@ let run_one (topology : Topo.t) setup ~defense ~attack run_rng =
           else
             Some
               (Moas.Detector.validator
-                 (Moas.Detector.create ~oracle ~self:asn ()))),
+                 (Moas.Detector.create
+                    ~backend:(Moas.Detector.Oracle oracle) ~self:asn ()))),
         fun _ -> Bgp.Policy.default )
     | Sbgp compromised ->
       let pki = Origin_auth.create ~compromised_keys:compromised () in
@@ -82,7 +83,13 @@ let run_one (topology : Topo.t) setup ~defense ~attack run_rng =
           if Asn.Set.mem asn attacker_set then Bgp.Policy.default
           else Irr_filter.policy registry ~relationships ~self:asn )
   in
-  let network = Bgp.Network.create ~validator_of ~policy_of graph in
+  let network =
+    Bgp.Network.make
+      ~config:
+        Bgp.Network.Config.(
+          default |> with_validator_of validator_of |> with_policy_of policy_of)
+      graph
+  in
   Bgp.Network.originate ~at:0.0 network setup.origin victim;
   List.iter
     (fun asn ->

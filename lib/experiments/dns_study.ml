@@ -130,15 +130,18 @@ let run_one rng (topology : Topo.t) ~condition ~n_attackers =
   let validator_of asn =
     if Asn.Set.mem asn attacker_set then None
     else
-      let detector =
+      let backend =
         match condition with
-        | Oracle -> Moas.Detector.create ~oracle ~self:asn ()
-        | Dns | Dns_with_dns_hijack ->
-          Moas.Detector.create ~verify:(verify_of asn) ~self:asn ()
+        | Oracle -> Moas.Detector.Oracle oracle
+        | Dns | Dns_with_dns_hijack -> Moas.Detector.Custom (verify_of asn)
       in
-      Some (Moas.Detector.validator detector)
+      Some (Moas.Detector.validator (Moas.Detector.create ~backend ~self:asn ()))
   in
-  let network = Bgp.Network.create ~validator_of graph in
+  let network =
+    Bgp.Network.make
+      ~config:Bgp.Network.Config.(default |> with_validator_of validator_of)
+      graph
+  in
   network_ref := Some network;
   (* infrastructure prefixes first, then the victim, then the attack *)
   Bgp.Network.originate ~at:0.0 network dns_host root_prefix;

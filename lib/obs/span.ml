@@ -1,0 +1,89 @@
+type record = {
+  name : string;
+  depth : int;
+  wall_s : float;
+  sim_start : float;
+  sim_end : float;
+}
+
+type tracer = {
+  clock : unit -> float;
+  mutable rev_records : record list;
+  mutable depth : int;
+}
+
+type t = Disabled | Enabled of tracer
+
+let create ?(clock = Sys.time) () =
+  Enabled { clock; rev_records = []; depth = 0 }
+
+let noop = Disabled
+let is_noop = function Disabled -> true | Enabled _ -> false
+
+let with_span t ?sim_clock name f =
+  match t with
+  | Disabled -> f ()
+  | Enabled tr ->
+    let sim_now () = match sim_clock with Some c -> c () | None -> 0.0 in
+    let wall_start = tr.clock () in
+    let sim_start = sim_now () in
+    let depth = tr.depth in
+    tr.depth <- depth + 1;
+    let finish () =
+      tr.depth <- depth;
+      tr.rev_records <-
+        {
+          name;
+          depth;
+          wall_s = tr.clock () -. wall_start;
+          sim_start;
+          sim_end = sim_now ();
+        }
+        :: tr.rev_records
+    in
+    (match f () with
+    | result ->
+      finish ();
+      result
+    | exception e ->
+      finish ();
+      raise e)
+
+let records = function
+  | Disabled -> []
+  | Enabled tr -> List.rev tr.rev_records
+
+let to_table t =
+  let rows =
+    List.map
+      (fun (r : record) ->
+        [
+          String.make (2 * r.depth) ' ' ^ r.name;
+          Printf.sprintf "%.3f" r.wall_s;
+          Printf.sprintf "%.2f" r.sim_start;
+          Printf.sprintf "%.2f" r.sim_end;
+        ])
+      (records t)
+  in
+  Mutil.Text_table.render
+    ~header:[ "span"; "wall s"; "sim start"; "sim end" ]
+    rows
+
+let to_json_lines ?(extra = []) t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (r : record) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"span\":%s,\"labels\":%s,\"depth\":%d,\"wall_s\":%.9g,\"sim_start\":%.9g,\"sim_end\":%.9g}\n"
+           (Registry.json_string r.name)
+           (Registry.json_labels (Registry.normalise extra))
+           r.depth r.wall_s r.sim_start r.sim_end))
+    (records t);
+  Buffer.contents buf
+
+let clear = function
+  | Disabled -> ()
+  | Enabled tr ->
+    tr.rev_records <- [];
+    tr.depth <- 0

@@ -1,0 +1,53 @@
+(** Span-based tracing for the simulation harness.
+
+    A span measures one named phase of work — a figure regeneration, one
+    scenario run, a sweep point — and carries both the wall-clock
+    duration and, when the caller supplies the engine clock, the
+    simulation-time interval the phase covered.  The library cannot
+    depend on [Sim] (the engine itself is instrumented with {!Registry}),
+    so simulation time enters through an optional [sim_clock] callback,
+    typically [fun () -> Sim.Engine.now engine].
+
+    Like {!Registry}, tracing is zero-cost when disabled ({!noop}) and
+    the recorded data never feeds back into behaviour, so traced runs
+    stay deterministic. *)
+
+type t
+(** A tracer collecting completed spans, or the inert {!noop}. *)
+
+type record = {
+  name : string;  (** what the phase was, e.g. ["figure10:63-AS"] *)
+  depth : int;  (** nesting depth at completion (0 = top level) *)
+  wall_s : float;  (** wall-clock duration, seconds *)
+  sim_start : float;  (** simulation clock when the span opened (0 without a [sim_clock]) *)
+  sim_end : float;  (** simulation clock when it closed *)
+}
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** A live tracer.  [clock] supplies wall-clock seconds and defaults to
+    [Sys.time] (process CPU time — monotonic and dependency-free); tests
+    inject a fake clock for deterministic assertions. *)
+
+val noop : t
+(** The disabled tracer: {!with_span} only runs its thunk. *)
+
+val is_noop : t -> bool
+(** Whether the tracer is the inert one. *)
+
+val with_span : t -> ?sim_clock:(unit -> float) -> string -> (unit -> 'a) -> 'a
+(** [with_span t name f] runs [f], recording a completed span around it.
+    The span is recorded (and timed) even when [f] raises.  Spans nest:
+    a span opened inside another records a greater [depth]. *)
+
+val records : t -> record list
+(** Completed spans in completion order ([] on {!noop}). *)
+
+val to_table : t -> string
+(** Human-readable rendering, nesting shown by indentation. *)
+
+val to_json_lines : ?extra:Registry.labels -> t -> string
+(** One JSON object per completed span, same line format family as
+    {!Registry.to_json_lines}. *)
+
+val clear : t -> unit
+(** Forget all completed spans. *)

@@ -114,9 +114,9 @@ let test_end_to_end_with_scenario () =
     else
       Some
         (Moas.Detector.validator
-           (Moas.Detector.create ~oracle ~on_alarm:(Svc.ingest svc) ~self:asn ()))
+           (Moas.Detector.create ~backend:(Moas.Detector.Oracle oracle) ~on_alarm:(Svc.ingest svc) ~self:asn ()))
   in
-  let net = Bgp.Network.create ~validator_of graph in
+  let net = Bgp.Network.make ~config:Bgp.Network.Config.(default |> with_validator_of validator_of) graph in
   Bgp.Network.originate ~at:0.0 net origin victim;
   Bgp.Network.originate ~at:50.0 net attacker victim;
   ignore (Bgp.Network.run net);

@@ -155,7 +155,7 @@ let test_resolver_unreachable () =
 
 let test_forward_path () =
   let g = Topology.As_graph.of_edges [ (1, 2); (2, 3); (3, 4) ] in
-  let net = Bgp.Network.create g in
+  let net = Bgp.Network.make g in
   let p = Prefix.of_string "10.0.0.0/8" in
   Bgp.Network.originate net 1 p;
   ignore (Bgp.Network.run net);
@@ -172,7 +172,7 @@ let test_forward_path_follows_hijack () =
   (* with a hijack in place, forwarding lands at the attacker: the exact
      mechanism behind both Section 3.3 and the DNS study *)
   let g = Topology.As_graph.of_edges [ (1, 2); (2, 3); (3, 4) ] in
-  let net = Bgp.Network.create g in
+  let net = Bgp.Network.make g in
   let p = Prefix.of_string "10.0.0.0/8" in
   Bgp.Network.originate ~at:0.0 net 1 p;
   Bgp.Network.originate ~at:50.0 net 4 p;

@@ -45,7 +45,7 @@ let test_peer_up_readvertises () =
 let line () = Topology.As_graph.of_edges [ (1, 2); (2, 3); (3, 4) ]
 
 let test_fail_link_loses_reachability () =
-  let net = Network.create (line ()) in
+  let net = Network.make (line ()) in
   Network.originate ~at:0.0 net 1 victim;
   Network.fail_link ~at:50.0 net 2 3;
   Alcotest.(check bool) "converged" true (Network.run net = Sim.Engine.Quiescent);
@@ -58,7 +58,7 @@ let test_fail_link_loses_reachability () =
   Alcotest.(check bool) "link reported down" false (Network.link_is_up net 2 3)
 
 let test_restore_link_recovers () =
-  let net = Network.create (line ()) in
+  let net = Network.make (line ()) in
   Network.originate ~at:0.0 net 1 victim;
   Network.fail_link ~at:50.0 net 2 3;
   Network.restore_link ~at:100.0 net 2 3;
@@ -75,7 +75,7 @@ let test_restore_link_recovers () =
 let test_fail_link_reroutes () =
   (* a ring: losing one link just lengthens the path *)
   let g = Topology.As_graph.of_edges [ (1, 2); (2, 3); (3, 4); (4, 1) ] in
-  let net = Network.create g in
+  let net = Network.make g in
   Network.originate ~at:0.0 net 1 victim;
   Network.fail_link ~at:50.0 net 1 2 ;
   ignore (Network.run net);
@@ -87,7 +87,7 @@ let test_fail_link_reroutes () =
   Alcotest.(check bool) "AS3 unaffected" true (Network.best_route net 3 victim <> None)
 
 let test_fail_unknown_link_rejected () =
-  let net = Network.create (line ()) in
+  let net = Network.make (line ()) in
   Alcotest.check_raises "non-peering rejected"
     (Invalid_argument "Network: AS1 and AS3 do not peer") (fun () ->
       Network.fail_link net 1 3)
@@ -102,9 +102,9 @@ let test_attack_during_partition () =
   let validator_of asn =
     if Asn.equal asn (Asn.make 5) then None
     else
-      Some (Moas.Detector.validator (Moas.Detector.create ~oracle ~self:asn ()))
+      Some (Moas.Detector.validator (Moas.Detector.create ~backend:(Moas.Detector.Oracle oracle) ~self:asn ()))
   in
-  let net = Network.create ~validator_of g in
+  let net = Network.make ~config:Network.Config.(default |> with_validator_of validator_of) g in
   Network.originate ~at:0.0 net 1 victim;
   Network.fail_link ~at:50.0 net 1 2;
   (* attacker AS5 announces after the partition *)
@@ -129,12 +129,12 @@ let test_recovery_exposes_conflict () =
   let validator_of asn =
     if Asn.equal asn (Asn.make 5) then None
     else begin
-      let d = Moas.Detector.create ~oracle ~self:asn () in
+      let d = Moas.Detector.create ~backend:(Moas.Detector.Oracle oracle) ~self:asn () in
       Hashtbl.replace detectors asn d;
       Some (Moas.Detector.validator d)
     end
   in
-  let net = Network.create ~validator_of g in
+  let net = Network.make ~config:Network.Config.(default |> with_validator_of validator_of) g in
   Network.originate ~at:0.0 net 1 victim;
   Network.fail_link ~at:50.0 net 1 2;
   Network.originate ~at:100.0 net 5 victim;

@@ -30,7 +30,7 @@ let prop_convergence =
   Testutil.qtest ~count:60 "BGP converges on random connected graphs"
     connected_graph_gen
     (fun g ->
-      let net = Network.create g in
+      let net = Network.make g in
       Network.originate net (Asn.Set.min_elt (G.nodes g)) victim;
       Network.run net = Sim.Engine.Quiescent)
 
@@ -38,7 +38,7 @@ let prop_full_reachability =
   Testutil.qtest ~count:60 "every AS of a connected graph learns the route"
     connected_graph_gen
     (fun g ->
-      let net = Network.create g in
+      let net = Network.make g in
       let origin = Asn.Set.min_elt (G.nodes g) in
       Network.originate net origin victim;
       ignore (Network.run net);
@@ -50,7 +50,7 @@ let prop_shortest_paths =
   Testutil.qtest ~count:60 "selected paths are BFS-shortest"
     connected_graph_gen
     (fun g ->
-      let net = Network.create g in
+      let net = Network.make g in
       let origin = Asn.Set.min_elt (G.nodes g) in
       Network.originate net origin victim;
       ignore (Network.run net);
@@ -69,7 +69,7 @@ let prop_selected_paths_loop_free =
   Testutil.qtest ~count:60 "no selected AS path contains the selector"
     connected_graph_gen
     (fun g ->
-      let net = Network.create g in
+      let net = Network.make g in
       Network.originate net (Asn.Set.min_elt (G.nodes g)) victim;
       ignore (Network.run net);
       G.fold_nodes
@@ -85,7 +85,7 @@ let prop_withdrawal_clears_everything =
   Testutil.qtest ~count:40 "withdrawal leaves no stale route anywhere"
     connected_graph_gen
     (fun g ->
-      let net = Network.create g in
+      let net = Network.make g in
       let origin = Asn.Set.min_elt (G.nodes g) in
       Network.originate ~at:0.0 net origin victim;
       Network.withdraw ~at:100.0 net origin victim;
@@ -145,12 +145,12 @@ let test_full_table_with_selective_hijacks () =
   let validator_of asn =
     if Asn.equal asn attacker then None
     else begin
-      let d = Moas.Detector.create ~oracle ~self:asn () in
+      let d = Moas.Detector.create ~backend:(Moas.Detector.Oracle oracle) ~self:asn () in
       Hashtbl.replace detectors asn d;
       Some (Moas.Detector.validator d)
     end
   in
-  let net = Network.create ~validator_of graph in
+  let net = Network.make ~config:Network.Config.(default |> with_validator_of validator_of) graph in
   List.iter (fun (p, origin) -> Network.originate ~at:0.0 net origin p) assignments;
   List.iter (fun (p, _) -> Network.originate ~at:50.0 net attacker p) hijacked;
   Alcotest.(check bool) "converged" true (Network.run net = Sim.Engine.Quiescent);
