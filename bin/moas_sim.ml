@@ -130,6 +130,9 @@ let run_simulate size n_origins n_attackers deployment policy seed runs =
       [ "run"; "adoption"; "alarms"; "latency"; "oracle"; "updates"; "ok" ]
     rows
 
+let run_robustness seed smoke =
+  print_string (Experiments.Robustness.report ?seed ~smoke ())
+
 let run_topologies () =
   List.iter
     (fun t -> say "%s" (Topology.Paper_topologies.describe t))
@@ -225,6 +228,16 @@ let simulate_cmd =
   cmd "simulate" ~doc:"Run custom attack scenarios and print per-run outcomes."
     Term.(const run_simulate $ size $ n_origins $ n_attackers $ deployment $ policy $ sim_seed $ runs)
 
+let robustness_cmd =
+  let smoke =
+    Arg.(value & flag & info [ "smoke" ]
+           ~doc:"Small deterministic sweep (25-AS only) for CI.")
+  in
+  cmd "robustness"
+    ~doc:"Detection robustness under injected faults: partition, churn and \
+          message-loss sweeps."
+    Term.(const run_robustness $ seed_arg $ smoke)
+
 let topologies_cmd = cmd "topologies" ~doc:"Describe the derived 25/46/63-AS topologies."
     Term.(const run_topologies $ const ())
 
@@ -247,6 +260,7 @@ let main_cmd =
       ablations_cmd;
       compare_cmd;
       studies_cmd;
+      robustness_cmd;
       simulate_cmd;
       topologies_cmd;
       all_cmd;

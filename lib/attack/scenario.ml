@@ -73,7 +73,7 @@ type outcome = {
   droppers : Asn.Set.t;
 }
 
-let run ?(metrics = Obs.Registry.noop) rng scenario =
+let run ?(metrics = Obs.Registry.noop) ?prepare rng scenario =
   let nodes = Topology.As_graph.nodes scenario.graph in
   let attacker_set =
     Asn.Set.of_list (List.map (fun a -> a.Attacker.asn) scenario.attackers)
@@ -162,6 +162,9 @@ let run ?(metrics = Obs.Registry.noop) rng scenario =
       Bgp.Network.originate ~at:scenario.attack_at ~communities ~as_path
         network attacker.Attacker.asn prefix)
     scenario.attackers;
+  (* environment hook: fault injection and other pre-run wiring (the
+     robustness experiments arm a Faults.Injector here) *)
+  (match prepare with Some f -> f network | None -> ());
   let outcome_state = Bgp.Network.run network in
   let converged = outcome_state = Sim.Engine.Quiescent in
   let eligible_set = Asn.Set.diff nodes attacker_set in

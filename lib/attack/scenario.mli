@@ -69,7 +69,12 @@ type outcome = {
   droppers : Asn.Set.t;  (** ASes that stripped communities *)
 }
 
-val run : ?metrics:Obs.Registry.t -> Mutil.Rng.t -> t -> outcome
+val run :
+  ?metrics:Obs.Registry.t ->
+  ?prepare:(Bgp.Network.t -> unit) ->
+  Mutil.Rng.t ->
+  t ->
+  outcome
 (** Execute the scenario: legitimate announcements at [valid_at], a first
     convergence, bogus announcements at [attack_at], a second convergence,
     then measurement over the final Loc-RIBs.
@@ -78,7 +83,11 @@ val run : ?metrics:Obs.Registry.t -> Mutil.Rng.t -> t -> outcome
     every router and every detector, and additionally receives the
     network-wide aggregate counters [bgp_updates_sent_total],
     [bgp_updates_received_total], [moas_alarms_total] and
-    [oracle_queries_total]. *)
+    [oracle_queries_total].
+
+    [prepare] runs on the freshly wired network after the announcements
+    are scheduled and before the engine starts — the hook the robustness
+    experiments use to arm a fault injector. *)
 
 val random :
   Mutil.Rng.t ->

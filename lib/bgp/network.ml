@@ -1,6 +1,18 @@
 open Net
+module Rng = Mutil.Rng
 
 type link_delay = Asn.t -> Asn.t -> float
+
+type impairment = { loss : float; duplicate : float; jitter : float }
+
+let impairment ?(loss = 0.0) ?(duplicate = 0.0) ?(jitter = 0.0) () =
+  if loss < 0.0 || loss > 1.0 then
+    invalid_arg "Network.impairment: loss out of [0,1]";
+  if duplicate < 0.0 || duplicate > 1.0 then
+    invalid_arg "Network.impairment: duplicate out of [0,1]";
+  if jitter < 0.0 || Float.is_nan jitter then
+    invalid_arg "Network.impairment: negative jitter";
+  { loss; duplicate; jitter }
 
 type t = {
   engine : Sim.Engine.t;
@@ -8,6 +20,11 @@ type t = {
   routers : Router.t Asn.Map.t;
   (* failed peerings, stored under the (min, max) endpoint pair *)
   down_links : (Asn.t * Asn.t, unit) Hashtbl.t;
+  (* crashed routers *)
+  down_routers : (Asn.t, unit) Hashtbl.t;
+  (* per-link message impairments, each with its own randomness stream *)
+  impairments : (Asn.t * Asn.t, impairment * Rng.t) Hashtbl.t;
+  metrics : Obs.Registry.t;
 }
 
 (* Deterministic per-link jitter in [0, 0.25): breaks the timing symmetry
@@ -44,6 +61,19 @@ module Config = struct
   let with_metrics metrics t = { t with metrics }
 end
 
+(* Fault metrics are registered lazily, at the first fault: a run that
+   injects nothing exports exactly the same sample set as before the fault
+   layer existed. *)
+let bump ?labels t name =
+  Obs.Registry.Counter.incr (Obs.Registry.counter t.metrics ?labels name)
+
+let note_drop t reason =
+  bump t ~labels:[ ("reason", reason) ] "net_messages_dropped"
+
+let link_key a b = if a < b then (a, b) else (b, a)
+let link_is_up t a b = not (Hashtbl.mem t.down_links (link_key a b))
+let router_is_up t asn = not (Hashtbl.mem t.down_routers asn)
+
 let make ?(config = Config.default) graph =
   let { Config.policy_of; validator_of; mrai_of; damping_of; link_delay; metrics }
       =
@@ -60,21 +90,53 @@ let make ?(config = Config.default) graph =
         Asn.Map.add asn router acc)
       graph Asn.Map.empty
   in
-  let t = { engine; graph; routers; down_links = Hashtbl.create 8 } in
+  let t =
+    {
+      engine;
+      graph;
+      routers;
+      down_links = Hashtbl.create 8;
+      down_routers = Hashtbl.create 8;
+      impairments = Hashtbl.create 8;
+      metrics;
+    }
+  in
   Asn.Map.iter
     (fun asn router ->
       Asn.Set.iter (Router.add_peer router) (Topology.As_graph.neighbors graph asn);
-      let send ~peer update =
-        let delay = link_delay asn peer in
-        if delay <= 0.0 then invalid_arg "Network: link delay must be positive";
+      let link = link_key asn in
+      let deliver ~peer update delay =
         Sim.Engine.schedule engine ~delay (fun engine ->
-            (* a message in flight when the session fails is lost *)
-            let link = if asn < peer then (asn, peer) else (peer, asn) in
-            if not (Hashtbl.mem t.down_links link) then
+            (* a message in flight when the session fails or an endpoint
+               crashes is lost with the TCP connection *)
+            if Hashtbl.mem t.down_links (link peer) then note_drop t "link_down"
+            else if
+              Hashtbl.mem t.down_routers peer || Hashtbl.mem t.down_routers asn
+            then note_drop t "router_down"
+            else
               match Asn.Map.find_opt peer t.routers with
               | Some receiver ->
                 Router.handle_update receiver ~now:(Sim.Engine.now engine) update
               | None -> ())
+      in
+      let send ~peer update =
+        let delay = link_delay asn peer in
+        if delay <= 0.0 then invalid_arg "Network: link delay must be positive";
+        match Hashtbl.find_opt t.impairments (link peer) with
+        | None -> deliver ~peer update delay
+        | Some (imp, rng) ->
+          if imp.loss > 0.0 && Rng.chance rng imp.loss then note_drop t "loss"
+          else begin
+            let jittered () =
+              if imp.jitter > 0.0 then delay +. Rng.float rng imp.jitter
+              else delay
+            in
+            deliver ~peer update (jittered ());
+            if imp.duplicate > 0.0 && Rng.chance rng imp.duplicate then begin
+              bump t "net_messages_duplicated";
+              deliver ~peer update (jittered ())
+            end
+          end
       in
       let schedule ~delay k =
         Sim.Engine.schedule engine ~delay (fun engine -> k (Sim.Engine.now engine))
@@ -82,21 +144,6 @@ let make ?(config = Config.default) graph =
       Router.set_transport router ~send ~schedule)
     routers;
   t
-
-(* deprecated pre-Config constructor, kept for one release *)
-let create ?policy_of ?validator_of ?mrai_of ?damping_of ?link_delay graph =
-  let set value f config =
-    match value with Some v -> f v config | None -> config
-  in
-  let config =
-    Config.default
-    |> set policy_of Config.with_policy_of
-    |> set validator_of Config.with_validator_of
-    |> set mrai_of Config.with_mrai_of
-    |> set damping_of Config.with_damping_of
-    |> set link_delay Config.with_link_delay
-  in
-  make ~config graph
 
 let engine t = t.engine
 let graph t = t.graph
@@ -123,35 +170,106 @@ let withdraw ?(at = 0.0) t asn prefix =
   Sim.Engine.schedule_at t.engine ~time:at (fun engine ->
       Router.withdraw_origin r ~now:(Sim.Engine.now engine) prefix)
 
-let link_key a b = if a < b then (a, b) else (b, a)
-
 let check_peering t a b =
   if not (Topology.As_graph.mem_edge t.graph a b) then
     invalid_arg
       (Printf.sprintf "Network: %s and %s do not peer" (Asn.to_string a)
          (Asn.to_string b))
 
-let link_is_up t a b = not (Hashtbl.mem t.down_links (link_key a b))
+let check_member t asn =
+  if not (Topology.As_graph.mem_node t.graph asn) then
+    invalid_arg
+      (Printf.sprintf "Network: %s is not in the topology" (Asn.to_string asn))
+
+(* ---------------- fault primitives (applied at the current time) -------- *)
+
+let fail_link_now t a b =
+  check_peering t a b;
+  if link_is_up t a b then begin
+    Hashtbl.replace t.down_links (link_key a b) ();
+    bump t "net_sessions_down";
+    let now = Sim.Engine.now t.engine in
+    (* peer_down on a crashed endpoint is a no-op: its session set is
+       already empty *)
+    Router.peer_down (router t a) ~now b;
+    Router.peer_down (router t b) ~now a
+  end
+
+let restore_link_now t a b =
+  check_peering t a b;
+  if not (link_is_up t a b) then begin
+    Hashtbl.remove t.down_links (link_key a b);
+    (* a session needs both endpoints alive; with one crashed the link is
+       merely repaired and the session waits for the restart *)
+    if router_is_up t a && router_is_up t b then begin
+      bump t "net_sessions_up";
+      let now = Sim.Engine.now t.engine in
+      Router.peer_up (router t a) ~now b;
+      Router.peer_up (router t b) ~now a
+    end
+  end
+
+let crash_router_now t asn =
+  check_member t asn;
+  if router_is_up t asn then begin
+    Hashtbl.replace t.down_routers asn ();
+    bump t "net_router_crashes";
+    let now = Sim.Engine.now t.engine in
+    Router.crash (router t asn);
+    Asn.Set.iter
+      (fun n ->
+        if link_is_up t asn n && router_is_up t n then begin
+          bump t "net_sessions_down";
+          Router.peer_down (router t n) ~now asn
+        end)
+      (Topology.As_graph.neighbors t.graph asn)
+  end
+
+let restart_router_now t asn =
+  check_member t asn;
+  if not (router_is_up t asn) then begin
+    Hashtbl.remove t.down_routers asn;
+    bump t "net_router_restarts";
+    let now = Sim.Engine.now t.engine in
+    Router.restart (router t asn) ~now;
+    Asn.Set.iter
+      (fun n ->
+        if link_is_up t asn n && router_is_up t n then begin
+          bump t "net_sessions_up";
+          Router.peer_up (router t asn) ~now n;
+          Router.peer_up (router t n) ~now asn
+        end)
+      (Topology.As_graph.neighbors t.graph asn)
+  end
+
+let impair_link t ~rng a b imp =
+  check_peering t a b;
+  Hashtbl.replace t.impairments (link_key a b) (imp, rng)
+
+let clear_link_impairment t a b =
+  check_peering t a b;
+  Hashtbl.remove t.impairments (link_key a b)
+
+let link_impairment t a b =
+  Option.map fst (Hashtbl.find_opt t.impairments (link_key a b))
+
+(* ---------------- scheduled wrappers ----------------------------------- *)
 
 let fail_link ?(at = 0.0) t a b =
   check_peering t a b;
-  Sim.Engine.schedule_at t.engine ~time:at (fun engine ->
-      if link_is_up t a b then begin
-        Hashtbl.replace t.down_links (link_key a b) ();
-        let now = Sim.Engine.now engine in
-        Router.peer_down (router t a) ~now b;
-        Router.peer_down (router t b) ~now a
-      end)
+  Sim.Engine.schedule_at t.engine ~time:at (fun _ -> fail_link_now t a b)
 
 let restore_link ?(at = 0.0) t a b =
   check_peering t a b;
-  Sim.Engine.schedule_at t.engine ~time:at (fun engine ->
-      if not (link_is_up t a b) then begin
-        Hashtbl.remove t.down_links (link_key a b);
-        let now = Sim.Engine.now engine in
-        Router.peer_up (router t a) ~now b;
-        Router.peer_up (router t b) ~now a
-      end)
+  Sim.Engine.schedule_at t.engine ~time:at (fun _ -> restore_link_now t a b)
+
+let crash_router ?(at = 0.0) t asn =
+  check_member t asn;
+  Sim.Engine.schedule_at t.engine ~time:at (fun _ -> crash_router_now t asn)
+
+let restart_router ?(at = 0.0) t asn =
+  check_member t asn;
+  Sim.Engine.schedule_at t.engine ~time:at (fun _ -> restart_router_now t asn)
 
 let run ?(max_events = 10_000_000) t = Sim.Engine.run ~max_events t.engine
 

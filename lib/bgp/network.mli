@@ -1,7 +1,14 @@
 (** A BGP network: one {!Router} per AS of an {!Topology.As_graph.t},
     connected through the discrete-event engine with per-link message
     latency.  This corresponds to the paper's SSFnet set-up, where each
-    simulation node is one AS and each link a BGP peering. *)
+    simulation node is one AS and each link a BGP peering.
+
+    The network also owns the fault surface the [faults] library drives:
+    sessions can fail and recover, routers can crash and restart, and
+    individual links can be impaired with probabilistic message loss,
+    duplication and delay jitter.  A network with no faults configured
+    behaves exactly as one built before the fault layer existed
+    (pay-for-what-you-use), and registers no fault metrics. *)
 
 open Net
 
@@ -11,6 +18,21 @@ type t
 type link_delay = Asn.t -> Asn.t -> float
 (** Message latency of the session between two ASes (called with the
     sender first); must be positive. *)
+
+type impairment = {
+  loss : float;  (** probability each message is dropped, in [0,1] *)
+  duplicate : float;  (** probability each delivered message is doubled *)
+  jitter : float;  (** extra delay drawn uniformly from [0, jitter) *)
+}
+(** Probabilistic per-link message impairment.  Loss is decided first;
+    a delivered message is then jittered and possibly duplicated (the
+    duplicate gets its own jitter draw, so copies may reorder). *)
+
+val impairment :
+  ?loss:float -> ?duplicate:float -> ?jitter:float -> unit -> impairment
+(** Build an impairment (all fields default to 0).
+    @raise Invalid_argument on probabilities outside [0,1] or negative
+    jitter. *)
 
 (** Per-network construction knobs, gathered in one record so that a new
     knob (the obs registry being the first) widens this type rather than
@@ -53,21 +75,6 @@ val make : ?config:Config.t -> Topology.As_graph.t -> t
 (** Build a router per AS and a session per edge, configured by
     [config] (default {!Config.default}). *)
 
-val create :
-  ?policy_of:(Asn.t -> Policy.t) ->
-  ?validator_of:(Asn.t -> Router.validator option) ->
-  ?mrai_of:(Asn.t -> float) ->
-  ?damping_of:(Asn.t -> Router.damping option) ->
-  ?link_delay:link_delay ->
-  Topology.As_graph.t ->
-  t
-[@@alert deprecated
-    "Network.create's parallel optional arguments are superseded by \
-     Network.make with a Network.Config.t; this wrapper will be removed \
-     next release."]
-(** Deprecated equivalent of {!make}: each optional argument overrides
-    the corresponding {!Config.default} field. *)
-
 val engine : t -> Sim.Engine.t
 (** The underlying event engine (for custom scheduling). *)
 
@@ -91,10 +98,21 @@ val originate :
   Prefix.t ->
   unit
 (** Schedule an origination of [prefix] by the AS at time [at] (default 0).
-    [as_path] forges the announced path (see {!Route.originate}). *)
+    [as_path] forges the announced path (see {!Route.originate}).  An
+    origination executing while the router is crashed still enters its
+    startup configuration (and local table) but propagates nowhere until
+    {!restart_router}. *)
 
 val withdraw : ?at:float -> t -> Asn.t -> Prefix.t -> unit
 (** Schedule the AS to stop originating the prefix. *)
+
+(** {2 Faults}
+
+    Each fault has a scheduled form ([?at], going through the engine — the
+    composable surface {!Fault_plan} builds on) and an immediate [_now]
+    form applying at the engine's current time (the primitive an injector
+    calls from inside its own scheduled events, so that fault events can
+    be cancelled without leaving stale network actions in the queue). *)
 
 val fail_link : ?at:float -> t -> Asn.t -> Asn.t -> unit
 (** Schedule a session failure on the peering between two ASes: both ends
@@ -103,10 +121,54 @@ val fail_link : ?at:float -> t -> Asn.t -> Asn.t -> unit
 
 val restore_link : ?at:float -> t -> Asn.t -> Asn.t -> unit
 (** Schedule the re-establishment of a failed session; both ends perform
-    the initial table exchange. *)
+    the initial table exchange.  If an endpoint router is crashed only the
+    link is repaired: the session comes back with its {!restart_router}. *)
+
+val fail_link_now : t -> Asn.t -> Asn.t -> unit
+(** Apply a link failure at the engine's current time (idempotent while
+    down). *)
+
+val restore_link_now : t -> Asn.t -> Asn.t -> unit
+(** Apply a link repair at the engine's current time (idempotent while
+    up). *)
+
+val crash_router : ?at:float -> t -> Asn.t -> unit
+(** Schedule a router crash: its RIBs, sessions, MRAI timers and damping
+    state are lost; every live neighbour tears its session down and
+    withdraws the routes it had learned from the AS.  In-flight messages
+    from or to the router are lost.  Static configuration (originated
+    prefixes, aggregates, policy, validator) survives for the restart.
+    @raise Invalid_argument for an AS outside the topology. *)
+
+val restart_router : ?at:float -> t -> Asn.t -> unit
+(** Schedule the reboot of a crashed router: it re-installs its configured
+    originations and re-establishes a session over every up link to every
+    live neighbour (table exchange both ways). *)
+
+val crash_router_now : t -> Asn.t -> unit
+(** Apply a crash at the engine's current time (idempotent while down). *)
+
+val restart_router_now : t -> Asn.t -> unit
+(** Apply a restart at the engine's current time (idempotent while up). *)
+
+val impair_link : t -> rng:Mutil.Rng.t -> Asn.t -> Asn.t -> impairment -> unit
+(** Install (or replace) a message impairment on a peering, effective
+    immediately for subsequently sent messages.  All probabilistic draws
+    come from [rng] — supply a dedicated split so runs stay reproducible.
+    @raise Invalid_argument if the ASes do not peer. *)
+
+val clear_link_impairment : t -> Asn.t -> Asn.t -> unit
+(** Remove a link's impairment (messages already in flight keep any jitter
+    they were scheduled with). *)
+
+val link_impairment : t -> Asn.t -> Asn.t -> impairment option
+(** The impairment currently installed on a peering, if any. *)
 
 val link_is_up : t -> Asn.t -> Asn.t -> bool
 (** Current state of a peering (true unless failed). *)
+
+val router_is_up : t -> Asn.t -> bool
+(** Current state of a router (true unless crashed). *)
 
 val run : ?max_events:int -> t -> Sim.Engine.outcome
 (** Run the engine until quiescence (BGP convergence) or the event budget

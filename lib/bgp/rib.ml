@@ -49,6 +49,10 @@ let loc_rib_trie t = t.loc
 let prefixes_in t =
   Prefix.Map.fold (fun p _ acc -> Prefix.Set.add p acc) t.adj_in Prefix.Set.empty
 
+let clear t =
+  t.adj_in <- Prefix.Map.empty;
+  t.loc <- Prefix_trie.empty
+
 let flush_peer t ~peer =
   let affected =
     Prefix.Map.fold

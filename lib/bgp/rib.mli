@@ -43,6 +43,9 @@ val loc_rib_trie : t -> Route.t Net.Prefix_trie.t
 val prefixes_in : t -> Prefix.Set.t
 (** Prefixes that currently have at least one Adj-RIB-In candidate. *)
 
+val clear : t -> unit
+(** Drop everything — Adj-RIB-In and Loc-RIB alike (router crash). *)
+
 val flush_peer : t -> peer:Asn.t -> Prefix.t list
 (** Drop every Adj-RIB-In entry learned from [peer] (session loss) and
     return the prefixes that were affected. *)

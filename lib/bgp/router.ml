@@ -406,6 +406,23 @@ let peer_up t ~now peer =
       (Rib.best_bindings t.rib)
   end
 
+let crash t =
+  (* everything protocol-level dies with the process; the static
+     configuration — originated prefixes, aggregation rules, policy,
+     validator — survives in NVRAM for [restart] *)
+  Rib.clear t.rib;
+  t.peer_set <- Asn.Set.empty;
+  t.advertised <- Asn.Map.empty;
+  t.deferred <- Asn.Map.empty;
+  t.last_batch <- Asn.Map.empty;
+  Hashtbl.reset t.flaps
+
+let restart t ~now =
+  (* re-install the configured originations; with no sessions yet nothing
+     is advertised — the network layer brings peers up afterwards *)
+  Prefix.Map.iter (fun prefix _ -> reselect t ~now prefix) t.originated;
+  Prefix.Set.iter (fun summary -> refresh_aggregate t ~now summary) t.aggregates
+
 (* ------------------------------------------------------------------ *)
 (* Inputs *)
 

@@ -120,6 +120,19 @@ val peer_up : t -> now:float -> Asn.t -> unit
 (** (Re-)establish a session: register the peer and advertise the current
     Loc-RIB to it, as a BGP speaker does after session establishment. *)
 
+val crash : t -> unit
+(** The router process dies: RIBs, session set, advertisement memory, MRAI
+    timers and damping state are all lost.  Static configuration
+    (originated prefixes, aggregation rules, policy, validator) survives —
+    it lives in the startup config, not the process.  Peers must be told
+    separately ({!peer_down} on each neighbour); the network layer does
+    this. *)
+
+val restart : t -> now:float -> unit
+(** Boot after a {!crash}: re-install the configured originations and
+    aggregates into the Loc-RIB.  Sessions are still down; bring each back
+    with {!peer_up} (on both ends) to trigger the table exchange. *)
+
 val configure_aggregate : t -> now:float -> Prefix.t -> unit
 (** Configure route aggregation for a summary prefix: whenever the Loc-RIB
     holds at least one route strictly inside the summary, the router

@@ -54,6 +54,27 @@ let schedule_at t ~time h =
   Event_queue.push t.queue ~time h;
   note_depth t
 
+(* Cancellation is a wrapper, not a queue operation: the entry stays in the
+   heap (removal from a binary heap is O(n)) and its handler checks the
+   handle when popped.  A cancelled event therefore still counts as one
+   executed event when its (empty) slot is reached. *)
+type handle = { mutable armed : bool }
+
+let cancel handle = handle.armed <- false
+let is_cancelled handle = not handle.armed
+
+let guard handle h engine = if handle.armed then h engine
+
+let schedule_cancellable t ~delay h =
+  let handle = { armed = true } in
+  schedule t ~delay (guard handle h);
+  handle
+
+let schedule_at_cancellable t ~time h =
+  let handle = { armed = true } in
+  schedule_at t ~time (guard handle h);
+  handle
+
 let pending t = Event_queue.length t.queue
 let events_executed t = t.executed
 let queue_high_water t = t.queue_hwm

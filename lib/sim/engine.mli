@@ -35,6 +35,27 @@ val schedule : t -> delay:float -> handler -> unit
 val schedule_at : t -> time:float -> handler -> unit
 (** Schedule at an absolute time, which must not be in the past. *)
 
+type handle
+(** A cancellation handle for an event scheduled with
+    {!schedule_cancellable} or {!schedule_at_cancellable}. *)
+
+val schedule_cancellable : t -> delay:float -> handler -> handle
+(** Like {!schedule}, returning a handle that can retract the event before
+    it fires.  The fault injector uses this so that e.g. a link repair can
+    cancel a pending flap cycle. *)
+
+val schedule_at_cancellable : t -> time:float -> handler -> handle
+(** Like {!schedule_at} with a cancellation handle. *)
+
+val cancel : handle -> unit
+(** Retract the event: when its queue slot is reached the handler is
+    skipped.  Idempotent; safe after the event already fired and safe
+    across {!reset} (the queue entry is gone, the handle is inert).  A
+    cancelled-but-reached slot still counts towards {!events_executed}. *)
+
+val is_cancelled : handle -> bool
+(** Whether {!cancel} was called on the handle. *)
+
 val pending : t -> int
 (** Number of scheduled events not yet executed. *)
 

@@ -168,21 +168,18 @@ let test_counters () =
 
 (* ---------------- network integration ---------------- *)
 
-(* The deprecated labelled-argument constructor must keep compiling (it
-   is kept for one release) and behave exactly like Network.make with
-   the equivalent Config. *)
-module Legacy = struct
-  [@@@alert "-deprecated"]
-
-  let create_line () =
-    Network.create
-      ~mrai_of:(fun _ -> 0.0)
-      ~link_delay:(fun _ _ -> 1.0)
+(* Network.make with an explicit Config (the former Network.create
+   labelled-argument wrapper was removed after its deprecation release). *)
+let test_configured_make () =
+  let net =
+    Network.make
+      ~config:
+        Network.Config.(
+          default
+          |> with_mrai_of (fun _ -> 0.0)
+          |> with_link_delay (fun _ _ -> 1.0))
       (Topology.As_graph.of_edges [ (1, 2); (2, 3); (3, 4) ])
-end
-
-let test_legacy_create_wrapper () =
-  let net = Legacy.create_line () in
+  in
   Network.originate net 1 victim;
   Alcotest.(check bool) "quiescent" true (Network.run net = Sim.Engine.Quiescent);
   List.iter
@@ -241,6 +238,60 @@ let test_network_withdraw_ripples () =
         true
         (Network.best_route net asn victim = None))
     [ 1; 2; 3 ]
+
+let test_withdraw_origin_reaches_every_as () =
+  (* a withdrawal must ripple to every AS of a real topology, not just a
+     short line: the 25-AS paper topology ends route-free everywhere *)
+  let t = Topology.Paper_topologies.topology_25 () in
+  let net = Network.make t.Topology.Paper_topologies.graph in
+  let origin = Asn.Set.min_elt t.Topology.Paper_topologies.stub in
+  Network.originate ~at:0.0 net origin victim;
+  Network.withdraw ~at:50.0 net origin victim;
+  Alcotest.(check bool) "converged" true (Network.run net = Sim.Engine.Quiescent);
+  Topology.As_graph.fold_nodes
+    (fun asn () ->
+      Alcotest.(check bool)
+        (Printf.sprintf "AS%d route gone" asn)
+        true
+        (Network.best_route net asn victim = None))
+    t.Topology.Paper_topologies.graph ()
+
+let test_withdraw_origin_reselects_second_origin () =
+  (* anycast: when one of two origins withdraws, every AS fails over to
+     the surviving origin instead of losing the prefix *)
+  let g = Topology.As_graph.of_edges [ (1, 2); (2, 3); (3, 4); (4, 5) ] in
+  let net = Network.make g in
+  Network.originate ~at:0.0 net 1 victim;
+  Network.originate ~at:0.0 net 5 victim;
+  Network.withdraw ~at:50.0 net 1 victim;
+  ignore (Network.run net);
+  List.iter
+    (fun asn ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "AS%d fails over to the surviving origin" asn)
+        (Some 5)
+        (Network.best_origin net asn victim))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_withdraw_origin_keeps_other_prefixes () =
+  let other = Prefix.of_string "198.51.100.0/24" in
+  let g = Topology.As_graph.of_edges [ (1, 2); (2, 3); (3, 4); (4, 5) ] in
+  let net = Network.make g in
+  Network.originate ~at:0.0 net 1 victim;
+  Network.originate ~at:0.0 net 1 other;
+  Network.withdraw ~at:50.0 net 1 victim;
+  ignore (Network.run net);
+  List.iter
+    (fun asn ->
+      Alcotest.(check bool)
+        (Printf.sprintf "AS%d dropped the withdrawn prefix" asn)
+        true
+        (Network.best_route net asn victim = None);
+      Alcotest.(check bool)
+        (Printf.sprintf "AS%d keeps the untouched prefix" asn)
+        true
+        (Network.best_route net asn other <> None))
+    [ 1; 2; 3; 4; 5 ]
 
 let test_network_two_origins_anycast () =
   (* valid MOAS: both ends of a line originate; the middle splits *)
@@ -332,13 +383,18 @@ let () =
           Alcotest.test_case "ring shortest side" `Quick
             test_network_ring_prefers_short_side;
           Alcotest.test_case "withdraw ripples" `Quick test_network_withdraw_ripples;
+          Alcotest.test_case "withdraw reaches every AS" `Quick
+            test_withdraw_origin_reaches_every_as;
+          Alcotest.test_case "withdraw reselects second origin" `Quick
+            test_withdraw_origin_reselects_second_origin;
+          Alcotest.test_case "withdraw keeps other prefixes" `Quick
+            test_withdraw_origin_keeps_other_prefixes;
           Alcotest.test_case "two-origin anycast" `Quick test_network_two_origins_anycast;
           Alcotest.test_case "paper topologies converge" `Slow
             test_network_converges_on_paper_topologies;
           Alcotest.test_case "paths are shortest" `Slow
             test_network_path_lengths_match_bfs;
           Alcotest.test_case "MRAI invariance" `Quick test_network_mrai_converges_same;
-          Alcotest.test_case "legacy create wrapper" `Quick
-            test_legacy_create_wrapper;
+          Alcotest.test_case "configured make" `Quick test_configured_make;
         ] );
     ]

@@ -171,6 +171,47 @@ let test_engine_reset_discards_pending () =
   Alcotest.(check int) "counter counts only the new run" 1
     (Engine.events_executed engine)
 
+let test_engine_cancel_before_fire () =
+  let engine = Engine.create () in
+  let ran = ref 0 in
+  let handle = Engine.schedule_cancellable engine ~delay:1.0 (fun _ -> incr ran) in
+  Engine.schedule engine ~delay:2.0 (fun _ -> incr ran);
+  Alcotest.(check bool) "not cancelled yet" false (Engine.is_cancelled handle);
+  Engine.cancel handle;
+  Alcotest.(check bool) "marked cancelled" true (Engine.is_cancelled handle);
+  let outcome = Engine.run engine in
+  Alcotest.(check bool) "quiescent" true (outcome = Engine.Quiescent);
+  Alcotest.(check int) "only the live event ran" 1 !ran;
+  (* the cancelled slot is still drained through the queue *)
+  Alcotest.(check int) "slot counted" 2 (Engine.events_executed engine)
+
+let test_engine_cancel_from_handler () =
+  (* an earlier event retracts a later one mid-run — the injector's stop *)
+  let engine = Engine.create () in
+  let ran = ref 0 in
+  let handle =
+    Engine.schedule_at_cancellable engine ~time:5.0 (fun _ -> incr ran)
+  in
+  Engine.schedule_at engine ~time:1.0 (fun _ -> Engine.cancel handle);
+  ignore (Engine.run engine);
+  Alcotest.(check int) "retracted event never ran" 0 !ran
+
+let test_engine_cancel_after_fire_is_inert () =
+  let engine = Engine.create () in
+  let ran = ref 0 in
+  let handle = Engine.schedule_cancellable engine ~delay:1.0 (fun _ -> incr ran) in
+  ignore (Engine.run engine);
+  Alcotest.(check int) "event ran" 1 !ran;
+  (* cancelling after the fact (or twice) is a safe no-op *)
+  Engine.cancel handle;
+  Engine.cancel handle;
+  Alcotest.(check bool) "reports cancelled" true (Engine.is_cancelled handle);
+  Engine.reset engine;
+  Engine.cancel handle;
+  Engine.schedule engine ~delay:1.0 (fun _ -> incr ran);
+  ignore (Engine.run engine);
+  Alcotest.(check int) "fresh events unaffected" 2 !ran
+
 let test_trace () =
   let tr = Trace.create () in
   Trace.record tr ~time:1.0 "a";
@@ -204,6 +245,12 @@ let () =
           Alcotest.test_case "reset" `Quick test_engine_reset;
           Alcotest.test_case "reset discards pending state" `Quick
             test_engine_reset_discards_pending;
+          Alcotest.test_case "cancel before fire" `Quick
+            test_engine_cancel_before_fire;
+          Alcotest.test_case "cancel from a handler" `Quick
+            test_engine_cancel_from_handler;
+          Alcotest.test_case "cancel after fire is inert" `Quick
+            test_engine_cancel_after_fire_is_inert;
         ] );
       ("trace", [ Alcotest.test_case "record/filter" `Quick test_trace ]);
       ("properties", [ prop_queue_sorted; prop_queue_fifo_on_ties ]);
