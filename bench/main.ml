@@ -3,12 +3,15 @@
    of instrumented convergence workloads through the lib/obs metrics
    registry, dumps everything as JSON lines (BENCH_1.json), then runs one
    Bechamel micro-benchmark per experiment workload plus a few for the
-   core primitives.
+   core primitives, and finishes with the large-topology scaling suite
+   (generated 200/500/1000-AS internets at several Exec.Pool job counts,
+   dumped to BENCH_3.json).
 
    Run with: dune exec bench/main.exe
-   Smoke mode (figures + metrics dump, no Bechamel):
+   Smoke mode (figures + metrics dump, no Bechamel, no scaling):
      dune exec bench/main.exe -- --smoke
-   or: dune build @bench-smoke *)
+   or: dune build @bench-smoke
+   Scaling suite alone: dune exec bench/main.exe -- --scaling-only *)
 
 open Bechamel
 open Toolkit
@@ -25,7 +28,7 @@ let banner title =
 (* ------------------------------------------------------------------ *)
 (* Part 1: regenerate the paper's tables and figures.                  *)
 
-let regenerate_figures ?(tracer = Obs.Span.noop) () =
+let regenerate_figures ?(tracer = Obs.Span.noop) ?jobs () =
   banner "Topologies (Section 5.1)";
   List.iter
     (fun t -> say "%s" (Topology.Paper_topologies.describe t))
@@ -42,20 +45,21 @@ let regenerate_figures ?(tracer = Obs.Span.noop) () =
   banner "Experiment 1 (Figure 9): MOAS list effectiveness, 46-AS";
   List.iter
     (fun f -> print_string (Experiments.Figures.render f))
-    (Experiments.Figures.figure9 ~tracer ());
+    (Experiments.Figures.figure9 ?jobs ~tracer ());
   banner "Experiment 2 (Figure 10): topology sizes";
   List.iter
     (fun f -> print_string (Experiments.Figures.render f))
-    (Experiments.Figures.figure10 ~tracer ());
+    (Experiments.Figures.figure10 ?jobs ~tracer ());
   banner "Experiment 3 (Figure 11): partial deployment";
   List.iter
     (fun f -> print_string (Experiments.Figures.render f))
-    (Experiments.Figures.figure11 ~tracer ());
+    (Experiments.Figures.figure11 ?jobs ~tracer ());
   banner "Headline statistics (paper vs measured)";
-  print_string (Experiments.Figures.summary_table ~tracer ());
+  print_string (Experiments.Figures.summary_table ?jobs ~tracer ());
   banner "Ablations (Sections 4.3-4.4)";
   print_string
-    (Obs.Span.with_span tracer "ablations" Experiments.Ablation.render_all);
+    (Obs.Span.with_span tracer "ablations" (fun () ->
+         Experiments.Ablation.render_all ?jobs ()));
   banner "Fault-event detection on the Figure 4 series";
   print_string
     (Measurement.Anomaly.render (Measurement.Anomaly.spikes_of_summary summary));
@@ -333,25 +337,183 @@ let run_microbenches () =
   print_string (Mutil.Text_table.render ~header:[ "benchmark"; "time/run" ] rows)
 
 (* ------------------------------------------------------------------ *)
+(* Part 5: large-topology scaling suite (BENCH_3.json).  Generated
+   internets well beyond the paper's 63-AS meshes, full MOAS deployment,
+   a fixed batch of runs executed on the Exec.Pool at increasing job
+   counts.  Wall-clock and merged event counters go to JSON lines; the
+   determinism contract (identical outcomes at every job count) is
+   checked on the way. *)
+
+let scaling_sizes = [ (200, 4); (500, 10); (1000, 20) ]
+let scaling_runs = 8
+let scaling_jobs = [ 1; 2; 4; 8 ]
+
+let scaling_params size =
+  (* keep the generator's three-tier shape while scaling the node count:
+     ~2% tier-1 backbones, ~10% tier-2 transits, the rest stubs *)
+  let tier1 = max 3 (size / 50) in
+  let tier2 = max 8 (size / 10) in
+  {
+    Topology.Generate.default_params with
+    Topology.Generate.tier1_count = tier1;
+    tier2_count = tier2;
+    stub_count = size - tier1 - tier2;
+  }
+
+let run_scaling ~out () =
+  banner "Large-topology scaling (generated internets, Full MOAS)";
+  say "   cores online: %d (Domain.recommended_domain_count)"
+    (Domain.recommended_domain_count ());
+  let cores = string_of_int (Domain.recommended_domain_count ()) in
+  let oc = open_out out in
+  List.iter
+    (fun (size, n_attackers) ->
+      let internet =
+        Topology.Generate.generate
+          (Mutil.Rng.of_int (0x5CA1 + size))
+          (scaling_params size)
+      in
+      let graph = internet.Topology.Generate.graph in
+      say "";
+      say "-- %d ASes (%d links, %d stubs): %d runs, %d attackers each --"
+        (Topology.As_graph.node_count graph)
+        (Topology.As_graph.edge_count graph)
+        (Asn.Set.cardinal internet.Topology.Generate.stub)
+        scaling_runs n_attackers;
+      let root = Mutil.Rng.of_int (0xBEAC + size) in
+      (* one batch per job count; every task builds its own scenario,
+         registry and engine from a pre-split stream, so the batch result
+         is identical at every job count *)
+      let batch jobs =
+        let t0 = Unix.gettimeofday () in
+        let results =
+          Exec.Pool.map ~jobs
+            (fun r ->
+              let rng = Mutil.Rng.split_at root r in
+              let scenario =
+                Attack.Scenario.random rng ~graph
+                  ~stub:internet.Topology.Generate.stub ~n_origins:1
+                  ~n_attackers ~deployment:Moas.Deployment.Full
+              in
+              let metrics = Obs.Registry.create () in
+              let outcome = Attack.Scenario.run ~metrics rng scenario in
+              (metrics, outcome))
+            (Array.init scaling_runs Fun.id)
+        in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        let merged = Obs.Registry.create () in
+        Array.iter (fun (m, _) -> Obs.Registry.merge ~into:merged m) results;
+        (elapsed, merged, Array.map snd results)
+      in
+      let measured = List.map (fun jobs -> (jobs, batch jobs)) scaling_jobs in
+      let signature outcomes =
+        Array.to_list
+          (Array.map
+             (fun o ->
+               ( o.Attack.Scenario.fraction_adopting,
+                 o.Attack.Scenario.alarm_count,
+                 o.Attack.Scenario.updates_sent,
+                 o.Attack.Scenario.converged_at ))
+             outcomes)
+      in
+      let base =
+        match measured with
+        | (_, (_, _, outcomes)) :: _ -> signature outcomes
+        | [] -> []
+      in
+      let deterministic =
+        List.for_all
+          (fun (_, (_, _, outcomes)) -> signature outcomes = base)
+          measured
+      in
+      let t1, _, _ = List.assoc 1 measured in
+      let events_of merged =
+        Obs.Registry.counter_value merged "sim_events_executed"
+      in
+      print_string
+        (Mutil.Text_table.render
+           ~header:[ "jobs"; "wall clock"; "events/s"; "speedup vs 1 job" ]
+           (List.map
+              (fun (jobs, (elapsed, merged, _)) ->
+                let events = events_of merged in
+                [
+                  string_of_int jobs;
+                  Printf.sprintf "%.3f s" elapsed;
+                  Printf.sprintf "%.0f" (float_of_int events /. elapsed);
+                  Printf.sprintf "%.2fx" (t1 /. elapsed);
+                ])
+              measured));
+      say "   outcomes identical at every job count: %b" deterministic;
+      if not deterministic then (
+        close_out oc;
+        failwith "scaling suite: outcomes differ across job counts");
+      List.iter
+        (fun (jobs, (elapsed, merged, _)) ->
+          let events = events_of merged in
+          let reg = Obs.Registry.create () in
+          Obs.Registry.Gauge.set
+            (Obs.Registry.gauge reg "scaling_wall_clock_seconds")
+            elapsed;
+          Obs.Registry.Counter.add
+            (Obs.Registry.counter reg "scaling_events_executed")
+            events;
+          Obs.Registry.Gauge.set
+            (Obs.Registry.gauge reg "scaling_events_per_second")
+            (float_of_int events /. elapsed);
+          Obs.Registry.Gauge.set
+            (Obs.Registry.gauge reg "scaling_speedup_vs_one_job")
+            (t1 /. elapsed);
+          output_string oc
+            (Obs.Registry.to_json_lines
+               ~extra:
+                 [
+                   ("workload", Printf.sprintf "scaling-%d-as" size);
+                   ("jobs", string_of_int jobs);
+                   ("cores", cores);
+                   ("runs", string_of_int scaling_runs);
+                 ]
+               reg))
+        measured)
+    scaling_sizes;
+  close_out oc;
+  say "";
+  say "scaling dump written to %s" out
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let smoke = ref false in
+  let scaling_only = ref false in
+  let no_scaling = ref false in
   let out = ref "BENCH_1.json" in
+  let scaling_out = ref "BENCH_3.json" in
+  let jobs = ref 0 in
   let spec =
     [
       ("--smoke", Arg.Set smoke, " figures + metrics dump only, skip Bechamel");
       ("--out", Arg.Set_string out, "FILE metrics dump destination (default BENCH_1.json)");
+      ("--scaling-only", Arg.Set scaling_only, " run only the large-topology scaling suite");
+      ("--no-scaling", Arg.Set no_scaling, " skip the large-topology scaling suite");
+      ("--scaling-out", Arg.Set_string scaling_out, "FILE scaling dump destination (default BENCH_3.json)");
+      ("--jobs", Arg.Set_int jobs, "N worker domains for the figure sweeps (default MOAS_JOBS or the core count)");
     ]
   in
   Arg.parse (Arg.align spec)
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "main.exe [--smoke] [--out FILE]";
-  let tracer = Obs.Span.create () in
-  regenerate_figures ~tracer ();
-  let named_registries = run_instrumented_workloads () in
-  banner "Phase timings (lib/obs spans)";
-  print_string (Obs.Span.to_table tracer);
-  write_dump ~out:!out ~tracer named_registries;
-  if not !smoke then run_microbenches ();
+    "main.exe [--smoke] [--out FILE] [--scaling-only] [--no-scaling] [--scaling-out FILE] [--jobs N]";
+  let jobs = if !jobs >= 1 then Some !jobs else None in
+  if !scaling_only then run_scaling ~out:!scaling_out ()
+  else begin
+    let tracer = Obs.Span.create () in
+    regenerate_figures ~tracer ?jobs ();
+    let named_registries = run_instrumented_workloads () in
+    banner "Phase timings (lib/obs spans)";
+    print_string (Obs.Span.to_table tracer);
+    write_dump ~out:!out ~tracer named_registries;
+    if not !smoke then begin
+      run_microbenches ();
+      if not !no_scaling then run_scaling ~out:!scaling_out ()
+    end
+  end;
   say "";
   say "done."

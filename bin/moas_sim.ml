@@ -43,17 +43,22 @@ let run_fig5 () =
   print_string (Measurement.Report.figure5_text summary);
   print_string (Measurement.Report.summary_table summary)
 
-let run_exp1 seed out_dir = print_figures out_dir (Experiments.Figures.figure9 ?seed ())
-let run_exp2 seed out_dir = print_figures out_dir (Experiments.Figures.figure10 ?seed ())
-let run_exp3 seed out_dir = print_figures out_dir (Experiments.Figures.figure11 ?seed ())
+let run_exp1 seed jobs out_dir =
+  print_figures out_dir (Experiments.Figures.figure9 ?seed ?jobs ())
 
-let run_summary seed =
-  print_string (Experiments.Figures.summary_table ?seed ());
+let run_exp2 seed jobs out_dir =
+  print_figures out_dir (Experiments.Figures.figure10 ?seed ?jobs ())
+
+let run_exp3 seed jobs out_dir =
+  print_figures out_dir (Experiments.Figures.figure11 ?seed ?jobs ())
+
+let run_summary seed jobs =
+  print_string (Experiments.Figures.summary_table ?seed ?jobs ());
   say "";
   say "Qualitative claims under reproduction:";
   List.iter (fun c -> say "  - %s" c) Experiments.Paper.claims
 
-let run_ablations () = print_string (Experiments.Ablation.render_all ())
+let run_ablations jobs = print_string (Experiments.Ablation.render_all ?jobs ())
 
 let run_compare () =
   print_string
@@ -130,15 +135,15 @@ let run_simulate size n_origins n_attackers deployment policy seed runs =
       [ "run"; "adoption"; "alarms"; "latency"; "oracle"; "updates"; "ok" ]
     rows
 
-let run_robustness seed smoke =
-  print_string (Experiments.Robustness.report ?seed ~smoke ())
+let run_robustness seed smoke jobs =
+  print_string (Experiments.Robustness.report ?seed ~smoke ?jobs ())
 
 let run_topologies () =
   List.iter
     (fun t -> say "%s" (Topology.Paper_topologies.describe t))
     (Topology.Paper_topologies.all ())
 
-let run_all seed out_dir =
+let run_all seed jobs out_dir =
   say "== Topologies (Section 5.1) ==";
   run_topologies ();
   say "";
@@ -148,16 +153,16 @@ let run_all seed out_dir =
   run_fig5 ();
   say "";
   say "== Experiment 1 (Figure 9) ==";
-  run_exp1 seed out_dir;
+  run_exp1 seed jobs out_dir;
   say "== Experiment 2 (Figure 10) ==";
-  run_exp2 seed out_dir;
+  run_exp2 seed jobs out_dir;
   say "== Experiment 3 (Figure 11) ==";
-  run_exp3 seed out_dir;
+  run_exp3 seed jobs out_dir;
   say "== Headline statistics ==";
-  run_summary seed;
+  run_summary seed jobs;
   say "";
   say "== Ablations (Sections 4.3-4.4) ==";
-  run_ablations ();
+  run_ablations jobs;
   say "";
   say "== Related-work comparison (Sections 2 and 6) ==";
   run_compare ();
@@ -174,6 +179,14 @@ let out_dir_arg =
   let doc = "Directory to write per-figure CSV files into." in
   Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the experiment sweeps (default: $(b,MOAS_JOBS) if \
+     set, else the recommended domain count).  Output is byte-identical at \
+     any job count."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let cmd name ~doc term = Cmd.v (Cmd.info name ~doc) term
 
 let fig4_cmd = cmd "fig4" ~doc:"Figure 4: daily MOAS conflicts, 11/1997-7/2001."
@@ -183,19 +196,19 @@ let fig5_cmd = cmd "fig5" ~doc:"Figure 5: MOAS duration histogram and Section 3 
     Term.(const run_fig5 $ const ())
 
 let exp1_cmd = cmd "exp1" ~doc:"Experiment 1 (Figure 9): MOAS list effectiveness, 46-AS."
-    Term.(const run_exp1 $ seed_arg $ out_dir_arg)
+    Term.(const run_exp1 $ seed_arg $ jobs_arg $ out_dir_arg)
 
 let exp2_cmd = cmd "exp2" ~doc:"Experiment 2 (Figure 10): topology-size comparison."
-    Term.(const run_exp2 $ seed_arg $ out_dir_arg)
+    Term.(const run_exp2 $ seed_arg $ jobs_arg $ out_dir_arg)
 
 let exp3_cmd = cmd "exp3" ~doc:"Experiment 3 (Figure 11): partial deployment."
-    Term.(const run_exp3 $ seed_arg $ out_dir_arg)
+    Term.(const run_exp3 $ seed_arg $ jobs_arg $ out_dir_arg)
 
 let summary_cmd = cmd "summary" ~doc:"Headline paper-vs-measured statistics."
-    Term.(const run_summary $ seed_arg)
+    Term.(const run_summary $ seed_arg $ jobs_arg)
 
 let ablations_cmd = cmd "ablations" ~doc:"Section 4.3/4.4 ablations."
-    Term.(const run_ablations $ const ())
+    Term.(const run_ablations $ jobs_arg)
 
 let compare_cmd = cmd "compare" ~doc:"Head-to-head against S-BGP and IRR filtering baselines."
     Term.(const run_compare $ const ())
@@ -236,13 +249,13 @@ let robustness_cmd =
   cmd "robustness"
     ~doc:"Detection robustness under injected faults: partition, churn and \
           message-loss sweeps."
-    Term.(const run_robustness $ seed_arg $ smoke)
+    Term.(const run_robustness $ seed_arg $ smoke $ jobs_arg)
 
 let topologies_cmd = cmd "topologies" ~doc:"Describe the derived 25/46/63-AS topologies."
     Term.(const run_topologies $ const ())
 
 let all_cmd = cmd "all" ~doc:"Everything: figures 4-5, experiments 1-3, summary, ablations."
-    Term.(const run_all $ seed_arg $ out_dir_arg)
+    Term.(const run_all $ seed_arg $ jobs_arg $ out_dir_arg)
 
 let main_cmd =
   let doc =

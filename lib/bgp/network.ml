@@ -70,7 +70,10 @@ let bump ?labels t name =
 let note_drop t reason =
   bump t ~labels:[ ("reason", reason) ] "net_messages_dropped"
 
-let link_key a b = if a < b then (a, b) else (b, a)
+(* explicit Asn.compare: the polymorphic [<] happened to agree on the
+   abstract Asn.t but monomorphic comparison is both safer and branch-free
+   on ints *)
+let link_key a b = if Asn.compare a b <= 0 then (a, b) else (b, a)
 let link_is_up t a b = not (Hashtbl.mem t.down_links (link_key a b))
 let router_is_up t asn = not (Hashtbl.mem t.down_routers asn)
 

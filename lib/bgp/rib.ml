@@ -3,9 +3,23 @@ open Net
 type t = {
   mutable adj_in : Route.t Asn.Map.t Prefix.Map.t;
   mutable loc : Route.t Prefix_trie.t;
+  (* Loc-RIB cardinality, maintained incrementally: the decision process
+     updates a size gauge on every best-route change and must not pay an
+     O(n) trie walk for it *)
+  mutable loc_count : int;
+  (* inverted Adj-RIB-In index: the prefixes each peer currently
+     contributes a candidate for, so a session loss flushes only that
+     peer's entries instead of scanning every prefix *)
+  mutable by_peer : Prefix.Set.t Asn.Map.t;
 }
 
-let create () = { adj_in = Prefix.Map.empty; loc = Prefix_trie.empty }
+let create () =
+  {
+    adj_in = Prefix.Map.empty;
+    loc = Prefix_trie.empty;
+    loc_count = 0;
+    by_peer = Asn.Map.empty;
+  }
 
 let set_in t ~peer route =
   let prefix = route.Route.prefix in
@@ -14,7 +28,13 @@ let set_in t ~peer route =
       (function
         | Some per_peer -> Some (Asn.Map.add peer route per_peer)
         | None -> Some (Asn.Map.singleton peer route))
-      t.adj_in
+      t.adj_in;
+  t.by_peer <-
+    Asn.Map.update peer
+      (function
+        | Some prefixes -> Some (Prefix.Set.add prefix prefixes)
+        | None -> Some (Prefix.Set.singleton prefix))
+      t.by_peer
 
 let withdraw_in t ~peer prefix =
   t.adj_in <-
@@ -24,25 +44,45 @@ let withdraw_in t ~peer prefix =
           let per_peer = Asn.Map.remove peer per_peer in
           if Asn.Map.is_empty per_peer then None else Some per_peer
         | None -> None)
-      t.adj_in
+      t.adj_in;
+  t.by_peer <-
+    Asn.Map.update peer
+      (function
+        | Some prefixes ->
+          let prefixes = Prefix.Set.remove prefix prefixes in
+          if Prefix.Set.is_empty prefixes then None else Some prefixes
+        | None -> None)
+      t.by_peer
+
+let fold_routes_in t prefix f init =
+  match Prefix.Map.find_opt prefix t.adj_in with
+  | Some per_peer -> Asn.Map.fold (fun _ r acc -> f acc r) per_peer init
+  | None -> init
 
 let routes_in t prefix =
-  match Prefix.Map.find_opt prefix t.adj_in with
-  | Some per_peer -> Asn.Map.fold (fun _ r acc -> r :: acc) per_peer [] |> List.rev
-  | None -> []
+  List.rev (fold_routes_in t prefix (fun acc r -> r :: acc) [])
 
 let peers_with_route t prefix =
   match Prefix.Map.find_opt prefix t.adj_in with
   | Some per_peer -> Asn.Map.fold (fun peer _ acc -> peer :: acc) per_peer [] |> List.rev
   | None -> []
 
-let set_best t route = t.loc <- Prefix_trie.add route.Route.prefix route t.loc
+let set_best t route =
+  let prefix = route.Route.prefix in
+  if not (Prefix_trie.mem prefix t.loc) then t.loc_count <- t.loc_count + 1;
+  t.loc <- Prefix_trie.add prefix route t.loc
 
-let clear_best t prefix = t.loc <- Prefix_trie.remove prefix t.loc
+let clear_best t prefix =
+  if Prefix_trie.mem prefix t.loc then begin
+    t.loc_count <- t.loc_count - 1;
+    t.loc <- Prefix_trie.remove prefix t.loc
+  end
 
 let best t prefix = Prefix_trie.find_opt prefix t.loc
 
 let best_bindings t = Prefix_trie.bindings t.loc
+
+let loc_rib_size t = t.loc_count
 
 let loc_rib_trie t = t.loc
 
@@ -51,14 +91,15 @@ let prefixes_in t =
 
 let clear t =
   t.adj_in <- Prefix.Map.empty;
-  t.loc <- Prefix_trie.empty
+  t.loc <- Prefix_trie.empty;
+  t.loc_count <- 0;
+  t.by_peer <- Asn.Map.empty
 
 let flush_peer t ~peer =
   let affected =
-    Prefix.Map.fold
-      (fun prefix per_peer acc ->
-        if Asn.Map.mem peer per_peer then prefix :: acc else acc)
-      t.adj_in []
+    match Asn.Map.find_opt peer t.by_peer with
+    | Some prefixes -> Prefix.Set.elements prefixes
+    | None -> []
   in
   List.iter (fun prefix -> withdraw_in t ~peer prefix) affected;
-  List.rev affected
+  affected

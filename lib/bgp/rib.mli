@@ -22,6 +22,11 @@ val withdraw_in : t -> peer:Asn.t -> Prefix.t -> unit
 val routes_in : t -> Prefix.t -> Route.t list
 (** All Adj-RIB-In candidates for a prefix, ordered by peer AS number. *)
 
+val fold_routes_in : t -> Prefix.t -> ('acc -> Route.t -> 'acc) -> 'acc -> 'acc
+(** Fold over the Adj-RIB-In candidates for a prefix in peer-AS order —
+    the allocation-free form of {!routes_in} used by the decision
+    process. *)
+
 val peers_with_route : t -> Prefix.t -> Asn.t list
 (** Peers currently contributing a candidate for the prefix. *)
 
@@ -36,6 +41,10 @@ val best : t -> Prefix.t -> Route.t option
 
 val best_bindings : t -> (Prefix.t * Route.t) list
 (** Loc-RIB contents. *)
+
+val loc_rib_size : t -> int
+(** Number of Loc-RIB entries, maintained incrementally — O(1), equal to
+    [List.length (best_bindings t)]. *)
 
 val loc_rib_trie : t -> Route.t Net.Prefix_trie.t
 (** The Loc-RIB as a prefix trie (longest-match forwarding view). *)

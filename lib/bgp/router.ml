@@ -184,28 +184,26 @@ let note_flap t ~now ~peer prefix ~increment =
       else false
     end
 
-let candidates t prefix =
-  let originated =
+(* Candidate iteration: locally originated route first, then the
+   Adj-RIB-In entries in peer-AS order — the same order [candidates]
+   returns, without materializing a list. *)
+let fold_candidates t prefix f init =
+  let init =
     match Prefix.Map.find_opt prefix t.originated with
-    | Some r -> [ r ]
-    | None -> []
+    | Some r -> f init r
+    | None -> init
   in
-  originated @ Rib.routes_in t.rib prefix
+  Rib.fold_routes_in t.rib prefix f init
 
-let valid_candidates t ~now prefix =
-  let all = candidates t prefix in
-  let all =
-    if t.damping = None then all
-    else
-      List.filter
-        (fun r ->
-          Asn.equal r.Route.learned_from t.asn
-          || not (is_suppressed t ~peer:r.Route.learned_from prefix ~now))
-        all
-  in
-  match t.validator with
-  | Some validate -> validate ~now ~prefix all
-  | None -> all
+let candidates t prefix =
+  List.rev (fold_candidates t prefix (fun acc r -> r :: acc) [])
+
+(* damping admission; mutates the flap state exactly as the former
+   List.filter pass did, in the same candidate order *)
+let admitted t ~now prefix r =
+  t.damping = None
+  || Asn.equal r.Route.learned_from t.asn
+  || not (is_suppressed t ~peer:r.Route.learned_from prefix ~now)
 
 let best t prefix = Rib.best t.rib prefix
 
@@ -313,9 +311,46 @@ let advertise_all t ~now prefix =
 
 let rec reselect t ~now prefix =
   Obs.Registry.Counter.incr t.decisions_c;
-  let valid = valid_candidates t ~now prefix in
   let old_best = Rib.best t.rib prefix in
-  let new_best = Decision.best_with_incumbent ~self:t.asn ~incumbent:old_best valid in
+  let new_best =
+    match t.validator with
+    | Some validate ->
+      (* the validator interface consumes the whole candidate list, so
+         this path still materializes it (one cons per admitted route) *)
+      let all =
+        List.rev
+          (fold_candidates t prefix
+             (fun acc r -> if admitted t ~now prefix r then r :: acc else acc)
+             [])
+      in
+      Decision.best_with_incumbent ~self:t.asn ~incumbent:old_best
+        (validate ~now ~prefix all)
+    | None ->
+      (* allocation-free path: stream the candidates through the decision
+         process, tracking the would-be [Decision.best] and whether the
+         incumbent is still admitted — equivalent to
+         [best_with_incumbent ~incumbent:old_best admitted_candidates] *)
+      let challenger, incumbent_admitted =
+        fold_candidates t prefix
+          (fun ((best, seen) as acc) r ->
+            if admitted t ~now prefix r then
+              ( (match best with
+                | None -> Some r
+                | Some b -> if Decision.prefer ~self:t.asn r b < 0 then Some r else best),
+                seen
+                || match old_best with
+                   | Some o -> Route.equal o r
+                   | None -> false )
+            else acc)
+          (None, false)
+      in
+      (match old_best with
+      | Some current when incumbent_admitted ->
+        (match challenger with
+        | Some c when Decision.prefer_attrs c current < 0 -> Some c
+        | Some _ | None -> Some current)
+      | Some _ | None -> challenger)
+  in
   let changed =
     match (new_best, old_best) with
     | None, None -> false
@@ -328,7 +363,7 @@ let rec reselect t ~now prefix =
     | None -> Rib.clear_best t.rib prefix);
     if t.metrics_live then
       Obs.Registry.Gauge.set t.loc_rib_g
-        (float_of_int (List.length (Rib.best_bindings t.rib)));
+        (float_of_int (Rib.loc_rib_size t.rib));
     advertise_all t ~now prefix;
     (* a change to a child route may alter a configured aggregate; the
        summary is strictly shorter, so this recursion terminates *)

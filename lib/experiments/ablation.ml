@@ -28,52 +28,62 @@ let pick_attacker rng topology ~origins =
   in
   Attack.Attacker.make (Rng.pick rng pool)
 
-let community_droppers ?(seed = 0x41424c31L)
+let community_droppers ?(seed = 0x41424c31L) ?jobs
     ?(fractions = [ 0.0; 0.1; 0.2; 0.3; 0.5 ]) ~topology () =
   let root = Rng.create ~seed in
   List.map
     (fun dropper_fraction ->
-      let false_alarms = ref 0 in
-      let missed = ref 0 in
-      let adopting = ref [] in
-      for run = 0 to runs_per_point - 1 do
-        let pick_rng = Rng.split_at root (run * 7) in
-        let origins = scenario_origins pick_rng topology 2 in
-        (* benign run: a legitimate two-origin prefix, nobody attacks;
-           any alarm is a false one caused purely by list stripping *)
-        let benign =
-          Attack.Scenario.make ~deployment:Moas.Deployment.Full
-            ~community_dropper_fraction:dropper_fraction
-            ~graph:topology.Topo.graph ~victim_prefix:victim
-            ~legit_origins:origins ~attackers:[] ()
-        in
-        let benign_outcome =
-          Attack.Scenario.run (Rng.split_at root ((run * 7) + 1)) benign
-        in
-        if benign_outcome.Attack.Scenario.detected then incr false_alarms;
-        (* attacked run: same origins plus one random attacker *)
-        let attacker =
-          pick_attacker (Rng.split_at root ((run * 7) + 2)) topology ~origins
-        in
-        let attacked =
-          Attack.Scenario.make ~deployment:Moas.Deployment.Full
-            ~community_dropper_fraction:dropper_fraction
-            ~graph:topology.Topo.graph ~victim_prefix:victim
-            ~legit_origins:origins ~attackers:[ attacker ] ()
-        in
-        let attacked_outcome =
-          Attack.Scenario.run (Rng.split_at root ((run * 7) + 3)) attacked
-        in
-        if not attacked_outcome.Attack.Scenario.detected then incr missed;
-        adopting :=
-          attacked_outcome.Attack.Scenario.fraction_adopting :: !adopting
-      done;
+      (* every stream below is split from the run index alone, so the
+         benign/attacked run pairs are independent pool tasks *)
+      let results =
+        Exec.Pool.map ?jobs
+          (fun run ->
+            let pick_rng = Rng.split_at root (run * 7) in
+            let origins = scenario_origins pick_rng topology 2 in
+            (* benign run: a legitimate two-origin prefix, nobody attacks;
+               any alarm is a false one caused purely by list stripping *)
+            let benign =
+              Attack.Scenario.make ~deployment:Moas.Deployment.Full
+                ~community_dropper_fraction:dropper_fraction
+                ~graph:topology.Topo.graph ~victim_prefix:victim
+                ~legit_origins:origins ~attackers:[] ()
+            in
+            let benign_outcome =
+              Attack.Scenario.run (Rng.split_at root ((run * 7) + 1)) benign
+            in
+            (* attacked run: same origins plus one random attacker *)
+            let attacker =
+              pick_attacker (Rng.split_at root ((run * 7) + 2)) topology
+                ~origins
+            in
+            let attacked =
+              Attack.Scenario.make ~deployment:Moas.Deployment.Full
+                ~community_dropper_fraction:dropper_fraction
+                ~graph:topology.Topo.graph ~victim_prefix:victim
+                ~legit_origins:origins ~attackers:[ attacker ] ()
+            in
+            let attacked_outcome =
+              Attack.Scenario.run (Rng.split_at root ((run * 7) + 3)) attacked
+            in
+            ( benign_outcome.Attack.Scenario.detected,
+              attacked_outcome.Attack.Scenario.detected,
+              attacked_outcome.Attack.Scenario.fraction_adopting ))
+          (Array.init runs_per_point Fun.id)
+      in
+      let count p = Array.fold_left (fun n r -> if p r then n + 1 else n) 0 results in
+      let false_alarms = count (fun (benign_detected, _, _) -> benign_detected) in
+      let missed = count (fun (_, detected, _) -> not detected) in
+      (* fold_left/cons rebuilds the reverse-run-order list the former
+         loop accumulated, keeping the mean's summation order *)
+      let adopting =
+        Array.fold_left (fun acc (_, _, f) -> f :: acc) [] results
+      in
       let rate n = float_of_int n /. float_of_int runs_per_point in
       {
         dropper_fraction;
-        false_alarm_rate = rate !false_alarms;
-        missed_detection_rate = rate !missed;
-        mean_adopting = Stats.mean !adopting;
+        false_alarm_rate = rate false_alarms;
+        missed_detection_rate = rate missed;
+        mean_adopting = Stats.mean adopting;
       })
     fractions
 
@@ -210,7 +220,7 @@ type policy_point = {
   mean_adopting : float;
 }
 
-let policy_routing ?seed ?(n_attackers_list = [ 2; 8; 14 ]) ~topology () =
+let policy_routing ?seed ?jobs ?(n_attackers_list = [ 2; 8; 14 ]) ~topology () =
   List.concat_map
     (fun (policy_label, policy_mode) ->
       List.concat_map
@@ -226,15 +236,15 @@ let policy_routing ?seed ?(n_attackers_list = [ 2; 8; 14 ]) ~topology () =
                 n_attackers = p.Sweep.n_attackers;
                 mean_adopting = p.Sweep.mean_adopting;
               })
-            (Sweep.run cfg ~n_attackers_list))
+            (Sweep.run ?jobs cfg ~n_attackers_list))
         [ Moas.Deployment.Disabled; Moas.Deployment.Full ])
     [
       ("shortest path", Attack.Scenario.Shortest_path);
       ("Gao-Rexford", Attack.Scenario.Gao_rexford_inferred);
     ]
 
-let mrai_sensitivity ?(seed = 0x41424c34L) ?(mrais = [ 0.0; 5.0; 15.0; 30.0 ])
-    ~topology () =
+let mrai_sensitivity ?(seed = 0x41424c34L) ?jobs
+    ?(mrais = [ 0.0; 5.0; 15.0; 30.0 ]) ~topology () =
   let rng = Rng.create ~seed in
   let origins = scenario_origins (Rng.split_at rng 0) topology 1 in
   let n = Topology.As_graph.node_count topology.Topo.graph in
@@ -250,7 +260,7 @@ let mrai_sensitivity ?(seed = 0x41424c34L) ?(mrais = [ 0.0; 5.0; 15.0; 30.0 ])
     |> Array.to_list
     |> List.map (fun asn -> Attack.Attacker.make asn)
   in
-  List.map
+  Exec.Pool.map_list ?jobs
     (fun mrai ->
       let scenario =
         Attack.Scenario.make ~deployment:Moas.Deployment.Full ~mrai
@@ -263,11 +273,11 @@ let mrai_sensitivity ?(seed = 0x41424c34L) ?(mrais = [ 0.0; 5.0; 15.0; 30.0 ])
         outcome.Attack.Scenario.updates_sent ))
     mrais
 
-let render_all ?seed () =
+let render_all ?seed ?jobs () =
   ignore seed;
   let topology = Topo.topology_46 () in
   let buf = Buffer.create 4096 in
-  let droppers = community_droppers ~topology () in
+  let droppers = community_droppers ?jobs ~topology () in
   Buffer.add_string buf
     (Table.render
        ~header:
@@ -311,7 +321,7 @@ let render_all ?seed () =
        "Oracle accounting (Section 4.4): %d UPDATEs vs %d MOASRR lookups \
         (%.4f per update) - DNS is hit only on conflicts.\n\n"
        acct.updates_processed acct.oracle_queries acct.queries_per_update);
-  let policy_points = policy_routing ~topology () in
+  let policy_points = policy_routing ?jobs ~topology () in
   Buffer.add_string buf
     (Table.render
        ~header:[ "routing policy"; "deployment"; "attackers"; "adoption" ]
@@ -334,5 +344,5 @@ let render_all ?seed () =
         (Printf.sprintf "  mrai=%5.1fs -> adoption %s, %d updates\n" mrai
            (Table.percent_cell ~decimals:2 adoption)
            updates))
-    (mrai_sensitivity ~topology ());
+    (mrai_sensitivity ?jobs ~topology ());
   Buffer.contents buf

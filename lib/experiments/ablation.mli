@@ -21,6 +21,7 @@ type dropper_point = {
 
 val community_droppers :
   ?seed:int64 ->
+  ?jobs:int ->
   ?fractions:float list ->
   topology:Topology.Paper_topologies.t ->
   unit ->
@@ -76,6 +77,7 @@ type policy_point = {
 
 val policy_routing :
   ?seed:int64 ->
+  ?jobs:int ->
   ?n_attackers_list:int list ->
   topology:Topology.Paper_topologies.t ->
   unit ->
@@ -86,6 +88,7 @@ val policy_routing :
 
 val mrai_sensitivity :
   ?seed:int64 ->
+  ?jobs:int ->
   ?mrais:float list ->
   topology:Topology.Paper_topologies.t ->
   unit ->
@@ -94,5 +97,5 @@ val mrai_sensitivity :
     rate-limiting advertisement does not change the outcome, only message
     count. *)
 
-val render_all : ?seed:int64 -> unit -> string
+val render_all : ?seed:int64 -> ?jobs:int -> unit -> string
 (** Every ablation formatted for the benchmark report. *)

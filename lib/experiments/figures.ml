@@ -23,14 +23,15 @@ let series_of_points ~label points =
         points;
   }
 
-let sweep_series ?seed ?(tracer = Obs.Span.noop) ~topology ~n_origins
+let sweep_series ?seed ?jobs ?(tracer = Obs.Span.noop) ~topology ~n_origins
     ~deployment ~label () =
   Obs.Span.with_span tracer
     (Printf.sprintf "sweep:%s:%s" topology.Topo.name label)
     (fun () ->
       let cfg = Sweep.config ?seed ~topology ~n_origins ~deployment () in
       let points =
-        Sweep.run cfg ~n_attackers_list:(Sweep.default_attacker_counts topology)
+        Sweep.run ?jobs cfg
+          ~n_attackers_list:(Sweep.default_attacker_counts topology)
       in
       (series_of_points ~label points, points))
 
@@ -38,16 +39,16 @@ let default_axes =
   ( "Percent of attacker ASes",
     "Percent of remaining ASes adopting a false route" )
 
-let figure9 ?seed ?(tracer = Obs.Span.noop) () =
+let figure9 ?seed ?jobs ?(tracer = Obs.Span.noop) () =
   let topology = Topo.topology_46 () in
   let make ~origins ~id =
     Obs.Span.with_span tracer id @@ fun () ->
     let normal, _ =
-      sweep_series ?seed ~tracer ~topology ~n_origins:origins
+      sweep_series ?seed ?jobs ~tracer ~topology ~n_origins:origins
         ~deployment:Moas.Deployment.Disabled ~label:"Normal BGP" ()
     in
     let full, _ =
-      sweep_series ?seed ~tracer ~topology ~n_origins:origins
+      sweep_series ?seed ?jobs ~tracer ~topology ~n_origins:origins
         ~deployment:Moas.Deployment.Full ~label:"Full MOAS Detection" ()
     in
     let x_label, y_label = default_axes in
@@ -69,7 +70,7 @@ let figure9 ?seed ?(tracer = Obs.Span.noop) () =
   in
   [ make ~origins:1 ~id:"Figure 9(a)"; make ~origins:2 ~id:"Figure 9(b)" ]
 
-let figure10 ?seed ?(tracer = Obs.Span.noop) () =
+let figure10 ?seed ?jobs ?(tracer = Obs.Span.noop) () =
   let topologies = [ Topo.topology_25 (); Topo.topology_46 (); Topo.topology_63 () ] in
   let make ~origins ~id =
     Obs.Span.with_span tracer id @@ fun () ->
@@ -78,12 +79,12 @@ let figure10 ?seed ?(tracer = Obs.Span.noop) () =
         (fun topology ->
           let name = topology.Topo.name in
           let normal, _ =
-            sweep_series ?seed ~tracer ~topology ~n_origins:origins
+            sweep_series ?seed ?jobs ~tracer ~topology ~n_origins:origins
               ~deployment:Moas.Deployment.Disabled
               ~label:(name ^ " Normal BGP") ()
           in
           let full, _ =
-            sweep_series ?seed ~tracer ~topology ~n_origins:origins
+            sweep_series ?seed ?jobs ~tracer ~topology ~n_origins:origins
               ~deployment:Moas.Deployment.Full
               ~label:(name ^ " Full MOAS Detection") ()
           in
@@ -108,7 +109,7 @@ let figure10 ?seed ?(tracer = Obs.Span.noop) () =
   in
   [ make ~origins:1 ~id:"Figure 10(a)"; make ~origins:2 ~id:"Figure 10(b)" ]
 
-let figure11 ?seed ?(tracer = Obs.Span.noop) () =
+let figure11 ?seed ?jobs ?(tracer = Obs.Span.noop) () =
   let make ~topology ~id =
     Obs.Span.with_span tracer id @@ fun () ->
     let deployments =
@@ -122,8 +123,8 @@ let figure11 ?seed ?(tracer = Obs.Span.noop) () =
       List.map
         (fun (deployment, label) ->
           fst
-            (sweep_series ?seed ~tracer ~topology ~n_origins:1 ~deployment
-               ~label ()))
+            (sweep_series ?seed ?jobs ~tracer ~topology ~n_origins:1
+               ~deployment ~label ()))
         deployments
     in
     let x_label, y_label = default_axes in
@@ -199,15 +200,15 @@ let to_csv figure =
 (* ------------------------------------------------------------------ *)
 (* Headline statistics *)
 
-let point_at ?seed ~topology ~n_origins ~deployment ~fraction () =
+let point_at ?seed ?jobs ~topology ~n_origins ~deployment ~fraction () =
   let n = Topology.As_graph.node_count topology.Topo.graph in
   let n_attackers =
     max 1 (int_of_float (Float.round (fraction *. float_of_int n)))
   in
   let cfg = Sweep.config ?seed ~topology ~n_origins ~deployment () in
-  Sweep.run_point cfg ~n_attackers
+  Sweep.run_point ?jobs cfg ~n_attackers
 
-let summary_table ?seed ?(tracer = Obs.Span.noop) () =
+let summary_table ?seed ?jobs ?(tracer = Obs.Span.noop) () =
   Obs.Span.with_span tracer "summary statistics" @@ fun () ->
   let t25 = Topo.topology_25 ()
   and t46 = Topo.topology_46 ()
@@ -216,15 +217,15 @@ let summary_table ?seed ?(tracer = Obs.Span.noop) () =
   let normal = Moas.Deployment.Disabled
   and full = Moas.Deployment.Full
   and half = Moas.Deployment.Fraction 0.5 in
-  let p46_4_normal = point_at ?seed ~topology:t46 ~n_origins:1 ~deployment:normal ~fraction:0.04 () in
-  let p46_4_full = point_at ?seed ~topology:t46 ~n_origins:1 ~deployment:full ~fraction:0.04 () in
-  let p46_30_normal = point_at ?seed ~topology:t46 ~n_origins:1 ~deployment:normal ~fraction:0.30 () in
-  let p46_30_full = point_at ?seed ~topology:t46 ~n_origins:1 ~deployment:full ~fraction:0.30 () in
-  let p63_16_full = point_at ?seed ~topology:t63 ~n_origins:1 ~deployment:full ~fraction:0.16 () in
-  let p63_35_full = point_at ?seed ~topology:t63 ~n_origins:1 ~deployment:full ~fraction:0.35 () in
-  let p25_35_full = point_at ?seed ~topology:t25 ~n_origins:1 ~deployment:full ~fraction:0.35 () in
-  let p63_30_normal = point_at ?seed ~topology:t63 ~n_origins:1 ~deployment:normal ~fraction:0.30 () in
-  let p63_30_half = point_at ?seed ~topology:t63 ~n_origins:1 ~deployment:half ~fraction:0.30 () in
+  let p46_4_normal = point_at ?seed ?jobs ~topology:t46 ~n_origins:1 ~deployment:normal ~fraction:0.04 () in
+  let p46_4_full = point_at ?seed ?jobs ~topology:t46 ~n_origins:1 ~deployment:full ~fraction:0.04 () in
+  let p46_30_normal = point_at ?seed ?jobs ~topology:t46 ~n_origins:1 ~deployment:normal ~fraction:0.30 () in
+  let p46_30_full = point_at ?seed ?jobs ~topology:t46 ~n_origins:1 ~deployment:full ~fraction:0.30 () in
+  let p63_16_full = point_at ?seed ?jobs ~topology:t63 ~n_origins:1 ~deployment:full ~fraction:0.16 () in
+  let p63_35_full = point_at ?seed ?jobs ~topology:t63 ~n_origins:1 ~deployment:full ~fraction:0.35 () in
+  let p25_35_full = point_at ?seed ?jobs ~topology:t25 ~n_origins:1 ~deployment:full ~fraction:0.35 () in
+  let p63_30_normal = point_at ?seed ?jobs ~topology:t63 ~n_origins:1 ~deployment:normal ~fraction:0.30 () in
+  let p63_30_half = point_at ?seed ?jobs ~topology:t63 ~n_origins:1 ~deployment:half ~fraction:0.30 () in
   let reduction =
     if p63_30_normal.Sweep.mean_adopting <= 0.0 then 0.0
     else

@@ -37,11 +37,11 @@ type partition_point = {
   mean_adopting : float;
 }
 
-let partition_study ?(seed = default_seed) ?(runs = 10) ~topology () =
+let partition_study ?(seed = default_seed) ?(runs = 10) ?jobs ~topology () =
   let graph = topology.Topo.graph in
   let root = Rng.create ~seed in
   let prepared =
-    List.init runs (fun r ->
+    Array.init runs (fun r ->
         let rng = Rng.split_at root r in
         let scenario =
           Attack.Scenario.random rng ~graph ~stub:topology.Topo.stub
@@ -57,43 +57,47 @@ let partition_study ?(seed = default_seed) ?(runs = 10) ~topology () =
         (rng, scenario, origin, links))
   in
   let max_degree =
-    List.fold_left
+    Array.fold_left
       (fun acc (_, _, _, links) -> max acc (List.length links))
       0 prepared
   in
   List.init (max_degree + 1) (fun links_cut ->
-      let partitioned_runs = ref 0 in
-      let detected_reachable = ref 0 in
-      let detected_partitioned = ref 0 in
-      let adopting = ref [] in
-      List.iter
-        (fun (rng, scenario, origin, links) ->
-          let degree = List.length links in
-          let partitioned = links_cut >= degree in
-          let plan =
-            Plan.all
-              (List.map
-                 (fun n -> Plan.fail ~at:cut_at (Plan.link origin n))
-                 (take links_cut links))
-          in
-          let prepare net =
-            ignore (Injector.arm ~rng:(Rng.split_at rng 40) net plan)
-          in
-          let outcome = Attack.Scenario.run ~prepare rng scenario in
-          adopting := outcome.Attack.Scenario.fraction_adopting :: !adopting;
-          if partitioned then begin
-            incr partitioned_runs;
-            if outcome.Attack.Scenario.detected then incr detected_partitioned
-          end
-          else if outcome.Attack.Scenario.detected then incr detected_reachable)
-        prepared;
+      (* the prepared scenarios are immutable and each run's streams come
+         from its own pre-split rng, so the runs of one sweep point are
+         independent pool tasks *)
+      let results =
+        Exec.Pool.map ?jobs
+          (fun (rng, scenario, origin, links) ->
+            let degree = List.length links in
+            let partitioned = links_cut >= degree in
+            let plan =
+              Plan.all
+                (List.map
+                   (fun n -> Plan.fail ~at:cut_at (Plan.link origin n))
+                   (take links_cut links))
+            in
+            let prepare net =
+              ignore (Injector.arm ~rng:(Rng.split_at rng 40) net plan)
+            in
+            let outcome = Attack.Scenario.run ~prepare rng scenario in
+            ( partitioned,
+              outcome.Attack.Scenario.detected,
+              outcome.Attack.Scenario.fraction_adopting ))
+          prepared
+      in
+      let count p =
+        Array.fold_left (fun n r -> if p r then n + 1 else n) 0 results
+      in
       {
         links_cut;
         runs;
-        partitioned_runs = !partitioned_runs;
-        detected_reachable = !detected_reachable;
-        detected_partitioned = !detected_partitioned;
-        mean_adopting = mean !adopting;
+        partitioned_runs = count (fun (p, _, _) -> p);
+        detected_reachable = count (fun (p, d, _) -> (not p) && d);
+        detected_partitioned = count (fun (p, d, _) -> p && d);
+        mean_adopting =
+          (* reverse-run-order list, as the former accumulation loop
+             built it, so the mean sums in the same order *)
+          mean (Array.fold_left (fun acc (_, _, f) -> f :: acc) [] results);
       })
 
 let every_path_blocking_holds points =
@@ -164,7 +168,7 @@ let churn_window_start = 5.0
 let churn_window_end = 120.0
 let churn_mean_downtime = 15.0
 
-let churn_study ?(seed = default_seed) ?(runs = 6)
+let churn_study ?(seed = default_seed) ?(runs = 6) ?jobs
     ?(rates = [ 0.0; 0.02; 0.05; 0.1 ]) ~topology () =
   let graph = topology.Topo.graph in
   let edges = Plan.link_targets graph in
@@ -172,64 +176,73 @@ let churn_study ?(seed = default_seed) ?(runs = 6)
   List.mapi
     (fun rate_index rate ->
       let stream = Rng.split_at root rate_index in
-      let detected = ref 0 in
-      let alarms = ref [] in
-      let false_alarms = ref [] in
-      let convergence = ref [] in
-      let updates = ref [] in
-      let session_downs = ref [] in
-      let dropped = ref [] in
-      let all_converged = ref true in
-      for r = 0 to runs - 1 do
-        let rng = Rng.split_at stream r in
-        let scenario =
-          Attack.Scenario.random rng ~graph ~stub:topology.Topo.stub
-            ~n_origins:1 ~n_attackers:2 ~deployment:Moas.Deployment.Full
-        in
-        let plan =
-          if rate <= 0.0 then Plan.empty
-          else
-            Plan.churn ~start:churn_window_start ~rate
-              ~mean_downtime:churn_mean_downtime ~until:churn_window_end edges
-        in
-        (* the same rng child in both arms => the identical fault
-           trajectory, so the control arm isolates the attack's effect *)
-        let prepare net =
-          ignore (Injector.arm ~rng:(Rng.split_at rng 41) net plan)
-        in
-        let metrics = Obs.Registry.create () in
-        let outcome = Attack.Scenario.run ~metrics ~prepare rng scenario in
-        let quiet = { scenario with Attack.Scenario.attackers = [] } in
-        let quiet_outcome = Attack.Scenario.run ~prepare rng quiet in
-        detected := !detected + (if outcome.Attack.Scenario.detected then 1 else 0);
-        alarms :=
-          float_of_int outcome.Attack.Scenario.alarm_count :: !alarms;
-        false_alarms :=
-          float_of_int quiet_outcome.Attack.Scenario.alarm_count
-          :: !false_alarms;
-        convergence := outcome.Attack.Scenario.converged_at :: !convergence;
-        updates :=
-          float_of_int outcome.Attack.Scenario.updates_sent :: !updates;
-        session_downs :=
-          float_of_int (Obs.Registry.counter_value metrics "net_sessions_down")
-          :: !session_downs;
-        dropped :=
-          float_of_int
-            (Obs.Registry.sum_counters metrics "net_messages_dropped")
-          :: !dropped;
-        if not outcome.Attack.Scenario.converged then all_converged := false
-      done;
+      (* each run's streams and metrics registry are task-local, so the
+         per-rate runs are independent pool tasks *)
+      let results =
+        Exec.Pool.map ?jobs
+          (fun r ->
+            let rng = Rng.split_at stream r in
+            let scenario =
+              Attack.Scenario.random rng ~graph ~stub:topology.Topo.stub
+                ~n_origins:1 ~n_attackers:2 ~deployment:Moas.Deployment.Full
+            in
+            let plan =
+              if rate <= 0.0 then Plan.empty
+              else
+                Plan.churn ~start:churn_window_start ~rate
+                  ~mean_downtime:churn_mean_downtime ~until:churn_window_end
+                  edges
+            in
+            (* the same rng child in both arms => the identical fault
+               trajectory, so the control arm isolates the attack's effect *)
+            let prepare net =
+              ignore (Injector.arm ~rng:(Rng.split_at rng 41) net plan)
+            in
+            let metrics = Obs.Registry.create () in
+            let outcome = Attack.Scenario.run ~metrics ~prepare rng scenario in
+            let quiet = { scenario with Attack.Scenario.attackers = [] } in
+            let quiet_outcome = Attack.Scenario.run ~prepare rng quiet in
+            ( outcome,
+              quiet_outcome,
+              Obs.Registry.counter_value metrics "net_sessions_down",
+              Obs.Registry.sum_counters metrics "net_messages_dropped" ))
+          (Array.init runs Fun.id)
+      in
+      let count p =
+        Array.fold_left (fun n r -> if p r then n + 1 else n) 0 results
+      in
+      (* reverse-run-order lists, as the former accumulation loop built
+         them, so every mean sums in the same order *)
+      let floats f =
+        Array.fold_left (fun acc r -> f r :: acc) [] results
+      in
       {
         rate;
         runs;
-        detection_rate = float_of_int !detected /. float_of_int runs;
-        mean_alarms = mean !alarms;
-        mean_false_alarms = mean !false_alarms;
-        mean_convergence = mean !convergence;
-        mean_updates = mean !updates;
-        mean_session_downs = mean !session_downs;
-        mean_messages_dropped = mean !dropped;
-        all_converged = !all_converged;
+        detection_rate =
+          float_of_int (count (fun (o, _, _, _) -> o.Attack.Scenario.detected))
+          /. float_of_int runs;
+        mean_alarms =
+          mean
+            (floats (fun (o, _, _, _) ->
+                 float_of_int o.Attack.Scenario.alarm_count));
+        mean_false_alarms =
+          mean
+            (floats (fun (_, q, _, _) ->
+                 float_of_int q.Attack.Scenario.alarm_count));
+        mean_convergence =
+          mean (floats (fun (o, _, _, _) -> o.Attack.Scenario.converged_at));
+        mean_updates =
+          mean
+            (floats (fun (o, _, _, _) ->
+                 float_of_int o.Attack.Scenario.updates_sent));
+        mean_session_downs =
+          mean (floats (fun (_, _, downs, _) -> float_of_int downs));
+        mean_messages_dropped =
+          mean (floats (fun (_, _, _, dropped) -> float_of_int dropped));
+        all_converged =
+          Array.for_all (fun (o, _, _, _) -> o.Attack.Scenario.converged)
+            results;
       })
     rates
 
@@ -281,7 +294,7 @@ type loss_point = {
   all_converged : bool;
 }
 
-let loss_study ?(seed = default_seed) ?(runs = 6)
+let loss_study ?(seed = default_seed) ?(runs = 6) ?jobs
     ?(losses = [ 0.0; 0.05; 0.1; 0.2 ]) ~topology () =
   let graph = topology.Topo.graph in
   let edges = Topology.As_graph.edges graph in
@@ -289,45 +302,49 @@ let loss_study ?(seed = default_seed) ?(runs = 6)
   List.mapi
     (fun loss_index loss ->
       let stream = Rng.split_at root loss_index in
-      let detected = ref 0 in
-      let adopting = ref [] in
-      let dropped = ref [] in
-      let convergence = ref [] in
-      let all_converged = ref true in
-      for r = 0 to runs - 1 do
-        let rng = Rng.split_at stream r in
-        let scenario =
-          Attack.Scenario.random rng ~graph ~stub:topology.Topo.stub
-            ~n_origins:1 ~n_attackers:2 ~deployment:Moas.Deployment.Full
-        in
-        let plan =
-          if loss <= 0.0 then Plan.empty
-          else
-            Plan.all
-              (List.map (fun (a, b) -> Plan.impair ~at:0.0 ~loss a b) edges)
-        in
-        let prepare net =
-          ignore (Injector.arm ~rng:(Rng.split_at rng 42) net plan)
-        in
-        let metrics = Obs.Registry.create () in
-        let outcome = Attack.Scenario.run ~metrics ~prepare rng scenario in
-        detected := !detected + (if outcome.Attack.Scenario.detected then 1 else 0);
-        adopting := outcome.Attack.Scenario.fraction_adopting :: !adopting;
-        dropped :=
-          float_of_int
-            (Obs.Registry.sum_counters metrics "net_messages_dropped")
-          :: !dropped;
-        convergence := outcome.Attack.Scenario.converged_at :: !convergence;
-        if not outcome.Attack.Scenario.converged then all_converged := false
-      done;
+      let results =
+        Exec.Pool.map ?jobs
+          (fun r ->
+            let rng = Rng.split_at stream r in
+            let scenario =
+              Attack.Scenario.random rng ~graph ~stub:topology.Topo.stub
+                ~n_origins:1 ~n_attackers:2 ~deployment:Moas.Deployment.Full
+            in
+            let plan =
+              if loss <= 0.0 then Plan.empty
+              else
+                Plan.all
+                  (List.map (fun (a, b) -> Plan.impair ~at:0.0 ~loss a b) edges)
+            in
+            let prepare net =
+              ignore (Injector.arm ~rng:(Rng.split_at rng 42) net plan)
+            in
+            let metrics = Obs.Registry.create () in
+            let outcome = Attack.Scenario.run ~metrics ~prepare rng scenario in
+            ( outcome,
+              Obs.Registry.sum_counters metrics "net_messages_dropped" ))
+          (Array.init runs Fun.id)
+      in
+      let floats f =
+        Array.fold_left (fun acc r -> f r :: acc) [] results
+      in
+      let detected =
+        Array.fold_left
+          (fun n (o, _) -> if o.Attack.Scenario.detected then n + 1 else n)
+          0 results
+      in
       {
         loss;
         runs;
-        detection_rate = float_of_int !detected /. float_of_int runs;
-        mean_adopting = mean !adopting;
-        mean_messages_dropped = mean !dropped;
-        mean_convergence = mean !convergence;
-        all_converged = !all_converged;
+        detection_rate = float_of_int detected /. float_of_int runs;
+        mean_adopting =
+          mean (floats (fun (o, _) -> o.Attack.Scenario.fraction_adopting));
+        mean_messages_dropped =
+          mean (floats (fun (_, dropped) -> float_of_int dropped));
+        mean_convergence =
+          mean (floats (fun (o, _) -> o.Attack.Scenario.converged_at));
+        all_converged =
+          Array.for_all (fun (o, _) -> o.Attack.Scenario.converged) results;
       })
     losses
 
@@ -361,7 +378,7 @@ let render_loss points =
 
 (* ------------------------------------------------------------------ *)
 
-let report ?(seed = default_seed) ?(smoke = false) () =
+let report ?(seed = default_seed) ?(smoke = false) ?jobs () =
   let buf = Buffer.create 4096 in
   let say fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
   let topologies = if smoke then [ Topo.topology_25 () ] else Topo.all () in
@@ -374,18 +391,20 @@ let report ?(seed = default_seed) ?(smoke = false) () =
       say "== %s: partition sweep (origin links cut at t=%g, attack at t=%g) =="
         topology.Topo.name cut_at partition_attack_at;
       Buffer.add_string buf
-        (render_partition (partition_study ~seed ~runs ~topology ()));
+        (render_partition (partition_study ~seed ~runs ?jobs ~topology ()));
       say "";
       say "== %s: link churn sweep (window %g-%g, mean downtime %g) =="
         topology.Topo.name churn_window_start churn_window_end
         churn_mean_downtime;
       Buffer.add_string buf
-        (render_churn (churn_study ~seed ~runs:churn_runs ~rates ~topology ()));
+        (render_churn
+           (churn_study ~seed ~runs:churn_runs ?jobs ~rates ~topology ()));
       say "";
       say "== %s: message-loss sweep (all links, no retransmission) =="
         topology.Topo.name;
       Buffer.add_string buf
-        (render_loss (loss_study ~seed ~runs:churn_runs ~losses ~topology ()));
+        (render_loss
+           (loss_study ~seed ~runs:churn_runs ?jobs ~losses ~topology ()));
       say "")
     topologies;
   Buffer.contents buf

@@ -31,6 +31,7 @@ type partition_point = {
 val partition_study :
   ?seed:int64 ->
   ?runs:int ->
+  ?jobs:int ->
   topology:Topology.Paper_topologies.t ->
   unit ->
   partition_point list
@@ -63,6 +64,7 @@ type churn_point = {
 val churn_study :
   ?seed:int64 ->
   ?runs:int ->
+  ?jobs:int ->
   ?rates:float list ->
   topology:Topology.Paper_topologies.t ->
   unit ->
@@ -85,6 +87,7 @@ type loss_point = {
 val loss_study :
   ?seed:int64 ->
   ?runs:int ->
+  ?jobs:int ->
   ?losses:float list ->
   topology:Topology.Paper_topologies.t ->
   unit ->
@@ -93,7 +96,9 @@ val loss_study :
 
 val render_loss : loss_point list -> string
 
-val report : ?seed:int64 -> ?smoke:bool -> unit -> string
+val report : ?seed:int64 -> ?smoke:bool -> ?jobs:int -> unit -> string
 (** All three studies rendered for the paper topologies ([smoke] restricts
     to the 25-AS topology with fewer runs and sweep points — the CI
-    determinism job runs it twice and diffs the output). *)
+    determinism job runs it twice and diffs the output).  The per-run
+    simulations execute on an {!Exec.Pool}; the report is byte-identical
+    at any [jobs] count. *)

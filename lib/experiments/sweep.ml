@@ -79,32 +79,38 @@ let attackers_for cfg ~origin_selection ~attacker_selection ~n_attackers
   |> Array.to_list
   |> List.map (fun asn -> Attack.Attacker.make asn)
 
-let run_point cfg ~n_attackers =
+let run_point ?jobs cfg ~n_attackers =
   let graph = cfg.topology.Topology.Paper_topologies.graph in
   let total_ases = Topology.As_graph.node_count graph in
-  let outcomes = ref [] in
-  for oi = 0 to cfg.origin_selections - 1 do
-    let origins = origins_for cfg ~selection:oi in
-    for ai = 0 to cfg.attacker_selections - 1 do
-      let attackers =
-        attackers_for cfg ~origin_selection:oi ~attacker_selection:ai
-          ~n_attackers ~origins
-      in
-      let scenario =
-        Attack.Scenario.make ~deployment:cfg.deployment
-          ~attach_list_always:cfg.attach_list_always
-          ~community_dropper_fraction:cfg.community_dropper_fraction
-          ~policy_mode:cfg.policy_mode ~graph
-          ~victim_prefix:(Prefix.of_string "192.0.2.0/24")
-          ~legit_origins:origins ~attackers ()
-      in
-      let run_rng =
-        Rng.split_at (root cfg) (3000 + (oi * 100) + ai)
-      in
-      outcomes := Attack.Scenario.run run_rng scenario :: !outcomes
-    done
-  done;
-  let outcomes = List.rev !outcomes in
+  (* one task per (origin selection, attacker selection) pair, flattened
+     origin-major.  Every stream a task consumes is derived from the
+     pair's indices alone and all simulation state (engine, network,
+     registry) is built inside Scenario.run, so the outcome array — and
+     therefore every statistic below — is byte-identical at any job
+     count. *)
+  let outcomes =
+    Exec.Pool.map ?jobs
+      (fun idx ->
+        let oi = idx / cfg.attacker_selections in
+        let ai = idx mod cfg.attacker_selections in
+        let origins = origins_for cfg ~selection:oi in
+        let attackers =
+          attackers_for cfg ~origin_selection:oi ~attacker_selection:ai
+            ~n_attackers ~origins
+        in
+        let scenario =
+          Attack.Scenario.make ~deployment:cfg.deployment
+            ~attach_list_always:cfg.attach_list_always
+            ~community_dropper_fraction:cfg.community_dropper_fraction
+            ~policy_mode:cfg.policy_mode ~graph
+            ~victim_prefix:(Prefix.of_string "192.0.2.0/24")
+            ~legit_origins:origins ~attackers ()
+        in
+        let run_rng = Rng.split_at (root cfg) (3000 + (oi * 100) + ai) in
+        Attack.Scenario.run run_rng scenario)
+      (Array.init (cfg.origin_selections * cfg.attacker_selections) Fun.id)
+  in
+  let outcomes = Array.to_list outcomes in
   let adopting =
     List.map (fun o -> o.Attack.Scenario.fraction_adopting) outcomes
   in
@@ -126,8 +132,8 @@ let run_point cfg ~n_attackers =
     all_converged = List.for_all (fun o -> o.Attack.Scenario.converged) outcomes;
   }
 
-let run cfg ~n_attackers_list =
-  List.map (fun n -> run_point cfg ~n_attackers:n) n_attackers_list
+let run ?jobs cfg ~n_attackers_list =
+  List.map (fun n -> run_point ?jobs cfg ~n_attackers:n) n_attackers_list
 
 let default_attacker_counts topology =
   let n =

@@ -43,10 +43,14 @@ val config :
   config
 (** Build a sweep configuration with the paper's defaults. *)
 
-val run_point : config -> n_attackers:int -> point
-(** Average the configured number of runs for one attacker count. *)
+val run_point : ?jobs:int -> config -> n_attackers:int -> point
+(** Average the configured number of runs for one attacker count.  The
+    origin×attacker selections execute as independent tasks on an
+    {!Exec.Pool} ([jobs] defaults to {!Exec.Pool.default_jobs}); every
+    per-run stream is pre-split from the selection indices, so the result
+    is byte-identical at any job count. *)
 
-val run : config -> n_attackers_list:int list -> point list
+val run : ?jobs:int -> config -> n_attackers_list:int list -> point list
 (** One point per attacker count. *)
 
 val default_attacker_counts : Topology.Paper_topologies.t -> int list

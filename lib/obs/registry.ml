@@ -303,3 +303,42 @@ let to_json_lines ?(extra = []) t =
 let clear = function
   | Disabled -> ()
   | Enabled { table } -> Hashtbl.reset table
+
+let merge ~into src =
+  match (src, into) with
+  | Disabled, _ | _, Disabled -> ()
+  | Enabled { table = src_table }, Enabled _ ->
+    (* fold over a (name, labels)-sorted view of the source so the merge
+       order — and therefore any instrument creation in [into] — is
+       independent of hash-table iteration order *)
+    let entries =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) src_table []
+      |> List.sort (fun ((n1, l1), _) ((n2, l2), _) ->
+             match compare n1 n2 with 0 -> compare l1 l2 | c -> c)
+    in
+    List.iter
+      (fun ((name, labels), instrument) ->
+        match instrument with
+        | I_counter c ->
+          Counter.add (counter into ~labels name) (Counter.value c)
+        | I_gauge g -> Gauge.add (gauge into ~labels name) (Gauge.value g)
+        | I_histogram Histogram.Noop -> ()
+        | I_histogram (Histogram.Live cell) ->
+          (match
+             histogram into ~labels
+               ~buckets:(Array.to_list cell.Histogram.bounds)
+               name
+           with
+          | Histogram.Noop -> ()
+          | Histogram.Live d ->
+            if d.Histogram.bounds <> cell.Histogram.bounds then
+              invalid_arg
+                (Printf.sprintf
+                   "Registry.merge: %s has different bucket bounds" name);
+            Array.iteri
+              (fun i n ->
+                d.Histogram.counts.(i) <- d.Histogram.counts.(i) + n)
+              cell.Histogram.counts;
+            d.Histogram.total <- d.Histogram.total + cell.Histogram.total;
+            d.Histogram.sum <- d.Histogram.sum +. cell.Histogram.sum))
+      entries

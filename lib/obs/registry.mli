@@ -139,6 +139,17 @@ val to_json_lines : ?extra:labels -> t -> string
 val clear : t -> unit
 (** Drop every registered instrument (a no-op on {!noop}). *)
 
+val merge : into:t -> t -> unit
+(** Accumulate every instrument of the second registry into [into],
+    creating missing instruments on the way: counters and gauges add
+    their values, histograms add bucket counts, totals and sums.  Built
+    for combining the per-task registries of a parallel sweep after the
+    barrier; instruments are visited in (name, labels) order, so the
+    result is deterministic regardless of insertion order.  A no-op when
+    either side is {!noop}.
+    @raise Invalid_argument if an instrument name collides across kinds
+    or a histogram exists in both with different bucket bounds. *)
+
 (**/**)
 
 (* shared with Span's JSON exporter *)

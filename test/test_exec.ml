@@ -1,0 +1,106 @@
+(* Tests for Exec.Pool, the deterministic domain pool behind the
+   experiment sweeps: order preservation, exception propagation, the
+   jobs-count-invariance contract, and end-to-end sweep determinism. *)
+
+module Pool = Exec.Pool
+
+exception Boom of int
+
+let test_map_is_array_map () =
+  let input = Array.init 100 (fun i -> i) in
+  let f i = (i * i) + 7 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d equals Array.map" jobs)
+        (Array.map f input)
+        (Pool.map ~jobs f input))
+    [ 1; 2; 3; 4; 8; 100; 200 ]
+
+let test_map_empty_and_singleton () =
+  Alcotest.(check (array int)) "empty" [||] (Pool.map ~jobs:4 succ [||]);
+  Alcotest.(check (array int)) "singleton" [| 2 |] (Pool.map ~jobs:4 succ [| 1 |])
+
+let test_map_list () =
+  Alcotest.(check (list string))
+    "map_list preserves order"
+    [ "0"; "1"; "2"; "3"; "4" ]
+    (Pool.map_list ~jobs:3 string_of_int [ 0; 1; 2; 3; 4 ])
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      match Pool.map ~jobs (fun i -> if i = 13 then raise (Boom i) else i)
+              (Array.init 64 (fun i -> i))
+      with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom 13 -> ())
+    [ 1; 4 ]
+
+let test_default_jobs_env () =
+  let original = Sys.getenv_opt "MOAS_JOBS" in
+  let restore () =
+    match original with
+    | Some v -> Unix.putenv "MOAS_JOBS" v
+    | None -> Unix.putenv "MOAS_JOBS" ""
+  in
+  Fun.protect ~finally:restore @@ fun () ->
+  Unix.putenv "MOAS_JOBS" "3";
+  Alcotest.(check int) "MOAS_JOBS honoured" 3 (Pool.default_jobs ());
+  Unix.putenv "MOAS_JOBS" "not-a-number";
+  Alcotest.(check bool) "garbage falls back to a sane count" true
+    (Pool.default_jobs () >= 1);
+  Unix.putenv "MOAS_JOBS" "0";
+  Alcotest.(check bool) "non-positive falls back" true
+    (Pool.default_jobs () >= 1)
+
+let prop_map_matches_sequential =
+  Testutil.qtest ~count:100 "pool map equals sequential map for any jobs"
+    QCheck2.Gen.(pair (int_range 1 9) (list_size (int_range 0 50) int))
+    (fun (jobs, xs) ->
+      let arr = Array.of_list xs in
+      let f x = (x * 31) lxor 5 in
+      Pool.map ~jobs f arr = Array.map f arr)
+
+(* the tentpole contract end to end: a whole sweep point — means, standard
+   errors, detection rates — is identical whatever the job count *)
+let test_sweep_identical_across_jobs () =
+  let cfg =
+    Experiments.Sweep.config ~origin_selections:2 ~attacker_selections:2
+      ~topology:(Topology.Paper_topologies.topology_25 ())
+      ~n_origins:1 ~deployment:Moas.Deployment.Full ()
+  in
+  let sequential = Experiments.Sweep.run ~jobs:1 cfg ~n_attackers_list:[ 2; 4 ] in
+  let parallel = Experiments.Sweep.run ~jobs:4 cfg ~n_attackers_list:[ 2; 4 ] in
+  Alcotest.(check bool) "points byte-identical at jobs 1 and 4" true
+    (sequential = parallel)
+
+let test_robustness_identical_across_jobs () =
+  let topology = Topology.Paper_topologies.topology_25 () in
+  let a = Experiments.Robustness.partition_study ~runs:3 ~jobs:1 ~topology () in
+  let b = Experiments.Robustness.partition_study ~runs:3 ~jobs:4 ~topology () in
+  Alcotest.(check bool) "partition points identical at jobs 1 and 4" true
+    (a = b)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "equals Array.map" `Quick test_map_is_array_map;
+          Alcotest.test_case "empty + singleton" `Quick
+            test_map_empty_and_singleton;
+          Alcotest.test_case "map_list" `Quick test_map_list;
+          Alcotest.test_case "exception propagates" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "MOAS_JOBS default" `Quick test_default_jobs_env;
+        ] );
+      ("properties", [ prop_map_matches_sequential ]);
+      ( "sweeps",
+        [
+          Alcotest.test_case "sweep invariant in jobs" `Slow
+            test_sweep_identical_across_jobs;
+          Alcotest.test_case "robustness invariant in jobs" `Slow
+            test_robustness_identical_across_jobs;
+        ] );
+    ]

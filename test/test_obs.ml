@@ -8,6 +8,42 @@ module Span = Obs.Span
 (* ------------------------------------------------------------------ *)
 (* Registry *)
 
+let test_merge () =
+  let a = R.create () in
+  let b = R.create () in
+  R.Counter.add (R.counter a "events") 10;
+  R.Counter.add (R.counter b "events") 32;
+  R.Counter.add (R.counter b ~labels:[ ("as", "7") ] "sent") 5;
+  R.Gauge.set (R.gauge a "depth") 2.0;
+  R.Gauge.set (R.gauge b "depth") 1.5;
+  let ha = R.histogram a ~buckets:[ 1.0; 10.0 ] "lat" in
+  let hb = R.histogram b ~buckets:[ 1.0; 10.0 ] "lat" in
+  List.iter (R.Histogram.observe ha) [ 0.5; 5.0 ];
+  List.iter (R.Histogram.observe hb) [ 0.7; 50.0 ];
+  R.merge ~into:a b;
+  Alcotest.(check int) "counters add" 42 (R.counter_value a "events");
+  Alcotest.(check int) "missing counter created" 5
+    (R.counter_value a ~labels:[ ("as", "7") ] "sent");
+  Alcotest.(check (float 1e-9)) "gauges add" 3.5
+    (R.Gauge.value (R.gauge a "depth"));
+  Alcotest.(check int) "histogram count" 4 (R.Histogram.count ha);
+  Alcotest.(check (float 1e-9)) "histogram sum" 56.2 (R.Histogram.sum ha);
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "histogram buckets add"
+    [ (1.0, 2); (10.0, 1); (infinity, 1) ]
+    (R.Histogram.buckets ha);
+  (* the source is left untouched and noop merges are inert *)
+  Alcotest.(check int) "source unchanged" 32 (R.counter_value b "events");
+  R.merge ~into:a R.noop;
+  R.merge ~into:R.noop b;
+  Alcotest.(check int) "noop merge inert" 42 (R.counter_value a "events");
+  Alcotest.check_raises "bound mismatch rejected"
+    (Invalid_argument "Registry.merge: lat has different bucket bounds")
+    (fun () ->
+      let c = R.create () in
+      ignore (R.histogram c ~buckets:[ 2.0; 3.0 ] "lat");
+      R.merge ~into:a c)
+
 let test_counter () =
   let reg = R.create () in
   let c = R.counter reg "updates" in
@@ -249,6 +285,7 @@ let () =
           Alcotest.test_case "sorted samples" `Quick test_samples_sorted;
           Alcotest.test_case "json lines" `Quick test_json_lines;
           Alcotest.test_case "csv + clear" `Quick test_csv_and_clear;
+          Alcotest.test_case "merge" `Quick test_merge;
         ] );
       ( "span",
         [

@@ -56,6 +56,69 @@ let test_rib_multiple_prefixes () =
   | Some (q, _) -> Alcotest.check Testutil.prefix_testable "lpm" p2 q
   | None -> Alcotest.fail "expected a match"
 
+(* regression for the O(1) loc-rib gauge: the maintained cardinality must
+   track installs, same-prefix replacements, clears, double clears and a
+   full reset exactly like counting the bindings would *)
+let test_rib_loc_rib_size () =
+  let rib = Rib.create () in
+  let p2 = Prefix.of_string "10.0.0.0/8" in
+  let sizes_agree label =
+    Alcotest.(check int) label
+      (List.length (Rib.best_bindings rib))
+      (Rib.loc_rib_size rib)
+  in
+  Alcotest.(check int) "empty" 0 (Rib.loc_rib_size rib);
+  Rib.set_best rib (r ~from:1 [ 1; 10 ]);
+  Alcotest.(check int) "one entry" 1 (Rib.loc_rib_size rib);
+  Rib.set_best rib (r ~from:2 [ 2; 10 ]);
+  Alcotest.(check int) "replacement does not double-count" 1
+    (Rib.loc_rib_size rib);
+  Rib.set_best rib (r ~prefix:p2 ~from:2 [ 2; 20 ]);
+  Alcotest.(check int) "second prefix" 2 (Rib.loc_rib_size rib);
+  sizes_agree "matches bindings";
+  Rib.clear_best rib victim;
+  Alcotest.(check int) "cleared one" 1 (Rib.loc_rib_size rib);
+  Rib.clear_best rib victim;
+  Alcotest.(check int) "double clear is a no-op" 1 (Rib.loc_rib_size rib);
+  sizes_agree "matches bindings after clears";
+  Rib.clear rib;
+  Alcotest.(check int) "reset" 0 (Rib.loc_rib_size rib)
+
+let test_rib_fold_matches_routes_in () =
+  let rib = Rib.create () in
+  Rib.set_in rib ~peer:(Asn.make 3) (r ~from:3 [ 3; 10 ]);
+  Rib.set_in rib ~peer:(Asn.make 1) (r ~from:1 [ 1; 10 ]);
+  Rib.set_in rib ~peer:(Asn.make 2) (r ~from:2 [ 2; 10 ]);
+  let folded =
+    List.rev (Rib.fold_routes_in rib victim (fun acc r -> r :: acc) [])
+  in
+  Alcotest.(check (list Testutil.route_testable))
+    "fold visits the same routes in the same order" (Rib.routes_in rib victim)
+    folded
+
+let test_rib_flush_peer () =
+  let rib = Rib.create () in
+  let p2 = Prefix.of_string "10.0.0.0/8" in
+  let p3 = Prefix.of_string "172.16.0.0/12" in
+  Rib.set_in rib ~peer:(Asn.make 1) (r ~from:1 [ 1; 10 ]);
+  Rib.set_in rib ~peer:(Asn.make 1) (r ~prefix:p2 ~from:1 [ 1; 20 ]);
+  Rib.set_in rib ~peer:(Asn.make 2) (r ~prefix:p3 ~from:2 [ 2; 30 ]);
+  (* re-announcing then withdrawing must leave the index consistent *)
+  Rib.set_in rib ~peer:(Asn.make 1) (r ~prefix:p2 ~from:1 [ 1; 2; 20 ]);
+  let affected = Rib.flush_peer rib ~peer:(Asn.make 1) in
+  Alcotest.(check (list Testutil.prefix_testable))
+    "affected prefixes, ascending" [ p2; victim ] affected;
+  Alcotest.(check int) "peer 1 routes gone" 0
+    (List.length (Rib.routes_in rib victim) + List.length (Rib.routes_in rib p2));
+  Alcotest.(check int) "peer 2 untouched" 1 (List.length (Rib.routes_in rib p3));
+  Alcotest.(check (list Testutil.prefix_testable))
+    "second flush finds nothing" [] (Rib.flush_peer rib ~peer:(Asn.make 1));
+  Rib.set_in rib ~peer:(Asn.make 2) (r ~prefix:p2 ~from:2 [ 2; 20 ]);
+  Rib.withdraw_in rib ~peer:(Asn.make 2) p2;
+  Alcotest.(check (list Testutil.prefix_testable))
+    "withdrawn routes are not re-flushed" [ p3 ]
+    (Rib.flush_peer rib ~peer:(Asn.make 2))
+
 let test_policy_default () =
   let route = r ~from:1 [ 1; 10 ] in
   Alcotest.(check (option Testutil.route_testable)) "import passes"
@@ -138,6 +201,10 @@ let () =
           Alcotest.test_case "withdraw" `Quick test_rib_withdraw;
           Alcotest.test_case "loc-rib" `Quick test_rib_best;
           Alcotest.test_case "multiple prefixes + lpm" `Quick test_rib_multiple_prefixes;
+          Alcotest.test_case "loc-rib cardinality" `Quick test_rib_loc_rib_size;
+          Alcotest.test_case "fold matches routes_in" `Quick
+            test_rib_fold_matches_routes_in;
+          Alcotest.test_case "flush peer" `Quick test_rib_flush_peer;
         ] );
       ( "policy",
         [

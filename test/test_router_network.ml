@@ -359,6 +359,43 @@ let test_network_mrai_converges_same () =
   Alcotest.(check (list int)) "MRAI does not change the outcome" (run 0.0)
     (run 30.0)
 
+(* link state is keyed on the normalised endpoint pair ({!Asn.compare}
+   order), so every operation must see the same link regardless of the
+   direction it names the endpoints in *)
+let test_link_state_symmetric () =
+  let g = Topology.As_graph.of_edges [ (1, 2); (2, 3) ] in
+  let net = Network.make g in
+  let a = Asn.make 1 and b = Asn.make 2 in
+  Alcotest.(check bool) "up initially" true (Network.link_is_up net a b);
+  Network.fail_link_now net a b;
+  Alcotest.(check bool) "down as (a,b)" false (Network.link_is_up net a b);
+  Alcotest.(check bool) "down as (b,a)" false (Network.link_is_up net b a);
+  Alcotest.(check bool) "other link untouched" true
+    (Network.link_is_up net (Asn.make 2) (Asn.make 3));
+  (* restore named the other way round must repair the same link *)
+  Network.restore_link_now net b a;
+  Alcotest.(check bool) "restored" true (Network.link_is_up net a b);
+  let imp = Network.impairment ~loss:0.5 () in
+  Network.impair_link net ~rng:(Mutil.Rng.of_int 7) a b imp;
+  Alcotest.(check bool) "impairment visible as (b,a)" true
+    (Network.link_impairment net b a = Some imp);
+  Network.clear_link_impairment net b a;
+  Alcotest.(check bool) "impairment cleared via (a,b)" true
+    (Network.link_impairment net a b = None)
+
+let test_default_link_delay_stable () =
+  let delay = Network.Config.default.Network.Config.link_delay in
+  List.iter
+    (fun (a, b) ->
+      let a = Asn.make a and b = Asn.make b in
+      let d = delay a b in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "delay %d->%d stable across calls" (Asn.to_int a)
+           (Asn.to_int b))
+        d (delay a b);
+      Alcotest.(check bool) "within [1, 1.25)" true (d >= 1.0 && d < 1.25))
+    [ (1, 2); (2, 1); (7, 63); (1000, 4); (4, 1000) ]
+
 let () =
   Alcotest.run "router_network"
     [
@@ -396,5 +433,9 @@ let () =
             test_network_path_lengths_match_bfs;
           Alcotest.test_case "MRAI invariance" `Quick test_network_mrai_converges_same;
           Alcotest.test_case "configured make" `Quick test_configured_make;
+          Alcotest.test_case "link state symmetric" `Quick
+            test_link_state_symmetric;
+          Alcotest.test_case "link delay stable" `Quick
+            test_default_link_delay_stable;
         ] );
     ]

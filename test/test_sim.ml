@@ -92,6 +92,30 @@ let prop_queue_fifo_on_ties =
       in
       popped = expected)
 
+(* scale regression: 10k pushes with random (and heavily tied) times must
+   drain in exactly (time, insertion-sequence) order — a stable sort of
+   the insertion stream, even when the heap has grown and shrunk *)
+let test_queue_10k_random () =
+  let rng = Mutil.Rng.of_int 0x10c in
+  let q = Eq.create () in
+  let n = 10_000 in
+  let tagged =
+    List.init n (fun i -> (float_of_int (Mutil.Rng.int rng 500), i))
+  in
+  List.iter (fun (t, i) -> Eq.push q ~time:t (t, i)) tagged;
+  Alcotest.(check int) "all queued" n (Eq.length q);
+  let rec drain acc =
+    match Eq.pop q with
+    | Some (_, v) -> drain (v :: acc)
+    | None -> List.rev acc
+  in
+  let expected =
+    List.stable_sort (fun (a, _) (b, _) -> compare a b) tagged
+  in
+  Alcotest.(check bool) "stable (time, seq) order over 10k events" true
+    (drain [] = expected);
+  Alcotest.(check bool) "drained" true (Eq.is_empty q)
+
 let test_engine_runs_in_order () =
   let engine = Engine.create () in
   let log = ref [] in
@@ -235,6 +259,7 @@ let () =
           Alcotest.test_case "interleaved push/pop" `Quick test_queue_interleaved;
           Alcotest.test_case "NaN rejected" `Quick test_queue_rejects_nan;
           Alcotest.test_case "clear" `Quick test_queue_clear;
+          Alcotest.test_case "10k random pushes" `Quick test_queue_10k_random;
         ] );
       ( "engine",
         [
