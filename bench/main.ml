@@ -480,13 +480,159 @@ let run_scaling ~out () =
   say "scaling dump written to %s" out
 
 (* ------------------------------------------------------------------ *)
+(* Part 6: stream-monitor throughput suite (BENCH_4.json).  The full
+   synthetic archive is materialised once as event batches, then replayed
+   through the online Stream.Sharded monitor at increasing job counts.
+   Wall-clock, updates/s and speedup go to JSON lines; the determinism
+   contract (byte-identical report at every job count) is checked on the
+   way. *)
+
+let stream_jobs = [ 1; 2; 4; 8 ]
+let stream_runs = 3
+
+let run_stream ~out () =
+  banner "Stream-monitor throughput (online MOAS pipeline)";
+  say "   cores online: %d (Domain.recommended_domain_count)"
+    (Domain.recommended_domain_count ());
+  let cores = string_of_int (Domain.recommended_domain_count ()) in
+  let annotate =
+    Stream.Source.trusted_annotator
+      ~distrusted:
+        (Asn.Set.of_list
+           [
+             Measurement.Synthetic_routeviews.fault_as_1998;
+             Measurement.Synthetic_routeviews.fault_as_2001;
+           ])
+      ()
+  in
+  let batches =
+    Stream.Source.archive_batches ~annotate
+      Measurement.Synthetic_routeviews.default_params
+  in
+  let total_events =
+    Array.fold_left
+      (fun acc b -> acc + Array.length b.Stream.Source.events)
+      0 batches
+  in
+  say "   archive: %d day batches, %d update events, %d replays per job count"
+    (Array.length batches) total_events stream_runs;
+  (* the same event stream re-chunked into pool-sized batches: daily
+     batches are far below Sharded.parallel_threshold, so this is the
+     workload where the domain pool actually engages *)
+  let firehose_chunks =
+    let all = Array.concat (Array.to_list (Array.map (fun b -> b.Stream.Source.events) batches)) in
+    let chunk = 2 * Stream.Sharded.parallel_threshold in
+    let n = (Array.length all + chunk - 1) / chunk in
+    Array.init n (fun i ->
+        let lo = i * chunk in
+        let events = Array.sub all lo (min chunk (Array.length all - lo)) in
+        (events.(Array.length events - 1).Stream.Monitor.time, events))
+  in
+  let replay_daily jobs =
+    let monitor = Stream.Sharded.create ~jobs Stream.Monitor.default_config in
+    Array.iter
+      (fun b ->
+        Stream.Sharded.ingest_batch ~day_end:true monitor
+          ~time:b.Stream.Source.time b.Stream.Source.events)
+      batches;
+    monitor
+  in
+  let replay_firehose jobs =
+    let monitor = Stream.Sharded.create ~jobs Stream.Monitor.default_config in
+    Array.iter
+      (fun (time, events) -> Stream.Sharded.ingest_batch monitor ~time events)
+      firehose_chunks;
+    monitor
+  in
+  let measure replay =
+    List.map
+      (fun jobs ->
+        let t0 = Unix.gettimeofday () in
+        let monitor = ref (replay jobs) in
+        for _ = 2 to stream_runs do
+          monitor := replay jobs
+        done;
+        let elapsed =
+          (Unix.gettimeofday () -. t0) /. float_of_int stream_runs
+        in
+        (jobs, elapsed, Stream.Report.render (Stream.Sharded.snapshot !monitor)))
+      stream_jobs
+  in
+  let oc = open_out out in
+  let run_workload ~name ~batch_count replay =
+    say "";
+    say "-- workload %s: %d batches --" name batch_count;
+    let measured = measure replay in
+    let base_report = match measured with (_, _, r) :: _ -> r | [] -> "" in
+    let deterministic =
+      List.for_all (fun (_, _, r) -> String.equal r base_report) measured
+    in
+    let t1 = match measured with (_, e, _) :: _ -> e | [] -> nan in
+    print_string
+      (Mutil.Text_table.render
+         ~header:[ "jobs"; "wall clock"; "updates/s"; "speedup vs 1 job" ]
+         (List.map
+            (fun (jobs, elapsed, _) ->
+              [
+                string_of_int jobs;
+                Printf.sprintf "%.3f s" elapsed;
+                Printf.sprintf "%.0f" (float_of_int total_events /. elapsed);
+                Printf.sprintf "%.2fx" (t1 /. elapsed);
+              ])
+            measured));
+    say "   reports byte-identical at every job count: %b" deterministic;
+    if not deterministic then (
+      close_out oc;
+      failwith "stream suite: reports differ across job counts");
+    List.iter
+      (fun (jobs, elapsed, _) ->
+        let reg = Obs.Registry.create () in
+        Obs.Registry.Gauge.set
+          (Obs.Registry.gauge reg "stream_wall_clock_seconds")
+          elapsed;
+        Obs.Registry.Counter.add
+          (Obs.Registry.counter reg "stream_updates_ingested")
+          total_events;
+        Obs.Registry.Gauge.set
+          (Obs.Registry.gauge reg "stream_updates_per_second")
+          (float_of_int total_events /. elapsed);
+        Obs.Registry.Gauge.set
+          (Obs.Registry.gauge reg "stream_speedup_vs_one_job")
+          (t1 /. elapsed);
+        output_string oc
+          (Obs.Registry.to_json_lines
+             ~extra:
+               [
+                 ("workload", name);
+                 ("jobs", string_of_int jobs);
+                 ("cores", cores);
+                 ("runs", string_of_int stream_runs);
+                 ("batches", string_of_int batch_count);
+                 ("events", string_of_int total_events);
+               ]
+             reg))
+      measured
+  in
+  run_workload ~name:"stream-replay-daily" ~batch_count:(Array.length batches)
+    replay_daily;
+  run_workload ~name:"stream-firehose"
+    ~batch_count:(Array.length firehose_chunks)
+    replay_firehose;
+  close_out oc;
+  say "";
+  say "stream dump written to %s" out
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let smoke = ref false in
   let scaling_only = ref false in
   let no_scaling = ref false in
+  let stream_only = ref false in
+  let no_stream = ref false in
   let out = ref "BENCH_1.json" in
   let scaling_out = ref "BENCH_3.json" in
+  let stream_out = ref "BENCH_4.json" in
   let jobs = ref 0 in
   let spec =
     [
@@ -495,14 +641,20 @@ let () =
       ("--scaling-only", Arg.Set scaling_only, " run only the large-topology scaling suite");
       ("--no-scaling", Arg.Set no_scaling, " skip the large-topology scaling suite");
       ("--scaling-out", Arg.Set_string scaling_out, "FILE scaling dump destination (default BENCH_3.json)");
+      ("--stream-only", Arg.Set stream_only, " run only the stream-monitor throughput suite");
+      ("--no-stream", Arg.Set no_stream, " skip the stream-monitor throughput suite");
+      ("--stream-out", Arg.Set_string stream_out, "FILE stream dump destination (default BENCH_4.json)");
       ("--jobs", Arg.Set_int jobs, "N worker domains for the figure sweeps (default MOAS_JOBS or the core count)");
     ]
   in
   Arg.parse (Arg.align spec)
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "main.exe [--smoke] [--out FILE] [--scaling-only] [--no-scaling] [--scaling-out FILE] [--jobs N]";
+    "main.exe [--smoke] [--out FILE] [--scaling-only] [--no-scaling] \
+     [--scaling-out FILE] [--stream-only] [--no-stream] [--stream-out FILE] \
+     [--jobs N]";
   let jobs = if !jobs >= 1 then Some !jobs else None in
   if !scaling_only then run_scaling ~out:!scaling_out ()
+  else if !stream_only then run_stream ~out:!stream_out ()
   else begin
     let tracer = Obs.Span.create () in
     regenerate_figures ~tracer ?jobs ();
@@ -512,7 +664,8 @@ let () =
     write_dump ~out:!out ~tracer named_registries;
     if not !smoke then begin
       run_microbenches ();
-      if not !no_scaling then run_scaling ~out:!scaling_out ()
+      if not !no_scaling then run_scaling ~out:!scaling_out ();
+      if not !no_stream then run_stream ~out:!stream_out ()
     end
   end;
   say "";

@@ -138,6 +138,97 @@ let run_simulate size n_origins n_attackers deployment policy seed runs =
 let run_robustness seed smoke jobs =
   print_string (Experiments.Robustness.report ?seed ~smoke ?jobs ())
 
+(* a 1/10-size archive with the same phenomenology, for CI smoke runs *)
+let smoke_monitor_params =
+  {
+    Measurement.Synthetic_routeviews.default_params with
+    Measurement.Synthetic_routeviews.universe_size = 400;
+    initial_long_lived = 65;
+    final_long_lived = 139;
+    one_day_churn = 24;
+    medium_churn = 9;
+    event_1998_size = 114;
+    event_2001_size = 97;
+  }
+
+exception Monitor_stop
+
+let run_monitor smoke jobs window annotate seed checkpoint checkpoint_every
+    stop_after resume metrics_out =
+  let params =
+    let base =
+      if smoke then smoke_monitor_params
+      else Measurement.Synthetic_routeviews.default_params
+    in
+    match seed with
+    | None -> base
+    | Some seed -> { base with Measurement.Synthetic_routeviews.seed }
+  in
+  let annotate =
+    match String.lowercase_ascii annotate with
+    | "none" -> Stream.Source.no_annotation
+    | "trusted" ->
+      Stream.Source.trusted_annotator
+        ~distrusted:
+          (Net.Asn.Set.of_list
+             [
+               Measurement.Synthetic_routeviews.fault_as_1998;
+               Measurement.Synthetic_routeviews.fault_as_2001;
+             ])
+        ()
+    | s -> failwith ("unknown annotation policy: " ^ s)
+  in
+  let config = { Stream.Monitor.default_config with Stream.Monitor.window } in
+  let metrics =
+    if metrics_out = None then Obs.Registry.noop else Obs.Registry.create ()
+  in
+  if checkpoint_every <> None && checkpoint = None then
+    failwith "--checkpoint-every needs --checkpoint FILE";
+  let monitor, resume_time =
+    match resume with
+    | Some path ->
+      let snap = Stream.Checkpoint.read_file path in
+      (Stream.Sharded.of_snapshot ~metrics ?jobs snap, snap.Stream.Monitor.s_last_time)
+    | None -> (Stream.Sharded.create ~metrics ?jobs config, min_int)
+  in
+  let write_checkpoint () =
+    match checkpoint with
+    | Some path -> Stream.Checkpoint.write_file path (Stream.Sharded.snapshot monitor)
+    | None -> ()
+  in
+  (try
+     Stream.Source.fold_archive ~annotate params ~init:() ~f:(fun () batch ->
+         if batch.Stream.Source.time > resume_time then begin
+           Stream.Sharded.ingest_batch ~day_end:true monitor
+             ~time:batch.Stream.Source.time batch.Stream.Source.events;
+           (match checkpoint_every with
+           | Some n when n > 0 && Stream.Sharded.day_count monitor mod n = 0 ->
+             write_checkpoint ()
+           | _ -> ());
+           match stop_after with
+           | Some n when Stream.Sharded.day_count monitor >= n ->
+             raise Monitor_stop
+           | _ -> ()
+         end)
+   with Monitor_stop -> ());
+  write_checkpoint ();
+  print_string (Stream.Report.render (Stream.Sharded.snapshot monitor));
+  match metrics_out with
+  | None -> ()
+  | Some path ->
+    let merged = Stream.Sharded.metrics monitor in
+    let oc = open_out path in
+    output_string oc
+      (Obs.Registry.to_json_lines
+         ~extra:
+           [
+             ("workload", "monitor");
+             ("jobs", string_of_int (Stream.Sharded.jobs monitor));
+           ]
+         merged);
+    close_out oc;
+    say "metrics dump written to %s" path
+
 let run_topologies () =
   List.iter
     (fun t -> say "%s" (Topology.Paper_topologies.describe t))
@@ -251,6 +342,59 @@ let robustness_cmd =
           message-loss sweeps."
     Term.(const run_robustness $ seed_arg $ smoke $ jobs_arg)
 
+let monitor_cmd =
+  let smoke =
+    Arg.(value & flag & info [ "smoke" ]
+           ~doc:"Replay a 1/10-size archive with the same phenomenology, for CI.")
+  in
+  let window =
+    Arg.(value & opt int 86_400
+         & info [ "window" ] ~docv:"SECONDS"
+             ~doc:"Alert aggregation window in seconds (default one day).")
+  in
+  let annotate =
+    Arg.(value & opt string "trusted"
+         & info [ "annotate" ] ~docv:"POLICY"
+             ~doc:"MOAS-list annotation policy: $(b,trusted) (cooperating \
+                   origins attach lists, fault ASes do not) or $(b,none).")
+  in
+  let checkpoint =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Write a binary checkpoint of the monitor state to FILE \
+                   (at exit, and periodically with $(b,--checkpoint-every)).")
+  in
+  let checkpoint_every =
+    Arg.(value & opt (some int) None
+         & info [ "checkpoint-every" ] ~docv:"DAYS"
+             ~doc:"Also checkpoint every DAYS observed days (needs \
+                   $(b,--checkpoint)).")
+  in
+  let stop_after =
+    Arg.(value & opt (some int) None
+         & info [ "stop-after" ] ~docv:"DAYS"
+             ~doc:"Stop the replay after DAYS observed days (counting any \
+                   days already covered by a resumed checkpoint).")
+  in
+  let resume =
+    Arg.(value & opt (some string) None
+         & info [ "resume" ] ~docv:"FILE"
+             ~doc:"Restore monitor state from a checkpoint FILE and skip \
+                   archive batches it already covers.")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Write the merged lib/obs metrics dump (JSON lines) to FILE.")
+  in
+  cmd "monitor"
+    ~doc:"Online MOAS monitor: replay the synthetic RouteViews archive as a \
+          stream with sharded ingest, episode tracking and checkpoint/restore. \
+          The report is byte-identical at any $(b,--jobs) count and across \
+          checkpoint/restore."
+    Term.(const run_monitor $ smoke $ jobs_arg $ window $ annotate $ seed_arg
+          $ checkpoint $ checkpoint_every $ stop_after $ resume $ metrics_out)
+
 let topologies_cmd = cmd "topologies" ~doc:"Describe the derived 25/46/63-AS topologies."
     Term.(const run_topologies $ const ())
 
@@ -274,6 +418,7 @@ let main_cmd =
       compare_cmd;
       studies_cmd;
       robustness_cmd;
+      monitor_cmd;
       simulate_cmd;
       topologies_cmd;
       all_cmd;

@@ -163,7 +163,42 @@ let encode message =
   Buffer.add_buffer buf payload;
   Buffer.to_bytes buf
 
-let encoded_size message = Bytes.length (encode message)
+(* Pure size computation mirroring the writers above, octet for octet —
+   usable on oversize messages that [encode] would reject. *)
+let prefix_wire_size p = 1 + prefix_octets (Prefix.length p)
+
+let as_path_wire_size path =
+  List.fold_left
+    (fun acc segment ->
+      acc + 2
+      + 2
+        *
+        match segment with
+        | As_path.Seq ases -> List.length ases
+        | As_path.Set s -> Asn.Set.cardinal s)
+    0 path
+
+let attribute_wire_size body_len =
+  (if body_len > 0xff then 4 else 3) + body_len
+
+let attributes_wire_size attrs =
+  2 (* attribute-section length field *)
+  + attribute_wire_size 1 (* ORIGIN *)
+  + attribute_wire_size (as_path_wire_size attrs.as_path)
+  + attribute_wire_size 4 (* NEXT_HOP *)
+  + attribute_wire_size 4 (* LOCAL_PREF *)
+  +
+  if Community.Set.is_empty attrs.communities then 0
+  else attribute_wire_size (4 * Community.Set.cardinal attrs.communities)
+
+let encoded_size message =
+  marker_length + 2 + 1
+  + 2
+  + List.fold_left (fun acc p -> acc + prefix_wire_size p) 0 message.withdrawn
+  + (match message.attributes with
+    | Some attrs -> attributes_wire_size attrs
+    | None -> 2)
+  + List.fold_left (fun acc p -> acc + prefix_wire_size p) 0 message.nlri
 
 (* ------------------------------------------------------------------ *)
 (* Decoding *)

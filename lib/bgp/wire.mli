@@ -35,7 +35,11 @@ val decode : bytes -> message
 (** Parse a full BGP UPDATE message. @raise Malformed on bad input. *)
 
 val encoded_size : message -> int
-(** [Bytes.length (encode m)] without building the buffer twice. *)
+(** [Bytes.length (encode m)] computed arithmetically, without building
+    the buffer.  Unlike {!encode} it does not enforce the 4096-octet
+    maximum, so callers can size a message before deciding to split it
+    (property-tested: encoding succeeds exactly when the result is at
+    most {!max_message_size}). *)
 
 val of_update : Update.t -> message
 (** The wire message carrying one simulator UPDATE. *)

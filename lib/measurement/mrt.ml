@@ -142,13 +142,15 @@ let decode_record c =
   in
   { timestamp; peer_as; prefix; as_path }
 
-let decode_records data =
+let fold_records data ~init ~f =
   let c = { data; pos = 0 } in
   let rec loop acc =
-    if c.pos >= Bytes.length data then List.rev acc
-    else loop (decode_record c :: acc)
+    if c.pos >= Bytes.length data then acc else loop (f acc (decode_record c))
   in
-  loop []
+  loop init
+
+let decode_records data =
+  List.rev (fold_records data ~init:[] ~f:(fun acc r -> r :: acc))
 
 let records_of_table ~timestamp table =
   List.concat_map

@@ -26,6 +26,12 @@ val encode_records : record list -> bytes
 val decode_records : bytes -> record list
 (** Parse a concatenation of TABLE_DUMP records.  @raise Malformed. *)
 
+val fold_records : bytes -> init:'a -> f:('a -> record -> 'a) -> 'a
+(** Streaming fold over a concatenation of TABLE_DUMP records, in file
+    order, decoding one record at a time — constant memory beyond the
+    input bytes and the accumulator.  [decode_records] is this fold
+    building a list.  @raise Malformed. *)
+
 val records_of_table :
   timestamp:int -> (Prefix.t * Asn.Set.t) list -> record list
 (** Expand a daily origin-set table into one record per (prefix, origin),

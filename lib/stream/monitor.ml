@@ -1,0 +1,508 @@
+open Net
+module Registry = Obs.Registry
+
+(* ------------------------------------------------------------------ *)
+(* Events *)
+
+type action =
+  | Announce of { origin : Asn.t; moas_list : Asn.Set.t option }
+  | Withdraw of { origin : Asn.t }
+
+type event = { time : int; peer : Asn.t; prefix : Prefix.t; action : action }
+
+(* ------------------------------------------------------------------ *)
+(* Configuration *)
+
+type config = {
+  window : int;
+  short_max_days : int;
+  medium_max_days : int;
+  day_seconds : int;
+}
+
+let default_config =
+  { window = 86_400; short_max_days = 1; medium_max_days = 60; day_seconds = 86_400 }
+
+let validate_config c =
+  if c.window <= 0 then invalid_arg "Stream.Monitor: window must be positive";
+  if c.day_seconds <= 0 then invalid_arg "Stream.Monitor: day_seconds must be positive";
+  if c.short_max_days < 1 || c.medium_max_days <= c.short_max_days then
+    invalid_arg "Stream.Monitor: need 1 <= short_max_days < medium_max_days"
+
+(* ------------------------------------------------------------------ *)
+(* Canonical (snapshot) representation *)
+
+type origin_entry = { origin : Asn.t; adv_list : Asn.Set.t option }
+
+type open_episode = {
+  o_seq : int;
+  o_started : int;
+  o_days : int;
+  o_max_origins : int;
+  o_origins_ever : Asn.Set.t;
+  o_clean : bool;
+}
+
+type episode = {
+  e_prefix : Prefix.t;
+  e_seq : int;
+  e_started : int;
+  e_ended : int;
+  e_days : int;
+  e_max_origins : int;
+  e_origins_ever : Asn.Set.t;
+  e_clean : bool;
+}
+
+type prefix_state = {
+  p_prefix : Prefix.t;
+  p_origins : origin_entry list;
+  p_open : open_episode option;
+  p_closed_count : int;
+}
+
+type window_counts = {
+  w_updates : int;
+  w_opened : int;
+  w_closed : int;
+  w_alerts : int;
+}
+
+type counters = {
+  c_updates : int;
+  c_announces : int;
+  c_withdraws : int;
+  c_opened : int;
+  c_closed : int;
+  c_alerts : int;
+  c_days : int;
+}
+
+let zero_counters =
+  {
+    c_updates = 0;
+    c_announces = 0;
+    c_withdraws = 0;
+    c_opened = 0;
+    c_closed = 0;
+    c_alerts = 0;
+    c_days = 0;
+  }
+
+type snapshot = {
+  s_config : config;
+  s_counters : counters;
+  s_last_time : int;
+  s_prefixes : prefix_state list;
+  s_closed : episode list;
+  s_windows : (int * window_counts) list;
+}
+
+let empty_snapshot config =
+  validate_config config;
+  {
+    s_config = config;
+    s_counters = zero_counters;
+    s_last_time = 0;
+    s_prefixes = [];
+    s_closed = [];
+    s_windows = [];
+  }
+
+let compare_episode a b =
+  let c = Prefix.compare a.e_prefix b.e_prefix in
+  if c <> 0 then c
+  else
+    let c = compare a.e_started b.e_started in
+    if c <> 0 then c else compare a.e_seq b.e_seq
+
+(* Counters of disjoint shards add; [c_days] is the exception because a
+   day mark is delivered to every shard, so each shard already holds the
+   full count and the merge takes the maximum. *)
+let merge_counters a b =
+  {
+    c_updates = a.c_updates + b.c_updates;
+    c_announces = a.c_announces + b.c_announces;
+    c_withdraws = a.c_withdraws + b.c_withdraws;
+    c_opened = a.c_opened + b.c_opened;
+    c_closed = a.c_closed + b.c_closed;
+    c_alerts = a.c_alerts + b.c_alerts;
+    c_days = max a.c_days b.c_days;
+  }
+
+let merge_window_counts a b =
+  {
+    w_updates = a.w_updates + b.w_updates;
+    w_opened = a.w_opened + b.w_opened;
+    w_closed = a.w_closed + b.w_closed;
+    w_alerts = a.w_alerts + b.w_alerts;
+  }
+
+module Int_map = Map.Make (Int)
+
+let merge_snapshots = function
+  | [] -> invalid_arg "Stream.Monitor.merge_snapshots: empty list"
+  | first :: _ as snaps ->
+    let counters =
+      List.fold_left (fun acc s -> merge_counters acc s.s_counters)
+        zero_counters snaps
+    in
+    let last_time =
+      List.fold_left (fun acc s -> max acc s.s_last_time) 0 snaps
+    in
+    let prefixes =
+      List.concat_map (fun s -> s.s_prefixes) snaps
+      |> List.sort (fun a b -> Prefix.compare a.p_prefix b.p_prefix)
+    in
+    let closed =
+      List.concat_map (fun s -> s.s_closed) snaps |> List.sort compare_episode
+    in
+    let windows =
+      List.fold_left
+        (fun m s ->
+          List.fold_left
+            (fun m (idx, w) ->
+              Int_map.update idx
+                (function
+                  | None -> Some w
+                  | Some prev -> Some (merge_window_counts prev w))
+                m)
+            m s.s_windows)
+        Int_map.empty snaps
+    in
+    {
+      s_config = first.s_config;
+      s_counters = counters;
+      s_last_time = last_time;
+      s_prefixes = prefixes;
+      s_closed = closed;
+      s_windows = Int_map.bindings windows;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Live monitor state *)
+
+type open_state = {
+  os_seq : int;
+  os_started : int;
+  mutable os_days : int;
+  mutable os_max_origins : int;
+  mutable os_origins_ever : Asn.Set.t;
+  mutable os_clean : bool;
+}
+
+type pstate = {
+  mutable origins : Asn.Set.t option Asn.Map.t;
+  mutable open_ep : open_state option;
+  mutable closed_count : int;
+}
+
+type wstate = {
+  mutable wu : int;
+  mutable wo : int;
+  mutable wc : int;
+  mutable wa : int;
+}
+
+type t = {
+  cfg : config;
+  tbl : (Prefix.t, pstate) Hashtbl.t;
+  open_tbl : (Prefix.t, pstate) Hashtbl.t;
+  dirty : (Prefix.t, unit) Hashtbl.t;
+  mutable closed : episode list;  (* reverse completion order *)
+  windows : (int, wstate) Hashtbl.t;
+  mutable updates : int;
+  mutable announces : int;
+  mutable withdraws : int;
+  mutable opened : int;
+  mutable closed_n : int;
+  mutable alerts : int;
+  mutable days : int;
+  mutable last_time : int;
+  m_updates : Registry.Counter.t;
+  m_announces : Registry.Counter.t;
+  m_withdraws : Registry.Counter.t;
+  m_opened : Registry.Counter.t;
+  m_closed : Registry.Counter.t;
+  m_alerts : Registry.Counter.t;
+}
+
+let create ?(metrics = Registry.noop) cfg =
+  validate_config cfg;
+  {
+    cfg;
+    tbl = Hashtbl.create 1024;
+    open_tbl = Hashtbl.create 256;
+    dirty = Hashtbl.create 256;
+    closed = [];
+    windows = Hashtbl.create 64;
+    updates = 0;
+    announces = 0;
+    withdraws = 0;
+    opened = 0;
+    closed_n = 0;
+    alerts = 0;
+    days = 0;
+    last_time = 0;
+    m_updates = Registry.counter metrics "stream_updates_total";
+    m_announces = Registry.counter metrics "stream_announces_total";
+    m_withdraws = Registry.counter metrics "stream_withdraws_total";
+    m_opened = Registry.counter metrics "stream_episodes_opened_total";
+    m_closed = Registry.counter metrics "stream_episodes_closed_total";
+    m_alerts = Registry.counter metrics "stream_alerts_total";
+  }
+
+let config t = t.cfg
+let open_count t = Hashtbl.length t.open_tbl
+let update_count t = t.updates
+let day_count t = t.days
+
+let wslot t time =
+  let idx = time / t.cfg.window in
+  match Hashtbl.find_opt t.windows idx with
+  | Some w -> w
+  | None ->
+    let w = { wu = 0; wo = 0; wc = 0; wa = 0 } in
+    Hashtbl.add t.windows idx w;
+    w
+
+let pstate_of t prefix =
+  match Hashtbl.find_opt t.tbl prefix with
+  | Some ps -> ps
+  | None ->
+    let ps = { origins = Asn.Map.empty; open_ep = None; closed_count = 0 } in
+    Hashtbl.add t.tbl prefix ps;
+    ps
+
+let close_episode t prefix ps os ~time =
+  ps.open_ep <- None;
+  ps.closed_count <- ps.closed_count + 1;
+  Hashtbl.remove t.open_tbl prefix;
+  t.closed <-
+    {
+      e_prefix = prefix;
+      e_seq = os.os_seq;
+      e_started = os.os_started;
+      e_ended = time;
+      e_days = os.os_days;
+      e_max_origins = os.os_max_origins;
+      e_origins_ever = os.os_origins_ever;
+      e_clean = os.os_clean;
+    }
+    :: t.closed;
+  t.closed_n <- t.closed_n + 1;
+  Registry.Counter.incr t.m_closed;
+  let w = wslot t time in
+  w.wc <- w.wc + 1
+
+let ingest t ev =
+  t.updates <- t.updates + 1;
+  Registry.Counter.incr t.m_updates;
+  if ev.time > t.last_time then t.last_time <- ev.time;
+  let w = wslot t ev.time in
+  w.wu <- w.wu + 1;
+  match ev.action with
+  | Announce { origin; moas_list } ->
+    t.announces <- t.announces + 1;
+    Registry.Counter.incr t.m_announces;
+    let ps = pstate_of t ev.prefix in
+    ps.origins <- Asn.Map.add origin moas_list ps.origins;
+    let card = Asn.Map.cardinal ps.origins in
+    (match ps.open_ep with
+    | Some os ->
+      if card > os.os_max_origins then os.os_max_origins <- card;
+      os.os_origins_ever <- Asn.Set.add origin os.os_origins_ever;
+      Hashtbl.replace t.dirty ev.prefix ()
+    | None ->
+      if card > 1 then begin
+        let os =
+          {
+            os_seq = ps.closed_count + 1;
+            os_started = ev.time;
+            os_days = 0;
+            os_max_origins = card;
+            os_origins_ever =
+              Asn.Map.fold (fun o _ s -> Asn.Set.add o s) ps.origins
+                Asn.Set.empty;
+            os_clean = true;
+          }
+        in
+        ps.open_ep <- Some os;
+        Hashtbl.replace t.open_tbl ev.prefix ps;
+        Hashtbl.replace t.dirty ev.prefix ();
+        t.opened <- t.opened + 1;
+        Registry.Counter.incr t.m_opened;
+        w.wo <- w.wo + 1
+      end)
+  | Withdraw { origin } -> (
+    t.withdraws <- t.withdraws + 1;
+    Registry.Counter.incr t.m_withdraws;
+    match Hashtbl.find_opt t.tbl ev.prefix with
+    | None -> ()
+    | Some ps ->
+      if Asn.Map.mem origin ps.origins then begin
+        ps.origins <- Asn.Map.remove origin ps.origins;
+        (match ps.open_ep with
+        | Some os when Asn.Map.cardinal ps.origins <= 1 ->
+          close_episode t ev.prefix ps os ~time:ev.time
+        | _ -> ());
+        if
+          Asn.Map.is_empty ps.origins && ps.open_ep = None
+          && ps.closed_count = 0
+        then Hashtbl.remove t.tbl ev.prefix
+      end)
+
+(* The paper's consistency criterion, evaluated over the settled state of
+   a conflicted prefix: every current origin must advertise a MOAS list,
+   all lists must agree, and the agreed list must contain every current
+   origin.  A conflict that fails the check is an alarm. *)
+let origins_validated origins =
+  let lists = Asn.Map.fold (fun _ l acc -> l :: acc) origins [] in
+  match lists with
+  | [] | [ _ ] -> true
+  | first :: rest -> (
+    match first with
+    | None -> false
+    | Some list ->
+      List.for_all
+        (function None -> false | Some l -> Moas.Moas_list.consistent l list)
+        rest
+      && Asn.Map.for_all (fun o _ -> Asn.Set.mem o list) origins)
+
+let settle t ~time =
+  if Hashtbl.length t.dirty > 0 then begin
+    Hashtbl.iter
+      (fun prefix () ->
+        match Hashtbl.find_opt t.tbl prefix with
+        | Some ({ open_ep = Some os; _ } as ps) when os.os_clean ->
+          if not (origins_validated ps.origins) then begin
+            os.os_clean <- false;
+            t.alerts <- t.alerts + 1;
+            Registry.Counter.incr t.m_alerts;
+            let w = wslot t time in
+            w.wa <- w.wa + 1
+          end
+        | _ -> ())
+      t.dirty;
+    Hashtbl.reset t.dirty
+  end
+
+let mark_day t ~time =
+  settle t ~time;
+  t.days <- t.days + 1;
+  if time > t.last_time then t.last_time <- time;
+  Hashtbl.iter
+    (fun _ ps ->
+      match ps.open_ep with
+      | Some os -> os.os_days <- os.os_days + 1
+      | None -> ())
+    t.open_tbl
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore *)
+
+let counters t =
+  {
+    c_updates = t.updates;
+    c_announces = t.announces;
+    c_withdraws = t.withdraws;
+    c_opened = t.opened;
+    c_closed = t.closed_n;
+    c_alerts = t.alerts;
+    c_days = t.days;
+  }
+
+let snapshot t =
+  let prefixes =
+    Hashtbl.fold
+      (fun prefix ps acc ->
+        let p_origins =
+          List.map
+            (fun (origin, adv_list) -> { origin; adv_list })
+            (Asn.Map.bindings ps.origins)
+        in
+        let p_open =
+          Option.map
+            (fun os ->
+              {
+                o_seq = os.os_seq;
+                o_started = os.os_started;
+                o_days = os.os_days;
+                o_max_origins = os.os_max_origins;
+                o_origins_ever = os.os_origins_ever;
+                o_clean = os.os_clean;
+              })
+            ps.open_ep
+        in
+        { p_prefix = prefix; p_origins; p_open; p_closed_count = ps.closed_count }
+        :: acc)
+      t.tbl []
+    |> List.sort (fun a b -> Prefix.compare a.p_prefix b.p_prefix)
+  in
+  let windows =
+    Hashtbl.fold
+      (fun idx w acc ->
+        (idx, { w_updates = w.wu; w_opened = w.wo; w_closed = w.wc; w_alerts = w.wa })
+        :: acc)
+      t.windows []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  {
+    s_config = t.cfg;
+    s_counters = counters t;
+    s_last_time = t.last_time;
+    s_prefixes = prefixes;
+    s_closed = List.sort compare_episode t.closed;
+    s_windows = windows;
+  }
+
+let restore ?metrics snap =
+  let t = create ?metrics snap.s_config in
+  List.iter
+    (fun p ->
+      let origins =
+        List.fold_left
+          (fun m e -> Asn.Map.add e.origin e.adv_list m)
+          Asn.Map.empty p.p_origins
+      in
+      let open_ep =
+        Option.map
+          (fun o ->
+            {
+              os_seq = o.o_seq;
+              os_started = o.o_started;
+              os_days = o.o_days;
+              os_max_origins = o.o_max_origins;
+              os_origins_ever = o.o_origins_ever;
+              os_clean = o.o_clean;
+            })
+          p.p_open
+      in
+      let ps = { origins; open_ep; closed_count = p.p_closed_count } in
+      Hashtbl.replace t.tbl p.p_prefix ps;
+      if open_ep <> None then Hashtbl.replace t.open_tbl p.p_prefix ps)
+    snap.s_prefixes;
+  t.closed <- List.rev snap.s_closed;
+  List.iter
+    (fun (idx, w) ->
+      Hashtbl.replace t.windows idx
+        { wu = w.w_updates; wo = w.w_opened; wc = w.w_closed; wa = w.w_alerts })
+    snap.s_windows;
+  let c = snap.s_counters in
+  t.updates <- c.c_updates;
+  t.announces <- c.c_announces;
+  t.withdraws <- c.c_withdraws;
+  t.opened <- c.c_opened;
+  t.closed_n <- c.c_closed;
+  t.alerts <- c.c_alerts;
+  t.days <- c.c_days;
+  t.last_time <- snap.s_last_time;
+  (* surface the restored history on the registry, so metrics after a
+     restart line up with an uninterrupted run *)
+  Registry.Counter.add t.m_updates c.c_updates;
+  Registry.Counter.add t.m_announces c.c_announces;
+  Registry.Counter.add t.m_withdraws c.c_withdraws;
+  Registry.Counter.add t.m_opened c.c_opened;
+  Registry.Counter.add t.m_closed c.c_closed;
+  Registry.Counter.add t.m_alerts c.c_alerts;
+  t

@@ -1,0 +1,36 @@
+(** Deterministic text report over a monitor snapshot.
+
+    Everything here is computed from the canonical {!Monitor.snapshot}
+    alone — no wall-clock readings, no job counts — so the rendered bytes
+    are identical at any [--jobs] setting and across checkpoint/restore
+    boundaries.  That identity is asserted by the test suite and CI. *)
+
+type episode_view = {
+  v_prefix : Net.Prefix.t;
+  v_seq : int;
+  v_started : int;
+  v_ended : int option;  (** [None] while still open *)
+  v_days : int;
+  v_max_origins : int;
+  v_origins : Net.Asn.Set.t;
+  v_clean : bool;
+}
+
+val episodes : Monitor.snapshot -> episode_view list
+(** Closed and still-open episodes in one list, sorted by
+    (prefix, start time, recurrence index). *)
+
+type duration_class = Short | Medium | Long
+
+val classify : Monitor.config -> int -> duration_class
+(** Bucket a day count per the config (a not-yet-marked episode counts as
+    one day). *)
+
+val paper_buckets : episode_view list -> (string * int) list
+(** Episode counts in the Figure 5 duration buckets
+    (1, 2, 3-7, 8-30, 31-90, 91-365, >365 days). *)
+
+val render : ?top_windows:int -> Monitor.snapshot -> string
+(** The monitor report: stream totals, open/closed episode counts,
+    MOAS-list validation verdicts, recurrence, duration histograms, and
+    the busiest alert windows ([top_windows], default 5). *)

@@ -1,0 +1,139 @@
+module Registry = Obs.Registry
+
+type t = {
+  jobs : int;
+  shards : Monitor.t array;
+  shard_metrics : Registry.t array;
+  driver : Registry.t;
+  m_batches : Registry.Counter.t;
+  m_days : Registry.Counter.t;
+  h_batch : Registry.Histogram.t;
+  g_open : Registry.Gauge.t;
+}
+
+let shard_of t prefix = Net.Prefix.hash prefix mod t.jobs
+
+let make ?(metrics = Registry.noop) ?jobs ~init_shard () =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Exec.Pool.default_jobs ()
+  in
+  let live = not (Registry.is_noop metrics) in
+  let shard_metrics =
+    Array.init jobs (fun _ -> if live then Registry.create () else Registry.noop)
+  in
+  let shards = Array.init jobs (fun s -> init_shard ~metrics:shard_metrics.(s) s) in
+  {
+    jobs;
+    shards;
+    shard_metrics;
+    driver = metrics;
+    m_batches = Registry.counter metrics "stream_batches_total";
+    m_days = Registry.counter metrics "stream_days_total";
+    h_batch = Registry.histogram metrics "stream_batch_seconds";
+    g_open = Registry.gauge metrics "stream_open_episodes";
+  }
+
+let create ?metrics ?jobs config =
+  make ?metrics ?jobs ()
+    ~init_shard:(fun ~metrics _ -> Monitor.create ~metrics config)
+
+let jobs t = t.jobs
+let config t = Monitor.config t.shards.(0)
+
+let open_count t =
+  Array.fold_left (fun acc m -> acc + Monitor.open_count m) 0 t.shards
+
+let update_count t =
+  Array.fold_left (fun acc m -> acc + Monitor.update_count m) 0 t.shards
+
+(* every shard receives every day mark, so any shard holds the full count *)
+let day_count t = Monitor.day_count t.shards.(0)
+
+let parallel_threshold = 2048
+
+let ingest_batch ?(day_end = false) t ~time events =
+  let t0 = Unix.gettimeofday () in
+  (* stable partition by prefix hash: per-prefix event order is preserved
+     inside each shard, and distinct prefixes never share state, so any
+     shard count yields the same per-prefix trajectories *)
+  let buckets = Array.make t.jobs [] in
+  Array.iter
+    (fun (ev : Monitor.event) ->
+      let s = shard_of t ev.Monitor.prefix in
+      buckets.(s) <- ev :: buckets.(s))
+    events;
+  let parts = Array.map (fun evs -> Array.of_list (List.rev evs)) buckets in
+  let run_shard s =
+    let m = t.shards.(s) in
+    Array.iter (Monitor.ingest m) parts.(s);
+    if day_end then Monitor.mark_day m ~time else Monitor.settle m ~time
+  in
+  (* shards share no state, so dispatching them serially or on the pool
+     yields identical per-shard trajectories; small batches stay inline
+     because a domain spawn costs more than they do *)
+  if Array.length events < parallel_threshold then
+    for s = 0 to t.jobs - 1 do
+      run_shard s
+    done
+  else ignore (Exec.Pool.map ~jobs:t.jobs run_shard (Array.init t.jobs Fun.id));
+  Registry.Counter.incr t.m_batches;
+  if day_end then Registry.Counter.incr t.m_days;
+  if not (Registry.is_noop t.driver) then begin
+    Registry.Histogram.observe t.h_batch (Unix.gettimeofday () -. t0);
+    Registry.Gauge.set t.g_open (float_of_int (open_count t))
+  end
+
+let snapshot t =
+  Monitor.merge_snapshots
+    (Array.to_list (Array.map Monitor.snapshot t.shards))
+
+let of_snapshot ?metrics ?jobs (snap : Monitor.snapshot) =
+  let t =
+    make ?metrics ?jobs ()
+      ~init_shard:(fun ~metrics:_ _ ->
+        (* placeholder; each shard is rebuilt from its sub-snapshot below *)
+        Monitor.create snap.Monitor.s_config)
+  in
+  let open Monitor in
+  let part_prefixes = Array.make t.jobs [] in
+  List.iter
+    (fun p ->
+      let s = shard_of t p.p_prefix in
+      part_prefixes.(s) <- p :: part_prefixes.(s))
+    (List.rev snap.s_prefixes);
+  let part_closed = Array.make t.jobs [] in
+  List.iter
+    (fun e ->
+      let s = shard_of t e.e_prefix in
+      part_closed.(s) <- e :: part_closed.(s))
+    (List.rev snap.s_closed);
+  Array.iteri
+    (fun s _ ->
+      (* windows and event counters live once, in shard 0; day counts and
+         the stream clock are replicated because every shard sees every
+         day mark (the merge takes their maximum) *)
+      let counters =
+        if s = 0 then snap.s_counters
+        else { zero_counters with c_days = snap.s_counters.c_days }
+      in
+      let shard_snap =
+        {
+          s_config = snap.s_config;
+          s_counters = counters;
+          s_last_time = snap.s_last_time;
+          s_prefixes = part_prefixes.(s);
+          s_closed = part_closed.(s);
+          s_windows = (if s = 0 then snap.s_windows else []);
+        }
+      in
+      t.shards.(s) <- Monitor.restore ~metrics:t.shard_metrics.(s) shard_snap)
+    t.shards;
+  t
+
+let metrics t =
+  let merged = Registry.create () in
+  if not (Registry.is_noop t.driver) then begin
+    Registry.merge ~into:merged t.driver;
+    Array.iter (fun r -> Registry.merge ~into:merged r) t.shard_metrics
+  end;
+  merged

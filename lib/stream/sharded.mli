@@ -1,0 +1,58 @@
+(** Parallel ingest for the online monitor: prefixes are hash-partitioned
+    over [jobs] {!Monitor} shards and each batch is processed on the
+    {!Exec.Pool} domain pool.
+
+    Because per-prefix state is independent and the partition preserves
+    per-prefix event order, the merged {!snapshot} — and therefore the
+    rendered report and the checkpoint bytes — is byte-identical at every
+    job count.  Per-shard metric registries are merged additively with
+    {!Obs.Registry.merge}, so counter totals are job-count-invariant too
+    (wall-clock instruments, of course, are not). *)
+
+type t
+
+val create : ?metrics:Obs.Registry.t -> ?jobs:int -> Monitor.config -> t
+(** [jobs] defaults to {!Exec.Pool.default_jobs} and is clamped to at
+    least 1.  When [metrics] is live, each shard gets its own registry
+    (merged on demand by {!metrics}) and [metrics] itself receives the
+    driver-side instruments: [stream_batches_total], [stream_days_total],
+    the [stream_batch_seconds] ingest-latency histogram, and the
+    [stream_open_episodes] gauge. *)
+
+val jobs : t -> int
+val config : t -> Monitor.config
+
+val ingest_batch : ?day_end:bool -> t -> time:int -> Monitor.event array -> unit
+(** Partition one batch across the shards and process it in parallel.
+    Each shard ends the batch with {!Monitor.settle} at [time] — or, when
+    [day_end] is set, {!Monitor.mark_day} (the batch closed an observed
+    collection day).  Batches smaller than {!parallel_threshold} are
+    ingested inline (shards in index order) because a domain spawn costs
+    more than they do; either dispatch yields identical shard state. *)
+
+val parallel_threshold : int
+(** Minimum batch size (in events) at which ingest is dispatched on the
+    {!Exec.Pool} rather than inline. *)
+
+val open_count : t -> int
+(** Currently open episodes, summed over shards. *)
+
+val update_count : t -> int
+(** Events ingested, summed over shards. *)
+
+val day_count : t -> int
+(** Observed days marked so far. *)
+
+val snapshot : t -> Monitor.snapshot
+(** The merged canonical snapshot of all shards (see
+    {!Monitor.merge_snapshots}); identical at any job count. *)
+
+val of_snapshot :
+  ?metrics:Obs.Registry.t -> ?jobs:int -> Monitor.snapshot -> t
+(** Rebuild a sharded monitor from a (merged) snapshot, re-partitioning
+    the per-prefix state over the requested job count — a checkpoint
+    taken at one [--jobs] setting restores at any other. *)
+
+val metrics : t -> Obs.Registry.t
+(** A fresh registry holding the merge of the driver registry and every
+    shard registry (empty when metrics were disabled). *)

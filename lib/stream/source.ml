@@ -1,0 +1,144 @@
+open Net
+module Srv = Measurement.Synthetic_routeviews
+
+type batch = { time : int; day : Mutil.Day.t option; events : Monitor.event array }
+
+let day_seconds = 86_400
+
+type annotator = Prefix.t -> Asn.Set.t -> Asn.t -> Asn.Set.t option
+
+let no_annotation : annotator = fun _ _ _ -> None
+
+let trusted_annotator ?(distrusted = Asn.Set.empty) () : annotator =
+ fun _prefix origins _origin ->
+  if Asn.Set.exists (fun a -> Asn.Set.mem a distrusted) origins then None
+  else Some origins
+
+(* Diff consecutive daily tables into announce/withdraw events.  When a
+   prefix's origin set changes, the withdrawals come first and then every
+   current origin re-announces with a freshly computed MOAS list — the
+   wire behaviour of origins updating the list as membership changes, and
+   the order that keeps a legitimately shrinking conflict from being
+   flagged over a stale list. *)
+let day_events ~annotate ~prev dump =
+  let events = ref [] in
+  let emit ev = events := ev :: !events in
+  let time = dump.Srv.day * day_seconds in
+  let today =
+    List.fold_left
+      (fun m (p, o) -> Prefix.Map.add p o m)
+      Prefix.Map.empty dump.Srv.table
+  in
+  List.iter
+    (fun (prefix, origins) ->
+      let prev_origins =
+        Option.value ~default:Asn.Set.empty (Prefix.Map.find_opt prefix prev)
+      in
+      if not (Asn.Set.equal origins prev_origins) then begin
+        Asn.Set.iter
+          (fun origin ->
+            emit
+              {
+                Monitor.time;
+                peer = origin;
+                prefix;
+                action = Monitor.Withdraw { origin };
+              })
+          (Asn.Set.diff prev_origins origins);
+        Asn.Set.iter
+          (fun origin ->
+            emit
+              {
+                Monitor.time;
+                peer = origin;
+                prefix;
+                action =
+                  Monitor.Announce
+                    { origin; moas_list = annotate prefix origins origin };
+              })
+          origins
+      end)
+    dump.Srv.table;
+  Prefix.Map.iter
+    (fun prefix prev_origins ->
+      if not (Prefix.Map.mem prefix today) then
+        Asn.Set.iter
+          (fun origin ->
+            emit
+              {
+                Monitor.time;
+                peer = origin;
+                prefix;
+                action = Monitor.Withdraw { origin };
+              })
+          prev_origins)
+    prev;
+  (Array.of_list (List.rev !events), today)
+
+let fold_archive ?(annotate = no_annotation) params ~init ~f =
+  let acc, _ =
+    Srv.fold_dumps params
+      ~init:(init, Prefix.Map.empty)
+      ~f:(fun (acc, prev) dump ->
+        let events, today = day_events ~annotate ~prev dump in
+        let batch =
+          { time = dump.Srv.day * day_seconds; day = Some dump.Srv.day; events }
+        in
+        (f acc batch, today))
+  in
+  acc
+
+let archive_batches ?annotate params =
+  Array.of_list
+    (List.rev
+       (fold_archive ?annotate params ~init:[] ~f:(fun acc b -> b :: acc)))
+
+(* ------------------------------------------------------------------ *)
+(* Wire and MRT adapters *)
+
+let of_wire ~time ~peer (message : Bgp.Wire.message) =
+  let withdraws =
+    List.map
+      (fun prefix ->
+        { Monitor.time; peer; prefix; action = Monitor.Withdraw { origin = peer } })
+      message.Bgp.Wire.withdrawn
+  in
+  let announces =
+    match message.Bgp.Wire.attributes with
+    | None -> []
+    | Some attrs ->
+      let origin =
+        Option.value ~default:peer
+          (Bgp.As_path.origin_as attrs.Bgp.Wire.as_path)
+      in
+      let moas_list = Moas.Moas_list.decode attrs.Bgp.Wire.communities in
+      List.map
+        (fun prefix ->
+          {
+            Monitor.time;
+            peer;
+            prefix;
+            action = Monitor.Announce { origin; moas_list };
+          })
+        message.Bgp.Wire.nlri
+  in
+  Array.of_list (withdraws @ announces)
+
+let of_mrt data =
+  let events, last =
+    Measurement.Mrt.fold_records data ~init:([], 0) ~f:(fun (acc, last) r ->
+        let origin =
+          Option.value ~default:r.Measurement.Mrt.peer_as
+            (Bgp.As_path.origin_as r.Measurement.Mrt.as_path)
+        in
+        let ev =
+          {
+            Monitor.time = r.Measurement.Mrt.timestamp;
+            peer = r.Measurement.Mrt.peer_as;
+            prefix = r.Measurement.Mrt.prefix;
+            action = Monitor.Announce { origin; moas_list = None };
+          }
+        in
+        (ev :: acc, max last r.Measurement.Mrt.timestamp))
+  in
+  { time = last; day = None; events = Array.of_list (List.rev events) }

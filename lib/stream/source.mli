@@ -1,0 +1,66 @@
+(** Stream sources for the online monitor: adapters that turn the
+    synthetic RouteViews archive, MRT table-dump bytes or decoded BGP
+    wire messages into timestamped event batches.
+
+    The archive adapter replays the daily dumps as a {e diff stream}:
+    consecutive tables are compared and only membership changes become
+    announce/withdraw events, with withdrawals ordered before the
+    re-announcements that carry a prefix's refreshed MOAS list.  Each
+    observed day is one batch (fed to {!Sharded.ingest_batch} with
+    [~day_end:true]), so per-episode day counts line up exactly with the
+    snapshot-based {!Measurement.Moas_cases} analysis. *)
+
+open Net
+
+type batch = {
+  time : int;  (** batch timestamp, seconds (day boundary for the archive) *)
+  day : Mutil.Day.t option;  (** the observed day, for archive batches *)
+  events : Monitor.event array;
+}
+
+val day_seconds : int
+(** 86400: archive timestamps are [day * day_seconds], with days counted
+    from 1997-01-01 like {!Mutil.Day}. *)
+
+type annotator = Prefix.t -> Asn.Set.t -> Asn.t -> Asn.Set.t option
+(** [annotate prefix origins origin] is the MOAS list that [origin]
+    attaches when announcing [prefix] while the full origin set is
+    [origins] — the archive records no community attributes, so list
+    placement is a replay policy. *)
+
+val no_annotation : annotator
+(** No announcement carries a list: every conflict raises an alert. *)
+
+val trusted_annotator : ?distrusted:Asn.Set.t -> unit -> annotator
+(** Cooperating origins advertise the full (consistent) origin set —
+    legitimate multi-homing conflicts validate cleanly — except when the
+    set involves a [distrusted] AS, in which case nobody vouches for the
+    announcement and the conflict is flagged.  Replaying the archive with
+    the two fault ASes distrusted makes the alert stream spike exactly at
+    1998-04-07 and 2001-04-06. *)
+
+val fold_archive :
+  ?annotate:annotator ->
+  Measurement.Synthetic_routeviews.params ->
+  init:'a ->
+  f:('a -> batch -> 'a) ->
+  'a
+(** Fold over the archive's observed days as event batches, in
+    chronological order, holding only one day's table in memory. *)
+
+val archive_batches :
+  ?annotate:annotator ->
+  Measurement.Synthetic_routeviews.params ->
+  batch array
+(** The whole archive materialised (for benchmarks that want to time the
+    monitor without the generator). *)
+
+val of_wire : time:int -> peer:Asn.t -> Bgp.Wire.message -> Monitor.event array
+(** Events carried by one decoded BGP UPDATE: withdrawals (attributed to
+    [peer]) then announcements (origin = AS-path tail, falling back to
+    [peer]; MOAS list decoded from the community attribute). *)
+
+val of_mrt : bytes -> batch
+(** One batch per TABLE_DUMP blob, via the constant-memory
+    {!Measurement.Mrt.fold_records}; every record is an announcement and
+    the batch time is the latest record timestamp. *)

@@ -1,0 +1,548 @@
+(* Tests for lib/stream: online monitor state machine, episode lifecycle,
+   MOAS-list validation at settle points, sharded ingest determinism,
+   checkpoint/restore, and agreement with the snapshot-based
+   Measurement.Moas_cases analysis on the same synthetic archive. *)
+
+open Net
+module M = Stream.Monitor
+module Sh = Stream.Sharded
+module Ck = Stream.Checkpoint
+module Src = Stream.Source
+module Rp = Stream.Report
+module Srv = Measurement.Synthetic_routeviews
+module Mc = Measurement.Moas_cases
+
+let p1 = Prefix.of_string "192.0.2.0/24"
+let day = M.default_config.M.day_seconds
+
+let ev ?(peer = 99) ~time prefix action =
+  { M.time; peer = Asn.make peer; prefix; action }
+
+let ann ?list o =
+  M.Announce { origin = Asn.make o; moas_list = Option.map Asn.Set.of_list list }
+
+let wd o = M.Withdraw { origin = Asn.make o }
+
+(* the 1/10-size archive used for CI smoke runs *)
+let smoke_params =
+  {
+    Srv.default_params with
+    Srv.universe_size = 400;
+    initial_long_lived = 65;
+    final_long_lived = 139;
+    one_day_churn = 24;
+    medium_churn = 9;
+    event_1998_size = 114;
+    event_2001_size = 97;
+  }
+
+let distrusted = Asn.Set.of_list [ Srv.fault_as_1998; Srv.fault_as_2001 ]
+let annotate = Src.trusted_annotator ~distrusted ()
+
+(* ---------------- episode lifecycle ---------------- *)
+
+let test_lifecycle () =
+  let m = M.create M.default_config in
+  M.ingest m (ev ~time:0 p1 (ann ~list:[ 10; 20 ] 10));
+  Alcotest.(check int) "single origin, no episode" 0 (M.open_count m);
+  M.ingest m (ev ~time:10 p1 (ann ~list:[ 10; 20 ] 20));
+  Alcotest.(check int) "episode opens on second origin" 1 (M.open_count m);
+  M.mark_day m ~time:day;
+  M.ingest m (ev ~time:(day + 100) p1 (wd 20));
+  Alcotest.(check int) "episode closes on withdrawal" 0 (M.open_count m);
+  let sn = M.snapshot m in
+  (match sn.M.s_closed with
+  | [ e ] ->
+    Alcotest.(check int) "one conflicted day" 1 e.M.e_days;
+    Alcotest.(check int) "first episode of the prefix" 1 e.M.e_seq;
+    Alcotest.(check int) "started when the set grew" 10 e.M.e_started;
+    Alcotest.(check int) "ended at the withdrawal" (day + 100) e.M.e_ended;
+    Alcotest.(check int) "largest origin set" 2 e.M.e_max_origins;
+    Alcotest.(check bool) "validated by consistent lists" true e.M.e_clean;
+    Alcotest.check Testutil.asn_set_testable "origins ever"
+      (Asn.Set.of_list [ 10; 20 ])
+      e.M.e_origins_ever
+  | eps -> Alcotest.failf "expected 1 closed episode, got %d" (List.length eps));
+  let c = sn.M.s_counters in
+  Alcotest.(check int) "updates" 3 c.M.c_updates;
+  Alcotest.(check int) "announces" 2 c.M.c_announces;
+  Alcotest.(check int) "withdraws" 1 c.M.c_withdraws;
+  Alcotest.(check int) "opened" 1 c.M.c_opened;
+  Alcotest.(check int) "closed" 1 c.M.c_closed;
+  Alcotest.(check int) "no alerts: lists agreed" 0 c.M.c_alerts;
+  Alcotest.(check int) "days observed" 1 c.M.c_days
+
+let test_validation_flags () =
+  let m = M.create M.default_config in
+  M.ingest m (ev ~time:0 p1 (ann ~list:[ 10; 20 ] 10));
+  M.ingest m (ev ~time:1 p1 (ann 20));
+  (* the conflict exists but validation waits for the settle point *)
+  Alcotest.(check int) "open before settle" 1 (M.open_count m);
+  let before = (M.snapshot m).M.s_counters.M.c_alerts in
+  Alcotest.(check int) "no alert before settle" 0 before;
+  M.settle m ~time:2;
+  let sn = M.snapshot m in
+  Alcotest.(check int) "one alert after settle" 1 sn.M.s_counters.M.c_alerts;
+  (match sn.M.s_prefixes with
+  | [ p ] ->
+    (match p.M.p_open with
+    | Some o -> Alcotest.(check bool) "episode flagged" false o.M.o_clean
+    | None -> Alcotest.fail "episode vanished")
+  | _ -> Alcotest.fail "expected one prefix state");
+  (* a flagged episode never alerts twice *)
+  M.ingest m (ev ~time:3 p1 (ann 30));
+  M.settle m ~time:4;
+  Alcotest.(check int) "still one alert" 1
+    (M.snapshot m).M.s_counters.M.c_alerts
+
+let test_recurrence () =
+  let m = M.create M.default_config in
+  let conflict t =
+    M.ingest m (ev ~time:t p1 (ann ~list:[ 10; 20 ] 10));
+    M.ingest m (ev ~time:(t + 1) p1 (ann ~list:[ 10; 20 ] 20));
+    M.mark_day m ~time:(t + day);
+    M.ingest m (ev ~time:(t + day + 1) p1 (wd 20))
+  in
+  conflict 0;
+  conflict (10 * day);
+  let sn = M.snapshot m in
+  Alcotest.(check (list int)) "recurrence indices" [ 1; 2 ]
+    (List.map (fun e -> e.M.e_seq) sn.M.s_closed);
+  (match sn.M.s_prefixes with
+  | [ p ] -> Alcotest.(check int) "closed count" 2 p.M.p_closed_count
+  | _ -> Alcotest.fail "expected one prefix state");
+  Testutil.check_contains ~what:"report" (Rp.render sn)
+    "1 prefixes conflicted more than once"
+
+let test_origins_validated () =
+  let map entries =
+    List.fold_left
+      (fun acc (o, l) ->
+        Asn.Map.add (Asn.make o) (Option.map Asn.Set.of_list l) acc)
+      Asn.Map.empty entries
+  in
+  let check name expected entries =
+    Alcotest.(check bool) name expected (M.origins_validated (map entries))
+  in
+  check "no origins" true [];
+  check "single origin, no list" true [ (10, None) ];
+  check "consistent covering lists" true
+    [ (10, Some [ 10; 20 ]); (20, Some [ 10; 20 ]) ];
+  check "superset lists still cover" true
+    [ (10, Some [ 10; 20; 30 ]); (20, Some [ 10; 20; 30 ]) ];
+  check "one origin without a list" false
+    [ (10, Some [ 10; 20 ]); (20, None) ];
+  check "disagreeing lists" false
+    [ (10, Some [ 10; 20 ]); (20, Some [ 10; 30 ]) ];
+  check "agreed list missing an origin" false
+    [ (10, Some [ 10 ]); (20, Some [ 10 ]) ]
+
+let test_windows () =
+  let m = M.create M.default_config in
+  M.ingest m (ev ~time:100 p1 (ann 10));
+  M.ingest m (ev ~time:200 p1 (ann 20));
+  M.settle m ~time:300;
+  M.ingest m (ev ~time:((5 * day) + 1) p1 (wd 20));
+  let sn = M.snapshot m in
+  Alcotest.(check (list int)) "window indices" [ 0; 5 ]
+    (List.map fst sn.M.s_windows);
+  let sum f =
+    List.fold_left (fun acc (_, w) -> acc + f w) 0 sn.M.s_windows
+  in
+  let c = sn.M.s_counters in
+  Alcotest.(check int) "updates windowed" c.M.c_updates (sum (fun w -> w.M.w_updates));
+  Alcotest.(check int) "opens windowed" c.M.c_opened (sum (fun w -> w.M.w_opened));
+  Alcotest.(check int) "closes windowed" c.M.c_closed (sum (fun w -> w.M.w_closed));
+  Alcotest.(check int) "alerts windowed" c.M.c_alerts (sum (fun w -> w.M.w_alerts))
+
+let test_config_validation () =
+  List.iter
+    (fun (name, cfg) ->
+      match M.create cfg with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "%s accepted" name)
+    [
+      ("zero window", { M.default_config with M.window = 0 });
+      ( "inverted buckets",
+        { M.default_config with M.short_max_days = 9; medium_max_days = 3 } );
+      ("zero day", { M.default_config with M.day_seconds = 0 });
+    ]
+
+(* ---------------- the archive as a stream ---------------- *)
+
+let archive_monitor ?metrics ~jobs () =
+  let t = Sh.create ?metrics ~jobs M.default_config in
+  Array.iter
+    (fun b -> Sh.ingest_batch ~day_end:true t ~time:b.Src.time b.Src.events)
+    (Src.archive_batches ~annotate smoke_params);
+  t
+
+let test_sharding_invariance () =
+  let r1 = Rp.render (Sh.snapshot (archive_monitor ~jobs:1 ())) in
+  let r4 = Rp.render (Sh.snapshot (archive_monitor ~jobs:4 ())) in
+  Alcotest.(check string) "reports identical at jobs 1 and 4" r1 r4
+
+let test_alerts_spike_on_fault_days () =
+  let sn = Sh.snapshot (archive_monitor ~jobs:2 ()) in
+  let alert_days =
+    List.filter_map
+      (fun (i, w) -> if w.M.w_alerts > 0 then Some i else None)
+      sn.M.s_windows
+  in
+  Alcotest.(check (list int)) "alerts exactly on the fault days"
+    [ Srv.event_1998; Srv.event_2001 ]
+    alert_days;
+  let alerts_on d =
+    match List.assoc_opt d sn.M.s_windows with
+    | Some w -> w.M.w_alerts
+    | None -> 0
+  in
+  Alcotest.(check int) "1998 event size" smoke_params.Srv.event_1998_size
+    (alerts_on Srv.event_1998);
+  Alcotest.(check int) "2001 event size" smoke_params.Srv.event_2001_size
+    (alerts_on Srv.event_2001)
+
+let test_archive_agrees_with_moas_cases () =
+  (* the online monitor and the snapshot-based Section 3 analysis must
+     count the same conflicted days over the same archive *)
+  let sn = Sh.snapshot (archive_monitor ~jobs:3 ()) in
+  let summary =
+    Mc.finalize
+      (Srv.fold_dumps smoke_params ~init:Mc.empty ~f:(fun acc d ->
+           Mc.ingest acc ~day:d.Srv.day d.Srv.table))
+  in
+  Alcotest.(check int) "observed days" summary.Mc.observed_day_count
+    sn.M.s_counters.M.c_days;
+  (* accumulate per-prefix (days, origins, max) over closed + open episodes *)
+  let tbl = Hashtbl.create 256 in
+  let add prefix days origins max_o =
+    let d0, o0, m0 =
+      Option.value ~default:(0, Asn.Set.empty, 0)
+        (Hashtbl.find_opt tbl prefix)
+    in
+    Hashtbl.replace tbl prefix
+      (d0 + days, Asn.Set.union o0 origins, max m0 max_o)
+  in
+  List.iter
+    (fun e -> add e.M.e_prefix e.M.e_days e.M.e_origins_ever e.M.e_max_origins)
+    sn.M.s_closed;
+  List.iter
+    (fun p ->
+      match p.M.p_open with
+      | Some o -> add p.M.p_prefix o.M.o_days o.M.o_origins_ever o.M.o_max_origins
+      | None -> ())
+    sn.M.s_prefixes;
+  Alcotest.(check int) "same number of conflicted prefixes"
+    (List.length summary.Mc.cases) (Hashtbl.length tbl);
+  List.iter
+    (fun (case : Mc.case) ->
+      match Hashtbl.find_opt tbl case.Mc.prefix with
+      | None ->
+        Alcotest.failf "case %s missing from the stream monitor"
+          (Prefix.to_string case.Mc.prefix)
+      | Some (days, origins, max_o) ->
+        Alcotest.(check int)
+          (Printf.sprintf "days for %s" (Prefix.to_string case.Mc.prefix))
+          case.Mc.moas_days days;
+        Alcotest.check Testutil.asn_set_testable
+          (Printf.sprintf "origins for %s" (Prefix.to_string case.Mc.prefix))
+          case.Mc.origins_ever origins;
+        Alcotest.(check int)
+          (Printf.sprintf "max origins for %s" (Prefix.to_string case.Mc.prefix))
+          case.Mc.max_origins max_o)
+    summary.Mc.cases
+
+let test_metrics_flow () =
+  let metrics = Obs.Registry.create () in
+  let t = archive_monitor ~metrics ~jobs:2 () in
+  let merged = Sh.metrics t in
+  let v name = Obs.Registry.counter_value merged name in
+  Alcotest.(check int) "updates counter" (Sh.update_count t)
+    (v "stream_updates_total");
+  Alcotest.(check int) "announce + withdraw split" (Sh.update_count t)
+    (v "stream_announces_total" + v "stream_withdraws_total");
+  Alcotest.(check int) "days counter" (Sh.day_count t) (v "stream_days_total");
+  Alcotest.(check int) "batches counter" (Sh.day_count t)
+    (v "stream_batches_total");
+  let sn = Sh.snapshot t in
+  Alcotest.(check int) "opened counter" sn.M.s_counters.M.c_opened
+    (v "stream_episodes_opened_total");
+  Alcotest.(check int) "alerts counter" sn.M.s_counters.M.c_alerts
+    (v "stream_alerts_total")
+
+(* ---------------- checkpoint/restore ---------------- *)
+
+let test_checkpoint_roundtrip () =
+  let sn = Sh.snapshot (archive_monitor ~jobs:2 ()) in
+  let bytes = Ck.encode sn in
+  let sn2 = Ck.decode bytes in
+  Alcotest.(check string) "render survives the roundtrip" (Rp.render sn)
+    (Rp.render sn2);
+  Alcotest.(check bool) "re-encoding is byte-identical" true
+    (Bytes.equal bytes (Ck.encode sn2))
+
+let test_checkpoint_empty () =
+  let sn = M.empty_snapshot M.default_config in
+  Alcotest.(check string) "empty snapshot roundtrips"
+    (Rp.render sn)
+    (Rp.render (Ck.decode (Ck.encode sn)))
+
+let test_checkpoint_rejects_corruption () =
+  let bytes = Ck.encode (Sh.snapshot (archive_monitor ~jobs:1 ())) in
+  let expect name b =
+    match Ck.decode b with
+    | exception Ck.Corrupt _ -> ()
+    | _ -> Alcotest.failf "%s accepted" name
+  in
+  expect "truncated" (Bytes.sub bytes 0 (Bytes.length bytes - 3));
+  expect "trailing octets" (Bytes.cat bytes (Bytes.make 1 '\x00'));
+  let bad_magic = Bytes.copy bytes in
+  Bytes.set bad_magic 0 'X';
+  expect "bad magic" bad_magic;
+  let bad_version = Bytes.copy bytes in
+  Bytes.set bad_version 8 '\x09';
+  expect "unknown version" bad_version;
+  expect "empty" Bytes.empty
+
+let test_checkpoint_restore_converges () =
+  (* checkpoint mid-stream at one job count, restore at another, replay
+     the rest: the final report equals the uninterrupted run's *)
+  let batches = Src.archive_batches ~annotate smoke_params in
+  let split = Array.length batches / 2 in
+  let t = Sh.create ~jobs:2 M.default_config in
+  Array.iteri
+    (fun i b ->
+      if i < split then
+        Sh.ingest_batch ~day_end:true t ~time:b.Src.time b.Src.events)
+    batches;
+  let bytes = Ck.encode (Sh.snapshot t) in
+  let snap = Ck.decode bytes in
+  let resumed = Sh.of_snapshot ~jobs:3 snap in
+  Array.iter
+    (fun b ->
+      if b.Src.time > snap.M.s_last_time then
+        Sh.ingest_batch ~day_end:true resumed ~time:b.Src.time b.Src.events)
+    batches;
+  let uninterrupted = Rp.render (Sh.snapshot (archive_monitor ~jobs:1 ())) in
+  Alcotest.(check string) "resumed run converges" uninterrupted
+    (Rp.render (Sh.snapshot resumed))
+
+let test_restore_recredits_metrics () =
+  let sn = Sh.snapshot (archive_monitor ~jobs:2 ()) in
+  let metrics = Obs.Registry.create () in
+  let restored = Sh.of_snapshot ~metrics ~jobs:2 sn in
+  Alcotest.(check int) "restored update counter"
+    sn.M.s_counters.M.c_updates
+    (Obs.Registry.counter_value (Sh.metrics restored) "stream_updates_total")
+
+(* ---------------- other sources ---------------- *)
+
+let test_of_mrt () =
+  let records =
+    [
+      {
+        Measurement.Mrt.timestamp = 100;
+        peer_as = Asn.make 4;
+        prefix = p1;
+        as_path = Bgp.As_path.of_list [ 4; 7 ];
+      };
+      {
+        Measurement.Mrt.timestamp = 200;
+        peer_as = Asn.make 5;
+        prefix = p1;
+        as_path = Bgp.As_path.of_list [ 5 ];
+      };
+    ]
+  in
+  let batch = Src.of_mrt (Measurement.Mrt.encode_records records) in
+  Alcotest.(check int) "batch time = latest record" 200 batch.Src.time;
+  Alcotest.(check int) "one event per record" 2 (Array.length batch.Src.events);
+  match batch.Src.events.(0).M.action with
+  | M.Announce { origin; _ } ->
+    Alcotest.(check int) "origin = path tail" 7 (Asn.to_int origin)
+  | M.Withdraw _ -> Alcotest.fail "MRT records are announcements"
+
+let test_of_wire () =
+  let message =
+    {
+      Bgp.Wire.withdrawn = [ Prefix.of_string "10.0.0.0/8" ];
+      attributes =
+        Some
+          {
+            Bgp.Wire.origin = Bgp.Route.Igp;
+            as_path = Bgp.As_path.of_list [ 9; 4 ];
+            local_pref = 100;
+            communities = Moas.Moas_list.encode (Asn.Set.of_list [ 4; 226 ]);
+          };
+      nlri = [ p1 ];
+    }
+  in
+  let events = Src.of_wire ~time:7 ~peer:(Asn.make 9) message in
+  Alcotest.(check int) "withdraw + announce" 2 (Array.length events);
+  (match events.(0).M.action with
+  | M.Withdraw { origin } ->
+    Alcotest.(check int) "withdraw attributed to the peer" 9 (Asn.to_int origin)
+  | M.Announce _ -> Alcotest.fail "withdrawals come first");
+  match events.(1).M.action with
+  | M.Announce { origin; moas_list } ->
+    Alcotest.(check int) "origin from the path tail" 4 (Asn.to_int origin);
+    Alcotest.check
+      (Alcotest.option Testutil.asn_set_testable)
+      "MOAS list decoded from communities"
+      (Some (Asn.Set.of_list [ 4; 226 ]))
+      moas_list
+  | M.Withdraw _ -> Alcotest.fail "announcement lost"
+
+(* ---------------- qcheck properties ---------------- *)
+
+let script_prefixes =
+  [|
+    Prefix.of_string "10.0.0.0/8";
+    Prefix.of_string "192.0.2.0/24";
+    Prefix.of_string "198.51.100.0/24";
+    Prefix.of_string "203.0.113.0/24";
+  |]
+
+let script_gen =
+  QCheck2.Gen.(
+    list_size (int_range 0 150)
+      (triple (int_range 0 3) (int_range 1 6) (int_range 0 3)))
+
+let act o = function
+  | 0 -> wd o
+  | 1 -> ann o
+  | 2 -> ann ~list:[ 1; 2; 3; 4; 5; 6 ] o
+  | _ -> ann ~list:[ o ] o
+
+let rec chunk n = function
+  | [] -> []
+  | l ->
+    let rec take k = function
+      | x :: tl when k > 0 ->
+        let a, b = take (k - 1) tl in
+        (x :: a, b)
+      | rest -> ([], rest)
+    in
+    let a, b = take n l in
+    a :: chunk n b
+
+let feed_sharded jobs script =
+  let t = Sh.create ~jobs M.default_config in
+  let events =
+    List.mapi
+      (fun i (pi, o, k) -> ev ~time:(i * 1000) script_prefixes.(pi) (act o k))
+      script
+  in
+  List.iter
+    (fun batch ->
+      let arr = Array.of_list batch in
+      let time = arr.(Array.length arr - 1).M.time in
+      Sh.ingest_batch ~day_end:true t ~time arr)
+    (chunk 10 events);
+  t
+
+let prop_episode_invariants =
+  Testutil.qtest ~count:150 "episode invariants on random streams" script_gen
+    (fun script ->
+      let sn = Sh.snapshot (feed_sharded 1 script) in
+      let c = sn.M.s_counters in
+      let opens =
+        List.length (List.filter (fun p -> p.M.p_open <> None) sn.M.s_prefixes)
+      in
+      let per_prefix = Hashtbl.create 8 in
+      List.iter
+        (fun e ->
+          let l = Option.value ~default:[] (Hashtbl.find_opt per_prefix e.M.e_prefix) in
+          Hashtbl.replace per_prefix e.M.e_prefix (l @ [ e ]))
+        sn.M.s_closed;
+      let prefix_ok (p : M.prefix_state) =
+        let closed = Option.value ~default:[] (Hashtbl.find_opt per_prefix p.M.p_prefix) in
+        (* recurrence indices are consecutive from 1, episodes never
+           overlap, and every close follows its open *)
+        List.length closed = p.M.p_closed_count
+        && List.for_all2
+             (fun e i -> e.M.e_seq = i)
+             closed
+             (List.init (List.length closed) (fun i -> i + 1))
+        && List.for_all (fun e -> e.M.e_ended >= e.M.e_started && e.M.e_days <= c.M.c_days) closed
+        && (let rec no_overlap = function
+              | a :: (b :: _ as tl) -> a.M.e_ended <= b.M.e_started && no_overlap tl
+              | _ -> true
+            in
+            no_overlap closed)
+        && match p.M.p_open with
+           | Some o -> o.M.o_seq = p.M.p_closed_count + 1
+           | None -> true
+      in
+      let sum f = List.fold_left (fun acc (_, w) -> acc + f w) 0 sn.M.s_windows in
+      c.M.c_opened = c.M.c_closed + opens
+      && c.M.c_closed = List.length sn.M.s_closed
+      && List.for_all prefix_ok sn.M.s_prefixes
+      && sum (fun w -> w.M.w_updates) = c.M.c_updates
+      && sum (fun w -> w.M.w_opened) = c.M.c_opened
+      && sum (fun w -> w.M.w_closed) = c.M.c_closed
+      && sum (fun w -> w.M.w_alerts) = c.M.c_alerts)
+
+let prop_jobs_invariance =
+  Testutil.qtest ~count:60 "sharded ingest is jobs-invariant" script_gen
+    (fun script ->
+      String.equal
+        (Rp.render (Sh.snapshot (feed_sharded 1 script)))
+        (Rp.render (Sh.snapshot (feed_sharded 3 script))))
+
+let prop_checkpoint_roundtrip =
+  Testutil.qtest ~count:60 "checkpoint roundtrips on random streams" script_gen
+    (fun script ->
+      let sn = Sh.snapshot (feed_sharded 2 script) in
+      let bytes = Ck.encode sn in
+      let sn2 = Ck.decode bytes in
+      Bytes.equal bytes (Ck.encode sn2)
+      && String.equal (Rp.render sn) (Rp.render sn2))
+
+let () =
+  Alcotest.run "stream"
+    [
+      ( "monitor",
+        [
+          Alcotest.test_case "episode lifecycle" `Quick test_lifecycle;
+          Alcotest.test_case "validation at settle points" `Quick
+            test_validation_flags;
+          Alcotest.test_case "recurrence" `Quick test_recurrence;
+          Alcotest.test_case "origins_validated predicate" `Quick
+            test_origins_validated;
+          Alcotest.test_case "window aggregation" `Quick test_windows;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+        ] );
+      ( "archive",
+        [
+          Alcotest.test_case "sharding invariance" `Quick
+            test_sharding_invariance;
+          Alcotest.test_case "alerts spike on fault days" `Quick
+            test_alerts_spike_on_fault_days;
+          Alcotest.test_case "agrees with Moas_cases" `Quick
+            test_archive_agrees_with_moas_cases;
+          Alcotest.test_case "metrics flow" `Quick test_metrics_flow;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "empty snapshot" `Quick test_checkpoint_empty;
+          Alcotest.test_case "corruption rejected" `Quick
+            test_checkpoint_rejects_corruption;
+          Alcotest.test_case "restore converges" `Quick
+            test_checkpoint_restore_converges;
+          Alcotest.test_case "restore re-credits metrics" `Quick
+            test_restore_recredits_metrics;
+        ] );
+      ( "sources",
+        [
+          Alcotest.test_case "MRT batches" `Quick test_of_mrt;
+          Alcotest.test_case "wire messages" `Quick test_of_wire;
+        ] );
+      ( "properties",
+        [
+          prop_episode_invariants;
+          prop_jobs_invariance;
+          prop_checkpoint_roundtrip;
+        ] );
+    ]

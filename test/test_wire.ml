@@ -125,36 +125,86 @@ let test_update_size_overhead () =
   (* the attribute header itself costs 3 octets (flags, type, length) *)
   Alcotest.(check int) "community attribute header" 7 (size 1 - size 0)
 
-let prop_wire_roundtrip =
-  let message_gen =
-    QCheck2.Gen.(
-      let path_gen =
-        map
-          (fun ases -> Bgp.As_path.of_list ases)
-          (list_size (int_range 1 6) Testutil.asn_gen)
-      in
-      let prefixes = list_size (int_range 0 5) Testutil.prefix_gen in
-      map3
-        (fun withdrawn nlri (path, communities, lp) ->
-          if nlri = [] then { Wire.withdrawn; attributes = None; nlri = [] }
-          else
-            {
-              Wire.withdrawn;
-              attributes =
-                Some
-                  {
-                    Wire.origin = Bgp.Route.Igp;
-                    as_path = path;
-                    local_pref = lp;
-                    communities = Moas.Moas_list.encode communities;
-                  };
-              nlri;
-            })
-        prefixes prefixes
-        (triple path_gen Testutil.asn_set_gen (int_range 0 1000)))
+(* A withdrawn-routes-only message of exactly [target] encoded octets:
+   the empty message costs 23 (marker 16 + length 2 + type 1 + two empty
+   section length fields), each /32 withdrawal 5, and shorter masks pad
+   out the remainder (/24 = 4, /16 = 3, /8 = 2, /0 = 1). *)
+let message_of_size target =
+  let base = 23 in
+  if target < base then invalid_arg "message_of_size";
+  let rec fill acc remaining i =
+    if remaining = 0 then acc
+    else if remaining >= 5 then
+      fill (Prefix.make (Ipv4.of_int i) 32 :: acc) (remaining - 5) (i + 1)
+    else
+      let len = [| 0; 0; 8; 16; 24 |].(remaining) in
+      fill (Prefix.make (Ipv4.of_int 0) len :: acc) 0 i
   in
+  { Wire.withdrawn = fill [] (target - base) 1; attributes = None; nlri = [] }
+
+let test_max_size_boundary () =
+  (* exactly 4096 octets encodes; one more raises *)
+  let at_max = message_of_size Wire.max_message_size in
+  Alcotest.(check int) "sized to the maximum" Wire.max_message_size
+    (Wire.encoded_size at_max);
+  let b = Wire.encode at_max in
+  Alcotest.(check int) "encodes at exactly 4096" Wire.max_message_size
+    (Bytes.length b);
+  Alcotest.(check bool) "and still decodes" true
+    (Wire.decode b = at_max);
+  let over = message_of_size (Wire.max_message_size + 1) in
+  Alcotest.(check int) "sized one octet over" (Wire.max_message_size + 1)
+    (Wire.encoded_size over);
+  match Wire.encode over with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "4097-octet message accepted"
+
+let prop_boundary_exact =
+  Testutil.qtest ~count:200 "encode succeeds exactly up to 4096 octets"
+    (QCheck2.Gen.int_range 23 4200)
+    (fun target ->
+      let m = message_of_size target in
+      Wire.encoded_size m = target
+      &&
+      match Wire.encode m with
+      | b -> target <= Wire.max_message_size && Bytes.length b = target
+      | exception Invalid_argument _ -> target > Wire.max_message_size)
+
+let message_gen =
+  QCheck2.Gen.(
+    let path_gen =
+      map
+        (fun ases -> Bgp.As_path.of_list ases)
+        (list_size (int_range 1 6) Testutil.asn_gen)
+    in
+    let prefixes = list_size (int_range 0 5) Testutil.prefix_gen in
+    map3
+      (fun withdrawn nlri (path, communities, lp) ->
+        if nlri = [] then { Wire.withdrawn; attributes = None; nlri = [] }
+        else
+          {
+            Wire.withdrawn;
+            attributes =
+              Some
+                {
+                  Wire.origin = Bgp.Route.Igp;
+                  as_path = path;
+                  local_pref = lp;
+                  communities = Moas.Moas_list.encode communities;
+                };
+            nlri;
+          })
+      prefixes prefixes
+      (triple path_gen Testutil.asn_set_gen (int_range 0 1000)))
+
+let prop_wire_roundtrip =
   Testutil.qtest ~count:300 "wire encode/decode roundtrip" message_gen
     (fun message -> Wire.decode (Wire.encode message) = message)
+
+let prop_encoded_size_exact =
+  Testutil.qtest ~count:300 "encoded_size equals the buffer length"
+    message_gen
+    (fun message -> Wire.encoded_size message = Bytes.length (Wire.encode message))
 
 (* ---------------- MRT ---------------- *)
 
@@ -234,6 +284,34 @@ let test_mrt_rejects_garbage () =
   | exception Mrt.Malformed _ -> ()
   | _ -> Alcotest.fail "garbage accepted")
 
+let test_mrt_fold_streaming () =
+  (* fold_records visits the same records, in file order, as
+     decode_records builds — and can aggregate without the list *)
+  let records =
+    List.init 40 (fun i ->
+        {
+          Mrt.timestamp = 1000 + i;
+          peer_as = Asn.make (1 + (i mod 5));
+          prefix = Prefix.make (Ipv4.of_int (i * 65536)) 16;
+          as_path = Bgp.As_path.of_list [ 1 + (i mod 5); 100 + i ];
+        })
+  in
+  let bytes = Mrt.encode_records records in
+  let folded =
+    List.rev (Mrt.fold_records bytes ~init:[] ~f:(fun acc r -> r :: acc))
+  in
+  Alcotest.(check bool) "fold visits exactly the decoded records" true
+    (folded = Mrt.decode_records bytes);
+  let count = Mrt.fold_records bytes ~init:0 ~f:(fun n _ -> n + 1) in
+  Alcotest.(check int) "count without building a list" 40 count;
+  (* a truncated stream fails the same way *)
+  match
+    Mrt.fold_records (Bytes.sub bytes 0 (Bytes.length bytes - 1)) ~init:0
+      ~f:(fun n _ -> n + 1)
+  with
+  | exception Mrt.Malformed _ -> ()
+  | _ -> Alcotest.fail "truncated stream accepted"
+
 let () =
   Alcotest.run "wire"
     [
@@ -248,6 +326,7 @@ let () =
           Alcotest.test_case "truncation rejected" `Quick test_decode_rejects_truncation;
           Alcotest.test_case "update bridge" `Quick test_update_bridge;
           Alcotest.test_case "overhead in octets" `Quick test_update_size_overhead;
+          Alcotest.test_case "4096-octet boundary" `Quick test_max_size_boundary;
         ] );
       ( "mrt",
         [
@@ -255,6 +334,8 @@ let () =
           Alcotest.test_case "table roundtrip" `Quick test_mrt_table_roundtrip;
           Alcotest.test_case "measurement through MRT" `Quick test_mrt_through_measurement;
           Alcotest.test_case "garbage rejected" `Quick test_mrt_rejects_garbage;
+          Alcotest.test_case "streaming fold" `Quick test_mrt_fold_streaming;
         ] );
-      ("properties", [ prop_wire_roundtrip ]);
+      ( "properties",
+        [ prop_wire_roundtrip; prop_encoded_size_exact; prop_boundary_exact ] );
     ]
