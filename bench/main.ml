@@ -623,6 +623,162 @@ let run_stream ~out () =
   say "stream dump written to %s" out
 
 (* ------------------------------------------------------------------ *)
+(* Part 7: collector-mesh suite (BENCH_5.json).  The synthetic archive is
+   split over N simulated collectors (65% coverage, every event forced to
+   at least one), then the whole mesh — per-vantage monitors plus the
+   merged global view — replays concurrently on the Exec.Pool at
+   increasing job counts.  Because the deduplicated union is lossless, the
+   merged report must be byte-identical across every (vantages, jobs)
+   grid point and for a reversed vantage ordering; the suite asserts
+   that. *)
+
+let collect_vantage_counts = [ 2; 4; 8 ]
+let collect_jobs = [ 1; 2; 4; 8 ]
+let collect_runs = 2
+let collect_coverage = 0.65
+
+let run_collect_bench ~out () =
+  banner "Collector mesh (multi-vantage correlation pipeline)";
+  say "   cores online: %d (Domain.recommended_domain_count)"
+    (Domain.recommended_domain_count ());
+  let cores = string_of_int (Domain.recommended_domain_count ()) in
+  let annotate =
+    Stream.Source.trusted_annotator
+      ~distrusted:
+        (Asn.Set.of_list
+           [
+             Measurement.Synthetic_routeviews.fault_as_1998;
+             Measurement.Synthetic_routeviews.fault_as_2001;
+           ])
+      ()
+  in
+  let batches =
+    Stream.Source.archive_batches ~annotate
+      Measurement.Synthetic_routeviews.default_params
+  in
+  let archive_events =
+    Array.fold_left
+      (fun acc b -> acc + Array.length b.Stream.Source.events)
+      0 batches
+  in
+  say "   archive: %d update events split at %.0f%% coverage, %d runs per \
+       grid point"
+    archive_events (100.0 *. collect_coverage) collect_runs;
+  let oc = open_out out in
+  let reference_report = ref None in
+  List.iter
+    (fun vantages ->
+      let streams =
+        Collect.Vantage.replay ~coverage:collect_coverage ~vantages
+          ~seed:0xC011EC7L batches
+      in
+      let stream_events =
+        List.fold_left (fun acc (_, evs) -> acc + Array.length evs) 0 streams
+      in
+      say "";
+      say "-- %d vantages: %d per-vantage events (%.2fx the archive) --"
+        vantages stream_events
+        (float_of_int stream_events /. float_of_int archive_events);
+      let measured =
+        List.map
+          (fun jobs ->
+            let t0 = Unix.gettimeofday () in
+            let result = ref (Collect.Mesh.run ~jobs Stream.Monitor.default_config streams) in
+            for _ = 2 to collect_runs do
+              result := Collect.Mesh.run ~jobs Stream.Monitor.default_config streams
+            done;
+            let elapsed =
+              (Unix.gettimeofday () -. t0) /. float_of_int collect_runs
+            in
+            (jobs, elapsed, !result))
+          collect_jobs
+      in
+      (* ingested per mesh run: every vantage stream plus the merged view *)
+      let total_events =
+        match measured with
+        | (_, _, r) :: _ -> stream_events + r.Collect.Mesh.r_merged_events
+        | [] -> 0
+      in
+      let t1 = match measured with (_, e, _) :: _ -> e | [] -> nan in
+      print_string
+        (Mutil.Text_table.render
+           ~header:[ "jobs"; "wall clock"; "events/s"; "speedup vs 1 job" ]
+           (List.map
+              (fun (jobs, elapsed, _) ->
+                [
+                  string_of_int jobs;
+                  Printf.sprintf "%.3f s" elapsed;
+                  Printf.sprintf "%.0f" (float_of_int total_events /. elapsed);
+                  Printf.sprintf "%.2fx" (t1 /. elapsed);
+                ])
+              measured));
+      (* identity: same merged report at every job count, every vantage
+         count (the union is lossless) and for a reversed stream order *)
+      let reports =
+        List.map
+          (fun (_, _, r) -> Stream.Report.render r.Collect.Mesh.r_merged)
+          measured
+      in
+      let reversed =
+        Stream.Report.render
+          (Collect.Mesh.run ~jobs:2 Stream.Monitor.default_config
+             (List.rev streams))
+            .Collect.Mesh.r_merged
+      in
+      let reference =
+        match !reference_report with
+        | Some r -> r
+        | None ->
+          let r = List.hd reports in
+          reference_report := Some r;
+          r
+      in
+      let deterministic =
+        List.for_all (String.equal reference) (reversed :: reports)
+      in
+      say "   merged report byte-identical across jobs, vantage counts and \
+           orderings: %b"
+        deterministic;
+      if not deterministic then (
+        close_out oc;
+        failwith "collect suite: merged reports differ across the grid");
+      List.iter
+        (fun (jobs, elapsed, r) ->
+          let reg = Obs.Registry.create () in
+          Obs.Registry.Gauge.set
+            (Obs.Registry.gauge reg "collect_wall_clock_seconds")
+            elapsed;
+          Obs.Registry.Counter.add
+            (Obs.Registry.counter reg "collect_events_ingested")
+            total_events;
+          Obs.Registry.Counter.add
+            (Obs.Registry.counter reg "collect_merge_duplicates")
+            r.Collect.Mesh.r_duplicates;
+          Obs.Registry.Gauge.set
+            (Obs.Registry.gauge reg "collect_events_per_second")
+            (float_of_int total_events /. elapsed);
+          Obs.Registry.Gauge.set
+            (Obs.Registry.gauge reg "collect_speedup_vs_one_job")
+            (t1 /. elapsed);
+          output_string oc
+            (Obs.Registry.to_json_lines
+               ~extra:
+                 [
+                   ("workload", "collect-mesh");
+                   ("vantages", string_of_int vantages);
+                   ("jobs", string_of_int jobs);
+                   ("cores", cores);
+                   ("runs", string_of_int collect_runs);
+                   ("events", string_of_int total_events);
+                 ]
+               reg))
+        measured)
+    collect_vantage_counts;
+  close_out oc;
+  say "";
+  say "collect dump written to %s" out
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let smoke = ref false in
@@ -630,9 +786,12 @@ let () =
   let no_scaling = ref false in
   let stream_only = ref false in
   let no_stream = ref false in
+  let collect_only = ref false in
+  let no_collect = ref false in
   let out = ref "BENCH_1.json" in
   let scaling_out = ref "BENCH_3.json" in
   let stream_out = ref "BENCH_4.json" in
+  let collect_out = ref "BENCH_5.json" in
   let jobs = ref 0 in
   let spec =
     [
@@ -644,6 +803,9 @@ let () =
       ("--stream-only", Arg.Set stream_only, " run only the stream-monitor throughput suite");
       ("--no-stream", Arg.Set no_stream, " skip the stream-monitor throughput suite");
       ("--stream-out", Arg.Set_string stream_out, "FILE stream dump destination (default BENCH_4.json)");
+      ("--collect-only", Arg.Set collect_only, " run only the collector-mesh suite");
+      ("--no-collect", Arg.Set no_collect, " skip the collector-mesh suite");
+      ("--collect-out", Arg.Set_string collect_out, "FILE collector-mesh dump destination (default BENCH_5.json)");
       ("--jobs", Arg.Set_int jobs, "N worker domains for the figure sweeps (default MOAS_JOBS or the core count)");
     ]
   in
@@ -651,10 +813,11 @@ let () =
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "main.exe [--smoke] [--out FILE] [--scaling-only] [--no-scaling] \
      [--scaling-out FILE] [--stream-only] [--no-stream] [--stream-out FILE] \
-     [--jobs N]";
+     [--collect-only] [--no-collect] [--collect-out FILE] [--jobs N]";
   let jobs = if !jobs >= 1 then Some !jobs else None in
   if !scaling_only then run_scaling ~out:!scaling_out ()
   else if !stream_only then run_stream ~out:!stream_out ()
+  else if !collect_only then run_collect_bench ~out:!collect_out ()
   else begin
     let tracer = Obs.Span.create () in
     regenerate_figures ~tracer ?jobs ();
@@ -665,7 +828,8 @@ let () =
     if not !smoke then begin
       run_microbenches ();
       if not !no_scaling then run_scaling ~out:!scaling_out ();
-      if not !no_stream then run_stream ~out:!stream_out ()
+      if not !no_stream then run_stream ~out:!stream_out ();
+      if not !no_collect then run_collect_bench ~out:!collect_out ()
     end
   end;
   say "";

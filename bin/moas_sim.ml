@@ -201,8 +201,9 @@ let run_monitor smoke jobs window annotate seed checkpoint checkpoint_every
          if batch.Stream.Source.time > resume_time then begin
            Stream.Sharded.ingest_batch ~day_end:true monitor
              ~time:batch.Stream.Source.time batch.Stream.Source.events;
+           (* positivity is enforced by the pos_int converter at parse time *)
            (match checkpoint_every with
-           | Some n when n > 0 && Stream.Sharded.day_count monitor mod n = 0 ->
+           | Some n when Stream.Sharded.day_count monitor mod n = 0 ->
              write_checkpoint ()
            | _ -> ());
            match stop_after with
@@ -228,6 +229,113 @@ let run_monitor smoke jobs window annotate seed checkpoint checkpoint_every
          merged);
     close_out oc;
     say "metrics dump written to %s" path
+
+(* ------------------------------------------------------------------ *)
+(* collect: the multi-vantage collector mesh *)
+
+let collect_config = { Stream.Monitor.default_config with Stream.Monitor.window = 10_000 }
+
+let run_collect_query store_path query_str =
+  let store =
+    match store_path with
+    | Some path when Sys.file_exists path -> Collect.Store.read_file path
+    | Some path -> failwith (Printf.sprintf "no episode store at %s" path)
+    | None -> failwith "--query needs --store FILE"
+  in
+  let q =
+    match Collect.Store.parse_query query_str with
+    | Ok q -> q
+    | Error msg -> failwith ("bad query: " ^ msg)
+  in
+  let hits = Collect.Store.query store q in
+  say "query %S: %d of %d entries match" query_str (List.length hits)
+    (Collect.Store.count store);
+  print_string
+    (Collect.Store.render
+       (List.fold_left
+          (fun t e -> Collect.Store.add e t)
+          (Collect.Store.empty ~vantages:(Collect.Store.vantages store))
+          hits))
+
+let run_collect vantages jobs smoke seed store_path query metrics_out order =
+  match query with
+  | Some q -> run_collect_query store_path q
+  | None ->
+    let topology =
+      if smoke then Topology.Paper_topologies.topology_25 ()
+      else Topology.Paper_topologies.topology_46 ()
+    in
+    let seed = Option.value seed ~default:0xC011EC7L in
+    let metrics =
+      if metrics_out = None then Obs.Registry.noop else Obs.Registry.create ()
+    in
+    let arrange streams =
+      match order with "reversed" -> List.rev streams | _ -> streams
+    in
+    let mesh streams =
+      Collect.Mesh.run ~metrics ?jobs collect_config (arrange streams)
+    in
+    say "%s" (Topology.Paper_topologies.describe topology);
+    (* arm 1: the healthy mesh *)
+    let baseline =
+      Collect.Scenario.capture ~metrics ~seed ~vantages topology
+    in
+    print_string (Collect.Scenario.describe baseline);
+    let base_mesh = mesh baseline.Collect.Scenario.s_streams in
+    say "merged view: %d events (%d duplicate observations collapsed)"
+      base_mesh.Collect.Mesh.r_merged_events
+      base_mesh.Collect.Mesh.r_duplicates;
+    let base_corr = Collect.Correlator.of_result base_mesh in
+    print_string (Collect.Correlator.render base_corr);
+    (* arm 2: the same workload with the first vantage partitioned *)
+    say "";
+    say "-- partition arm: isolating the first vantage with lib/faults --";
+    let partitioned =
+      Collect.Scenario.capture ~metrics ~isolate:true ~seed ~vantages topology
+    in
+    print_string (Collect.Scenario.describe partitioned);
+    let part_mesh = mesh partitioned.Collect.Scenario.s_streams in
+    let part_corr = Collect.Correlator.of_result part_mesh in
+    print_string (Collect.Correlator.render part_corr);
+    (match partitioned.Collect.Scenario.s_isolated with
+    | None -> ()
+    | Some name ->
+      let view result =
+        Stream.Checkpoint.encode
+          (List.assoc name result.Collect.Mesh.r_per_vantage)
+      in
+      say "isolated vantage %s diverged from its healthy-run view: %b" name
+        (view base_mesh <> view part_mesh);
+      let flagged =
+        List.exists
+          (fun (e : Collect.Correlator.entry) ->
+            Net.Prefix.compare e.Collect.Correlator.x_prefix
+              partitioned.Collect.Scenario.s_attacked
+            = 0
+            && not e.Collect.Correlator.x_clean)
+          part_corr.Collect.Correlator.c_entries
+      in
+      say "merged correlator still flags the invalid-origin conflict: %b"
+        flagged);
+    (match store_path with
+    | None -> ()
+    | Some path ->
+      Collect.Store.write_file path (Collect.Store.of_correlation base_corr);
+      say "episode store written to %s" path);
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Obs.Registry.to_json_lines
+           ~extra:
+             [
+               ("workload", "collect");
+               ("vantages", string_of_int vantages);
+             ]
+           metrics);
+      close_out oc;
+      say "metrics dump written to %s" path)
 
 let run_topologies () =
   List.iter
@@ -277,6 +385,17 @@ let jobs_arg =
      any job count."
   in
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+(* rejects 0 and negatives at parse time, so e.g. --stop-after 0 is a
+   usage error instead of being silently ignored *)
+let pos_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "%d is not a positive integer" n))
+    | None -> Error (`Msg (Printf.sprintf "%S is not an integer" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
 
 let cmd name ~doc term = Cmd.v (Cmd.info name ~doc) term
 
@@ -365,16 +484,17 @@ let monitor_cmd =
                    (at exit, and periodically with $(b,--checkpoint-every)).")
   in
   let checkpoint_every =
-    Arg.(value & opt (some int) None
+    Arg.(value & opt (some pos_int) None
          & info [ "checkpoint-every" ] ~docv:"DAYS"
-             ~doc:"Also checkpoint every DAYS observed days (needs \
-                   $(b,--checkpoint)).")
+             ~doc:"Also checkpoint every DAYS observed days (a positive \
+                   integer; needs $(b,--checkpoint)).")
   in
   let stop_after =
-    Arg.(value & opt (some int) None
+    Arg.(value & opt (some pos_int) None
          & info [ "stop-after" ] ~docv:"DAYS"
-             ~doc:"Stop the replay after DAYS observed days (counting any \
-                   days already covered by a resumed checkpoint).")
+             ~doc:"Stop the replay after DAYS observed days (a positive \
+                   integer, counting any days already covered by a resumed \
+                   checkpoint).")
   in
   let resume =
     Arg.(value & opt (some string) None
@@ -394,6 +514,53 @@ let monitor_cmd =
           checkpoint/restore."
     Term.(const run_monitor $ smoke $ jobs_arg $ window $ annotate $ seed_arg
           $ checkpoint $ checkpoint_every $ stop_after $ resume $ metrics_out)
+
+let collect_cmd =
+  let vantages =
+    Arg.(value & opt pos_int 3
+         & info [ "vantages" ] ~docv:"N"
+             ~doc:"Collector vantage points to attach (positive integer).")
+  in
+  let smoke =
+    Arg.(value & flag & info [ "smoke" ]
+           ~doc:"Run on the 25-AS topology instead of the 46-AS one, for CI.")
+  in
+  let store =
+    Arg.(value & opt (some string) None
+         & info [ "store" ] ~docv:"FILE"
+             ~doc:"Write the correlated episode store (binary, queryable \
+                   with $(b,--query)) to FILE.")
+  in
+  let query =
+    Arg.(value & opt (some string) None
+         & info [ "query" ] ~docv:"QUERY"
+             ~doc:"Skip the simulation and query an existing $(b,--store) \
+                   FILE instead: comma-separated key=value clauses among \
+                   $(b,prefix=P), $(b,covered=BOOL), $(b,origin=AS), \
+                   $(b,since=T), $(b,until=T), $(b,min_visibility=K).")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Write the merged lib/obs metrics dump (JSON lines) to FILE.")
+  in
+  let order =
+    Arg.(value & opt (enum [ ("normal", "normal"); ("reversed", "reversed") ])
+           "normal"
+         & info [ "order" ] ~docv:"ORDER"
+             ~doc:"Vantage list order fed to the mesh ($(b,normal) or \
+                   $(b,reversed)); the merged report is byte-identical \
+                   either way, which CI asserts.")
+  in
+  cmd "collect"
+    ~doc:"Multi-vantage collector mesh: per-vantage RouteViews-style feeds \
+          over a simulated attack, concurrent per-vantage monitors, \
+          cross-vantage MOAS correlation with per-episode visibility k/N, \
+          and a partition arm where lib/faults isolates one vantage. \
+          Reports are byte-identical at any $(b,--jobs) count and vantage \
+          order."
+    Term.(const run_collect $ vantages $ jobs_arg $ smoke $ seed_arg $ store
+          $ query $ metrics_out $ order)
 
 let topologies_cmd = cmd "topologies" ~doc:"Describe the derived 25/46/63-AS topologies."
     Term.(const run_topologies $ const ())
@@ -419,6 +586,7 @@ let main_cmd =
       studies_cmd;
       robustness_cmd;
       monitor_cmd;
+      collect_cmd;
       simulate_cmd;
       topologies_cmd;
       all_cmd;

@@ -14,6 +14,8 @@ let impairment ?(loss = 0.0) ?(duplicate = 0.0) ?(jitter = 0.0) () =
     invalid_arg "Network.impairment: negative jitter";
   { loss; duplicate; jitter }
 
+type update_tap = time:float -> src:Asn.t -> dst:Asn.t -> Update.t -> unit
+
 type t = {
   engine : Sim.Engine.t;
   graph : Topology.As_graph.t;
@@ -24,6 +26,8 @@ type t = {
   down_routers : (Asn.t, unit) Hashtbl.t;
   (* per-link message impairments, each with its own randomness stream *)
   impairments : (Asn.t * Asn.t, impairment * Rng.t) Hashtbl.t;
+  (* passive observer of every emitted UPDATE (the collector-mesh hook) *)
+  mutable tap : update_tap option;
   metrics : Obs.Registry.t;
 }
 
@@ -101,6 +105,7 @@ let make ?(config = Config.default) graph =
       down_links = Hashtbl.create 8;
       down_routers = Hashtbl.create 8;
       impairments = Hashtbl.create 8;
+      tap = None;
       metrics;
     }
   in
@@ -125,6 +130,12 @@ let make ?(config = Config.default) graph =
       let send ~peer update =
         let delay = link_delay asn peer in
         if delay <= 0.0 then invalid_arg "Network: link delay must be positive";
+        (* the tap sees the Adj-RIB-Out stream as emitted, before any
+           impairment decides the message's fate on the wire *)
+        (match t.tap with
+        | Some tap ->
+          tap ~time:(Sim.Engine.now engine) ~src:asn ~dst:peer update
+        | None -> ());
         match Hashtbl.find_opt t.impairments (link peer) with
         | None -> deliver ~peer update delay
         | Some (imp, rng) ->
@@ -150,6 +161,7 @@ let make ?(config = Config.default) graph =
 
 let engine t = t.engine
 let graph t = t.graph
+let set_update_tap t tap = t.tap <- tap
 
 let router t asn =
   match Asn.Map.find_opt asn t.routers with

@@ -78,6 +78,22 @@ val make : ?config:Config.t -> Topology.As_graph.t -> t
 val engine : t -> Sim.Engine.t
 (** The underlying event engine (for custom scheduling). *)
 
+(** {2 Export tap}
+
+    The hook the collector mesh ([lib/collect]) builds on: a passive
+    observer of every UPDATE a router emits. *)
+
+type update_tap = time:float -> src:Asn.t -> dst:Asn.t -> Update.t -> unit
+(** Called once per emitted UPDATE with the engine time, the sending AS,
+    the peer it was sent towards and the message itself.  The tap fires at
+    emission (the Adj-RIB-Out stream), before link impairments decide the
+    message's fate, and must not mutate the network. *)
+
+val set_update_tap : t -> update_tap option -> unit
+(** Install (or clear, with [None]) the network's update tap.  At most one
+    tap is installed at a time; installing a new one replaces the old.
+    A network without a tap pays a single branch per message. *)
+
 val graph : t -> Topology.As_graph.t
 (** The topology the network was built over. *)
 

@@ -1,0 +1,136 @@
+open Net
+module Report = Stream.Report
+
+type entry = {
+  x_prefix : Prefix.t;
+  x_seq : int;
+  x_started : int;
+  x_ended : int option;
+  x_days : int;
+  x_max_origins : int;
+  x_origins : Asn.Set.t;
+  x_clean : bool;
+  x_seen_by : string list;
+  x_first_detect : int option;
+  x_last_detect : int option;
+}
+
+type t = { c_vantages : string list; c_entries : entry list }
+
+let visibility e = List.length e.x_seen_by
+
+let overlaps ~started ~ended (v : Report.episode_view) =
+  (* open intervals extend to the end of time *)
+  let hi = Option.value ended ~default:max_int in
+  let v_hi = Option.value v.Report.v_ended ~default:max_int in
+  v.Report.v_started <= hi && started <= v_hi
+
+let correlate ~vantages ~merged =
+  let vantages =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) vantages
+  in
+  let views =
+    List.map (fun (name, snap) -> (name, Report.episodes snap)) vantages
+  in
+  let entries =
+    List.map
+      (fun (m : Report.episode_view) ->
+        let sightings =
+          List.filter_map
+            (fun (name, eps) ->
+              let matching =
+                List.filter
+                  (fun (v : Report.episode_view) ->
+                    Prefix.compare v.Report.v_prefix m.Report.v_prefix = 0
+                    && overlaps ~started:m.Report.v_started
+                         ~ended:m.Report.v_ended v)
+                  eps
+              in
+              match matching with
+              | [] -> None
+              | _ ->
+                let first =
+                  List.fold_left
+                    (fun acc (v : Report.episode_view) ->
+                      min acc v.Report.v_started)
+                    max_int matching
+                in
+                Some (name, first))
+            views
+        in
+        let detects = List.map snd sightings in
+        {
+          x_prefix = m.Report.v_prefix;
+          x_seq = m.Report.v_seq;
+          x_started = m.Report.v_started;
+          x_ended = m.Report.v_ended;
+          x_days = m.Report.v_days;
+          x_max_origins = m.Report.v_max_origins;
+          x_origins = m.Report.v_origins;
+          x_clean = m.Report.v_clean;
+          x_seen_by = List.map fst sightings;
+          x_first_detect =
+            (match detects with
+            | [] -> None
+            | _ -> Some (List.fold_left min max_int detects));
+          x_last_detect =
+            (match detects with
+            | [] -> None
+            | _ -> Some (List.fold_left max min_int detects));
+        })
+      (Report.episodes merged)
+  in
+  { c_vantages = List.map fst vantages; c_entries = entries }
+
+let of_result (r : Mesh.result) =
+  correlate ~vantages:r.Mesh.r_per_vantage ~merged:r.Mesh.r_merged
+
+let render t =
+  let buf = Buffer.create 1024 in
+  let n = List.length t.c_vantages in
+  Buffer.add_string buf "=== Cross-vantage correlation ===\n";
+  Buffer.add_string buf
+    (Printf.sprintf "vantages: %d (%s)\n" n (String.concat " " t.c_vantages));
+  Buffer.add_string buf
+    (Printf.sprintf "merged episodes: %d\n" (List.length t.c_entries));
+  List.iter
+    (fun e ->
+      let origins =
+        Asn.Set.elements e.x_origins |> List.map Asn.to_string
+        |> String.concat ","
+      in
+      let ended =
+        match e.x_ended with Some v -> string_of_int v | None -> "open"
+      in
+      let spread =
+        match (e.x_first_detect, e.x_last_detect) with
+        | Some f, Some l -> Printf.sprintf "first=%d last=%d" f l
+        | _ -> "cross-vantage only"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%s#%d [%d..%s] origins={%s} %s visibility=%d/%d seen-by=[%s] %s\n"
+           (Prefix.to_string e.x_prefix)
+           e.x_seq e.x_started ended origins
+           (if e.x_clean then "clean" else "FLAGGED")
+           (visibility e) n
+           (String.concat " " e.x_seen_by)
+           spread))
+    t.c_entries;
+  let full, partial, cross_only =
+    List.fold_left
+      (fun (f, p, c) e ->
+        let k = visibility e in
+        if k = n then (f + 1, p, c)
+        else if k = 0 then (f, p, c + 1)
+        else (f, p + 1, c))
+      (0, 0, 0) t.c_entries
+  in
+  let flagged =
+    List.length (List.filter (fun e -> not e.x_clean) t.c_entries)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "visibility: full=%d partial=%d cross-vantage-only=%d\nflagged: %d\n"
+       full partial cross_only flagged);
+  Buffer.contents buf

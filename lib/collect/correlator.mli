@@ -1,0 +1,52 @@
+(** Cross-vantage MOAS-episode correlation.
+
+    The paper's Section 4 argument is that a bogus origin cannot suppress
+    the correct announcement on every propagation path, so a conflict is
+    always visible {e somewhere}.  The correlator quantifies "somewhere":
+    for every episode of the mesh's merged view it computes which vantages
+    saw a conflict on the same prefix over an overlapping interval, the
+    resulting visibility [k] of [N], and the earliest/latest per-vantage
+    detection times.  [k = N] is full visibility; [k < N] is the simulated
+    analogue of paths being blocked (link failures, policy, partitions);
+    [k = 0] marks conflicts only the cross-vantage union reveals — each
+    vantage alone saw a single origin, and only correlating feeds exposes
+    the clash. *)
+
+open Net
+
+type entry = {
+  x_prefix : Prefix.t;
+  x_seq : int;  (** recurrence index in the merged view *)
+  x_started : int;
+  x_ended : int option;  (** [None] while still open *)
+  x_days : int;
+  x_max_origins : int;
+  x_origins : Asn.Set.t;
+  x_clean : bool;  (** false = the MOAS-list check flagged it *)
+  x_seen_by : string list;  (** vantages with an overlapping conflict, sorted *)
+  x_first_detect : int option;  (** earliest per-vantage episode start *)
+  x_last_detect : int option;  (** latest per-vantage episode start *)
+}
+
+type t = {
+  c_vantages : string list;  (** all vantage names, sorted *)
+  c_entries : entry list;  (** merged episodes, sorted (prefix, start, seq) *)
+}
+
+val visibility : entry -> int
+(** [k]: how many vantages saw the conflict. *)
+
+val correlate :
+  vantages:(string * Stream.Monitor.snapshot) list ->
+  merged:Stream.Monitor.snapshot ->
+  t
+(** Correlate per-vantage snapshots against the merged view.  A vantage
+    "saw" a merged episode when one of its own episodes on the same prefix
+    overlaps the merged episode's [start, end] interval. *)
+
+val of_result : Mesh.result -> t
+(** {!correlate} over a mesh run. *)
+
+val render : t -> string
+(** Deterministic text report: the per-episode table (with visibility
+    [k/N] and detection spread) and the visibility/validation summary. *)

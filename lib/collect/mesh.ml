@@ -1,0 +1,125 @@
+open Net
+module M = Stream.Monitor
+module Registry = Obs.Registry
+
+type tagged = { tag : string; event : M.event }
+
+let compare_action (a : M.action) (b : M.action) =
+  match (a, b) with
+  | M.Withdraw { origin = oa }, M.Withdraw { origin = ob } -> Asn.compare oa ob
+  | M.Withdraw _, M.Announce _ -> -1
+  | M.Announce _, M.Withdraw _ -> 1
+  | M.Announce { origin = oa; moas_list = la }, M.Announce { origin = ob; moas_list = lb }
+    ->
+    let c = Asn.compare oa ob in
+    if c <> 0 then c else Option.compare Asn.Set.compare la lb
+
+let compare_event (a : M.event) (b : M.event) =
+  let c = compare a.M.time b.M.time in
+  if c <> 0 then c
+  else
+    let c = Prefix.compare a.M.prefix b.M.prefix in
+    if c <> 0 then c
+    else
+      let c = compare_action a.M.action b.M.action in
+      if c <> 0 then c else Asn.compare a.M.peer b.M.peer
+
+let merge_streams streams =
+  let all =
+    List.concat_map
+      (fun (name, events) ->
+        Array.to_list (Array.map (fun event -> { tag = name; event }) events))
+      streams
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        let c = compare_event a.event b.event in
+        if c <> 0 then c else String.compare a.tag b.tag)
+      all
+  in
+  (* collapse runs of equal events, keeping the name-order first observer *)
+  let merged, dups =
+    List.fold_left
+      (fun (acc, dups) t ->
+        match acc with
+        | prev :: _ when compare_event prev.event t.event = 0 -> (acc, dups + 1)
+        | _ -> (t :: acc, dups))
+      ([], 0) sorted
+  in
+  (Array.of_list (List.rev merged), dups)
+
+type result = {
+  r_vantages : string list;
+  r_per_vantage : (string * M.snapshot) list;
+  r_merged : M.snapshot;
+  r_merged_events : int;
+  r_duplicates : int;
+}
+
+let run ?(metrics = Registry.noop) ?jobs ?settle config streams =
+  if streams = [] then invalid_arg "Mesh.run: no vantages";
+  let streams =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) streams
+  in
+  let rec check = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if String.equal a b then invalid_arg ("Mesh.run: duplicate vantage " ^ a);
+      check rest
+    | _ -> ()
+  in
+  check streams;
+  let settle =
+    match settle with
+    | Some t -> t
+    | None ->
+      List.fold_left
+        (fun acc (_, events) ->
+          Array.fold_left (fun acc (ev : M.event) -> max acc ev.M.time) acc events)
+        0 streams
+  in
+  let merged_stream, duplicates = merge_streams streams in
+  let live = not (Registry.is_noop metrics) in
+  if live && duplicates > 0 then
+    Registry.Counter.add
+      (Registry.counter metrics "stream_merge_duplicates")
+      duplicates;
+  (* task 0 is the merged global view, tasks 1..n the vantages; every task
+     builds its own monitor and registry so the pool contract holds *)
+  let tasks =
+    Array.of_list
+      (Array.map (fun t -> t.event) merged_stream
+      :: List.map (fun (_, events) -> events) streams)
+  in
+  let outcomes =
+    Exec.Pool.map ?jobs
+      (fun events ->
+        let reg = if live then Registry.create () else Registry.noop in
+        let monitor = M.create ~metrics:reg config in
+        (* settle at every time step so an episode is validated while it
+           is open even if a later event closes it *)
+        let last = ref min_int in
+        Array.iter
+          (fun (ev : M.event) ->
+            if !last <> min_int && ev.M.time > !last then
+              M.settle monitor ~time:!last;
+            last := ev.M.time;
+            M.ingest monitor ev)
+          events;
+        M.settle monitor ~time:settle;
+        (M.snapshot monitor, reg))
+      tasks
+  in
+  if live then
+    Array.iter (fun (_, reg) -> Registry.merge ~into:metrics reg) outcomes;
+  let merged = fst outcomes.(0) in
+  let per_vantage =
+    List.mapi (fun i (name, _) -> (name, fst outcomes.(i + 1))) streams
+  in
+  {
+    r_vantages = List.map fst streams;
+    r_per_vantage = per_vantage;
+    r_merged = merged;
+    r_merged_events = Array.length merged_stream;
+    r_duplicates = duplicates;
+  }

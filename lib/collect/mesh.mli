@@ -1,0 +1,57 @@
+(** The collector mesh: N per-vantage monitors plus a merged global view,
+    processed concurrently on the {!Exec.Pool} domain pool.
+
+    Determinism contract: the result is a pure function of the multiset of
+    [(vantage, event stream)] inputs — independent of the order the
+    vantages are listed in, of the job count, and of scheduling.  Vantages
+    are canonicalised by name, the global view is the canonically-ordered
+    deduplicated union of the per-vantage streams ({!merge_streams}), and
+    every monitor task builds its own state.  The rendered merged report is
+    therefore byte-identical at any [--jobs] setting and for any vantage
+    ordering, which CI asserts. *)
+
+type tagged = { tag : string; event : Stream.Monitor.event }
+(** A global-view element, tagged with the (name-order) first vantage that
+    observed it. *)
+
+val compare_event : Stream.Monitor.event -> Stream.Monitor.event -> int
+(** The canonical global-stream order: time, then prefix, withdrawals
+    before announcements, then origin, advertised list and peer.  Two
+    events equal under this order are duplicates (the same routing event
+    observed at several vantages). *)
+
+val merge_streams :
+  (string * Stream.Monitor.event array) list -> tagged array * int
+(** The deduplicated union of the per-vantage streams in canonical order,
+    each event tagged with its first observer, plus the number of
+    duplicate observations collapsed. *)
+
+type result = {
+  r_vantages : string list;  (** vantage names, sorted *)
+  r_per_vantage : (string * Stream.Monitor.snapshot) list;
+      (** per-vantage monitor snapshots, sorted by name *)
+  r_merged : Stream.Monitor.snapshot;
+      (** the monitor over the deduplicated union stream *)
+  r_merged_events : int;  (** events in the global view *)
+  r_duplicates : int;  (** duplicate observations collapsed at the merge *)
+}
+
+val run :
+  ?metrics:Obs.Registry.t ->
+  ?jobs:int ->
+  ?settle:int ->
+  Stream.Monitor.config ->
+  (string * Stream.Monitor.event array) list ->
+  result
+(** Run every per-vantage monitor and the merged monitor as one task each
+    on the pool ([jobs] defaults to {!Exec.Pool.default_jobs}).  Each
+    monitor ingests its stream, settling at every time step (so a
+    conflict is MOAS-list-validated while open even when a later event
+    closes it) and finally at [settle] (default: the largest event time
+    across all vantages), so validation and alert windows line up across
+    the mesh.  Per-task registries are merged
+    into [metrics] in task order; duplicates collapsed at the merge stage
+    are counted there as [stream_merge_duplicates] (registered lazily,
+    only when at least one was collapsed).
+    @raise Invalid_argument on an empty vantage list or duplicate vantage
+    names. *)

@@ -1,0 +1,57 @@
+(** Canonical collector-mesh scenario over a paper topology.
+
+    One reproducible workload exercises every correlation verdict the
+    paper's multi-vantage argument distinguishes: an invalid-origin attack
+    on [192.0.2.0/24] (the attacker advertises no MOAS list, so the
+    conflict is flagged), a legitimate multihomed MOAS on
+    [198.51.100.0/24] (both origins advertise the agreed list: clean), and
+    a quiet single-origin prefix as control.  Vantages peer with the
+    best-connected transit ASes, adjacent vantages sharing one feed so the
+    merge stage has real duplicates to collapse.
+
+    The partition arm ([isolate = true]) cuts, at [t=20] — after the valid
+    routes converge but before the [t=30] attack — every peering of the
+    first vantage's feed ASes via a {!Faults.Fault_plan}, blinding that
+    vantage to the attack while the rest of the mesh still observes it:
+    the "every-path blocking is implausible" experiment of paper §4 in
+    miniature.  Both arms pick identical actors, so their captures differ
+    only through the partition. *)
+
+open Net
+
+val design_vantages :
+  ?count:int -> Topology.Paper_topologies.t -> Vantage.spec list
+(** [count] (default 3) vantage specs named ["vp00"], ["vp01"], ….
+    Vantage [i] peers with transit feeds [i] and [i+1] of the
+    degree-ranked transit list (wrapping), so adjacent vantages overlap on
+    one feed.  @raise Invalid_argument on [count < 1] or a topology with
+    no transit AS. *)
+
+type t = {
+  s_topology : string;  (** topology name *)
+  s_specs : Vantage.spec list;
+  s_streams : (string * Stream.Monitor.event array) list;
+      (** captured per-vantage streams, the {!Mesh.run} input *)
+  s_end_time : int;  (** capture end, integer milliseconds *)
+  s_attacked : Prefix.t;  (** the invalid-origin conflict prefix *)
+  s_multihomed : Prefix.t;  (** the clean MOAS prefix *)
+  s_quiet : Prefix.t;  (** the single-origin control prefix *)
+  s_legit : Asn.t;  (** legitimate origin of [s_attacked] *)
+  s_attacker : Asn.t;
+  s_isolated : string option;  (** partitioned vantage, if any *)
+  s_faults_injected : int;
+}
+
+val capture :
+  ?metrics:Obs.Registry.t ->
+  ?isolate:bool ->
+  seed:int64 ->
+  vantages:int ->
+  Topology.Paper_topologies.t ->
+  t
+(** Build the network, attach the mesh, originate the workload, arm the
+    partition when [isolate] (default false), and run to quiescence.
+    Deterministic from [seed] and the topology. *)
+
+val describe : t -> string
+(** One-paragraph run summary (topology, roster, actors, event counts). *)

@@ -1,0 +1,76 @@
+(** Persistent, queryable store of correlated MOAS episodes.
+
+    The store indexes {!Correlator.entry} records in a {!Net.Prefix_trie},
+    so prefix queries (exact or covered/more-specific, the sub-prefix
+    hijack shape of paper §4.3) are trie walks rather than scans, and
+    keeps the vantage roster so visibility renders as [k/N].
+
+    On disk it uses the same defensive binary idiom as
+    {!Stream.Checkpoint}: magic ["MOASSTOR"], a version octet, big-endian
+    fixed-width fields, and a decoder that rejects truncation, trailing
+    octets, bad tags and version mismatches with {!Corrupt}. *)
+
+open Net
+
+type t
+(** An immutable episode store. *)
+
+exception Corrupt of string
+(** Raised by {!decode} on malformed input. *)
+
+val empty : vantages:string list -> t
+(** An empty store over a vantage roster (names are sorted and deduped). *)
+
+val add : Correlator.entry -> t -> t
+(** Index one correlated episode.  An entry equal to one already stored
+    (same prefix, sequence and start) replaces it. *)
+
+val of_correlation : Correlator.t -> t
+(** Index every entry of a correlation result. *)
+
+val vantages : t -> string list
+val count : t -> int
+
+val entries : t -> Correlator.entry list
+(** All entries in canonical order: trie (network, length) order, then
+    (start time, sequence) within a prefix. *)
+
+(** {2 Queries} *)
+
+type query = {
+  q_prefix : Prefix.t option;  (** restrict to this prefix… *)
+  q_covered : bool;  (** …or to it plus its more-specifics *)
+  q_origin : Asn.t option;  (** entries whose origin set contains this AS *)
+  q_since : int option;  (** episode interval must overlap [since, until] *)
+  q_until : int option;
+  q_min_visibility : int option;  (** at least k vantages saw it *)
+}
+
+val query_all : query
+(** The match-everything query. *)
+
+val query : t -> query -> Correlator.entry list
+(** Matching entries, in canonical order.  Prefix restriction is a trie
+    lookup ([q_covered] uses {!Prefix_trie.covered}); the other clauses
+    filter.  Open episodes extend to the end of time for the range test. *)
+
+val parse_query : string -> (query, string) result
+(** Parse a comma-separated [key=value] list: [prefix=198.51.100.0/24],
+    [covered=true], [origin=65001], [since=0], [until=90000],
+    [min_visibility=2].  An empty string is {!query_all}. *)
+
+(** {2 Persistence} *)
+
+val encode : t -> bytes
+val decode : bytes -> t
+(** @raise Corrupt on bad magic, version mismatch, truncation, trailing
+    octets or invalid field values. *)
+
+val write_file : string -> t -> unit
+val read_file : string -> t
+
+(** {2 Report} *)
+
+val render : t -> string
+(** Deterministic text listing: roster, entry count, and one line per
+    entry with visibility [k/N]. *)

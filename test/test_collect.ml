@@ -1,0 +1,407 @@
+(* Tests for lib/collect: vantage recording off the network tap, mesh
+   merge/dedup determinism, cross-vantage correlation, the episode store's
+   binary round-trip and queries, and the canonical scenario's
+   partial-visibility behaviour under a lib/faults partition. *)
+
+open Net
+module M = Stream.Monitor
+module Src = Stream.Source
+module Ck = Stream.Checkpoint
+module V = Collect.Vantage
+module Mesh = Collect.Mesh
+module Corr = Collect.Correlator
+module Store = Collect.Store
+
+let p1 = Prefix.of_string "192.0.2.0/24"
+let p2 = Prefix.of_string "198.51.100.0/24"
+let p2_sub = Prefix.of_string "198.51.100.128/25"
+
+let ev ?(peer = 99) ~time prefix action = { M.time; peer = Asn.make peer; prefix; action }
+
+let ann ?list o =
+  M.Announce { origin = Asn.make o; moas_list = Option.map Asn.Set.of_list list }
+
+let wd o = M.Withdraw { origin = Asn.make o }
+
+let config = { M.default_config with M.window = 10_000 }
+
+let encode_snapshot = Ck.encode
+
+(* ---------------- vantage recording ---------------- *)
+
+let test_tap_records_origin_events () =
+  let network = Bgp.Network.make (Testutil.small_graph ()) in
+  let specs = [ V.spec ~name:"v0" [ Asn.make 2; Asn.make 5 ] ] in
+  let v =
+    match V.attach network specs with
+    | [ v ] -> v
+    | _ -> Alcotest.fail "expected one vantage"
+  in
+  Bgp.Network.originate network (Asn.make 6) p1
+    ~communities:(Moas.Moas_list.encode (Asn.Set.singleton (Asn.make 6)));
+  ignore (Bgp.Network.run network);
+  (* both feeds converge on origin 6: the refcounted view emits exactly
+     one announce, whichever feed reported first *)
+  Alcotest.(check int) "one origin-level event" 1 (V.event_count v);
+  (match (V.events v).(0) with
+  | { M.action = M.Announce { origin; moas_list }; prefix; _ } ->
+    Alcotest.check Testutil.prefix_testable "prefix" p1 prefix;
+    Alcotest.(check int) "origin" 6 (Asn.to_int origin);
+    Alcotest.(check (option Testutil.asn_set_testable))
+      "MOAS list decoded from communities"
+      (Some (Asn.Set.singleton (Asn.make 6)))
+      moas_list
+  | _ -> Alcotest.fail "expected an announce");
+  Alcotest.(check string) "name" "v0" (V.name v)
+
+let test_attach_validation () =
+  let network = Bgp.Network.make (Testutil.small_graph ()) in
+  Alcotest.check_raises "duplicate vantage names"
+    (Invalid_argument "Vantage.attach: duplicate vantage dup")
+    (fun () ->
+      ignore
+        (V.attach network
+           [ V.spec ~name:"dup" [ Asn.make 1 ]; V.spec ~name:"dup" [ Asn.make 2 ] ]));
+  Alcotest.check_raises "peer outside the topology"
+    (Invalid_argument "Vantage.attach: AS77 is not in the topology")
+    (fun () -> ignore (V.attach network [ V.spec ~name:"v" [ Asn.make 77 ] ]))
+
+let test_dropped_counter () =
+  let metrics = Obs.Registry.create () in
+  let network = Bgp.Network.make (Testutil.small_graph ()) in
+  let _ = V.attach ~metrics network [ V.spec ~name:"v0" [ Asn.make 2 ] ] in
+  Bgp.Network.originate network (Asn.make 6) p1;
+  ignore (Bgp.Network.run network);
+  let dump = Obs.Registry.to_json_lines metrics in
+  Testutil.check_contains ~what:"metrics dump" dump "collect_updates_dropped";
+  Testutil.check_contains ~what:"metrics dump" dump "collect_events_total"
+
+let test_millis () =
+  Alcotest.(check int) "whole seconds" 2000 (V.millis 2.0);
+  Alcotest.(check int) "sub-millisecond rounds" 2 (V.millis 0.0015)
+
+(* ---------------- mesh merge ---------------- *)
+
+let test_merge_dedup () =
+  let events = [| ev ~time:0 p1 (ann 10); ev ~time:5 p1 (ann 20) |] in
+  let merged, dups = Mesh.merge_streams [ ("b", events); ("a", events) ] in
+  Alcotest.(check int) "union is deduplicated" 2 (Array.length merged);
+  Alcotest.(check int) "every double observation counted" 2 dups;
+  Array.iter
+    (fun t -> Alcotest.(check string) "first observer by name" "a" t.Mesh.tag)
+    merged
+
+let test_canonical_order () =
+  let a = ev ~time:7 p1 (ann 10) and w = ev ~time:7 p1 (wd 20) in
+  Alcotest.(check bool) "withdrawals sort before announcements" true
+    (Mesh.compare_event w a < 0)
+
+let test_run_validation () =
+  Alcotest.check_raises "empty mesh" (Invalid_argument "Mesh.run: no vantages")
+    (fun () -> ignore (Mesh.run config []));
+  Alcotest.check_raises "duplicate names"
+    (Invalid_argument "Mesh.run: duplicate vantage v") (fun () ->
+      ignore (Mesh.run config [ ("v", [||]); ("v", [||]) ]))
+
+let test_flagged_while_open () =
+  (* the conflict closes before the end of the stream: per-step settling
+     must still have validated (and flagged) it while it was open *)
+  let events =
+    [|
+      ev ~time:0 p1 (ann ~list:[ 10 ] 10);
+      ev ~time:10 p1 (ann 20);
+      ev ~time:20 p1 (wd 20);
+    |]
+  in
+  let r = Mesh.run config [ ("v0", events) ] in
+  match r.Mesh.r_merged.M.s_closed with
+  | [ e ] -> Alcotest.(check bool) "episode flagged while open" false e.M.e_clean
+  | eps -> Alcotest.failf "expected 1 closed episode, got %d" (List.length eps)
+
+let test_duplicates_counter_lazy () =
+  let metrics = Obs.Registry.create () in
+  let events = [| ev ~time:0 p1 (ann 10) |] in
+  ignore (Mesh.run ~metrics config [ ("a", events) ]);
+  let dump = Obs.Registry.to_json_lines metrics in
+  Alcotest.(check bool) "no duplicates, no sample" false
+    (Testutil.contains dump "stream_merge_duplicates");
+  ignore (Mesh.run ~metrics config [ ("a", events); ("b", events) ]);
+  let dump = Obs.Registry.to_json_lines metrics in
+  Testutil.check_contains ~what:"metrics dump" dump "stream_merge_duplicates"
+
+(* ---------------- qcheck properties ---------------- *)
+
+let script_prefixes =
+  [| p1; p2; p2_sub; Prefix.of_string "203.0.113.0/24" |]
+
+let script_gen =
+  QCheck2.Gen.(
+    list_size (int_range 0 120)
+      (triple (int_range 0 3) (int_range 1 6) (int_range 0 3)))
+
+let act o = function
+  | 0 -> wd o
+  | 1 -> ann o
+  | 2 -> ann ~list:[ 1; 2; 3; 4; 5; 6 ] o
+  | _ -> ann ~list:[ o ] o
+
+let script_events script =
+  Array.of_list
+    (List.mapi (fun i (pi, o, k) -> ev ~time:(i * 10) script_prefixes.(pi) (act o k)) script)
+
+let script_batches script =
+  let events = script_events script in
+  let time = if Array.length events = 0 then 0 else events.(Array.length events - 1).M.time in
+  [| { Src.time; day = None; events } |]
+
+let replay_streams ?(coverage = 0.6) ?(vantages = 3) script =
+  V.replay ~coverage ~vantages ~seed:0xC0FFEEL (script_batches script)
+
+let prop_merged_equals_global =
+  Testutil.qtest ~count:100
+    "mesh merged view == single monitor over the global stream" script_gen
+    (fun script ->
+      (* every event is forced to at least one vantage, so the deduped
+         union is exactly the input stream *)
+      let mesh = Mesh.run config (replay_streams script) in
+      let solo = Mesh.run config [ ("all", script_events script) ] in
+      encode_snapshot mesh.Mesh.r_merged = encode_snapshot solo.Mesh.r_merged)
+
+let prop_full_coverage_vantages_agree =
+  Testutil.qtest ~count:100
+    "full coverage: every vantage equals the merged view" script_gen
+    (fun script ->
+      let r = Mesh.run config (replay_streams ~coverage:1.0 script) in
+      let merged = encode_snapshot r.Mesh.r_merged in
+      List.for_all
+        (fun (_, snap) -> encode_snapshot snap = merged)
+        r.Mesh.r_per_vantage)
+
+let prop_jobs_and_order_invariance =
+  Testutil.qtest ~count:60 "jobs count and vantage order are invisible"
+    script_gen (fun script ->
+      let streams = replay_streams script in
+      let a = Mesh.run ~jobs:1 config streams in
+      let b = Mesh.run ~jobs:8 config (List.rev streams) in
+      encode_snapshot a.Mesh.r_merged = encode_snapshot b.Mesh.r_merged
+      && List.for_all2
+           (fun (na, sa) (nb, sb) ->
+             na = nb && encode_snapshot sa = encode_snapshot sb)
+           a.Mesh.r_per_vantage b.Mesh.r_per_vantage
+      && a.Mesh.r_duplicates = b.Mesh.r_duplicates)
+
+(* ---------------- store ---------------- *)
+
+let entry ?(seq = 1) ?ended ?(days = 1) ?(max_origins = 2) ?(clean = true)
+    ?(seen = [ "vp00" ]) ?first ?last ~prefix ~origins ~started () =
+  {
+    Corr.x_prefix = prefix;
+    x_seq = seq;
+    x_started = started;
+    x_ended = ended;
+    x_days = days;
+    x_max_origins = max_origins;
+    x_origins = Asn.Set.of_list (List.map Asn.make origins);
+    x_clean = clean;
+    x_seen_by = seen;
+    x_first_detect = first;
+    x_last_detect = last;
+  }
+
+let sample_store () =
+  Store.of_correlation
+    {
+      Corr.c_vantages = [ "vp00"; "vp01"; "vp02" ];
+      c_entries =
+        [
+          entry ~prefix:p1 ~origins:[ 10; 20 ] ~started:100 ~ended:900
+            ~clean:false
+            ~seen:[ "vp00"; "vp02" ]
+            ~first:120 ~last:300 ();
+          entry ~prefix:p2 ~origins:[ 30; 40 ] ~started:50
+            ~seen:[ "vp00"; "vp01"; "vp02" ]
+            ~first:50 ~last:60 ();
+          entry ~prefix:p2_sub ~origins:[ 30; 99 ] ~started:400 ~ended:500
+            ~seen:[] ();
+        ];
+    }
+
+let test_store_roundtrip () =
+  let s = sample_store () in
+  let bytes = Store.encode s in
+  let s' = Store.decode bytes in
+  Alcotest.(check int) "count survives" (Store.count s) (Store.count s');
+  Alcotest.(check (list string)) "roster survives" (Store.vantages s)
+    (Store.vantages s');
+  Alcotest.(check bool) "re-encode is byte-identical" true
+    (Store.encode s' = bytes);
+  Alcotest.(check string) "render survives" (Store.render s) (Store.render s')
+
+let test_store_rejects_corruption () =
+  let bytes = Store.encode (sample_store ()) in
+  let expect_corrupt what data =
+    match Store.decode data with
+    | _ -> Alcotest.failf "%s was accepted" what
+    | exception Store.Corrupt _ -> ()
+  in
+  (* truncation at every cut point *)
+  for n = 0 to Bytes.length bytes - 1 do
+    expect_corrupt (Printf.sprintf "truncation to %d octets" n)
+      (Bytes.sub bytes 0 n)
+  done;
+  (* trailing garbage *)
+  expect_corrupt "trailing octet" (Bytes.cat bytes (Bytes.make 1 '\x00'));
+  (* bad magic *)
+  let bad = Bytes.copy bytes in
+  Bytes.set bad 0 'X';
+  expect_corrupt "bad magic" bad;
+  (* version bump *)
+  let bad = Bytes.copy bytes in
+  Bytes.set bad 8 '\x02';
+  expect_corrupt "version mismatch" bad
+
+let test_store_queries () =
+  let s = sample_store () in
+  let q qstr =
+    match Store.parse_query qstr with
+    | Ok q -> List.map (fun e -> Prefix.to_string e.Corr.x_prefix) (Store.query s q)
+    | Error msg -> Alcotest.failf "query %S rejected: %s" qstr msg
+  in
+  Alcotest.(check (list string)) "exact prefix"
+    [ "198.51.100.0/24" ]
+    (q "prefix=198.51.100.0/24");
+  Alcotest.(check (list string)) "covered includes more-specifics"
+    [ "198.51.100.0/24"; "198.51.100.128/25" ]
+    (q "prefix=198.51.100.0/24,covered=true");
+  Alcotest.(check (list string)) "origin filter"
+    [ "192.0.2.0/24" ] (q "origin=20");
+  Alcotest.(check (list string)) "time range excludes later episodes"
+    [ "192.0.2.0/24"; "198.51.100.0/24" ]
+    (q "since=60,until=150");
+  Alcotest.(check (list string)) "open episodes extend to the end of time"
+    [ "198.51.100.0/24" ] (q "since=5000");
+  Alcotest.(check (list string)) "visibility floor"
+    [ "198.51.100.0/24" ] (q "min_visibility=3");
+  Alcotest.(check int) "empty query matches all" 3 (List.length (q ""))
+
+let test_store_parse_errors () =
+  let rejected s =
+    match Store.parse_query s with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "unknown key" true (rejected "frobnicate=1");
+  Alcotest.(check bool) "missing value" true (rejected "prefix");
+  Alcotest.(check bool) "bad integer" true (rejected "since=soon");
+  Alcotest.(check bool) "bad prefix" true (rejected "prefix=999.0.0.0/44")
+
+(* ---------------- scenario: partial visibility under partition -------- *)
+
+let topo = lazy (Topology.Paper_topologies.topology_25 ())
+
+let baseline =
+  lazy (Collect.Scenario.capture ~seed:1L ~vantages:3 (Lazy.force topo))
+
+let partitioned =
+  lazy
+    (Collect.Scenario.capture ~isolate:true ~seed:1L ~vantages:3
+       (Lazy.force topo))
+
+let correlate capture =
+  Corr.of_result (Mesh.run config capture.Collect.Scenario.s_streams)
+
+let find_entries corr prefix =
+  List.filter
+    (fun e -> Prefix.compare e.Corr.x_prefix prefix = 0)
+    corr.Corr.c_entries
+
+let test_scenario_baseline () =
+  let c = Lazy.force baseline in
+  Alcotest.(check int) "three vantages" 3 (List.length c.Collect.Scenario.s_streams);
+  let corr = correlate c in
+  let attacked = find_entries corr c.Collect.Scenario.s_attacked in
+  Alcotest.(check bool) "invalid-origin conflict observed" true (attacked <> []);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "flagged by the MOAS-list check" false e.Corr.x_clean;
+      Alcotest.(check bool) "visible somewhere" true (Corr.visibility e >= 1))
+    attacked;
+  (match find_entries corr c.Collect.Scenario.s_multihomed with
+  | [] -> Alcotest.fail "multihomed MOAS not observed"
+  | entries ->
+    List.iter
+      (fun e ->
+        Alcotest.(check bool) "clean legitimate MOAS" true e.Corr.x_clean;
+        Alcotest.(check int) "seen by the whole mesh" 3 (Corr.visibility e))
+      entries);
+  Alcotest.(check (list string)) "quiet prefix never conflicts" []
+    (List.map (fun e -> Prefix.to_string e.Corr.x_prefix)
+       (find_entries corr c.Collect.Scenario.s_quiet))
+
+let test_scenario_partition () =
+  let healthy = Lazy.force baseline and cut = Lazy.force partitioned in
+  Alcotest.(check (option string)) "first vantage is isolated" (Some "vp00")
+    cut.Collect.Scenario.s_isolated;
+  Alcotest.(check bool) "the partition actually fired" true
+    (cut.Collect.Scenario.s_faults_injected > 0);
+  let mesh c = Mesh.run config c.Collect.Scenario.s_streams in
+  let view r = encode_snapshot (List.assoc "vp00" r.Mesh.r_per_vantage) in
+  Alcotest.(check bool) "isolated vantage's view diverges" true
+    (view (mesh healthy) <> view (mesh cut));
+  let corr = correlate cut in
+  let attacked = find_entries corr cut.Collect.Scenario.s_attacked in
+  Alcotest.(check bool) "merged correlator still flags the conflict" true
+    (List.exists (fun e -> not e.Corr.x_clean) attacked);
+  Alcotest.(check bool) "visibility is partial, not zero" true
+    (List.exists
+       (fun e -> Corr.visibility e >= 1 && Corr.visibility e < 3)
+       attacked)
+
+let test_scenario_determinism () =
+  let c = Lazy.force baseline in
+  let report r = Stream.Report.render r.Mesh.r_merged in
+  let a = Mesh.run ~jobs:1 config c.Collect.Scenario.s_streams in
+  let b = Mesh.run ~jobs:4 config (List.rev c.Collect.Scenario.s_streams) in
+  Alcotest.(check string) "merged report is byte-identical" (report a) (report b)
+
+let () =
+  Alcotest.run "collect"
+    [
+      ( "vantage",
+        [
+          Alcotest.test_case "tap records origin events" `Quick
+            test_tap_records_origin_events;
+          Alcotest.test_case "attach validation" `Quick test_attach_validation;
+          Alcotest.test_case "dropped-update counter" `Quick test_dropped_counter;
+          Alcotest.test_case "millis" `Quick test_millis;
+        ] );
+      ( "mesh",
+        [
+          Alcotest.test_case "merge dedups the union" `Quick test_merge_dedup;
+          Alcotest.test_case "canonical event order" `Quick test_canonical_order;
+          Alcotest.test_case "run validation" `Quick test_run_validation;
+          Alcotest.test_case "flagged while open" `Quick test_flagged_while_open;
+          Alcotest.test_case "duplicates counter is lazy" `Quick
+            test_duplicates_counter_lazy;
+        ] );
+      ( "properties",
+        [
+          prop_merged_equals_global;
+          prop_full_coverage_vantages_agree;
+          prop_jobs_and_order_invariance;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_store_roundtrip;
+          Alcotest.test_case "corruption rejected" `Quick
+            test_store_rejects_corruption;
+          Alcotest.test_case "queries" `Quick test_store_queries;
+          Alcotest.test_case "query parse errors" `Quick test_store_parse_errors;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "baseline visibility" `Quick test_scenario_baseline;
+          Alcotest.test_case "partition keeps detection" `Quick
+            test_scenario_partition;
+          Alcotest.test_case "jobs/order determinism" `Quick
+            test_scenario_determinism;
+        ] );
+    ]
