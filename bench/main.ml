@@ -779,6 +779,172 @@ let run_collect_bench ~out () =
   say "collect dump written to %s" out
 
 (* ------------------------------------------------------------------ *)
+(* Part 8: serve-daemon load generator (BENCH_6.json).  An episode store
+   built from a mesh run over the synthetic archive is put behind
+   Serve.Server, then a pool of concurrent clients hammers it with a
+   deterministic mix of typed queries — every request and response
+   crossing the full MOASSERV wire codec.  Per-request latencies give
+   p50/p99; throughput and the server-side request histogram go to JSON
+   lines.  The suite fails outright on a zero measured throughput. *)
+
+let serve_client_counts = [ 1; 2; 4; 8 ]
+let serve_vantages = 4
+let serve_coverage = 0.65
+
+let serve_smoke_params =
+  {
+    Measurement.Synthetic_routeviews.default_params with
+    Measurement.Synthetic_routeviews.universe_size = 400;
+    initial_long_lived = 65;
+    final_long_lived = 139;
+    one_day_churn = 24;
+    medium_churn = 9;
+    event_1998_size = 114;
+    event_2001_size = 97;
+  }
+
+let run_serve_bench ~smoke ~out () =
+  banner "Serve daemon load generator (MOASSERV wire protocol)";
+  say "   cores online: %d (Domain.recommended_domain_count)"
+    (Domain.recommended_domain_count ());
+  let cores = string_of_int (Domain.recommended_domain_count ()) in
+  let annotate =
+    Stream.Source.trusted_annotator
+      ~distrusted:
+        (Asn.Set.of_list
+           [
+             Measurement.Synthetic_routeviews.fault_as_1998;
+             Measurement.Synthetic_routeviews.fault_as_2001;
+           ])
+      ()
+  in
+  let params =
+    if smoke then serve_smoke_params
+    else Measurement.Synthetic_routeviews.default_params
+  in
+  let batches = Stream.Source.archive_batches ~annotate params in
+  let streams =
+    Collect.Vantage.replay ~coverage:serve_coverage ~vantages:serve_vantages
+      ~seed:0xC011EC7L batches
+  in
+  let store =
+    Collect.Store.of_correlation
+      (Collect.Correlator.of_result
+         (Collect.Mesh.run Stream.Monitor.default_config streams))
+  in
+  let entries = Array.of_list (Collect.Store.entries store) in
+  let n_entries = Array.length entries in
+  let total_requests = if smoke then 4_000 else 60_000 in
+  let client_counts = if smoke then [ 4 ] else serve_client_counts in
+  say "   store: %d episodes over %d vantages; %d requests per grid point"
+    n_entries serve_vantages total_requests;
+  (* a deterministic query mix cycling over the stored episodes: exact
+     prefix, covered prefix, origin membership, visibility floor, count *)
+  let request i =
+    let e = entries.(i mod n_entries) in
+    let open Collect.Query in
+    match i mod 5 with
+    | 0 -> Serve.Proto.Query (empty |> prefix e.Collect.Correlator.x_prefix)
+    | 1 ->
+      Serve.Proto.Query
+        (empty |> prefix e.Collect.Correlator.x_prefix |> covered)
+    | 2 ->
+      Serve.Proto.Count
+        (match Asn.Set.min_elt_opt e.Collect.Correlator.x_origins with
+        | Some a -> empty |> origin a
+        | None -> empty)
+    | 3 -> Serve.Proto.Query (empty |> min_visibility (1 + (i mod serve_vantages)))
+    | _ -> Serve.Proto.Count empty
+  in
+  let oc = open_out out in
+  let measured =
+    List.map
+      (fun clients ->
+        let metrics = Obs.Registry.create () in
+        let server = Serve.Server.create ~metrics ~store () in
+        let per_client = total_requests / clients in
+        let t0 = Unix.gettimeofday () in
+        let latency_arrays =
+          Exec.Pool.map ~jobs:clients
+            (fun c ->
+              let client = Serve.Client.connect server in
+              let lats = Array.make per_client 0.0 in
+              for k = 0 to per_client - 1 do
+                let t = Unix.gettimeofday () in
+                (match Serve.Client.call client (request ((c * per_client) + k)) with
+                | Serve.Proto.Entries _ | Serve.Proto.Count_is _ -> ()
+                | r ->
+                  failwith
+                    ("serve suite: unexpected response "
+                    ^ Serve.Proto.render_response r));
+                lats.(k) <- Unix.gettimeofday () -. t
+              done;
+              Serve.Client.close client;
+              lats)
+            (Array.init clients Fun.id)
+        in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        let lats = Array.concat (Array.to_list latency_arrays) in
+        Array.sort compare lats;
+        let n = Array.length lats in
+        let pct p = lats.(min (n - 1) (p * n / 100)) in
+        let qps = float_of_int n /. elapsed in
+        if not (qps > 0.0) then (
+          close_out oc;
+          failwith "serve suite: zero measured throughput");
+        (clients, elapsed, n, qps, pct 50, pct 99, metrics))
+      client_counts
+  in
+  print_string
+    (Mutil.Text_table.render
+       ~header:[ "clients"; "wall clock"; "queries/s"; "p50"; "p99" ]
+       (List.map
+          (fun (clients, elapsed, _, qps, p50, p99, _) ->
+            [
+              string_of_int clients;
+              Printf.sprintf "%.3f s" elapsed;
+              Printf.sprintf "%.0f" qps;
+              Printf.sprintf "%.1f us" (1e6 *. p50);
+              Printf.sprintf "%.1f us" (1e6 *. p99);
+            ])
+          measured));
+  List.iter
+    (fun (clients, elapsed, n, qps, p50, p99, server_metrics) ->
+      let extra =
+        [
+          ("workload", "serve-load");
+          ("clients", string_of_int clients);
+          ("cores", cores);
+          ("entries", string_of_int n_entries);
+        ]
+      in
+      let reg = Obs.Registry.create () in
+      Obs.Registry.Counter.add (Obs.Registry.counter reg "serve_queries_total") n;
+      Obs.Registry.Gauge.set
+        (Obs.Registry.gauge reg "serve_wall_clock_seconds")
+        elapsed;
+      Obs.Registry.Gauge.set
+        (Obs.Registry.gauge reg "serve_queries_per_second")
+        qps;
+      Obs.Registry.Gauge.set
+        (Obs.Registry.gauge reg "serve_latency_p50_seconds")
+        p50;
+      Obs.Registry.Gauge.set
+        (Obs.Registry.gauge reg "serve_latency_p99_seconds")
+        p99;
+      output_string oc (Obs.Registry.to_json_lines ~extra reg);
+      (* the daemon's own instruments: per-kind request counters and the
+         server-side latency histogram *)
+      output_string oc
+        (Obs.Registry.to_json_lines
+           ~extra:(("side", "daemon") :: extra)
+           server_metrics))
+    measured;
+  close_out oc;
+  say "";
+  say "serve dump written to %s" out
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let smoke = ref false in
@@ -788,10 +954,13 @@ let () =
   let no_stream = ref false in
   let collect_only = ref false in
   let no_collect = ref false in
+  let serve_only = ref false in
+  let no_serve = ref false in
   let out = ref "BENCH_1.json" in
   let scaling_out = ref "BENCH_3.json" in
   let stream_out = ref "BENCH_4.json" in
   let collect_out = ref "BENCH_5.json" in
+  let serve_out = ref "BENCH_6.json" in
   let jobs = ref 0 in
   let spec =
     [
@@ -806,6 +975,9 @@ let () =
       ("--collect-only", Arg.Set collect_only, " run only the collector-mesh suite");
       ("--no-collect", Arg.Set no_collect, " skip the collector-mesh suite");
       ("--collect-out", Arg.Set_string collect_out, "FILE collector-mesh dump destination (default BENCH_5.json)");
+      ("--serve-only", Arg.Set serve_only, " run only the serve-daemon load-generator suite");
+      ("--no-serve", Arg.Set no_serve, " skip the serve-daemon load-generator suite");
+      ("--serve-out", Arg.Set_string serve_out, "FILE serve-daemon dump destination (default BENCH_6.json)");
       ("--jobs", Arg.Set_int jobs, "N worker domains for the figure sweeps (default MOAS_JOBS or the core count)");
     ]
   in
@@ -813,11 +985,13 @@ let () =
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "main.exe [--smoke] [--out FILE] [--scaling-only] [--no-scaling] \
      [--scaling-out FILE] [--stream-only] [--no-stream] [--stream-out FILE] \
-     [--collect-only] [--no-collect] [--collect-out FILE] [--jobs N]";
+     [--collect-only] [--no-collect] [--collect-out FILE] [--serve-only] \
+     [--no-serve] [--serve-out FILE] [--jobs N]";
   let jobs = if !jobs >= 1 then Some !jobs else None in
   if !scaling_only then run_scaling ~out:!scaling_out ()
   else if !stream_only then run_stream ~out:!stream_out ()
   else if !collect_only then run_collect_bench ~out:!collect_out ()
+  else if !serve_only then run_serve_bench ~smoke:!smoke ~out:!serve_out ()
   else begin
     let tracer = Obs.Span.create () in
     regenerate_figures ~tracer ?jobs ();
@@ -829,7 +1003,8 @@ let () =
       run_microbenches ();
       if not !no_scaling then run_scaling ~out:!scaling_out ();
       if not !no_stream then run_stream ~out:!stream_out ();
-      if not !no_collect then run_collect_bench ~out:!collect_out ()
+      if not !no_collect then run_collect_bench ~out:!collect_out ();
+      if not !no_serve then run_serve_bench ~smoke:false ~out:!serve_out ()
     end
   end;
   say "";

@@ -196,22 +196,22 @@ let run_monitor smoke jobs window annotate seed checkpoint checkpoint_every
     | Some path -> Stream.Checkpoint.write_file path (Stream.Sharded.snapshot monitor)
     | None -> ()
   in
+  let source = Stream.Source.of_archive ~annotate params in
   (try
-     Stream.Source.fold_archive ~annotate params ~init:() ~f:(fun () batch ->
-         if batch.Stream.Source.time > resume_time then begin
-           Stream.Sharded.ingest_batch ~day_end:true monitor
-             ~time:batch.Stream.Source.time batch.Stream.Source.events;
-           (* positivity is enforced by the pos_int converter at parse time *)
-           (match checkpoint_every with
-           | Some n when Stream.Sharded.day_count monitor mod n = 0 ->
-             write_checkpoint ()
-           | _ -> ());
-           match stop_after with
-           | Some n when Stream.Sharded.day_count monitor >= n ->
-             raise Monitor_stop
-           | _ -> ()
-         end)
+     ignore
+       (Stream.Sharded.ingest_source ~since:resume_time monitor source
+          ~on_batch:(fun monitor _batch ->
+            (* positivity is enforced by the pos_int converter at parse time *)
+            (match checkpoint_every with
+            | Some n when Stream.Sharded.day_count monitor mod n = 0 ->
+              write_checkpoint ()
+            | _ -> ());
+            match stop_after with
+            | Some n when Stream.Sharded.day_count monitor >= n ->
+              raise Monitor_stop
+            | _ -> ()))
    with Monitor_stop -> ());
+  Stream.Source.close source;
   write_checkpoint ();
   print_string (Stream.Report.render (Stream.Sharded.snapshot monitor));
   match metrics_out with
@@ -337,6 +337,134 @@ let run_collect vantages jobs smoke seed store_path query metrics_out order =
       close_out oc;
       say "metrics dump written to %s" path)
 
+(* ------------------------------------------------------------------ *)
+(* serve: the query/alert daemon over the MOASSERV wire protocol *)
+
+let read_store = function
+  | Some path when Sys.file_exists path -> Collect.Store.read_file path
+  | Some path -> failwith (Printf.sprintf "no episode store at %s" path)
+  | None -> failwith "--store FILE is required"
+
+let parse_query_or_die s =
+  match Collect.Query.parse s with
+  | Ok q -> q
+  | Error msg -> failwith ("bad query: " ^ msg)
+
+let serve_annotator () =
+  Stream.Source.trusted_annotator
+    ~distrusted:
+      (Net.Asn.Set.of_list
+         [
+           Measurement.Synthetic_routeviews.fault_as_1998;
+           Measurement.Synthetic_routeviews.fault_as_2001;
+         ])
+    ()
+
+(* One scripted serve session: commands in, rendered responses out.  The
+   transcript is deterministic — CI replays the same script twice and
+   diffs the bytes. *)
+let serve_command server client source line =
+  let cmd, rest =
+    match String.index_opt line ' ' with
+    | Some i ->
+      ( String.sub line 0 i,
+        String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+    | None -> (line, "")
+  in
+  let call req = say "%s" (Serve.Proto.render_response (Serve.Client.call client req)) in
+  match cmd with
+  | "ping" -> call Serve.Proto.Ping
+  | "stats" -> call Serve.Proto.Stats
+  | "query" -> call (Serve.Proto.Query (parse_query_or_die rest))
+  | "count" -> call (Serve.Proto.Count (parse_query_or_die rest))
+  | "subscribe" -> call (Serve.Proto.Subscribe (parse_query_or_die rest))
+  | "unsubscribe" ->
+    (match int_of_string_opt rest with
+    | Some id -> call (Serve.Proto.Unsubscribe id)
+    | None -> failwith ("unsubscribe needs an integer id, got: " ^ rest))
+  | "tail" ->
+    let max_batches =
+      if rest = "" then None
+      else
+        match int_of_string_opt rest with
+        | Some n when n > 0 -> Some n
+        | _ -> failwith ("tail needs a positive batch count, got: " ^ rest)
+    in
+    say "tailed %d batches" (Serve.Server.tail ?max_batches server source)
+  | "poll" ->
+    (match Serve.Client.poll client with
+    | [] -> say "(no alerts)"
+    | alerts ->
+      List.iter (fun r -> say "%s" (Serve.Proto.render_response r)) alerts)
+  | _ -> failwith ("unknown serve command: " ^ cmd)
+
+let run_serve store_path script smoke jobs seed metrics_out =
+  let store = read_store store_path in
+  let params =
+    let base =
+      if smoke then smoke_monitor_params
+      else Measurement.Synthetic_routeviews.default_params
+    in
+    match seed with
+    | None -> base
+    | Some seed -> { base with Measurement.Synthetic_routeviews.seed }
+  in
+  let metrics =
+    if metrics_out = None then Obs.Registry.noop else Obs.Registry.create ()
+  in
+  let server = Serve.Server.create ~metrics ?live_jobs:jobs ~store () in
+  let source = Stream.Source.of_archive ~annotate:(serve_annotator ()) params in
+  let client = Serve.Client.connect server in
+  let lines =
+    match script with
+    | Some path ->
+      let ic = open_in path in
+      let rec read acc =
+        match input_line ic with
+        | line -> read (line :: acc)
+        | exception End_of_file -> close_in ic; List.rev acc
+      in
+      read []
+    | None ->
+      let rec read acc =
+        match input_line stdin with
+        | line -> read (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      read []
+  in
+  say "serving %d episodes over %d vantages"
+    (Collect.Store.count store)
+    (List.length (Collect.Store.vantages store));
+  List.iter
+    (fun raw ->
+      let line = String.trim raw in
+      if line <> "" && line.[0] <> '#' then begin
+        say "> %s" line;
+        serve_command server client source line
+      end)
+    lines;
+  Serve.Client.close client;
+  Stream.Source.close source;
+  match metrics_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc
+      (Obs.Registry.to_json_lines ~extra:[ ("workload", "serve") ] metrics);
+    close_out oc;
+    say "metrics dump written to %s" path
+
+let run_query_client store_path query_str count_only =
+  let store = read_store store_path in
+  let q = parse_query_or_die query_str in
+  (* the full wire path: encode the request, decode the response *)
+  let server = Serve.Server.create ~store () in
+  let client = Serve.Client.connect server in
+  let req = if count_only then Serve.Proto.Count q else Serve.Proto.Query q in
+  say "%s" (Serve.Proto.render_response (Serve.Client.call client req));
+  Serve.Client.close client
+
 let run_topologies () =
   List.iter
     (fun t -> say "%s" (Topology.Paper_topologies.describe t))
@@ -378,16 +506,9 @@ let out_dir_arg =
   let doc = "Directory to write per-figure CSV files into." in
   Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc)
 
-let jobs_arg =
-  let doc =
-    "Worker domains for the experiment sweeps (default: $(b,MOAS_JOBS) if \
-     set, else the recommended domain count).  Output is byte-identical at \
-     any job count."
-  in
-  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
-
-(* rejects 0 and negatives at parse time, so e.g. --stop-after 0 is a
-   usage error instead of being silently ignored *)
+(* rejects 0 and negatives at parse time, so e.g. --jobs 0 or --window 0
+   is a usage error instead of being silently ignored or crashing later;
+   every positive-count option goes through this one converter *)
 let pos_int =
   let parse s =
     match int_of_string_opt s with
@@ -396,6 +517,14 @@ let pos_int =
     | None -> Error (`Msg (Printf.sprintf "%S is not an integer" s))
   in
   Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the experiment sweeps (default: $(b,MOAS_JOBS) if \
+     set, else the recommended domain count).  Output is byte-identical at \
+     any job count."
+  in
+  Arg.(value & opt (some pos_int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let cmd name ~doc term = Cmd.v (Cmd.info name ~doc) term
 
@@ -467,9 +596,10 @@ let monitor_cmd =
            ~doc:"Replay a 1/10-size archive with the same phenomenology, for CI.")
   in
   let window =
-    Arg.(value & opt int 86_400
+    Arg.(value & opt pos_int 86_400
          & info [ "window" ] ~docv:"SECONDS"
-             ~doc:"Alert aggregation window in seconds (default one day).")
+             ~doc:"Alert aggregation window in seconds (a positive integer; \
+                   default one day).")
   in
   let annotate =
     Arg.(value & opt string "trusted"
@@ -562,6 +692,55 @@ let collect_cmd =
     Term.(const run_collect $ vantages $ jobs_arg $ smoke $ seed_arg $ store
           $ query $ metrics_out $ order)
 
+let store_arg =
+  Arg.(value & opt (some string) None
+       & info [ "store" ] ~docv:"FILE"
+           ~doc:"Episode store to serve (written by $(b,collect --store)).")
+
+let serve_cmd =
+  let script =
+    Arg.(value & opt (some string) None
+         & info [ "script" ] ~docv:"FILE"
+             ~doc:"Read session commands from FILE instead of stdin: one \
+                   command per line among $(b,ping), $(b,stats), \
+                   $(b,query Q), $(b,count Q), $(b,subscribe Q), \
+                   $(b,unsubscribe ID), $(b,tail [N]), $(b,poll); blank \
+                   lines and $(b,#) comments are skipped.")
+  in
+  let smoke =
+    Arg.(value & flag & info [ "smoke" ]
+           ~doc:"Tail the 1/10-size archive instead of the full one, for CI.")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Write the lib/obs metrics dump (JSON lines) to FILE.")
+  in
+  cmd "serve"
+    ~doc:"Serve an episode store over the versioned MOASSERV wire protocol: \
+          typed queries, live-tail alert subscriptions, stats.  The scripted \
+          session transcript is byte-identical across runs, which CI asserts."
+    Term.(const run_serve $ store_arg $ script $ smoke $ jobs_arg $ seed_arg
+          $ metrics_out)
+
+let query_client_cmd =
+  let query =
+    Arg.(value & opt string ""
+         & info [ "query" ] ~docv:"QUERY"
+             ~doc:"Typed query, comma-separated key=value clauses among \
+                   $(b,prefix=P), $(b,covered=BOOL), $(b,origin=AS), \
+                   $(b,since=T), $(b,until=T), $(b,min_visibility=K); \
+                   empty matches everything.")
+  in
+  let count_only =
+    Arg.(value & flag & info [ "count" ]
+           ~doc:"Ask for the match count instead of the entries.")
+  in
+  cmd "query-client"
+    ~doc:"One query against an episode store through the full MOASSERV wire \
+          path (request and response both cross the codec)."
+    Term.(const run_query_client $ store_arg $ query $ count_only)
+
 let topologies_cmd = cmd "topologies" ~doc:"Describe the derived 25/46/63-AS topologies."
     Term.(const run_topologies $ const ())
 
@@ -587,6 +766,8 @@ let main_cmd =
       robustness_cmd;
       monitor_cmd;
       collect_cmd;
+      serve_cmd;
+      query_client_cmd;
       simulate_cmd;
       topologies_cmd;
       all_cmd;

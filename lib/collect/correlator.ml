@@ -85,6 +85,62 @@ let correlate ~vantages ~merged =
 let of_result (r : Mesh.result) =
   correlate ~vantages:r.Mesh.r_per_vantage ~merged:r.Mesh.r_merged
 
+(* ------------------------------------------------------------------ *)
+(* Binary codec for one entry, shared by the MOASSTOR store format and
+   the MOASSERV wire protocol (Net.Codec discipline). *)
+
+let write_entry buf e =
+  Codec.put_prefix buf e.x_prefix;
+  Codec.put_i63 buf e.x_seq;
+  Codec.put_i63 buf e.x_started;
+  Codec.put_option buf Codec.put_i63 e.x_ended;
+  Codec.put_i63 buf e.x_days;
+  Codec.put_u32 buf e.x_max_origins;
+  Codec.put_asn_set buf e.x_origins;
+  Codec.put_bool buf e.x_clean;
+  Codec.put_list buf Codec.put_string e.x_seen_by;
+  Codec.put_option buf Codec.put_i63 e.x_first_detect;
+  Codec.put_option buf Codec.put_i63 e.x_last_detect
+
+let read_entry c =
+  let x_prefix = Codec.take_prefix c in
+  let x_seq = Codec.take_i63 c in
+  let x_started = Codec.take_i63 c in
+  let x_ended = Codec.take_option c Codec.take_i63 in
+  let x_days = Codec.take_i63 c in
+  let x_max_origins = Codec.take_u32 c in
+  let x_origins = Codec.take_asn_set c in
+  let x_clean = Codec.take_bool c in
+  let x_seen_by = Codec.take_list c Codec.take_string in
+  let x_first_detect = Codec.take_option c Codec.take_i63 in
+  let x_last_detect = Codec.take_option c Codec.take_i63 in
+  {
+    x_prefix;
+    x_seq;
+    x_started;
+    x_ended;
+    x_days;
+    x_max_origins;
+    x_origins;
+    x_clean;
+    x_seen_by;
+    x_first_detect;
+    x_last_detect;
+  }
+
+let render_entry ~vantage_count e =
+  let origins =
+    Asn.Set.elements e.x_origins |> List.map Asn.to_string |> String.concat ","
+  in
+  let ended =
+    match e.x_ended with Some v -> string_of_int v | None -> "open"
+  in
+  Printf.sprintf "%s#%d [%d..%s] origins={%s} %s visibility=%d/%d"
+    (Prefix.to_string e.x_prefix)
+    e.x_seq e.x_started ended origins
+    (if e.x_clean then "clean" else "FLAGGED")
+    (visibility e) vantage_count
+
 let render t =
   let buf = Buffer.create 1024 in
   let n = List.length t.c_vantages in

@@ -47,6 +47,19 @@ val correlate :
 val of_result : Mesh.result -> t
 (** {!correlate} over a mesh run. *)
 
+val write_entry : Buffer.t -> entry -> unit
+(** Append one entry in the shared binary layout ({!Net.Codec}
+    discipline) — the representation used inside both the [MOASSTOR]
+    store format and the [MOASSERV] wire protocol. *)
+
+val read_entry : Net.Codec.cursor -> entry
+(** Decode one entry; malformed input raises through the cursor's
+    failure exception. *)
+
+val render_entry : vantage_count:int -> entry -> string
+(** One deterministic text line for an entry (no trailing newline), with
+    visibility rendered as [k/N] against [vantage_count]. *)
+
 val render : t -> string
 (** Deterministic text report: the per-episode table (with visibility
     [k/N] and detection spread) and the visibility/validation summary. *)

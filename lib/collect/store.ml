@@ -8,8 +8,6 @@ type t = {
 
 exception Corrupt of string
 
-let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
-
 let magic = "MOASSTOR"
 let version = 1
 
@@ -58,248 +56,51 @@ let entries t =
     (Prefix_trie.fold (fun _ es acc -> List.rev_append es acc) t.trie [])
 
 (* ------------------------------------------------------------------ *)
-(* Queries *)
+(* Queries — one typed representation, Collect.Query, shared with the
+   CLI --query flag and the Serve.Proto wire message.  The prefix clause
+   is answered from the trie; the remaining clauses filter. *)
 
-type query = {
-  q_prefix : Prefix.t option;
-  q_covered : bool;
-  q_origin : Asn.t option;
-  q_since : int option;
-  q_until : int option;
-  q_min_visibility : int option;
-}
+type query = Query.t
 
-let query_all =
-  {
-    q_prefix = None;
-    q_covered = false;
-    q_origin = None;
-    q_since = None;
-    q_until = None;
-    q_min_visibility = None;
-  }
-
-let matches q (e : Correlator.entry) =
-  let hi = Option.value e.Correlator.x_ended ~default:max_int in
-  (match q.q_origin with
-  | Some a -> Asn.Set.mem a e.Correlator.x_origins
-  | None -> true)
-  && (match q.q_since with Some s -> hi >= s | None -> true)
-  && (match q.q_until with Some u -> e.Correlator.x_started <= u | None -> true)
-  && (match q.q_min_visibility with
-     | Some k -> Correlator.visibility e >= k
-     | None -> true)
+let query_all = Query.empty
 
 let query t q =
   let candidates =
-    match q.q_prefix with
+    match Query.target q with
     | None -> entries t
-    | Some p when q.q_covered ->
+    | Some p when Query.wants_covered q ->
       List.concat_map (fun (_, es) -> es) (Prefix_trie.covered p t.trie)
     | Some p -> Option.value (Prefix_trie.find_opt p t.trie) ~default:[]
   in
-  List.filter (matches q) candidates
+  List.filter (Query.matches q) candidates
 
-let parse_query s =
-  let parse_clause q clause =
-    match String.index_opt clause '=' with
-    | None -> Error (Printf.sprintf "clause %S is not key=value" clause)
-    | Some i -> (
-      let key = String.sub clause 0 i in
-      let value = String.sub clause (i + 1) (String.length clause - i - 1) in
-      let int_of name =
-        match int_of_string_opt value with
-        | Some v -> Ok v
-        | None -> Error (Printf.sprintf "%s=%S is not an integer" name value)
-      in
-      match key with
-      | "prefix" -> (
-        match Prefix.of_string value with
-        | p -> Ok { q with q_prefix = Some p }
-        | exception _ -> Error (Printf.sprintf "bad prefix %S" value))
-      | "covered" -> (
-        match bool_of_string_opt value with
-        | Some b -> Ok { q with q_covered = b }
-        | None -> Error (Printf.sprintf "covered=%S is not a boolean" value))
-      | "origin" -> (
-        match int_of_string_opt value with
-        | Some v -> (
-          try Ok { q with q_origin = Some (Asn.make v) }
-          with Invalid_argument _ -> Error (Printf.sprintf "bad AS %S" value))
-        | None -> Error (Printf.sprintf "origin=%S is not an AS number" value))
-      | "since" -> Result.map (fun v -> { q with q_since = Some v }) (int_of "since")
-      | "until" -> Result.map (fun v -> { q with q_until = Some v }) (int_of "until")
-      | "min_visibility" ->
-        Result.map
-          (fun v -> { q with q_min_visibility = Some v })
-          (int_of "min_visibility")
-      | _ -> Error (Printf.sprintf "unknown query key %S" key))
-  in
-  let clauses =
-    List.filter (fun c -> c <> "") (String.split_on_char ',' (String.trim s))
-  in
-  List.fold_left
-    (fun acc clause -> Result.bind acc (fun q -> parse_clause q clause))
-    (Ok query_all) clauses
+let parse_query = Query.parse
 
 (* ------------------------------------------------------------------ *)
-(* Binary encoding — the Stream.Checkpoint idiom, magic MOASSTOR *)
+(* Binary encoding — Net.Codec discipline, magic MOASSTOR *)
 
-let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
-
-let put_u16 buf v =
-  put_u8 buf (v lsr 8);
-  put_u8 buf v
-
-let put_u32 buf v =
-  put_u16 buf (v lsr 16);
-  put_u16 buf (v land 0xffff)
-
-let put_i63 buf v =
-  if v < 0 then invalid_arg "Collect.Store: negative integer";
-  put_u32 buf (v lsr 32);
-  put_u32 buf (v land 0xffffffff)
-
-let put_asn buf a = put_u16 buf (Asn.to_int a)
-
-let put_asn_set buf s =
-  put_u32 buf (Asn.Set.cardinal s);
-  Asn.Set.iter (put_asn buf) s
-
-let put_prefix buf p =
-  put_u32 buf (Ipv4.to_int (Prefix.network p));
-  put_u8 buf (Prefix.length p)
-
-let put_option buf put = function
-  | None -> put_u8 buf 0
-  | Some v ->
-    put_u8 buf 1;
-    put buf v
-
-let put_list buf put l =
-  put_u32 buf (List.length l);
-  List.iter (put buf) l
-
-let put_string buf s =
-  put_u16 buf (String.length s);
-  Buffer.add_string buf s
-
-let put_entry buf (e : Correlator.entry) =
-  put_prefix buf e.Correlator.x_prefix;
-  put_i63 buf e.Correlator.x_seq;
-  put_i63 buf e.Correlator.x_started;
-  put_option buf put_i63 e.Correlator.x_ended;
-  put_i63 buf e.Correlator.x_days;
-  put_u32 buf e.Correlator.x_max_origins;
-  put_asn_set buf e.Correlator.x_origins;
-  put_u8 buf (if e.Correlator.x_clean then 1 else 0);
-  put_list buf put_string e.Correlator.x_seen_by;
-  put_option buf put_i63 e.Correlator.x_first_detect;
-  put_option buf put_i63 e.Correlator.x_last_detect
+let put_string = Codec.put_string
+let put_entry = Correlator.write_entry
 
 let encode t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf magic;
-  put_u8 buf version;
-  put_list buf put_string t.roster;
-  put_list buf put_entry (entries t);
+  Codec.put_u8 buf version;
+  Codec.put_list buf put_string t.roster;
+  Codec.put_list buf put_entry (entries t);
   Buffer.to_bytes buf
 
-type cursor = { data : bytes; mutable pos : int }
-
-let take_u8 c =
-  if c.pos >= Bytes.length c.data then corrupt "truncated at octet %d" c.pos;
-  let v = Char.code (Bytes.get c.data c.pos) in
-  c.pos <- c.pos + 1;
-  v
-
-let take_u16 c =
-  let hi = take_u8 c in
-  (hi lsl 8) lor take_u8 c
-
-let take_u32 c =
-  let hi = take_u16 c in
-  (hi lsl 16) lor take_u16 c
-
-let take_i63 c =
-  let hi = take_u32 c in
-  (hi lsl 32) lor take_u32 c
-
-let take_asn c =
-  let v = take_u16 c in
-  try Asn.make v with Invalid_argument _ -> corrupt "AS number %d" v
-
-let take_asn_set c =
-  let n = take_u32 c in
-  let rec loop acc k =
-    if k = 0 then acc else loop (Asn.Set.add (take_asn c) acc) (k - 1)
-  in
-  loop Asn.Set.empty n
-
-let take_prefix c =
-  let net = take_u32 c in
-  let len = take_u8 c in
-  if len > 32 then corrupt "prefix length %d" len;
-  Prefix.make (Ipv4.of_int net) len
-
-let take_option c take =
-  match take_u8 c with
-  | 0 -> None
-  | 1 -> Some (take c)
-  | t -> corrupt "option tag %d" t
-
-let take_list c take =
-  let n = take_u32 c in
-  let rec loop acc k =
-    if k = 0 then List.rev acc else loop (take c :: acc) (k - 1)
-  in
-  loop [] n
-
-let take_string c =
-  let n = take_u16 c in
-  if c.pos + n > Bytes.length c.data then corrupt "truncated string at %d" c.pos;
-  let s = Bytes.sub_string c.data c.pos n in
-  c.pos <- c.pos + n;
-  s
-
-let take_entry c : Correlator.entry =
-  let x_prefix = take_prefix c in
-  let x_seq = take_i63 c in
-  let x_started = take_i63 c in
-  let x_ended = take_option c take_i63 in
-  let x_days = take_i63 c in
-  let x_max_origins = take_u32 c in
-  let x_origins = take_asn_set c in
-  let x_clean = take_u8 c = 1 in
-  let x_seen_by = take_list c take_string in
-  let x_first_detect = take_option c take_i63 in
-  let x_last_detect = take_option c take_i63 in
-  {
-    Correlator.x_prefix;
-    x_seq;
-    x_started;
-    x_ended;
-    x_days;
-    x_max_origins;
-    x_origins;
-    x_clean;
-    x_seen_by;
-    x_first_detect;
-    x_last_detect;
-  }
-
 let decode data =
-  let c = { data; pos = 0 } in
-  if Bytes.length data < String.length magic then corrupt "not an episode store";
-  String.iter
-    (fun ch -> if take_u8 c <> Char.code ch then corrupt "bad magic")
-    magic;
-  let v = take_u8 c in
-  if v <> version then corrupt "unsupported store version %d" v;
-  let roster = take_list c take_string in
-  let es = take_list c take_entry in
-  if c.pos <> Bytes.length data then
-    corrupt "%d trailing octets" (Bytes.length data - c.pos);
+  let c = Codec.cursor ~fail:(fun m -> Corrupt m) data in
+  if Bytes.length data < String.length magic then
+    raise (Corrupt "not an episode store");
+  Codec.expect_magic c magic;
+  (match Codec.take_u8 c with
+  | v when v = version -> ()
+  | v -> raise (Corrupt (Printf.sprintf "unsupported store version %d" v)));
+  let roster = Codec.take_list c Codec.take_string in
+  let es = Codec.take_list c Correlator.read_entry in
+  Codec.expect_end c;
   List.fold_left (fun t e -> add e t) (empty ~vantages:roster) es
 
 let write_file path t =
@@ -329,20 +130,7 @@ let render t =
   Buffer.add_string buf (Printf.sprintf "entries: %d\n" t.count);
   List.iter
     (fun (e : Correlator.entry) ->
-      let origins =
-        Asn.Set.elements e.Correlator.x_origins
-        |> List.map Asn.to_string |> String.concat ","
-      in
-      let ended =
-        match e.Correlator.x_ended with
-        | Some v -> string_of_int v
-        | None -> "open"
-      in
-      Buffer.add_string buf
-        (Printf.sprintf "%s#%d [%d..%s] origins={%s} %s visibility=%d/%d\n"
-           (Prefix.to_string e.Correlator.x_prefix)
-           e.Correlator.x_seq e.Correlator.x_started ended origins
-           (if e.Correlator.x_clean then "clean" else "FLAGGED")
-           (Correlator.visibility e) n))
+      Buffer.add_string buf (Correlator.render_entry ~vantage_count:n e);
+      Buffer.add_char buf '\n')
     (entries t);
   Buffer.contents buf

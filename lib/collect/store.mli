@@ -10,8 +10,6 @@
     fixed-width fields, and a decoder that rejects truncation, trailing
     octets, bad tags and version mismatches with {!Corrupt}. *)
 
-open Net
-
 type t
 (** An immutable episode store. *)
 
@@ -37,27 +35,23 @@ val entries : t -> Correlator.entry list
 
 (** {2 Queries} *)
 
-type query = {
-  q_prefix : Prefix.t option;  (** restrict to this prefix… *)
-  q_covered : bool;  (** …or to it plus its more-specifics *)
-  q_origin : Asn.t option;  (** entries whose origin set contains this AS *)
-  q_since : int option;  (** episode interval must overlap [since, until] *)
-  q_until : int option;
-  q_min_visibility : int option;  (** at least k vantages saw it *)
-}
+type query = Query.t
+(** The unified typed query ({!Collect.Query}) — the same value the CLI
+    [--query] flag parses and the [Serve.Proto] wire protocol carries.
+    Build one with the {!Query} combinators. *)
 
 val query_all : query
-(** The match-everything query. *)
+(** {!Query.empty}, kept for callers of the pre-[Query] API. *)
 
 val query : t -> query -> Correlator.entry list
-(** Matching entries, in canonical order.  Prefix restriction is a trie
-    lookup ([q_covered] uses {!Prefix_trie.covered}); the other clauses
-    filter.  Open episodes extend to the end of time for the range test. *)
+(** Matching entries, in canonical order.  The prefix clause is a trie
+    lookup ({!Query.wants_covered} uses {!Prefix_trie.covered}); the
+    other clauses filter via {!Query.matches}.  Open episodes extend to
+    the end of time for the range test. *)
 
 val parse_query : string -> (query, string) result
-(** Parse a comma-separated [key=value] list: [prefix=198.51.100.0/24],
-    [covered=true], [origin=65001], [since=0], [until=90000],
-    [min_visibility=2].  An empty string is {!query_all}. *)
+(** Thin wrapper over {!Query.parse}, kept for callers of the
+    pre-[Query] stringly API. *)
 
 (** {2 Persistence} *)
 

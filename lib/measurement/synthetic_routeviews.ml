@@ -224,7 +224,10 @@ let observed_days p =
   let _, _, missing = setup p in
   Array.map not missing
 
-let fold_dumps p ~init ~f =
+(* Pull-based generator: one day_dump at a time, sharing the mutable
+   per-prefix extras sweep across forcings — single-pass, like reading
+   table files in order. *)
+let dump_seq p =
   let base_origins, episodes, missing = setup p in
   let prefixes = Array.init p.universe_size universe_prefix in
   (* per-day start and stop queues *)
@@ -240,21 +243,28 @@ let fold_dumps p ~init ~f =
     episodes;
   (* current extra origins per prefix index *)
   let extras : Asn.Set.t array = Array.make p.universe_size Asn.Set.empty in
-  let acc = ref init in
-  for off = 0 to window - 1 do
-    List.iter
-      (fun e -> extras.(e.index) <- Asn.Set.union extras.(e.index) e.extra)
-      starts.(off);
-    List.iter
-      (fun e -> extras.(e.index) <- Asn.Set.diff extras.(e.index) e.extra)
-      stops.(off);
-    if not missing.(off) then begin
-      let table = ref [] in
-      for i = p.universe_size - 1 downto 0 do
-        let origins = Asn.Set.add base_origins.(i) extras.(i) in
-        table := (prefixes.(i), origins) :: !table
-      done;
-      acc := f !acc { day = Day.add Day.measurement_start off; table = !table }
+  let rec step off () =
+    if off >= window then Seq.Nil
+    else begin
+      List.iter
+        (fun e -> extras.(e.index) <- Asn.Set.union extras.(e.index) e.extra)
+        starts.(off);
+      List.iter
+        (fun e -> extras.(e.index) <- Asn.Set.diff extras.(e.index) e.extra)
+        stops.(off);
+      if missing.(off) then step (off + 1) ()
+      else begin
+        let table = ref [] in
+        for i = p.universe_size - 1 downto 0 do
+          let origins = Asn.Set.add base_origins.(i) extras.(i) in
+          table := (prefixes.(i), origins) :: !table
+        done;
+        Seq.Cons
+          ( { day = Day.add Day.measurement_start off; table = !table },
+            step (off + 1) )
+      end
     end
-  done;
-  !acc
+  in
+  step 0
+
+let fold_dumps p ~init ~f = Seq.fold_left f init (dump_seq p)

@@ -44,8 +44,15 @@ val observed_days : params -> bool array
 (** Index [d] (offset from {!Mutil.Day.measurement_start}) tells whether
     the collector produced a dump that day. *)
 
+val dump_seq : params -> day_dump Seq.t
+(** The observed daily dumps in chronological order, generated on
+    demand.  The sequence is {e single-pass}: forcings share one mutable
+    origin sweep, so consume it front to back exactly once (re-call
+    [dump_seq] for another pass). *)
+
 val fold_dumps : params -> init:'a -> f:('a -> day_dump -> 'a) -> 'a
-(** Fold over the observed daily dumps in chronological order. *)
+(** Fold over the observed daily dumps in chronological order
+    (one-pass consumption of {!dump_seq}). *)
 
 val fault_as_1998 : Asn.t
 (** AS 8584, the origin of the 1998-04-07 fault. *)

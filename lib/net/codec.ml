@@ -1,0 +1,125 @@
+(* Shared writers/readers for the MOASSTRM/MOASSTOR/MOASSERV family of
+   binary formats.  See codec.mli for the discipline. *)
+
+let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let put_u16 buf v =
+  put_u8 buf (v lsr 8);
+  put_u8 buf v
+
+let put_u32 buf v =
+  put_u16 buf (v lsr 16);
+  put_u16 buf (v land 0xffff)
+
+let put_i63 buf v =
+  if v < 0 then invalid_arg "Net.Codec: negative integer";
+  put_u32 buf (v lsr 32);
+  put_u32 buf (v land 0xffffffff)
+
+let put_bool buf b = put_u8 buf (if b then 1 else 0)
+let put_asn buf a = put_u16 buf (Asn.to_int a)
+
+let put_asn_set buf s =
+  put_u32 buf (Asn.Set.cardinal s);
+  Asn.Set.iter (put_asn buf) s
+
+let put_prefix buf p =
+  put_u32 buf (Ipv4.to_int (Prefix.network p));
+  put_u8 buf (Prefix.length p)
+
+let put_option buf put = function
+  | None -> put_u8 buf 0
+  | Some v ->
+    put_u8 buf 1;
+    put buf v
+
+let put_list buf put l =
+  put_u32 buf (List.length l);
+  List.iter (put buf) l
+
+let put_string buf s =
+  put_u16 buf (String.length s);
+  Buffer.add_string buf s
+
+(* ------------------------------------------------------------------ *)
+
+type cursor = { data : bytes; mutable pos : int; fail : string -> exn }
+
+let cursor ~fail data = { data; pos = 0; fail }
+let pos c = c.pos
+let remaining c = Bytes.length c.data - c.pos
+let corrupt c fmt = Printf.ksprintf (fun s -> raise (c.fail s)) fmt
+
+let take_u8 c =
+  if c.pos >= Bytes.length c.data then corrupt c "truncated at octet %d" c.pos;
+  let v = Char.code (Bytes.get c.data c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let take_u16 c =
+  let hi = take_u8 c in
+  (hi lsl 8) lor take_u8 c
+
+let take_u32 c =
+  let hi = take_u16 c in
+  (hi lsl 16) lor take_u16 c
+
+let take_i63 c =
+  let hi = take_u32 c in
+  (hi lsl 32) lor take_u32 c
+
+let take_bool c =
+  match take_u8 c with
+  | 0 -> false
+  | 1 -> true
+  | t -> corrupt c "boolean tag %d" t
+
+let take_asn c =
+  let v = take_u16 c in
+  try Asn.make v with Invalid_argument _ -> corrupt c "AS number %d" v
+
+let take_asn_set c =
+  let n = take_u32 c in
+  let rec loop acc k =
+    if k = 0 then acc else loop (Asn.Set.add (take_asn c) acc) (k - 1)
+  in
+  loop Asn.Set.empty n
+
+let take_prefix c =
+  let net = take_u32 c in
+  let len = take_u8 c in
+  if len > 32 then corrupt c "prefix length %d" len;
+  Prefix.make (Ipv4.of_int net) len
+
+let take_option c take =
+  match take_u8 c with
+  | 0 -> None
+  | 1 -> Some (take c)
+  | t -> corrupt c "option tag %d" t
+
+let take_list c take =
+  let n = take_u32 c in
+  let rec loop acc k =
+    if k = 0 then List.rev acc else loop (take c :: acc) (k - 1)
+  in
+  loop [] n
+
+let take_string c =
+  let n = take_u16 c in
+  if c.pos + n > Bytes.length c.data then
+    corrupt c "truncated string at %d" c.pos;
+  let s = Bytes.sub_string c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let expect_magic c magic =
+  String.iter
+    (fun ch -> if take_u8 c <> Char.code ch then corrupt c "bad magic")
+    magic
+
+let expect_version c version =
+  let v = take_u8 c in
+  if v <> version then corrupt c "unsupported version %d" v
+
+let expect_end c =
+  if remaining c <> 0 then corrupt c "%d trailing octets" (remaining c)

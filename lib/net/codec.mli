@@ -1,0 +1,72 @@
+(** Defensive binary codec primitives shared by every length-framed,
+    big-endian on-disk and on-wire format in the system
+    ({!Stream.Checkpoint} [MOASSTRM], {!Collect.Store} [MOASSTOR],
+    {!Collect.Query}, [Serve.Proto] [MOASSERV]).
+
+    Writers append to a [Buffer.t]; readers advance a {!cursor} over
+    immutable bytes and report malformed input — truncation, bad tags,
+    out-of-range values, trailing octets — through the cursor's [fail]
+    callback, so each format surfaces its own [Corrupt] exception while
+    sharing one implementation of the framing discipline. *)
+
+(** {2 Writers} *)
+
+val put_u8 : Buffer.t -> int -> unit
+val put_u16 : Buffer.t -> int -> unit
+val put_u32 : Buffer.t -> int -> unit
+
+val put_i63 : Buffer.t -> int -> unit
+(** Eight octets holding a non-negative OCaml [int] (63-bit payload).
+    @raise Invalid_argument on a negative value. *)
+
+val put_bool : Buffer.t -> bool -> unit
+val put_asn : Buffer.t -> Asn.t -> unit
+val put_asn_set : Buffer.t -> Asn.Set.t -> unit
+val put_prefix : Buffer.t -> Prefix.t -> unit
+
+val put_option : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a option -> unit
+(** Tag octet 0 (absent) or 1 (present, followed by the payload). *)
+
+val put_list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
+(** u32 element count, then the elements in order. *)
+
+val put_string : Buffer.t -> string -> unit
+(** u16 length, then the raw octets. *)
+
+(** {2 Readers} *)
+
+type cursor
+(** A read position over a byte string, with a per-format failure
+    exception. *)
+
+val cursor : fail:(string -> exn) -> bytes -> cursor
+(** [cursor ~fail data] starts at offset 0.  Every malformed-input
+    condition raises [fail message]. *)
+
+val pos : cursor -> int
+val remaining : cursor -> int
+
+val corrupt : cursor -> ('a, unit, string, 'b) format4 -> 'a
+(** Raise the cursor's failure exception with a formatted message. *)
+
+val take_u8 : cursor -> int
+val take_u16 : cursor -> int
+val take_u32 : cursor -> int
+val take_i63 : cursor -> int
+val take_bool : cursor -> bool
+val take_asn : cursor -> Asn.t
+val take_asn_set : cursor -> Asn.Set.t
+val take_prefix : cursor -> Prefix.t
+val take_option : cursor -> (cursor -> 'a) -> 'a option
+val take_list : cursor -> (cursor -> 'a) -> 'a list
+val take_string : cursor -> string
+
+val expect_magic : cursor -> string -> unit
+(** Consume and check a magic string; fails octet by octet so truncation
+    and mismatch both report precisely. *)
+
+val expect_version : cursor -> int -> unit
+(** Consume the version octet; fails unless it equals the expected one. *)
+
+val expect_end : cursor -> unit
+(** Fails unless the cursor consumed every octet (trailing-octet check). *)

@@ -1,0 +1,19 @@
+type t = { server : Server.t; session : int; mutable closed : bool }
+
+let connect server = { server; session = Server.open_session server; closed = false }
+let session t = t.session
+
+let call t req =
+  if t.closed then invalid_arg "Serve.Client: closed";
+  Proto.decode_response
+    (Server.handle t.server ~session:t.session (Proto.encode_request req))
+
+let poll t =
+  if t.closed then []
+  else List.map Proto.decode_response (Server.pending t.server ~session:t.session)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Server.close_session t.server t.session
+  end

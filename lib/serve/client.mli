@@ -1,0 +1,25 @@
+(** In-process client for the serving daemon.
+
+    A client owns one server session and speaks full {!Proto} wire frames
+    in both directions — every request is encoded to bytes and every
+    response decoded from bytes, exactly as a socket transport would, so
+    the codec is exercised end-to-end on every call (and so the bench
+    load generator measures real serialisation cost). *)
+
+type t
+
+val connect : Server.t -> t
+(** Open a session on the server. *)
+
+val session : t -> int
+
+val call : t -> Proto.request -> Proto.response
+(** One request/response round-trip through the wire codec.
+    @raise Invalid_argument on a closed client. *)
+
+val poll : t -> Proto.response list
+(** Drain this session's pushed alert frames, oldest first (decoded
+    [Alert] responses).  Empty on a closed client. *)
+
+val close : t -> unit
+(** Close the session (idempotent); queued alerts are dropped. *)

@@ -1,0 +1,262 @@
+open Net
+open Codec
+
+type request =
+  | Ping
+  | Query of Collect.Query.t
+  | Count of Collect.Query.t
+  | Subscribe of Collect.Query.t
+  | Unsubscribe of int
+  | Stats
+
+type alert_kind = Opened | Flagged | Closed
+
+type alert = {
+  al_time : int;
+  al_prefix : Prefix.t;
+  al_origins : Asn.Set.t;
+  al_kind : alert_kind;
+}
+
+type stats = {
+  st_entries : int;
+  st_vantages : int;
+  st_sessions : int;
+  st_subscriptions : int;
+  st_live_batches : int;
+  st_live_updates : int;
+  st_live_open : int;
+  st_live_days : int;
+}
+
+type response =
+  | Pong
+  | Entries of { vantage_count : int; entries : Collect.Correlator.entry list }
+  | Count_is of int
+  | Subscribed of int
+  | Unsubscribed of int
+  | Alert of { sub : int; alert : alert }
+  | Stats_are of stats
+  | Rejected of string
+
+exception Corrupt of string
+
+let version = 1
+let magic = "MOASSERV"
+
+(* {2 Framing}
+
+   Every frame is magic · version · kind octet · u32 payload length ·
+   payload.  The length is redundant with the byte-string extent for the
+   in-process transport, but it is what lets a socket transport delimit
+   frames — and the decoder cross-checks it against the actual payload so
+   a length lie is caught as corruption, not silently tolerated. *)
+
+let frame kind put_payload =
+  let payload = Buffer.create 64 in
+  put_payload payload;
+  let buf = Buffer.create (Buffer.length payload + 16) in
+  Buffer.add_string buf magic;
+  put_u8 buf version;
+  put_u8 buf kind;
+  put_u32 buf (Buffer.length payload);
+  Buffer.add_buffer buf payload;
+  Buffer.to_bytes buf
+
+let open_frame data =
+  let c = cursor ~fail:(fun m -> Corrupt m) data in
+  expect_magic c magic;
+  expect_version c version;
+  let kind = take_u8 c in
+  let len = take_u32 c in
+  if len <> remaining c then
+    corrupt c "payload length %d does not match %d remaining octets" len
+      (remaining c);
+  (c, kind)
+
+(* {2 Requests} *)
+
+let tag_ping = 1
+let tag_query = 2
+let tag_count = 3
+let tag_subscribe = 4
+let tag_unsubscribe = 5
+let tag_stats = 6
+
+let encode_request = function
+  | Ping -> frame tag_ping (fun _ -> ())
+  | Query q -> frame tag_query (fun b -> Collect.Query.write b q)
+  | Count q -> frame tag_count (fun b -> Collect.Query.write b q)
+  | Subscribe q -> frame tag_subscribe (fun b -> Collect.Query.write b q)
+  | Unsubscribe id -> frame tag_unsubscribe (fun b -> put_u32 b id)
+  | Stats -> frame tag_stats (fun _ -> ())
+
+let decode_request data =
+  let c, kind = open_frame data in
+  let req =
+    if kind = tag_ping then Ping
+    else if kind = tag_query then Query (Collect.Query.read c)
+    else if kind = tag_count then Count (Collect.Query.read c)
+    else if kind = tag_subscribe then Subscribe (Collect.Query.read c)
+    else if kind = tag_unsubscribe then Unsubscribe (take_u32 c)
+    else if kind = tag_stats then Stats
+    else corrupt c "unknown request kind %d" kind
+  in
+  expect_end c;
+  req
+
+let request_kind = function
+  | Ping -> "ping"
+  | Query _ -> "query"
+  | Count _ -> "count"
+  | Subscribe _ -> "subscribe"
+  | Unsubscribe _ -> "unsubscribe"
+  | Stats -> "stats"
+
+(* {2 Responses} *)
+
+let tag_pong = 1
+let tag_entries = 2
+let tag_count_is = 3
+let tag_subscribed = 4
+let tag_unsubscribed = 5
+let tag_alert = 6
+let tag_stats_are = 7
+let tag_rejected = 8
+
+let kind_rank = function Opened -> 0 | Flagged -> 1 | Closed -> 2
+
+let put_alert b a =
+  put_i63 b a.al_time;
+  put_prefix b a.al_prefix;
+  put_asn_set b a.al_origins;
+  put_u8 b (kind_rank a.al_kind)
+
+let take_alert c =
+  let al_time = take_i63 c in
+  let al_prefix = take_prefix c in
+  let al_origins = take_asn_set c in
+  let al_kind =
+    match take_u8 c with
+    | 0 -> Opened
+    | 1 -> Flagged
+    | 2 -> Closed
+    | k -> corrupt c "unknown alert kind %d" k
+  in
+  { al_time; al_prefix; al_origins; al_kind }
+
+let put_stats b s =
+  put_i63 b s.st_entries;
+  put_u32 b s.st_vantages;
+  put_u32 b s.st_sessions;
+  put_u32 b s.st_subscriptions;
+  put_i63 b s.st_live_batches;
+  put_i63 b s.st_live_updates;
+  put_i63 b s.st_live_open;
+  put_i63 b s.st_live_days
+
+let take_stats c =
+  let st_entries = take_i63 c in
+  let st_vantages = take_u32 c in
+  let st_sessions = take_u32 c in
+  let st_subscriptions = take_u32 c in
+  let st_live_batches = take_i63 c in
+  let st_live_updates = take_i63 c in
+  let st_live_open = take_i63 c in
+  let st_live_days = take_i63 c in
+  {
+    st_entries;
+    st_vantages;
+    st_sessions;
+    st_subscriptions;
+    st_live_batches;
+    st_live_updates;
+    st_live_open;
+    st_live_days;
+  }
+
+let encode_response = function
+  | Pong -> frame tag_pong (fun _ -> ())
+  | Entries { vantage_count; entries } ->
+    frame tag_entries (fun b ->
+        put_u32 b vantage_count;
+        put_list b Collect.Correlator.write_entry entries)
+  | Count_is n -> frame tag_count_is (fun b -> put_i63 b n)
+  | Subscribed id -> frame tag_subscribed (fun b -> put_u32 b id)
+  | Unsubscribed id -> frame tag_unsubscribed (fun b -> put_u32 b id)
+  | Alert { sub; alert } ->
+    frame tag_alert (fun b ->
+        put_u32 b sub;
+        put_alert b alert)
+  | Stats_are s -> frame tag_stats_are (fun b -> put_stats b s)
+  | Rejected reason -> frame tag_rejected (fun b -> put_string b reason)
+
+let decode_response data =
+  let c, kind = open_frame data in
+  let resp =
+    if kind = tag_pong then Pong
+    else if kind = tag_entries then begin
+      let vantage_count = take_u32 c in
+      let entries = take_list c Collect.Correlator.read_entry in
+      Entries { vantage_count; entries }
+    end
+    else if kind = tag_count_is then Count_is (take_i63 c)
+    else if kind = tag_subscribed then Subscribed (take_u32 c)
+    else if kind = tag_unsubscribed then Unsubscribed (take_u32 c)
+    else if kind = tag_alert then begin
+      let sub = take_u32 c in
+      let alert = take_alert c in
+      Alert { sub; alert }
+    end
+    else if kind = tag_stats_are then Stats_are (take_stats c)
+    else if kind = tag_rejected then Rejected (take_string c)
+    else corrupt c "unknown response kind %d" kind
+  in
+  expect_end c;
+  resp
+
+(* {2 Ordering and rendering} *)
+
+let compare_alert a b =
+  let c = compare a.al_time b.al_time in
+  if c <> 0 then c
+  else
+    let c = Prefix.compare a.al_prefix b.al_prefix in
+    if c <> 0 then c
+    else
+      let c = compare (kind_rank a.al_kind) (kind_rank b.al_kind) in
+      if c <> 0 then c else Asn.Set.compare a.al_origins b.al_origins
+
+let kind_label = function
+  | Opened -> "opened"
+  | Flagged -> "flagged"
+  | Closed -> "closed"
+
+let render_alert a =
+  Printf.sprintf "%s %s origins={%s} at %d" (kind_label a.al_kind)
+    (Prefix.to_string a.al_prefix)
+    (Asn.Set.elements a.al_origins
+    |> List.map Asn.to_string
+    |> String.concat ",")
+    a.al_time
+
+let render_response = function
+  | Pong -> "pong"
+  | Entries { vantage_count; entries } ->
+    let header = Printf.sprintf "entries: %d" (List.length entries) in
+    String.concat "\n"
+      (header
+      :: List.map
+           (fun e -> "  " ^ Collect.Correlator.render_entry ~vantage_count e)
+           entries)
+  | Count_is n -> Printf.sprintf "count: %d" n
+  | Subscribed id -> Printf.sprintf "subscribed #%d" id
+  | Unsubscribed id -> Printf.sprintf "unsubscribed #%d" id
+  | Alert { sub; alert } -> Printf.sprintf "alert #%d %s" sub (render_alert alert)
+  | Stats_are s ->
+    Printf.sprintf
+      "stats: entries=%d vantages=%d sessions=%d subscriptions=%d\n\
+       live: batches=%d updates=%d open=%d days=%d"
+      s.st_entries s.st_vantages s.st_sessions s.st_subscriptions
+      s.st_live_batches s.st_live_updates s.st_live_open s.st_live_days
+  | Rejected reason -> Printf.sprintf "rejected: %s" reason

@@ -1,0 +1,82 @@
+(** The MOASSERV wire protocol: versioned, length-framed request and
+    response messages for the MOAS query/alert serving daemon.
+
+    Every frame is [magic "MOASSERV"] · [version octet] · [kind octet] ·
+    [u32 payload length] · [payload], all fields big-endian in the
+    {!Net.Codec} discipline.  The decoder rejects bad magic, version
+    mismatches, unknown kinds, truncation, payload-length lies and
+    trailing octets with {!Corrupt} — same defensive posture as the
+    [MOASSTOR] store and [MOASSTRM] checkpoint formats.
+
+    The query message carries {!Collect.Query.t} {e unchanged}: the wire
+    protocol, the CLI [--query] flag and {!Collect.Store.query} all
+    consume the one typed query — no third ad-hoc query format. *)
+
+open Net
+
+(** {2 Requests} *)
+
+type request =
+  | Ping
+  | Query of Collect.Query.t  (** matching store entries *)
+  | Count of Collect.Query.t  (** just how many match *)
+  | Subscribe of Collect.Query.t
+      (** push live alerts matching the query filter to this session *)
+  | Unsubscribe of int  (** cancel a subscription by id *)
+  | Stats  (** server-side totals *)
+
+(** {2 Responses} *)
+
+type alert_kind = Opened | Flagged | Closed
+
+type alert = {
+  al_time : int;  (** episode start / settle / end time *)
+  al_prefix : Prefix.t;
+  al_origins : Asn.Set.t;
+  al_kind : alert_kind;
+}
+
+type stats = {
+  st_entries : int;  (** episodes in the served store *)
+  st_vantages : int;  (** store roster size *)
+  st_sessions : int;
+  st_subscriptions : int;
+  st_live_batches : int;  (** batches ingested by the live tail *)
+  st_live_updates : int;  (** events ingested by the live tail *)
+  st_live_open : int;  (** episodes currently open in the live tail *)
+  st_live_days : int;
+}
+
+type response =
+  | Pong
+  | Entries of { vantage_count : int; entries : Collect.Correlator.entry list }
+  | Count_is of int
+  | Subscribed of int  (** the new subscription's id *)
+  | Unsubscribed of int
+  | Alert of { sub : int; alert : alert }  (** pushed, never a reply *)
+  | Stats_are of stats
+  | Rejected of string  (** the server refused the request *)
+
+exception Corrupt of string
+
+val version : int
+val magic : string
+
+val encode_request : request -> bytes
+val decode_request : bytes -> request
+(** @raise Corrupt on malformed input. *)
+
+val encode_response : response -> bytes
+val decode_response : bytes -> response
+(** @raise Corrupt on malformed input. *)
+
+val request_kind : request -> string
+(** Stable lowercase label ([ping], [query], …) — the [kind] label of
+    the [serve_requests_total] metric. *)
+
+val render_response : response -> string
+(** Deterministic multi-line text rendering (the unit of the serve
+    transcript determinism contract).  No trailing newline. *)
+
+val compare_alert : alert -> alert -> int
+(** Delivery order: (time, prefix, kind, origins). *)

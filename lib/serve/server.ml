@@ -1,0 +1,297 @@
+open Net
+module Registry = Obs.Registry
+module Query = Collect.Query
+module Store = Collect.Store
+
+type subscription = { sub_id : int; sub_query : Query.t }
+
+type session = {
+  sid : int;
+  mutable subs : subscription list;  (* ascending sub_id *)
+  mutable outbox : bytes list;  (* encoded Alert frames, newest first *)
+  mutable next_sub : int;
+}
+
+type t = {
+  store : Store.t;
+  lock : Mutex.t;
+  sessions : (int, session) Hashtbl.t;
+  mutable next_sid : int;
+  live : Stream.Sharded.t;
+  mutable live_prev : Stream.Monitor.snapshot;
+  mutable live_batches : int;
+  metrics : Registry.t;
+  m_requests : (string * Registry.Counter.t) list;
+  m_malformed : Registry.Counter.t;
+  m_alerts : Registry.Counter.t;
+  g_inflight : Registry.Gauge.t;
+  g_sessions : Registry.Gauge.t;
+  h_request : Registry.Histogram.t;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let request_kinds = [ "ping"; "query"; "count"; "subscribe"; "unsubscribe"; "stats" ]
+
+let create ?(metrics = Registry.noop) ?live_config ?(live_jobs = 1) ~store () =
+  let live_config =
+    match live_config with
+    | Some c -> c
+    | None -> Stream.Monitor.default_config
+  in
+  let live = Stream.Sharded.create ~jobs:live_jobs live_config in
+  {
+    store;
+    lock = Mutex.create ();
+    sessions = Hashtbl.create 16;
+    next_sid = 1;
+    live;
+    live_prev = Stream.Monitor.empty_snapshot live_config;
+    live_batches = 0;
+    metrics;
+    (* instruments are pre-registered so the request path never mutates
+       the registry's tables (handle runs on several domains at once) *)
+    m_requests =
+      List.map
+        (fun kind ->
+          (kind, Registry.counter metrics ~labels:[ ("kind", kind) ]
+                   "serve_requests_total"))
+        request_kinds;
+    m_malformed =
+      Registry.counter metrics ~labels:[ ("kind", "malformed") ]
+        "serve_requests_total";
+    m_alerts = Registry.counter metrics "serve_alerts_total";
+    g_inflight = Registry.gauge metrics "serve_inflight";
+    g_sessions = Registry.gauge metrics "serve_sessions";
+    h_request = Registry.histogram metrics "serve_request_seconds";
+  }
+
+let store t = t.store
+
+(* {2 Sessions} *)
+
+let open_session t =
+  locked t (fun () ->
+      let sid = t.next_sid in
+      t.next_sid <- sid + 1;
+      Hashtbl.replace t.sessions sid
+        { sid; subs = []; outbox = []; next_sub = 1 };
+      Registry.Gauge.set t.g_sessions
+        (float_of_int (Hashtbl.length t.sessions));
+      sid)
+
+let close_session t sid =
+  locked t (fun () ->
+      Hashtbl.remove t.sessions sid;
+      Registry.Gauge.set t.g_sessions
+        (float_of_int (Hashtbl.length t.sessions)))
+
+let session_count t = locked t (fun () -> Hashtbl.length t.sessions)
+
+let subscription_count t =
+  locked t (fun () ->
+      Hashtbl.fold (fun _ s acc -> acc + List.length s.subs) t.sessions 0)
+
+let pending t ~session =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.sessions session with
+      | None -> []
+      | Some s ->
+        let frames = List.rev s.outbox in
+        s.outbox <- [];
+        frames)
+
+(* {2 Stats} *)
+
+let live_batches t = locked t (fun () -> t.live_batches)
+
+let live_stats t =
+  locked t (fun () ->
+      {
+        Proto.st_entries = Store.count t.store;
+        st_vantages = List.length (Store.vantages t.store);
+        st_sessions = Hashtbl.length t.sessions;
+        st_subscriptions =
+          Hashtbl.fold (fun _ s acc -> acc + List.length s.subs) t.sessions 0;
+        st_live_batches = t.live_batches;
+        st_live_updates = Stream.Sharded.update_count t.live;
+        st_live_open = Stream.Sharded.open_count t.live;
+        st_live_days = Stream.Sharded.day_count t.live;
+      })
+
+(* {2 The request path} *)
+
+let vantage_count t = List.length (Store.vantages t.store)
+
+let execute t session req =
+  match (req : Proto.request) with
+  | Ping -> Proto.Pong
+  | Query q ->
+    Proto.Entries
+      { vantage_count = vantage_count t; entries = Store.query t.store q }
+  | Count q -> Proto.Count_is (List.length (Store.query t.store q))
+  | Subscribe q ->
+    locked t (fun () ->
+        match Hashtbl.find_opt t.sessions session with
+        | None -> Proto.Rejected (Printf.sprintf "unknown session %d" session)
+        | Some s ->
+          let sub_id = s.next_sub in
+          s.next_sub <- sub_id + 1;
+          s.subs <- s.subs @ [ { sub_id; sub_query = q } ];
+          Proto.Subscribed sub_id)
+  | Unsubscribe id ->
+    locked t (fun () ->
+        match Hashtbl.find_opt t.sessions session with
+        | None -> Proto.Rejected (Printf.sprintf "unknown session %d" session)
+        | Some s ->
+          if List.exists (fun sub -> sub.sub_id = id) s.subs then begin
+            s.subs <- List.filter (fun sub -> sub.sub_id <> id) s.subs;
+            Proto.Unsubscribed id
+          end
+          else Proto.Rejected (Printf.sprintf "unknown subscription %d" id))
+  | Stats -> Proto.Stats_are (live_stats t)
+
+let handle t ~session data =
+  let t0 = Unix.gettimeofday () in
+  locked t (fun () -> Registry.Gauge.add t.g_inflight 1.);
+  let resp =
+    match Proto.decode_request data with
+    | exception Proto.Corrupt msg ->
+      locked t (fun () -> Registry.Counter.incr t.m_malformed);
+      Proto.Rejected ("malformed request: " ^ msg)
+    | req ->
+      let kind = Proto.request_kind req in
+      locked t (fun () ->
+          match List.assoc_opt kind t.m_requests with
+          | Some c -> Registry.Counter.incr c
+          | None -> ());
+      execute t session req
+  in
+  let reply = Proto.encode_response resp in
+  locked t (fun () ->
+      Registry.Gauge.add t.g_inflight (-1.);
+      Registry.Histogram.observe t.h_request (Unix.gettimeofday () -. t0));
+  reply
+
+(* {2 The live tail} *)
+
+(* Whether a live alert passes a subscription's query filter.  The tail
+   is one merged feed, so an alert's visibility is 1: a floor above that
+   can never match (cross-vantage visibility exists only in the store). *)
+let alert_matches q (a : Proto.alert) =
+  (match Query.target q with
+  | None -> true
+  | Some p ->
+    if Query.wants_covered q then Prefix.subsumes p a.al_prefix
+    else Prefix.compare p a.al_prefix = 0)
+  && (match Query.origin_filter q with
+     | None -> true
+     | Some asn -> Asn.Set.mem asn a.al_origins)
+  && (match Query.since_bound q with None -> true | Some s -> a.al_time >= s)
+  && (match Query.until_bound q with None -> true | Some u -> a.al_time <= u)
+  && match Query.visibility_floor q with None -> true | Some k -> k <= 1
+
+module Ep_key = struct
+  type t = Prefix.t * int  (* (prefix, recurrence seq) names an episode *)
+
+  let compare (p1, s1) (p2, s2) =
+    let c = Prefix.compare p1 p2 in
+    if c <> 0 then c else Int.compare s1 s2
+end
+
+module Ep_map = Map.Make (Ep_key)
+
+(* Diff consecutive monitor snapshots into alerts.  An episode key
+   (prefix, seq) is stable for the episode's whole life, so:
+
+   - open in [next], absent from [prev]'s opens  -> Opened (at start)
+   - clean in [prev] (or new), flagged in [next] -> Flagged (at settle)
+   - closed in [next], not closed in [prev]      -> Closed (at end),
+     plus the Opened/Flagged alerts it never got to raise when the whole
+     episode fell inside one batch. *)
+let diff_alerts ~(prev : Stream.Monitor.snapshot)
+    ~(next : Stream.Monitor.snapshot) =
+  let open Stream.Monitor in
+  let settle_time = next.s_last_time in
+  let prev_open =
+    List.fold_left
+      (fun acc p ->
+        match p.p_open with
+        | Some o -> Ep_map.add (p.p_prefix, o.o_seq) o acc
+        | None -> acc)
+      Ep_map.empty prev.s_prefixes
+  in
+  let prev_closed =
+    List.fold_left
+      (fun acc e -> Ep_map.add (e.e_prefix, e.e_seq) () acc)
+      Ep_map.empty prev.s_closed
+  in
+  let alerts = ref [] in
+  let emit al_time al_prefix al_origins al_kind =
+    alerts := { Proto.al_time; al_prefix; al_origins; al_kind } :: !alerts
+  in
+  List.iter
+    (fun p ->
+      match p.p_open with
+      | None -> ()
+      | Some o -> (
+        match Ep_map.find_opt (p.p_prefix, o.o_seq) prev_open with
+        | None ->
+          emit o.o_started p.p_prefix o.o_origins_ever Proto.Opened;
+          if not o.o_clean then
+            emit settle_time p.p_prefix o.o_origins_ever Proto.Flagged
+        | Some po ->
+          if po.o_clean && not o.o_clean then
+            emit settle_time p.p_prefix o.o_origins_ever Proto.Flagged))
+    next.s_prefixes;
+  List.iter
+    (fun e ->
+      if not (Ep_map.mem (e.e_prefix, e.e_seq) prev_closed) then begin
+        let was_open = Ep_map.find_opt (e.e_prefix, e.e_seq) prev_open in
+        (match was_open with
+        | None -> emit e.e_started e.e_prefix e.e_origins_ever Proto.Opened
+        | Some _ -> ());
+        (if not e.e_clean then
+           match was_open with
+           | Some po when not po.o_clean -> ()  (* flagged in an earlier batch *)
+           | _ -> emit settle_time e.e_prefix e.e_origins_ever Proto.Flagged);
+        emit e.e_ended e.e_prefix e.e_origins_ever Proto.Closed
+      end)
+    next.s_closed;
+  List.sort Proto.compare_alert !alerts
+
+let deliver t alerts =
+  locked t (fun () ->
+      let sids =
+        List.sort Int.compare
+          (Hashtbl.fold (fun sid _ acc -> sid :: acc) t.sessions [])
+      in
+      List.iter
+        (fun alert ->
+          List.iter
+            (fun sid ->
+              let s = Hashtbl.find t.sessions sid in
+              List.iter
+                (fun sub ->
+                  if alert_matches sub.sub_query alert then begin
+                    let frame =
+                      Proto.encode_response
+                        (Proto.Alert { sub = sub.sub_id; alert })
+                    in
+                    s.outbox <- frame :: s.outbox;
+                    Registry.Counter.incr t.m_alerts
+                  end)
+                s.subs)
+            sids)
+        alerts)
+
+let tail ?max_batches t source =
+  Stream.Sharded.ingest_source ?max_batches t.live source
+    ~on_batch:(fun live _batch ->
+      let next = Stream.Sharded.snapshot live in
+      let alerts = diff_alerts ~prev:t.live_prev ~next in
+      t.live_prev <- next;
+      locked t (fun () -> t.live_batches <- t.live_batches + 1);
+      if alerts <> [] then deliver t alerts)

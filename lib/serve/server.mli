@@ -1,0 +1,88 @@
+(** The MOAS serving daemon: an episode store behind the {!Proto} wire
+    protocol, with per-session alert subscriptions fed by a live update
+    tail.
+
+    The server is transport-agnostic: {!handle} maps one encoded request
+    frame to one encoded response frame, and {!pending} drains the
+    session's queued alert frames — an in-process {!Client}, a socket
+    loop or a test harness all drive the same entry points, and every
+    byte crosses the {!Proto} codec in both directions.
+
+    Queries are answered from the immutable store loaded at start-up.
+    Alerts come from the live tail: {!tail} drains a {!Stream.Source.t}
+    through {!Stream.Sharded.ingest_source} (the same ingestion entry
+    point as the batch [monitor] subcommand) and diffs consecutive
+    monitor snapshots into [Opened]/[Flagged]/[Closed] alerts, delivered
+    to every matching subscription in a deterministic order: alerts
+    sorted by (time, prefix, kind), and within one alert, subscriptions
+    in ascending id.
+
+    {!handle}, {!pending} and session management are safe to call from
+    several domains concurrently (the bench load generator does);
+    {!tail} must not run concurrently with itself. *)
+
+type t
+
+val create :
+  ?metrics:Obs.Registry.t ->
+  ?live_config:Stream.Monitor.config ->
+  ?live_jobs:int ->
+  store:Collect.Store.t ->
+  unit ->
+  t
+(** A server over [store].  [live_config] (default
+    {!Stream.Monitor.default_config}) and [live_jobs] (default 1)
+    configure the live-tail monitor behind {!tail}.  [metrics] (default
+    {!Obs.Registry.noop}) receives [serve_requests_total{kind}], the
+    [serve_inflight] gauge, the [serve_request_seconds] latency
+    histogram, [serve_alerts_total] and the [serve_sessions] gauge. *)
+
+val store : t -> Collect.Store.t
+
+(** {2 Sessions} *)
+
+val open_session : t -> int
+(** Register a session and return its id (ids count up from 1). *)
+
+val close_session : t -> int -> unit
+(** Drop a session, its subscriptions and any undelivered alerts.
+    Unknown ids are ignored (closing twice is fine). *)
+
+val session_count : t -> int
+val subscription_count : t -> int
+
+(** {2 The request path} *)
+
+val handle : t -> session:int -> bytes -> bytes
+(** Decode one request frame, execute it, encode the response frame.
+    Malformed frames and unknown session ids produce a [Rejected]
+    response (never an exception): the server stays up whatever the
+    client sends. *)
+
+val pending : t -> session:int -> bytes list
+(** Drain the session's queued alert frames, oldest first.  Empty for an
+    unknown session. *)
+
+(** {2 The live tail} *)
+
+val tail : ?max_batches:int -> t -> Stream.Source.t -> int
+(** Ingest batches from the source into the live monitor (at most
+    [max_batches]; all by default), diffing the monitor snapshot after
+    each batch into alerts and queueing them on matching subscriptions.
+    Returns the number of batches ingested.  Episode [Opened] alerts
+    carry the episode start time, [Closed] its end time, and [Flagged]
+    the monitor's stream clock at the settle point where the MOAS-list
+    check failed (the latest event time ingested).
+
+    A subscription's query filters alerts by prefix (exact or covered),
+    origin membership and time; a [min_visibility] floor above 1 matches
+    no live alerts, because the tail is a single merged feed (visibility
+    comes from cross-vantage correlation, which happens upstream of the
+    store, not in the tail). *)
+
+val live_batches : t -> int
+(** Batches ingested by {!tail} so far. *)
+
+val live_stats : t -> Proto.stats
+(** The totals behind the [Stats] request (store size, roster size,
+    sessions, subscriptions, live-tail counters). *)

@@ -3,49 +3,13 @@ open Monitor
 
 exception Corrupt of string
 
-let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
-
 let magic = "MOASSTRM"
 let version = 1
 
 (* ------------------------------------------------------------------ *)
-(* Writers *)
+(* Writers — Net.Codec primitives, MOASSTRM layout *)
 
-let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
-
-let put_u16 buf v =
-  put_u8 buf (v lsr 8);
-  put_u8 buf v
-
-let put_u32 buf v =
-  put_u16 buf (v lsr 16);
-  put_u16 buf (v land 0xffff)
-
-(* counters and timestamps are unbounded on a live feed: 63-bit *)
-let put_i63 buf v =
-  if v < 0 then invalid_arg "Stream.Checkpoint: negative integer";
-  put_u32 buf (v lsr 32);
-  put_u32 buf (v land 0xffffffff)
-
-let put_asn buf a = put_u16 buf (Asn.to_int a)
-
-let put_asn_set buf s =
-  put_u32 buf (Asn.Set.cardinal s);
-  Asn.Set.iter (put_asn buf) s
-
-let put_prefix buf p =
-  put_u32 buf (Ipv4.to_int (Prefix.network p));
-  put_u8 buf (Prefix.length p)
-
-let put_option buf put = function
-  | None -> put_u8 buf 0
-  | Some v ->
-    put_u8 buf 1;
-    put buf v
-
-let put_list buf put l =
-  put_u32 buf (List.length l);
-  List.iter (put buf) l
+open Codec
 
 let put_config buf c =
   put_i63 buf c.window;
@@ -68,7 +32,7 @@ let put_open_episode buf o =
   put_i63 buf o.o_days;
   put_u32 buf o.o_max_origins;
   put_asn_set buf o.o_origins_ever;
-  put_u8 buf (if o.o_clean then 1 else 0)
+  put_bool buf o.o_clean
 
 let put_episode buf e =
   put_prefix buf e.e_prefix;
@@ -78,7 +42,7 @@ let put_episode buf e =
   put_i63 buf e.e_days;
   put_u32 buf e.e_max_origins;
   put_asn_set buf e.e_origins_ever;
-  put_u8 buf (if e.e_clean then 1 else 0)
+  put_bool buf e.e_clean
 
 let put_prefix_state buf p =
   put_prefix buf p.p_prefix;
@@ -112,52 +76,6 @@ let encode snap =
 (* ------------------------------------------------------------------ *)
 (* Readers *)
 
-type cursor = { data : bytes; mutable pos : int }
-
-let take_u8 c =
-  if c.pos >= Bytes.length c.data then corrupt "truncated at octet %d" c.pos;
-  let v = Char.code (Bytes.get c.data c.pos) in
-  c.pos <- c.pos + 1;
-  v
-
-let take_u16 c =
-  let hi = take_u8 c in
-  (hi lsl 8) lor take_u8 c
-
-let take_u32 c =
-  let hi = take_u16 c in
-  (hi lsl 16) lor take_u16 c
-
-let take_i63 c =
-  let hi = take_u32 c in
-  (hi lsl 32) lor take_u32 c
-
-let take_asn c =
-  let v = take_u16 c in
-  try Asn.make v with Invalid_argument _ -> corrupt "AS number %d" v
-
-let take_asn_set c =
-  let n = take_u32 c in
-  let rec loop acc k = if k = 0 then acc else loop (Asn.Set.add (take_asn c) acc) (k - 1) in
-  loop Asn.Set.empty n
-
-let take_prefix c =
-  let net = take_u32 c in
-  let len = take_u8 c in
-  if len > 32 then corrupt "prefix length %d" len;
-  Prefix.make (Ipv4.of_int net) len
-
-let take_option c take =
-  match take_u8 c with
-  | 0 -> None
-  | 1 -> Some (take c)
-  | t -> corrupt "option tag %d" t
-
-let take_list c take =
-  let n = take_u32 c in
-  let rec loop acc k = if k = 0 then List.rev acc else loop (take c :: acc) (k - 1) in
-  loop [] n
-
 let take_config c =
   let window = take_i63 c in
   let short_max_days = take_u16 c in
@@ -181,7 +99,7 @@ let take_open_episode c =
   let o_days = take_i63 c in
   let o_max_origins = take_u32 c in
   let o_origins_ever = take_asn_set c in
-  let o_clean = take_u8 c = 1 in
+  let o_clean = take_bool c in
   { o_seq; o_started; o_days; o_max_origins; o_origins_ever; o_clean }
 
 let take_episode c =
@@ -192,7 +110,7 @@ let take_episode c =
   let e_days = take_i63 c in
   let e_max_origins = take_u32 c in
   let e_origins_ever = take_asn_set c in
-  let e_clean = take_u8 c = 1 in
+  let e_clean = take_bool c in
   { e_prefix; e_seq; e_started; e_ended; e_days; e_max_origins; e_origins_ever; e_clean }
 
 let take_prefix_state c =
@@ -216,22 +134,21 @@ let take_window c =
   (idx, { w_updates; w_opened; w_closed; w_alerts })
 
 let decode data =
-  let c = { data; pos = 0 } in
-  if Bytes.length data < String.length magic then corrupt "not a checkpoint";
-  String.iter
-    (fun ch -> if take_u8 c <> Char.code ch then corrupt "bad magic")
-    magic;
-  let v = take_u8 c in
-  if v <> version then corrupt "unsupported checkpoint version %d" v;
+  let c = Codec.cursor ~fail:(fun m -> Corrupt m) data in
+  if Bytes.length data < String.length magic then raise (Corrupt "not a checkpoint");
+  expect_magic c magic;
+  (match Codec.take_u8 c with
+  | v when v = version -> ()
+  | v -> raise (Corrupt (Printf.sprintf "unsupported checkpoint version %d" v)));
   let s_config = take_config c in
   (try ignore (Monitor.create s_config)
-   with Invalid_argument m -> corrupt "config: %s" m);
+   with Invalid_argument m -> raise (Corrupt ("config: " ^ m)));
   let s_counters = take_counters c in
   let s_last_time = take_i63 c in
   let s_prefixes = take_list c take_prefix_state in
   let s_closed = take_list c take_episode in
   let s_windows = take_list c take_window in
-  if c.pos <> Bytes.length data then corrupt "%d trailing octets" (Bytes.length data - c.pos);
+  expect_end c;
   { s_config; s_counters; s_last_time; s_prefixes; s_closed; s_windows }
 
 (* ------------------------------------------------------------------ *)

@@ -83,6 +83,31 @@ let ingest_batch ?(day_end = false) t ~time events =
     Registry.Gauge.set t.g_open (float_of_int (open_count t))
   end
 
+(* The single ingestion entry point over the uniform Source.t pull
+   interface: archive replay, MRT blobs, wire feeds and the serving
+   daemon's live tail all drain through here. *)
+let ingest_source ?(since = min_int) ?max_batches ?on_batch t source =
+  let ingested = ref 0 in
+  let budget_left () =
+    match max_batches with Some n -> !ingested < n | None -> true
+  in
+  let rec loop () =
+    if budget_left () then
+      match Source.next source with
+      | None -> ()
+      | Some b ->
+        if b.Source.time > since then begin
+          ingest_batch
+            ~day_end:(b.Source.day <> None)
+            t ~time:b.Source.time b.Source.events;
+          incr ingested;
+          (match on_batch with Some f -> f t b | None -> ())
+        end;
+        loop ()
+  in
+  loop ();
+  !ingested
+
 let snapshot t =
   Monitor.merge_snapshots
     (Array.to_list (Array.map Monitor.snapshot t.shards))

@@ -34,6 +34,22 @@ val parallel_threshold : int
 (** Minimum batch size (in events) at which ingest is dispatched on the
     {!Exec.Pool} rather than inline. *)
 
+val ingest_source :
+  ?since:int ->
+  ?max_batches:int ->
+  ?on_batch:(t -> Source.batch -> unit) ->
+  t ->
+  Source.t ->
+  int
+(** Drain a {!Source.t} into the monitor — the {e single} ingestion
+    entry point shared by the batch [monitor] subcommand and the serving
+    daemon's live tail.  Batches at or before [since] are skipped
+    (checkpoint resume); a batch carrying a [day] is ingested with
+    [~day_end:true]; [on_batch] runs after each ingested batch (its
+    exceptions propagate, which is how callers stop early); at most
+    [max_batches] batches are ingested, the rest stay in the source for
+    a later call.  Returns the number of batches ingested. *)
+
 val open_count : t -> int
 (** Currently open episodes, summed over shards. *)
 

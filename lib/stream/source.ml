@@ -75,18 +75,61 @@ let day_events ~annotate ~prev dump =
     prev;
   (Array.of_list (List.rev !events), today)
 
-let fold_archive ?(annotate = no_annotation) params ~init ~f =
-  let acc, _ =
-    Srv.fold_dumps params
-      ~init:(init, Prefix.Map.empty)
-      ~f:(fun (acc, prev) dump ->
-        let events, today = day_events ~annotate ~prev dump in
-        let batch =
-          { time = dump.Srv.day * day_seconds; day = Some dump.Srv.day; events }
-        in
-        (f acc batch, today))
-  in
-  acc
+(* ------------------------------------------------------------------ *)
+(* The uniform pull interface: every source — synthetic archive, MRT
+   blobs, decoded wire messages, pre-materialised batches — is opened as
+   a [t] and drained with [next]/[close], so the serving daemon's live
+   tail and the batch monitor share one ingestion entry point
+   ({!Sharded.ingest_source}) instead of per-source plumbing. *)
+
+type t = {
+  mutable pull : unit -> batch option;
+  mutable closed : bool;
+}
+
+let make pull = { pull; closed = false }
+
+let next s = if s.closed then None else s.pull ()
+
+let close s =
+  s.closed <- true;
+  s.pull <- (fun () -> None)
+
+let fold s ~init ~f =
+  Fun.protect
+    ~finally:(fun () -> close s)
+    (fun () ->
+      let rec loop acc =
+        match next s with None -> acc | Some b -> loop (f acc b)
+      in
+      loop init)
+
+let of_seq seq =
+  let state = ref seq in
+  make (fun () ->
+      match !state () with
+      | Seq.Nil -> None
+      | Seq.Cons (b, rest) ->
+        state := rest;
+        Some b)
+
+let of_batches batches = of_seq (Array.to_seq batches)
+
+let of_archive ?(annotate = no_annotation) params =
+  let prev = ref Prefix.Map.empty in
+  let dumps = ref (Srv.dump_seq params) in
+  make (fun () ->
+      match !dumps () with
+      | Seq.Nil -> None
+      | Seq.Cons (dump, rest) ->
+        dumps := rest;
+        let events, today = day_events ~annotate ~prev:!prev dump in
+        prev := today;
+        Some
+          { time = dump.Srv.day * day_seconds; day = Some dump.Srv.day; events })
+
+let fold_archive ?annotate params ~init ~f =
+  fold (of_archive ?annotate params) ~init ~f
 
 let archive_batches ?annotate params =
   Array.of_list
@@ -124,6 +167,13 @@ let of_wire ~time ~peer (message : Bgp.Wire.message) =
   in
   Array.of_list (withdraws @ announces)
 
+let of_wire_feed feed =
+  of_seq
+    (Seq.map
+       (fun (time, peer, message) ->
+         { time; day = None; events = of_wire ~time ~peer message })
+       (List.to_seq feed))
+
 let of_mrt data =
   let events, last =
     Measurement.Mrt.fold_records data ~init:([], 0) ~f:(fun (acc, last) r ->
@@ -142,3 +192,5 @@ let of_mrt data =
         (ev :: acc, max last r.Measurement.Mrt.timestamp))
   in
   { time = last; day = None; events = Array.of_list (List.rev events) }
+
+let of_mrt_blobs blobs = of_seq (Seq.map of_mrt (List.to_seq blobs))

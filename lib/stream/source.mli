@@ -31,6 +31,46 @@ type annotator = Prefix.t -> Asn.Set.t -> Asn.t -> Asn.Set.t option
 val no_annotation : annotator
 (** No announcement carries a list: every conflict raises an alert. *)
 
+(** {2 The uniform pull interface}
+
+    Every source — the synthetic archive, MRT table dumps, decoded wire
+    messages, pre-materialised batches — opens as a {!t} and is drained
+    with {!next}/{!close}.  The serving daemon's live tail and the batch
+    [monitor] subcommand both ingest through
+    {!Sharded.ingest_source}, so there is exactly one ingestion entry
+    point regardless of where the updates come from. *)
+
+type t
+(** An open, single-pass stream of batches. *)
+
+val next : t -> batch option
+(** Pull the next batch; [None] once exhausted or after {!close}. *)
+
+val close : t -> unit
+(** Release the source; subsequent {!next} calls return [None].
+    Idempotent. *)
+
+val fold : t -> init:'a -> f:('a -> batch -> 'a) -> 'a
+(** Drain the source (closing it when done, also on exceptions). *)
+
+val of_archive :
+  ?annotate:annotator -> Measurement.Synthetic_routeviews.params -> t
+(** The synthetic RouteViews archive as a pull source: one batch per
+    observed day, generated on demand (one day's table in memory). *)
+
+val of_batches : batch array -> t
+(** A pre-materialised batch sequence. *)
+
+val of_seq : batch Seq.t -> t
+(** Any single-pass batch producer. *)
+
+val of_wire_feed : (int * Asn.t * Bgp.Wire.message) list -> t
+(** One batch per decoded BGP UPDATE, as [(time, peer, message)]
+    (events via {!of_wire}). *)
+
+val of_mrt_blobs : bytes list -> t
+(** One batch per MRT TABLE_DUMP blob (events via {!of_mrt}). *)
+
 val trusted_annotator : ?distrusted:Asn.Set.t -> unit -> annotator
 (** Cooperating origins advertise the full (consistent) origin set —
     legitimate multi-homing conflicts validate cleanly — except when the

@@ -393,6 +393,66 @@ let test_of_wire () =
       moas_list
   | M.Withdraw _ -> Alcotest.fail "announcement lost"
 
+(* ---------------- the uniform pull interface ---------------- *)
+
+let batch_signature b =
+  ( b.Src.time,
+    Option.map Mutil.Day.to_string b.Src.day,
+    Array.map (fun e -> (e.M.time, Prefix.to_string e.M.prefix)) b.Src.events )
+
+let test_source_pull_equals_fold () =
+  (* draining the pull source yields exactly the fold_archive batches *)
+  let folded =
+    List.rev
+      (Src.fold_archive ~annotate smoke_params ~init:[] ~f:(fun acc b ->
+           b :: acc))
+  in
+  let s = Src.of_archive ~annotate smoke_params in
+  let pulled = List.rev (Src.fold s ~init:[] ~f:(fun acc b -> b :: acc)) in
+  Alcotest.(check int) "same batch count" (List.length folded)
+    (List.length pulled);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "same batch" true
+        (batch_signature a = batch_signature b))
+    folded pulled;
+  Alcotest.(check bool) "exhausted after fold" true (Src.next s = None)
+
+let test_source_close_is_final () =
+  let s = Src.of_batches (Src.archive_batches ~annotate smoke_params) in
+  Alcotest.(check bool) "first pull succeeds" true (Src.next s <> None);
+  Src.close s;
+  Src.close s;
+  Alcotest.(check bool) "closed source yields nothing" true (Src.next s = None)
+
+let test_ingest_source_equals_batch_loop () =
+  (* the single ingestion entry point converges with the manual loop,
+     including when the drain is split by max_batches *)
+  let t = Sh.create ~jobs:2 M.default_config in
+  let s = Src.of_archive ~annotate smoke_params in
+  let first = Sh.ingest_source ~max_batches:3 t s in
+  Alcotest.(check int) "max_batches honoured" 3 first;
+  let rest = Sh.ingest_source t s in
+  Alcotest.(check int) "the whole archive ingested" (Sh.day_count t)
+    (first + rest);
+  Alcotest.(check string) "converges with the batch loop"
+    (Rp.render (Sh.snapshot (archive_monitor ~jobs:2 ())))
+    (Rp.render (Sh.snapshot t))
+
+let test_ingest_source_since_skips () =
+  (* resume semantics: batches at or before `since` are skipped, matching
+     what a checkpoint restore needs *)
+  let batches = Src.archive_batches ~annotate smoke_params in
+  let split_time = batches.(Array.length batches / 2).Src.time in
+  let t = Sh.create ~jobs:1 M.default_config in
+  let skipped =
+    Sh.ingest_source ~since:split_time t (Src.of_batches batches)
+  in
+  let expected =
+    Array.length (Array.of_list (List.filter (fun b -> b.Src.time > split_time) (Array.to_list batches)))
+  in
+  Alcotest.(check int) "only later batches ingested" expected skipped
+
 (* ---------------- qcheck properties ---------------- *)
 
 let script_prefixes =
@@ -538,6 +598,12 @@ let () =
         [
           Alcotest.test_case "MRT batches" `Quick test_of_mrt;
           Alcotest.test_case "wire messages" `Quick test_of_wire;
+          Alcotest.test_case "pull == fold" `Quick test_source_pull_equals_fold;
+          Alcotest.test_case "close is final" `Quick test_source_close_is_final;
+          Alcotest.test_case "ingest_source == batch loop" `Quick
+            test_ingest_source_equals_batch_loop;
+          Alcotest.test_case "ingest_source resume skips" `Quick
+            test_ingest_source_since_skips;
         ] );
       ( "properties",
         [
