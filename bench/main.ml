@@ -803,11 +803,10 @@ let serve_smoke_params =
     event_2001_size = 97;
   }
 
-let run_serve_bench ~smoke ~out () =
-  banner "Serve daemon load generator (MOASSERV wire protocol)";
-  say "   cores online: %d (Domain.recommended_domain_count)"
-    (Domain.recommended_domain_count ());
-  let cores = string_of_int (Domain.recommended_domain_count ()) in
+(* The store + annotated archive batches every serving bench runs over:
+   a mesh run across [serve_vantages] partial-coverage vantages of the
+   synthetic RouteViews archive. *)
+let serve_fixture ~smoke =
   let annotate =
     Stream.Source.trusted_annotator
       ~distrusted:
@@ -832,6 +831,14 @@ let run_serve_bench ~smoke ~out () =
       (Collect.Correlator.of_result
          (Collect.Mesh.run Stream.Monitor.default_config streams))
   in
+  (store, batches)
+
+let run_serve_bench ~smoke ~out () =
+  banner "Serve daemon load generator (MOASSERV wire protocol)";
+  say "   cores online: %d (Domain.recommended_domain_count)"
+    (Domain.recommended_domain_count ());
+  let cores = string_of_int (Domain.recommended_domain_count ()) in
+  let store, _batches = serve_fixture ~smoke in
   let entries = Array.of_list (Collect.Store.entries store) in
   let n_entries = Array.length entries in
   let total_requests = if smoke then 4_000 else 60_000 in
@@ -945,6 +952,190 @@ let run_serve_bench ~smoke ~out () =
   say "serve dump written to %s" out
 
 (* ------------------------------------------------------------------ *)
+(* Part 9: resilience grid (BENCH_7.json).  The same served store under
+   three arms: [no-fault] (pristine transport, non-retrying client),
+   [lossy-transport] (Chaos.transport with the lossy plan between a
+   retrying client and the server — dropped requests and replies cost
+   real retries), and [degraded-mode] (the live tail killed mid-ingest
+   by a failing source, then the read-only server hammered with the same
+   query mix).  Each arm stamps throughput and p50/p99 latency; the
+   suite fails on a zero throughput or on a degraded arm that is not
+   actually degraded. *)
+
+let chaos_retry =
+  (* real backoff sleeps would measure the policy, not the server: keep
+     the retry schedule but make the pauses negligible *)
+  {
+    Serve.Client.default_retry with
+    Serve.Client.attempts = 4;
+    base_delay = 1e-4;
+    max_delay = 1e-3;
+  }
+
+let run_chaos_bench ~smoke ~out () =
+  banner "Resilience grid (chaos transport + degraded mode)";
+  let cores = string_of_int (Domain.recommended_domain_count ()) in
+  let store, batches = serve_fixture ~smoke in
+  let entries = Array.of_list (Collect.Store.entries store) in
+  let n_entries = Array.length entries in
+  let total_requests = if smoke then 2_000 else 20_000 in
+  say "   store: %d episodes over %d vantages; %d requests per arm"
+    n_entries serve_vantages total_requests;
+  let request i =
+    let e = entries.(i mod n_entries) in
+    let open Collect.Query in
+    match i mod 5 with
+    | 0 -> Serve.Proto.Query (empty |> prefix e.Collect.Correlator.x_prefix)
+    | 1 ->
+      Serve.Proto.Query
+        (empty |> prefix e.Collect.Correlator.x_prefix |> covered)
+    | 2 ->
+      Serve.Proto.Count
+        (match Asn.Set.min_elt_opt e.Collect.Correlator.x_origins with
+        | Some a -> empty |> origin a
+        | None -> empty)
+    | 3 -> Serve.Proto.Query (empty |> min_visibility (1 + (i mod serve_vantages)))
+    | _ -> Serve.Proto.Count empty
+  in
+  let root = Mutil.Rng.create ~seed:0xC4A05L in
+  (* each arm yields (client, server metrics registry, server) *)
+  let arms =
+    [
+      ( "no-fault",
+        fun metrics ->
+          let server = Serve.Server.create ~metrics ~store () in
+          (Serve.Client.connect server, server) );
+      ( "lossy-transport",
+        fun metrics ->
+          let server = Serve.Server.create ~metrics ~store () in
+          let transport =
+            Chaos.transport
+              ~rng:(Mutil.Rng.split_at root 1)
+              ~plan:Chaos.lossy server
+          in
+          ( Serve.Client.connect_via ~retry:chaos_retry
+              ~rng:(Mutil.Rng.split_at root 2)
+              transport,
+            server ) );
+      ( "degraded-mode",
+        fun metrics ->
+          let server = Serve.Server.create ~metrics ~store () in
+          let keep = if smoke then 20 else 60 in
+          let source =
+            Chaos.failing_source ~after:keep (Array.to_list batches)
+          in
+          ignore (Serve.Server.tail server source);
+          (match Serve.Server.health server with
+          | Serve.Server.Degraded _ -> ()
+          | Serve.Server.Serving ->
+            failwith "chaos suite: degraded arm is still serving");
+          (Serve.Client.connect server, server) );
+    ]
+  in
+  let oc = open_out out in
+  let measured =
+    List.map
+      (fun (name, build) ->
+        let metrics = Obs.Registry.create () in
+        let client, server = build metrics in
+        let lats = Array.make total_requests 0.0 in
+        let failed = ref 0 in
+        let rejected = ref 0 in
+        let t0 = Unix.gettimeofday () in
+        for i = 0 to total_requests - 1 do
+          let t = Unix.gettimeofday () in
+          (match Serve.Client.call client (request i) with
+          | Serve.Proto.Entries _ | Serve.Proto.Count_is _ -> ()
+          | Serve.Proto.Rejected _ -> incr rejected
+          | r ->
+            failwith
+              ("chaos suite: unexpected response "
+              ^ Serve.Proto.render_response r)
+          | exception Serve.Client.Failed _ -> incr failed);
+          lats.(i) <- Unix.gettimeofday () -. t
+        done;
+        let elapsed = Unix.gettimeofday () -. t0 in
+        Serve.Client.close client;
+        Array.sort compare lats;
+        let pct p = lats.(min (total_requests - 1) (p * total_requests / 100)) in
+        let qps = float_of_int total_requests /. elapsed in
+        if not (qps > 0.0) then begin
+          close_out oc;
+          failwith "chaos suite: zero measured throughput"
+        end;
+        (name, elapsed, qps, pct 50, pct 99, !failed, !rejected,
+         Serve.Client.retries client, server, metrics))
+      arms
+  in
+  print_string
+    (Mutil.Text_table.render
+       ~header:
+         [ "arm"; "wall clock"; "queries/s"; "p50"; "p99"; "retries"; "failed" ]
+       (List.map
+          (fun (name, elapsed, qps, p50, p99, failed, _, retries, _, _) ->
+            [
+              name;
+              Printf.sprintf "%.3f s" elapsed;
+              Printf.sprintf "%.0f" qps;
+              Printf.sprintf "%.1f us" (1e6 *. p50);
+              Printf.sprintf "%.1f us" (1e6 *. p99);
+              string_of_int retries;
+              string_of_int failed;
+            ])
+          measured));
+  List.iter
+    (fun (name, elapsed, qps, p50, p99, failed, rejected, retries, server,
+          server_metrics) ->
+      let extra =
+        [
+          ("workload", "chaos-resilience");
+          ("arm", name);
+          ("cores", cores);
+          ("entries", string_of_int n_entries);
+        ]
+      in
+      let reg = Obs.Registry.create () in
+      Obs.Registry.Counter.add
+        (Obs.Registry.counter reg "chaos_requests_total")
+        total_requests;
+      Obs.Registry.Counter.add
+        (Obs.Registry.counter reg "chaos_failed_total")
+        failed;
+      Obs.Registry.Counter.add
+        (Obs.Registry.counter reg "chaos_rejected_total")
+        rejected;
+      Obs.Registry.Counter.add
+        (Obs.Registry.counter reg "chaos_retries_total")
+        retries;
+      Obs.Registry.Counter.add
+        (Obs.Registry.counter reg "chaos_shed_total")
+        (Serve.Server.shed_total server);
+      Obs.Registry.Counter.add
+        (Obs.Registry.counter reg "chaos_timeouts_total")
+        (Serve.Server.timeout_total server);
+      Obs.Registry.Gauge.set
+        (Obs.Registry.gauge reg "chaos_wall_clock_seconds")
+        elapsed;
+      Obs.Registry.Gauge.set
+        (Obs.Registry.gauge reg "chaos_queries_per_second")
+        qps;
+      Obs.Registry.Gauge.set
+        (Obs.Registry.gauge reg "chaos_latency_p50_seconds")
+        p50;
+      Obs.Registry.Gauge.set
+        (Obs.Registry.gauge reg "chaos_latency_p99_seconds")
+        p99;
+      output_string oc (Obs.Registry.to_json_lines ~extra reg);
+      output_string oc
+        (Obs.Registry.to_json_lines
+           ~extra:(("side", "daemon") :: extra)
+           server_metrics))
+    measured;
+  close_out oc;
+  say "";
+  say "chaos dump written to %s" out
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let smoke = ref false in
@@ -956,11 +1147,14 @@ let () =
   let no_collect = ref false in
   let serve_only = ref false in
   let no_serve = ref false in
+  let chaos_only = ref false in
+  let no_chaos = ref false in
   let out = ref "BENCH_1.json" in
   let scaling_out = ref "BENCH_3.json" in
   let stream_out = ref "BENCH_4.json" in
   let collect_out = ref "BENCH_5.json" in
   let serve_out = ref "BENCH_6.json" in
+  let chaos_out = ref "BENCH_7.json" in
   let jobs = ref 0 in
   let spec =
     [
@@ -978,6 +1172,9 @@ let () =
       ("--serve-only", Arg.Set serve_only, " run only the serve-daemon load-generator suite");
       ("--no-serve", Arg.Set no_serve, " skip the serve-daemon load-generator suite");
       ("--serve-out", Arg.Set_string serve_out, "FILE serve-daemon dump destination (default BENCH_6.json)");
+      ("--chaos-only", Arg.Set chaos_only, " run only the resilience / chaos-transport suite");
+      ("--no-chaos", Arg.Set no_chaos, " skip the resilience / chaos-transport suite");
+      ("--chaos-out", Arg.Set_string chaos_out, "FILE resilience dump destination (default BENCH_7.json)");
       ("--jobs", Arg.Set_int jobs, "N worker domains for the figure sweeps (default MOAS_JOBS or the core count)");
     ]
   in
@@ -986,12 +1183,14 @@ let () =
     "main.exe [--smoke] [--out FILE] [--scaling-only] [--no-scaling] \
      [--scaling-out FILE] [--stream-only] [--no-stream] [--stream-out FILE] \
      [--collect-only] [--no-collect] [--collect-out FILE] [--serve-only] \
-     [--no-serve] [--serve-out FILE] [--jobs N]";
+     [--no-serve] [--serve-out FILE] [--chaos-only] [--no-chaos] \
+     [--chaos-out FILE] [--jobs N]";
   let jobs = if !jobs >= 1 then Some !jobs else None in
   if !scaling_only then run_scaling ~out:!scaling_out ()
   else if !stream_only then run_stream ~out:!stream_out ()
   else if !collect_only then run_collect_bench ~out:!collect_out ()
   else if !serve_only then run_serve_bench ~smoke:!smoke ~out:!serve_out ()
+  else if !chaos_only then run_chaos_bench ~smoke:!smoke ~out:!chaos_out ()
   else begin
     let tracer = Obs.Span.create () in
     regenerate_figures ~tracer ?jobs ();
@@ -1004,7 +1203,8 @@ let () =
       if not !no_scaling then run_scaling ~out:!scaling_out ();
       if not !no_stream then run_stream ~out:!stream_out ();
       if not !no_collect then run_collect_bench ~out:!collect_out ();
-      if not !no_serve then run_serve_bench ~smoke:false ~out:!serve_out ()
+      if not !no_serve then run_serve_bench ~smoke:false ~out:!serve_out ();
+      if not !no_chaos then run_chaos_bench ~smoke:false ~out:!chaos_out ()
     end
   end;
   say "";

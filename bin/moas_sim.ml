@@ -363,7 +363,8 @@ let serve_annotator () =
 (* One scripted serve session: commands in, rendered responses out.  The
    transcript is deterministic — CI replays the same script twice and
    diffs the bytes. *)
-let serve_command server client source line =
+let serve_command server client source ~checkpoint_every ~write_checkpoint line
+    =
   let cmd, rest =
     match String.index_opt line ' ' with
     | Some i ->
@@ -390,16 +391,34 @@ let serve_command server client source line =
         | Some n when n > 0 -> Some n
         | _ -> failwith ("tail needs a positive batch count, got: " ^ rest)
     in
-    say "tailed %d batches" (Serve.Server.tail ?max_batches server source)
+    let batches = ref 0 in
+    let on_batch _server =
+      incr batches;
+      match checkpoint_every with
+      | Some n when !batches mod n = 0 -> write_checkpoint ()
+      | _ -> ()
+    in
+    say "tailed %d batches" (Serve.Server.tail ?max_batches ~on_batch server source);
+    (match Serve.Server.health server with
+    | Serve.Server.Serving -> ()
+    | Serve.Server.Degraded reason -> say "tail degraded: %s" reason)
   | "poll" ->
     (match Serve.Client.poll client with
     | [] -> say "(no alerts)"
     | alerts ->
       List.iter (fun r -> say "%s" (Serve.Proto.render_response r)) alerts)
+  | "crash" ->
+    (* simulate a SIGKILL mid-session: no cleanup, no checkpoint-at-exit —
+       recovery must come from the last periodic checkpoint *)
+    say "crashing (exit 137, no cleanup)";
+    Unix._exit 137
   | _ -> failwith ("unknown serve command: " ^ cmd)
 
-let run_serve store_path script smoke jobs seed metrics_out =
+let run_serve store_path script smoke jobs seed checkpoint checkpoint_every
+    resume metrics_out =
   let store = read_store store_path in
+  if checkpoint_every <> None && checkpoint = None then
+    failwith "--checkpoint-every needs --checkpoint FILE";
   let params =
     let base =
       if smoke then smoke_monitor_params
@@ -412,7 +431,24 @@ let run_serve store_path script smoke jobs seed metrics_out =
   let metrics =
     if metrics_out = None then Obs.Registry.noop else Obs.Registry.create ()
   in
-  let server = Serve.Server.create ~metrics ?live_jobs:jobs ~store () in
+  let live_snapshot =
+    match resume with
+    | None -> None
+    | Some path ->
+      let snap = Stream.Checkpoint.read_file path in
+      say "resumed live tail from %s (stream clock %d)" path
+        snap.Stream.Monitor.s_last_time;
+      Some snap
+  in
+  let server =
+    Serve.Server.create ~metrics ?live_jobs:jobs ?live_snapshot ~store ()
+  in
+  let write_checkpoint () =
+    match checkpoint with
+    | Some path ->
+      Stream.Checkpoint.write_file path (Serve.Server.live_snapshot server)
+    | None -> ()
+  in
   let source = Stream.Source.of_archive ~annotate:(serve_annotator ()) params in
   let client = Serve.Client.connect server in
   let lines =
@@ -441,11 +477,13 @@ let run_serve store_path script smoke jobs seed metrics_out =
       let line = String.trim raw in
       if line <> "" && line.[0] <> '#' then begin
         say "> %s" line;
-        serve_command server client source line
+        serve_command server client source ~checkpoint_every ~write_checkpoint
+          line
       end)
     lines;
   Serve.Client.close client;
   Stream.Source.close source;
+  write_checkpoint ();
   match metrics_out with
   | None -> ()
   | Some path ->
@@ -455,15 +493,216 @@ let run_serve store_path script smoke jobs seed metrics_out =
     close_out oc;
     say "metrics dump written to %s" path
 
-let run_query_client store_path query_str count_only =
+let run_query_client store_path query_str count_only attempts timeout seed =
   let store = read_store store_path in
   let q = parse_query_or_die query_str in
-  (* the full wire path: encode the request, decode the response *)
+  (* the full wire path: encode the request, decode the response — with
+     the same retrying client a remote deployment would use (per-call
+     timeout, capped seed-deterministic backoff) *)
   let server = Serve.Server.create ~store () in
-  let client = Serve.Client.connect server in
+  let client =
+    Serve.Client.connect
+      ~retry:{ Serve.Client.default_retry with attempts }
+      ?timeout
+      ~rng:(Mutil.Rng.create ~seed)
+      server
+  in
   let req = if count_only then Serve.Proto.Count q else Serve.Proto.Query q in
-  say "%s" (Serve.Proto.render_response (Serve.Client.call client req));
+  (match Serve.Client.call client req with
+  | resp -> say "%s" (Serve.Proto.render_response resp)
+  | exception Serve.Client.Failed (Serve.Client.Timed_out s) ->
+    say "failed: timed out after %.3fs" s
+  | exception Serve.Client.Failed (Serve.Client.Unreachable msg) ->
+    say "failed: unreachable (%s)" msg);
+  if Serve.Client.retries client > 0 then
+    say "(%d retries)" (Serve.Client.retries client);
   Serve.Client.close client
+
+(* ------------------------------------------------------------------ *)
+(* chaos: seeded fault-plan sweep over the serving path.  The invariant:
+   under any plan, every request either answers correctly, is refused
+   in-band with Rejected, or fails cleanly at the client — never a hang,
+   a crash, or a wrong answer.  The whole transcript is a pure function
+   of the seed (virtual clock, no wall time), so CI diffs two runs. *)
+
+let build_chaos_inputs ~smoke =
+  let annotate = serve_annotator () in
+  let params =
+    if smoke then smoke_monitor_params
+    else Measurement.Synthetic_routeviews.default_params
+  in
+  let batches = Stream.Source.archive_batches ~annotate params in
+  let streams =
+    Collect.Vantage.replay ~coverage:0.65 ~vantages:3 ~seed:0xC011EC7L batches
+  in
+  let store =
+    Collect.Store.of_correlation
+      (Collect.Correlator.of_result
+         (Collect.Mesh.run Stream.Monitor.default_config streams))
+  in
+  (store, batches)
+
+(* deterministic request mix cycling over the stored episodes *)
+let chaos_request entries n i =
+  let e = entries.(i mod n) in
+  let open Collect.Query in
+  match i mod 5 with
+  | 0 -> Serve.Proto.Query (empty |> prefix e.Collect.Correlator.x_prefix)
+  | 1 ->
+    Serve.Proto.Query (empty |> prefix e.Collect.Correlator.x_prefix |> covered)
+  | 2 ->
+    Serve.Proto.Count
+      (match Net.Asn.Set.min_elt_opt e.Collect.Correlator.x_origins with
+      | Some a -> empty |> origin a
+      | None -> empty)
+  | 3 -> Serve.Proto.Query (empty |> min_visibility (1 + (i mod 3)))
+  | _ -> if i mod 10 = 4 then Serve.Proto.Ping else Serve.Proto.Count empty
+
+let run_chaos smoke requests plan_name chaos_seed metrics_out =
+  let store, batches = build_chaos_inputs ~smoke in
+  let entries = Array.of_list (Collect.Store.entries store) in
+  let n_entries = Array.length entries in
+  if n_entries = 0 then failwith "chaos: empty store";
+  say "chaos sweep: %d episodes, %d requests per plan, seed %Ld" n_entries
+    requests chaos_seed;
+  let root = Mutil.Rng.create ~seed:chaos_seed in
+  let pristine = Serve.Server.create ~store () in
+  let oracle = Serve.Client.connect pristine in
+  let expected req =
+    Serve.Proto.render_response (Serve.Client.call oracle req)
+  in
+  let plans =
+    match plan_name with
+    | None -> Chaos.presets
+    | Some name -> (
+      match List.assoc_opt name Chaos.presets with
+      | Some p -> [ (name, p) ]
+      | None ->
+        failwith
+          (Printf.sprintf "unknown plan %s (have: %s)" name
+             (String.concat ", " (List.map fst Chaos.presets))))
+  in
+  let registries = ref [] in
+  let violations = ref 0 in
+  let run_plan pi (name, plan) =
+    say "-- plan %s: %s" name (Chaos.plan_to_string plan);
+    let arm = Mutil.Rng.split_at root pi in
+    let clock = Chaos.Clock.create () in
+    let metrics =
+      if metrics_out = None then Obs.Registry.noop else Obs.Registry.create ()
+    in
+    if not (Obs.Registry.is_noop metrics) then
+      registries := metrics :: !registries;
+    (* tight limits so the shedding / deadline / eviction paths actually
+       fire under the injected delays *)
+    let limits =
+      {
+        Serve.Server.default_limits with
+        deadline = 0.25;
+        queue_high_water = 4;
+        evict_after = 8;
+      }
+    in
+    let server =
+      Serve.Server.create ~metrics ~limits ~now:(Chaos.Clock.fn clock) ~store
+        ()
+    in
+    let transport =
+      Chaos.transport ~clock ~rng:(Mutil.Rng.split_at arm 0) ~plan server
+    in
+    let client =
+      Serve.Client.connect_via
+        ~retry:{ Serve.Client.default_retry with attempts = 4 }
+        ~timeout:0.3
+        ~rng:(Mutil.Rng.split_at arm 1)
+        ~clock:(Chaos.Clock.fn clock)
+        ~sleep:(Chaos.Clock.sleep clock)
+        transport
+    in
+    let ok = ref 0 and rejected = ref 0 and failed = ref 0 in
+    for i = 0 to requests - 1 do
+      let req = chaos_request entries n_entries i in
+      let want = expected req in
+      match Serve.Client.call client req with
+      | resp -> (
+        let got = Serve.Proto.render_response resp in
+        if got = want then incr ok
+        else
+          match resp with
+          | Serve.Proto.Rejected _ -> incr rejected
+          | _ ->
+            incr violations;
+            say "   WRONG ANSWER on request %d: got %s" i got)
+      | exception Serve.Client.Failed _ -> incr failed
+    done;
+    (* slow-consumer arm: subscribe over a direct (unfaulted) session,
+       then tail without polling so the tiny outbox overflows, sheds
+       oldest-first and finally evicts the session *)
+    let sub = Serve.Client.connect server in
+    (match
+       Serve.Client.call sub (Serve.Proto.Subscribe Collect.Query.empty)
+     with
+    | Serve.Proto.Subscribed _ -> ()
+    | other -> say "   subscribe: %s" (Serve.Proto.render_response other));
+    let tail_src = Stream.Source.of_batches batches in
+    let tailed =
+      Serve.Server.tail ~max_batches:(if smoke then 12 else 30) server tail_src
+    in
+    Stream.Source.close tail_src;
+    let polled = List.length (Serve.Client.poll sub) in
+    say "   requests: ok=%d rejected=%d failed=%d retries=%d" !ok !rejected
+      !failed (Serve.Client.retries client);
+    say "   tail: %d batches, polled %d alerts" tailed polled;
+    say "   server: shed=%d timeouts=%d evicted=%d"
+      (Serve.Server.shed_total server)
+      (Serve.Server.timeout_total server)
+      (Serve.Server.evicted_total server);
+    Serve.Client.close sub;
+    Serve.Client.close client
+  in
+  List.iteri run_plan plans;
+  (* degraded arm: the tail source dies mid-stream; the server keeps
+     answering queries read-only and later tails are no-ops *)
+  say "-- degraded arm: source failure after 3 batches";
+  let server = Serve.Server.create ~store () in
+  let failing = Chaos.failing_source ~after:3 (Array.to_list batches) in
+  let n = Serve.Server.tail server failing in
+  say "   ingested %d batches before the source died" n;
+  (match Serve.Server.health server with
+  | Serve.Server.Degraded reason -> say "   health: degraded (%s)" reason
+  | Serve.Server.Serving ->
+    incr violations;
+    say "   VIOLATION: server still Serving after source failure");
+  let again = Serve.Server.tail server (Stream.Source.of_batches batches) in
+  say "   post-failure tail: %d batches" again;
+  let direct = Serve.Client.connect server in
+  let req = chaos_request entries n_entries 0 in
+  let got = Serve.Proto.render_response (Serve.Client.call direct req) in
+  (if got = expected req then say "   degraded queries: ok"
+   else begin
+     incr violations;
+     say "   VIOLATION: degraded query diverged"
+   end);
+  say "%s"
+    (Serve.Proto.render_response (Serve.Client.call direct Serve.Proto.Stats));
+  Serve.Client.close direct;
+  Serve.Client.close oracle;
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+    let merged = Obs.Registry.create () in
+    List.iter
+      (fun r -> Obs.Registry.merge ~into:merged r)
+      (List.rev !registries);
+    let oc = open_out path in
+    output_string oc
+      (Obs.Registry.to_json_lines ~extra:[ ("workload", "chaos") ] merged);
+    close_out oc;
+    say "metrics dump written to %s" path);
+  if !violations > 0 then
+    failwith (Printf.sprintf "chaos: %d invariant violations" !violations);
+  say "chaos invariants held: every request answered, rejected, or failed \
+       cleanly"
 
 let run_topologies () =
   List.iter
@@ -716,12 +955,35 @@ let serve_cmd =
          & info [ "metrics" ] ~docv:"FILE"
              ~doc:"Write the lib/obs metrics dump (JSON lines) to FILE.")
   in
+  let checkpoint =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Write a binary checkpoint of the live-tail monitor state \
+                   to FILE (at exit, and periodically with \
+                   $(b,--checkpoint-every)).")
+  in
+  let checkpoint_every =
+    Arg.(value & opt (some pos_int) None
+         & info [ "checkpoint-every" ] ~docv:"BATCHES"
+             ~doc:"Also checkpoint every BATCHES tailed batches (a positive \
+                   integer; needs $(b,--checkpoint)).")
+  in
+  let resume =
+    Arg.(value & opt (some string) None
+         & info [ "resume" ] ~docv:"FILE"
+             ~doc:"Restore the live-tail monitor from a checkpoint FILE; \
+                   $(b,tail) skips archive batches the checkpoint already \
+                   covers, and no alert predating it is re-raised — a killed \
+                   server resumed this way converges with the uninterrupted \
+                   run.")
+  in
   cmd "serve"
     ~doc:"Serve an episode store over the versioned MOASSERV wire protocol: \
-          typed queries, live-tail alert subscriptions, stats.  The scripted \
-          session transcript is byte-identical across runs, which CI asserts."
+          typed queries, live-tail alert subscriptions, stats, \
+          checkpoint/resume crash recovery.  The scripted session transcript \
+          is byte-identical across runs, which CI asserts."
     Term.(const run_serve $ store_arg $ script $ smoke $ jobs_arg $ seed_arg
-          $ metrics_out)
+          $ checkpoint $ checkpoint_every $ resume $ metrics_out)
 
 let query_client_cmd =
   let query =
@@ -736,10 +998,67 @@ let query_client_cmd =
     Arg.(value & flag & info [ "count" ]
            ~doc:"Ask for the match count instead of the entries.")
   in
+  let attempts =
+    Arg.(value & opt pos_int 3
+         & info [ "attempts" ] ~docv:"N"
+             ~doc:"Total call attempts including the first (retries use \
+                   capped exponential backoff with seeded jitter).")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-attempt reply budget; a slower reply counts as a \
+                   failed attempt.")
+  in
+  let retry_seed =
+    Arg.(value & opt int64 0x52E7A11L
+         & info [ "retry-seed" ] ~docv:"SEED"
+             ~doc:"Seed for the backoff jitter stream.")
+  in
   cmd "query-client"
     ~doc:"One query against an episode store through the full MOASSERV wire \
-          path (request and response both cross the codec)."
-    Term.(const run_query_client $ store_arg $ query $ count_only)
+          path (request and response both cross the codec), with \
+          idempotence-aware seeded retry."
+    Term.(const run_query_client $ store_arg $ query $ count_only $ attempts
+          $ timeout $ retry_seed)
+
+let chaos_cmd =
+  let smoke =
+    Arg.(value & flag & info [ "smoke" ]
+           ~doc:"Sweep over the 1/10-size archive store, for CI.")
+  in
+  let requests =
+    Arg.(value & opt pos_int 400
+         & info [ "requests" ] ~docv:"N"
+             ~doc:"Requests per fault plan (positive integer).")
+  in
+  let plan =
+    Arg.(value & opt (some string) None
+         & info [ "plan" ] ~docv:"NAME"
+             ~doc:"Sweep only this plan ($(b,calm), $(b,lossy), \
+                   $(b,corrupting) or $(b,hostile)); default all four.")
+  in
+  let chaos_seed =
+    Arg.(value & opt int64 0xC4A05L
+         & info [ "chaos-seed" ] ~docv:"SEED"
+             ~doc:"Root seed for fault draws and retry jitter; the whole \
+                   transcript is a pure function of it.")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Write the merged lib/obs metrics dump (JSON lines) to \
+                   FILE.")
+  in
+  cmd "chaos"
+    ~doc:"Seeded chaos sweep over the serving path: fault plans inject frame \
+          drops, corruption, truncation, delays and disconnects between \
+          client and server (plus a source-failure degraded arm), asserting \
+          that every request answers correctly, is refused with Rejected, or \
+          fails cleanly — never a hang, crash or wrong answer.  Exits \
+          non-zero on any violation; the transcript is byte-identical for a \
+          given seed, which CI asserts."
+    Term.(const run_chaos $ smoke $ requests $ plan $ chaos_seed $ metrics_out)
 
 let topologies_cmd = cmd "topologies" ~doc:"Describe the derived 25/46/63-AS topologies."
     Term.(const run_topologies $ const ())
@@ -768,6 +1087,7 @@ let main_cmd =
       collect_cmd;
       serve_cmd;
       query_client_cmd;
+      chaos_cmd;
       simulate_cmd;
       topologies_cmd;
       all_cmd;

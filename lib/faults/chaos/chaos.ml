@@ -1,0 +1,176 @@
+module Rng = Mutil.Rng
+
+(* {2 Virtual clock} *)
+
+module Clock = struct
+  type t = { mutable now : float }
+
+  let create ?(at = 0.) () = { now = at }
+  let now c = c.now
+  let advance c d = if d > 0. then c.now <- c.now +. d
+  let fn c () = c.now
+  let sleep c d = advance c d
+end
+
+(* {2 Transport fault plans} *)
+
+type plan = {
+  drop_request : float;
+  drop_reply : float;
+  corrupt_request : float;
+  corrupt_reply : float;
+  truncate_request : float;
+  truncate_reply : float;
+  delay : float;
+  delay_max : float;
+  disconnect : float;
+}
+
+let calm =
+  {
+    drop_request = 0.;
+    drop_reply = 0.;
+    corrupt_request = 0.;
+    corrupt_reply = 0.;
+    truncate_request = 0.;
+    truncate_reply = 0.;
+    delay = 0.;
+    delay_max = 0.;
+    disconnect = 0.;
+  }
+
+let lossy =
+  {
+    calm with
+    drop_request = 0.05;
+    drop_reply = 0.05;
+    delay = 0.2;
+    delay_max = 0.05;
+  }
+
+let corrupting =
+  {
+    calm with
+    corrupt_request = 0.08;
+    corrupt_reply = 0.08;
+    truncate_request = 0.04;
+    truncate_reply = 0.04;
+  }
+
+let hostile =
+  {
+    drop_request = 0.08;
+    drop_reply = 0.08;
+    corrupt_request = 0.06;
+    corrupt_reply = 0.06;
+    truncate_request = 0.03;
+    truncate_reply = 0.03;
+    delay = 0.25;
+    delay_max = 0.4;
+    disconnect = 0.01;
+  }
+
+let presets =
+  [ ("calm", calm); ("lossy", lossy); ("corrupting", corrupting);
+    ("hostile", hostile) ]
+
+let check_plan p =
+  let prob name v =
+    if not (v >= 0. && v <= 1.) then
+      invalid_arg (Printf.sprintf "Faults.Chaos: %s must be in [0,1]" name)
+  in
+  prob "drop_request" p.drop_request;
+  prob "drop_reply" p.drop_reply;
+  prob "corrupt_request" p.corrupt_request;
+  prob "corrupt_reply" p.corrupt_reply;
+  prob "truncate_request" p.truncate_request;
+  prob "truncate_reply" p.truncate_reply;
+  prob "delay" p.delay;
+  prob "disconnect" p.disconnect;
+  if not (p.delay_max >= 0.) then
+    invalid_arg "Faults.Chaos: delay_max must be non-negative"
+
+let plan_to_string p =
+  Printf.sprintf
+    "drop=%.2f/%.2f corrupt=%.2f/%.2f truncate=%.2f/%.2f delay=%.2f(max %.2fs) \
+     disconnect=%.2f"
+    p.drop_request p.drop_reply p.corrupt_request p.corrupt_reply
+    p.truncate_request p.truncate_reply p.delay p.delay_max p.disconnect
+
+(* {2 Frame mutilation} *)
+
+(* flip at least one bit of one octet: the mutated frame always differs *)
+let corrupt_frame rng frame =
+  if Bytes.length frame = 0 then frame
+  else begin
+    let b = Bytes.copy frame in
+    let i = Rng.int rng (Bytes.length b) in
+    let mask = 1 + Rng.int rng 255 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor mask));
+    b
+  end
+
+(* cut the frame strictly short (possibly to nothing) *)
+let truncate_frame rng frame =
+  if Bytes.length frame = 0 then frame
+  else Bytes.sub frame 0 (Rng.int rng (Bytes.length frame))
+
+(* {2 The fault-injecting transport} *)
+
+let transport ?clock ~rng ~plan server =
+  check_plan plan;
+  let inner = Serve.Transport.of_server server in
+  let maybe_delay () =
+    (* the float is drawn whenever the chance fires, clock or no clock,
+       so the RNG stream is identical either way *)
+    if Rng.chance rng plan.delay then begin
+      let d = Rng.float rng plan.delay_max in
+      match clock with Some c -> Clock.advance c d | None -> ()
+    end
+  in
+  let request ~arrival ~session data =
+    if Rng.chance rng plan.disconnect then begin
+      inner.Serve.Transport.disconnect session;
+      raise (Serve.Transport.Unavailable "chaos: peer disconnected")
+    end;
+    if Rng.chance rng plan.drop_request then
+      raise (Serve.Transport.Unavailable "chaos: request dropped");
+    let data =
+      if Rng.chance rng plan.corrupt_request then corrupt_frame rng data
+      else data
+    in
+    let data =
+      if Rng.chance rng plan.truncate_request then truncate_frame rng data
+      else data
+    in
+    maybe_delay ();
+    let reply = inner.Serve.Transport.request ~arrival ~session data in
+    maybe_delay ();
+    if Rng.chance rng plan.drop_reply then
+      raise (Serve.Transport.Unavailable "chaos: reply dropped");
+    let reply =
+      if Rng.chance rng plan.corrupt_reply then corrupt_frame rng reply
+      else reply
+    in
+    let reply =
+      if Rng.chance rng plan.truncate_reply then truncate_frame rng reply
+      else reply
+    in
+    reply
+  in
+  { inner with Serve.Transport.request }
+
+(* {2 Failing sources} *)
+
+exception Source_failure of string
+
+let failing_source ?(message = "chaos: source failure") ~after batches =
+  if after < 0 then invalid_arg "Faults.Chaos: after must be non-negative";
+  let rec seq n bs () =
+    if n = 0 then raise (Source_failure message)
+    else
+      match bs with
+      | [] -> Seq.Nil
+      | b :: tl -> Seq.Cons (b, seq (n - 1) tl)
+  in
+  Stream.Source.of_seq (seq after batches)

@@ -43,12 +43,40 @@ let put_string buf s =
 
 (* ------------------------------------------------------------------ *)
 
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for frame
+   integrity: any single-octet corruption — any burst up to 32 bits —
+   is guaranteed to change the checksum, so a flipped bit can never
+   turn one valid frame into a different valid frame. *)
+
+let crc32_table =
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+      done;
+      !c)
+
+let crc32 ?(seed = 0) data ~pos ~len =
+  let crc = ref (seed lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    crc :=
+      crc32_table.((!crc lxor Char.code (Bytes.get data i)) land 0xff)
+      lxor (!crc lsr 8)
+  done;
+  !crc lxor 0xFFFFFFFF
+
 type cursor = { data : bytes; mutable pos : int; fail : string -> exn }
 
 let cursor ~fail data = { data; pos = 0; fail }
 let pos c = c.pos
 let remaining c = Bytes.length c.data - c.pos
 let corrupt c fmt = Printf.ksprintf (fun s -> raise (c.fail s)) fmt
+
+let check_crc c ~seed ~expect =
+  let actual = crc32 ~seed c.data ~pos:c.pos ~len:(remaining c) in
+  if actual <> expect then
+    corrupt c "frame checksum mismatch (header %08x, computed %08x)" expect
+      actual
 
 let take_u8 c =
   if c.pos >= Bytes.length c.data then corrupt c "truncated at octet %d" c.pos;
@@ -78,8 +106,17 @@ let take_asn c =
   let v = take_u16 c in
   try Asn.make v with Invalid_argument _ -> corrupt c "AS number %d" v
 
+(* A corrupt element count must fail immediately, not after billions of
+   iterations: every element occupies at least [elt_size] octets, so a
+   count the remaining input cannot possibly hold is a length lie.  This
+   bounds decoder work by the input size whatever the count field says. *)
+let check_count c ~elt_size n =
+  if n < 0 || n > remaining c / elt_size then
+    corrupt c "element count %d exceeds %d remaining octets" n (remaining c)
+
 let take_asn_set c =
   let n = take_u32 c in
+  check_count c ~elt_size:2 n;
   let rec loop acc k =
     if k = 0 then acc else loop (Asn.Set.add (take_asn c) acc) (k - 1)
   in
@@ -99,6 +136,7 @@ let take_option c take =
 
 let take_list c take =
   let n = take_u32 c in
+  check_count c ~elt_size:1 n;
   let rec loop acc k =
     if k = 0 then List.rev acc else loop (take c :: acc) (k - 1)
   in

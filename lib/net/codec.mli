@@ -33,6 +33,16 @@ val put_list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
 val put_string : Buffer.t -> string -> unit
 (** u16 length, then the raw octets. *)
 
+(** {2 Frame integrity} *)
+
+val crc32 : ?seed:int -> bytes -> pos:int -> len:int -> int
+(** CRC-32 (IEEE 802.3) of [len] octets starting at [pos], as an
+    unsigned 32-bit value.  Pass a previous result as [seed] to chain
+    regions.  Any burst error up to 32 bits — in particular any
+    single-octet corruption — is guaranteed to change the result, so a
+    checksummed frame can never be silently mutated into a different
+    valid frame. *)
+
 (** {2 Readers} *)
 
 type cursor
@@ -49,6 +59,10 @@ val remaining : cursor -> int
 val corrupt : cursor -> ('a, unit, string, 'b) format4 -> 'a
 (** Raise the cursor's failure exception with a formatted message. *)
 
+val check_crc : cursor -> seed:int -> expect:int -> unit
+(** Fail unless {!crc32} over the cursor's {e remaining} octets (chained
+    onto [seed]) equals [expect].  The cursor does not advance. *)
+
 val take_u8 : cursor -> int
 val take_u16 : cursor -> int
 val take_u32 : cursor -> int
@@ -58,7 +72,15 @@ val take_asn : cursor -> Asn.t
 val take_asn_set : cursor -> Asn.Set.t
 val take_prefix : cursor -> Prefix.t
 val take_option : cursor -> (cursor -> 'a) -> 'a option
+
 val take_list : cursor -> (cursor -> 'a) -> 'a list
+(** Element counts are sanity-checked against the remaining input before
+    any element is decoded (at least one octet per element), so a corrupt
+    count field fails immediately instead of looping for up to 2^32
+    iterations; same for {!take_asn_set} (two octets per member).
+    Decoder work is thereby bounded by the input length whatever the
+    count fields claim. *)
+
 val take_string : cursor -> string
 
 val expect_magic : cursor -> string -> unit

@@ -1,19 +1,171 @@
-type t = { server : Server.t; session : int; mutable closed : bool }
+type retry = {
+  attempts : int;
+  base_delay : float;
+  max_delay : float;
+  jitter : float;
+}
 
-let connect server = { server; session = Server.open_session server; closed = false }
+let default_retry =
+  { attempts = 3; base_delay = 0.01; max_delay = 0.5; jitter = 0.5 }
+
+let check_retry r =
+  if r.attempts < 1 then invalid_arg "Serve.Client: attempts must be >= 1";
+  if not (r.base_delay >= 0.) then
+    invalid_arg "Serve.Client: base_delay must be non-negative";
+  if not (r.max_delay >= r.base_delay) then
+    invalid_arg "Serve.Client: max_delay must be >= base_delay";
+  if not (r.jitter >= 0. && r.jitter <= 1.) then
+    invalid_arg "Serve.Client: jitter must be in [0,1]"
+
+type error = Timed_out of float | Unreachable of string
+
+exception Failed of error
+
+type t = {
+  transport : Transport.t;
+  retry : retry;
+  timeout : float;
+  clock : unit -> float;
+  sleep : float -> unit;
+  rng : Mutil.Rng.t;
+  session : int;
+  mutable closed : bool;
+  mutable retries : int;
+  mutable failures : int;
+}
+
+let connect_via ?(retry = default_retry) ?(timeout = infinity)
+    ?(rng = Mutil.Rng.create ~seed:0x52E7A11L) ?(clock = Unix.gettimeofday)
+    ?(sleep = Unix.sleepf) transport =
+  check_retry retry;
+  if not (timeout > 0.) then invalid_arg "Serve.Client: timeout must be positive";
+  {
+    transport;
+    retry;
+    timeout;
+    clock;
+    sleep;
+    rng;
+    session = transport.Transport.connect ();
+    closed = false;
+    retries = 0;
+    failures = 0;
+  }
+
+let connect ?retry ?timeout ?rng ?clock ?sleep server =
+  connect_via ?retry ?timeout ?rng ?clock ?sleep (Transport.of_server server)
+
 let session t = t.session
+let retries t = t.retries
+let failures t = t.failures
+
+(* Requests safe to re-send after an attempt whose fate is unknown: the
+   read-only ones.  A replayed Subscribe would double-subscribe, a
+   replayed Unsubscribe would turn success into "unknown subscription". *)
+let idempotent (req : Proto.request) =
+  match req with
+  | Ping | Query _ | Count _ | Stats -> true
+  | Subscribe _ | Unsubscribe _ -> false
+
+(* Exponential backoff with jitter, all randomness from the client's own
+   RNG stream: delay n is [base * 2^(n-1)] capped at [max_delay], then
+   jittered uniformly over [d*(1-j), d*(1+j)). *)
+let backoff t n =
+  let d =
+    Float.min t.retry.max_delay
+      (t.retry.base_delay *. (2. ** float_of_int (n - 1)))
+  in
+  if t.retry.jitter = 0. || d = 0. then d
+  else
+    let j = t.retry.jitter in
+    (d *. (1. -. j)) +. Mutil.Rng.float t.rng (d *. 2. *. j)
+
+(* How one attempt ended.  [safe] says whether re-sending cannot repeat
+   a side effect even for non-idempotent requests: true only when the
+   server provably refused the request {e before} executing it. *)
+type outcome =
+  | Done of Proto.response
+  | Transient of { resp : Proto.response; safe : bool }
+  | Broken of error
+
+let malformed_prefix = "malformed request"
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let attempt t frame =
+  let start = t.clock () in
+  match
+    t.transport.Transport.request ~arrival:start ~session:t.session frame
+  with
+  | exception Transport.Unavailable msg -> Broken (Unreachable msg)
+  | reply -> (
+    let elapsed = t.clock () -. start in
+    if elapsed > t.timeout then Broken (Timed_out elapsed)
+    else
+      match Proto.decode_response reply with
+      | exception Proto.Corrupt msg ->
+        Broken (Unreachable ("corrupt reply: " ^ msg))
+      | Proto.Rejected reason when starts_with ~prefix:malformed_prefix reason
+        ->
+        (* we only send frames we encoded, so a "malformed request"
+           reply means the transport corrupted the frame in flight; the
+           server refused it at the decoder, before any side effect *)
+        Transient { resp = Proto.Rejected reason; safe = true }
+      | Proto.Rejected "overloaded: too many requests in flight" as resp ->
+        (* shed on arrival, before any work *)
+        Transient { resp; safe = true }
+      | Proto.Rejected "deadline exceeded" as resp ->
+        (* the budget may have run out after execution *)
+        Transient { resp; safe = false }
+      | resp -> Done resp)
 
 let call t req =
   if t.closed then invalid_arg "Serve.Client: closed";
-  Proto.decode_response
-    (Server.handle t.server ~session:t.session (Proto.encode_request req))
+  let frame = Proto.encode_request req in
+  let retryable = idempotent req in
+  let rec go n =
+    let out = attempt t frame in
+    let again safe = n < t.retry.attempts && (retryable || safe) in
+    match out with
+    | Done resp -> resp
+    | Transient { resp; safe } ->
+      if again safe then begin
+        t.retries <- t.retries + 1;
+        t.sleep (backoff t n);
+        go (n + 1)
+      end
+      else resp (* the server's refusal is a valid in-band answer *)
+    | Broken err ->
+      if again false then begin
+        t.retries <- t.retries + 1;
+        t.sleep (backoff t n);
+        go (n + 1)
+      end
+      else begin
+        t.failures <- t.failures + 1;
+        raise (Failed err)
+      end
+  in
+  go 1
 
 let poll t =
   if t.closed then []
-  else List.map Proto.decode_response (Server.pending t.server ~session:t.session)
+  else
+    match t.transport.Transport.drain ~session:t.session with
+    | exception Transport.Unavailable msg ->
+      t.failures <- t.failures + 1;
+      raise (Failed (Unreachable msg))
+    | frames -> (
+      match List.map Proto.decode_response frames with
+      | resps -> resps
+      | exception Proto.Corrupt msg ->
+        t.failures <- t.failures + 1;
+        raise (Failed (Unreachable ("corrupt alert: " ^ msg))))
 
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    Server.close_session t.server t.session
+    t.transport.Transport.disconnect t.session
   end

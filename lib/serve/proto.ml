@@ -27,6 +27,10 @@ type stats = {
   st_live_updates : int;
   st_live_open : int;
   st_live_days : int;
+  st_degraded : bool;
+  st_shed : int;
+  st_timeouts : int;
+  st_evicted : int;
 }
 
 type response =
@@ -41,26 +45,36 @@ type response =
 
 exception Corrupt of string
 
-let version = 1
+let version = 2
 let magic = "MOASSERV"
 
 (* {2 Framing}
 
    Every frame is magic · version · kind octet · u32 payload length ·
-   payload.  The length is redundant with the byte-string extent for the
-   in-process transport, but it is what lets a socket transport delimit
-   frames — and the decoder cross-checks it against the actual payload so
-   a length lie is caught as corruption, not silently tolerated. *)
+   u32 CRC-32 of (kind octet ‖ payload) · payload.  The length is
+   redundant with the byte-string extent for the in-process transport,
+   but it is what lets a socket transport delimit frames — and the
+   decoder cross-checks it against the actual payload so a length lie is
+   caught as corruption, not silently tolerated.  The checksum covers
+   the kind octet too, so no single corrupted octet — kind flip or
+   payload mutation — can turn one valid frame into a different valid
+   one: it is caught as [Corrupt] instead (chaos-harness invariant). *)
+
+let kind_crc kind = Codec.crc32 (Bytes.make 1 (Char.chr kind)) ~pos:0 ~len:1
 
 let frame kind put_payload =
   let payload = Buffer.create 64 in
   put_payload payload;
-  let buf = Buffer.create (Buffer.length payload + 16) in
+  let pbytes = Buffer.to_bytes payload in
+  let plen = Bytes.length pbytes in
+  let crc = Codec.crc32 ~seed:(kind_crc kind) pbytes ~pos:0 ~len:plen in
+  let buf = Buffer.create (plen + 20) in
   Buffer.add_string buf magic;
   put_u8 buf version;
   put_u8 buf kind;
-  put_u32 buf (Buffer.length payload);
-  Buffer.add_buffer buf payload;
+  put_u32 buf plen;
+  put_u32 buf crc;
+  Buffer.add_bytes buf pbytes;
   Buffer.to_bytes buf
 
 let open_frame data =
@@ -69,9 +83,11 @@ let open_frame data =
   expect_version c version;
   let kind = take_u8 c in
   let len = take_u32 c in
+  let crc = take_u32 c in
   if len <> remaining c then
     corrupt c "payload length %d does not match %d remaining octets" len
       (remaining c);
+  check_crc c ~seed:(kind_crc kind) ~expect:crc;
   (c, kind)
 
 (* {2 Requests} *)
@@ -153,7 +169,11 @@ let put_stats b s =
   put_i63 b s.st_live_batches;
   put_i63 b s.st_live_updates;
   put_i63 b s.st_live_open;
-  put_i63 b s.st_live_days
+  put_i63 b s.st_live_days;
+  put_bool b s.st_degraded;
+  put_i63 b s.st_shed;
+  put_i63 b s.st_timeouts;
+  put_i63 b s.st_evicted
 
 let take_stats c =
   let st_entries = take_i63 c in
@@ -164,6 +184,10 @@ let take_stats c =
   let st_live_updates = take_i63 c in
   let st_live_open = take_i63 c in
   let st_live_days = take_i63 c in
+  let st_degraded = take_bool c in
+  let st_shed = take_i63 c in
+  let st_timeouts = take_i63 c in
+  let st_evicted = take_i63 c in
   {
     st_entries;
     st_vantages;
@@ -173,6 +197,10 @@ let take_stats c =
     st_live_updates;
     st_live_open;
     st_live_days;
+    st_degraded;
+    st_shed;
+    st_timeouts;
+    st_evicted;
   }
 
 let encode_response = function
@@ -256,7 +284,10 @@ let render_response = function
   | Stats_are s ->
     Printf.sprintf
       "stats: entries=%d vantages=%d sessions=%d subscriptions=%d\n\
-       live: batches=%d updates=%d open=%d days=%d"
+       live: batches=%d updates=%d open=%d days=%d\n\
+       health: %s shed=%d timeouts=%d evicted=%d"
       s.st_entries s.st_vantages s.st_sessions s.st_subscriptions
       s.st_live_batches s.st_live_updates s.st_live_open s.st_live_days
+      (if s.st_degraded then "degraded" else "ok")
+      s.st_shed s.st_timeouts s.st_evicted
   | Rejected reason -> Printf.sprintf "rejected: %s" reason

@@ -2,11 +2,15 @@
     response messages for the MOAS query/alert serving daemon.
 
     Every frame is [magic "MOASSERV"] · [version octet] · [kind octet] ·
-    [u32 payload length] · [payload], all fields big-endian in the
-    {!Net.Codec} discipline.  The decoder rejects bad magic, version
-    mismatches, unknown kinds, truncation, payload-length lies and
-    trailing octets with {!Corrupt} — same defensive posture as the
-    [MOASSTOR] store and [MOASSTRM] checkpoint formats.
+    [u32 payload length] · [u32 CRC-32 of kind+payload] · [payload], all
+    fields big-endian in the {!Net.Codec} discipline.  The decoder
+    rejects bad magic, version mismatches, unknown kinds, truncation,
+    payload-length lies, checksum mismatches and trailing octets with
+    {!Corrupt} — same defensive posture as the [MOASSTOR] store and
+    [MOASSTRM] checkpoint formats.  The checksum means no single
+    corrupted octet can turn a valid frame into a {e different} valid
+    frame: in-flight corruption is always surfaced as [Corrupt], which
+    the retrying {!Client} treats as a transient transport failure.
 
     The query message carries {!Collect.Query.t} {e unchanged}: the wire
     protocol, the CLI [--query] flag and {!Collect.Store.query} all
@@ -45,6 +49,12 @@ type stats = {
   st_live_updates : int;  (** events ingested by the live tail *)
   st_live_open : int;  (** episodes currently open in the live tail *)
   st_live_days : int;
+  st_degraded : bool;
+      (** the live tail died and the server is read-only (see
+          [Server.health]) *)
+  st_shed : int;  (** frames/requests shed by overload protection *)
+  st_timeouts : int;  (** requests that blew their deadline budget *)
+  st_evicted : int;  (** sessions evicted as slow consumers *)
 }
 
 type response =
@@ -60,6 +70,11 @@ type response =
 exception Corrupt of string
 
 val version : int
+(** Current protocol version (2).  Version 2 extended the [Stats_are]
+    payload with the health/shed/timeout/eviction fields and added the
+    frame checksum; peers speaking version 1 are rejected with [Corrupt]
+    at the frame header. *)
+
 val magic : string
 
 val encode_request : request -> bytes

@@ -1,0 +1,17 @@
+exception Unavailable of string
+
+type t = {
+  connect : unit -> int;
+  disconnect : int -> unit;
+  request : arrival:float -> session:int -> bytes -> bytes;
+  drain : session:int -> bytes list;
+}
+
+let of_server server =
+  {
+    connect = (fun () -> Server.open_session server);
+    disconnect = (fun sid -> Server.close_session server sid);
+    request =
+      (fun ~arrival ~session data -> Server.handle ~arrival server ~session data);
+    drain = (fun ~session -> Server.pending server ~session);
+  }

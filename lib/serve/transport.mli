@@ -1,0 +1,29 @@
+(** The seam between {!Client} and {!Server}: a record of the four
+    operations a client needs, so the same client code runs over the
+    direct in-process path, a socket loop, or the chaos harness's
+    fault-injecting wrapper ([Faults.Chaos.transport]) — which is how
+    transport failures are tested without a network.
+
+    A transport signals {e transport-level} failure (dropped frame,
+    broken connection, unreachable peer) by raising {!Unavailable} from
+    [request] or [drain].  Protocol-level refusals stay in-band as
+    [Rejected] response frames. *)
+
+exception Unavailable of string
+
+type t = {
+  connect : unit -> int;  (** open a session, return its id *)
+  disconnect : int -> unit;  (** close a session (idempotent) *)
+  request : arrival:float -> session:int -> bytes -> bytes;
+      (** one request frame in, one response frame out.  [arrival] is
+          when the request entered the system on the client's clock —
+          forwarded to {!Server.handle} so the deadline budget covers
+          time spent in the transport itself. *)
+  drain : session:int -> bytes list;
+      (** the session's queued alert frames, oldest first *)
+}
+
+val of_server : Server.t -> t
+(** The direct in-process transport: every operation is the
+    corresponding {!Server} entry point, and [request] never raises
+    {!Unavailable}. *)

@@ -105,7 +105,16 @@ let ingest_source ?(since = min_int) ?max_batches ?on_batch t source =
         end;
         loop ()
   in
-  loop ();
+  (* on any failure — the source's pull, the ingest itself, or the
+     caller's on_batch — the source is closed before the exception
+     escapes, so an abandoned tail never leaks a half-drained source.
+     Normal returns (exhaustion or the max_batches budget) leave it open:
+     remaining batches stay pulled-able by a later call. *)
+  (try loop ()
+   with exn ->
+     let bt = Printexc.get_raw_backtrace () in
+     Source.close source;
+     Printexc.raise_with_backtrace exn bt);
   !ingested
 
 let snapshot t =

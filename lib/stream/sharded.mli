@@ -48,7 +48,18 @@ val ingest_source :
     [~day_end:true]; [on_batch] runs after each ingested batch (its
     exceptions propagate, which is how callers stop early); at most
     [max_batches] batches are ingested, the rest stay in the source for
-    a later call.  Returns the number of batches ingested. *)
+    a later call.  Returns the number of batches ingested.
+
+    Failure is contained: if the source's pull, the ingest, or [on_batch]
+    raises, the source is {!Source.close}d before the exception escapes
+    (no half-drained source leaks), and the monitor's state at the
+    failure point is defined — every batch for which [on_batch] ran (or
+    would have run) is fully ingested and settled.  A pull or [on_batch]
+    failure therefore leaves the monitor exactly at the last completed
+    batch; only a failure {e inside} {!ingest_batch} itself (e.g. a
+    malformed event) can leave the current batch partially applied, which
+    is why crash-recovery restarts from the last checkpoint rather than
+    trusting in-memory state. *)
 
 val open_count : t -> int
 (** Currently open episodes, summed over shards. *)

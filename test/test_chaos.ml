@@ -1,0 +1,261 @@
+(* Tests for lib/faults/chaos: the virtual clock, fault-plan validation,
+   frame mutilation, the fault-injecting transport (end-to-end invariant
+   and seed determinism) and degraded-mode entry via a failing source. *)
+
+open Net
+module M = Stream.Monitor
+module Src = Stream.Source
+module Q = Collect.Query
+module Corr = Collect.Correlator
+module Store = Collect.Store
+module Proto = Serve.Proto
+module Server = Serve.Server
+module Client = Serve.Client
+module Rng = Mutil.Rng
+
+let p1 = Prefix.of_string "192.0.2.0/24"
+let p2 = Prefix.of_string "198.51.100.0/24"
+
+let entry ~prefix ~origins ~started =
+  {
+    Corr.x_prefix = prefix;
+    x_seq = 1;
+    x_started = started;
+    x_ended = None;
+    x_days = 1;
+    x_max_origins = 2;
+    x_origins = Asn.Set.of_list (List.map Asn.make origins);
+    x_clean = true;
+    x_seen_by = [ "vp00" ];
+    x_first_detect = None;
+    x_last_detect = None;
+  }
+
+let store () =
+  Store.of_correlation
+    {
+      Corr.c_vantages = [ "vp00"; "vp01" ];
+      c_entries =
+        [
+          entry ~prefix:p1 ~origins:[ 10; 20 ] ~started:100;
+          entry ~prefix:p2 ~origins:[ 30; 40 ] ~started:50;
+        ];
+    }
+
+(* ---------------- the virtual clock ---------------- *)
+
+let test_clock () =
+  let c = Chaos.Clock.create ~at:10.0 () in
+  Alcotest.(check (float 0.)) "starts where asked" 10.0 (Chaos.Clock.now c);
+  Chaos.Clock.advance c 2.5;
+  Chaos.Clock.sleep c 1.5;
+  Alcotest.(check (float 0.)) "advance and sleep accumulate" 14.0
+    (Chaos.Clock.fn c ());
+  Chaos.Clock.advance c (-5.0);
+  Alcotest.(check (float 0.)) "never goes backwards" 14.0 (Chaos.Clock.now c)
+
+(* ---------------- plans ---------------- *)
+
+let test_plan_validation () =
+  let server = Server.create ~store:(store ()) () in
+  (match
+     Chaos.transport
+       ~rng:(Rng.create ~seed:1L)
+       ~plan:{ Chaos.calm with Chaos.drop_request = 1.5 }
+       server
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range probability accepted");
+  (* every preset is valid and renders *)
+  List.iter
+    (fun (name, p) ->
+      Alcotest.(check bool)
+        (name ^ " renders") true
+        (String.length (Chaos.plan_to_string p) > 0);
+      ignore (Chaos.transport ~rng:(Rng.create ~seed:1L) ~plan:p server))
+    Chaos.presets
+
+(* ---------------- frame mutilation ---------------- *)
+
+let mutilation_gen = QCheck2.Gen.(pair (int_range 0 10_000) (int_range 1 64))
+
+let frame_of len = Bytes.init len (fun i -> Char.chr (i * 37 land 0xff))
+
+let prop_corrupt_frame_differs =
+  Testutil.qtest ~count:300 "corrupt_frame flips at least one bit"
+    mutilation_gen
+    (fun (seed, len) ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) in
+      let frame = frame_of len in
+      let m = Chaos.corrupt_frame rng frame in
+      Bytes.length m = Bytes.length frame && not (Bytes.equal m frame))
+
+let prop_truncate_frame_shorter =
+  Testutil.qtest ~count:300 "truncate_frame cuts strictly short"
+    mutilation_gen
+    (fun (seed, len) ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) in
+      Bytes.length (Chaos.truncate_frame rng (frame_of len)) < len)
+
+(* ---------------- the fault-injecting transport ---------------- *)
+
+let requests =
+  [
+    Proto.Ping;
+    Proto.Query Q.empty;
+    Proto.Count Q.empty;
+    Proto.Query Q.(empty |> prefix p1);
+    Proto.Stats;
+  ]
+
+(* drive [rounds] copies of the request mix through a hostile transport
+   on a virtual clock; render every outcome *)
+let run_chaos seed =
+  let clock = Chaos.Clock.create () in
+  let limits = { Server.default_limits with Server.deadline = 0.25 } in
+  let server =
+    Server.create ~limits ~now:(Chaos.Clock.fn clock) ~store:(store ()) ()
+  in
+  let transport =
+    Chaos.transport ~clock ~rng:(Rng.create ~seed) ~plan:Chaos.hostile server
+  in
+  let client =
+    Client.connect_via
+      ~retry:{ Client.default_retry with Client.attempts = 4 }
+      ~timeout:0.3
+      ~rng:(Rng.create ~seed:(Int64.add seed 1L))
+      ~clock:(Chaos.Clock.fn clock)
+      ~sleep:(Chaos.Clock.sleep clock) transport
+  in
+  List.concat_map
+    (fun _ ->
+      List.map
+        (fun req ->
+          match Client.call client req with
+          | resp -> Proto.render_response resp
+          | exception Client.Failed (Client.Timed_out _) -> "failed: timeout"
+          | exception Client.Failed (Client.Unreachable _) ->
+            "failed: unreachable")
+        requests)
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let test_chaos_transport_invariant () =
+  (* every request is answered correctly, refused with Rejected, or fails
+     cleanly — never a wrong answer, never an unexpected exception.
+     (Stats answers vary with server-side shed/timeout counts, so only
+     the stable requests are checked against the oracle.) *)
+  let oracle_server = Server.create ~store:(store ()) () in
+  let oracle_client = Client.connect oracle_server in
+  let oracle =
+    List.map
+      (fun req -> Proto.render_response (Client.call oracle_client req))
+      requests
+  in
+  List.iteri
+    (fun i line ->
+      let req = i mod List.length requests in
+      let expected = List.nth oracle req in
+      let is_stats = List.nth requests req = Proto.Stats in
+      let ok =
+        line = expected
+        || line = "failed: timeout"
+        || line = "failed: unreachable"
+        || starts_with ~prefix:"rejected:" line
+        || (is_stats && starts_with ~prefix:"stats:" line)
+      in
+      if not ok then
+        Alcotest.failf "request %d: wrong answer %S (expected %S)" i line
+          expected)
+    (run_chaos 0xFEEDL)
+
+let test_chaos_transport_deterministic () =
+  Alcotest.(check (list string)) "same seed, same transcript"
+    (run_chaos 0xFEEDL) (run_chaos 0xFEEDL)
+
+(* ---------------- degraded mode via a failing source ---------------- *)
+
+let ev ~time prefix action = { M.time; peer = Asn.make 99; prefix; action }
+
+let ann ?list o =
+  M.Announce { origin = Asn.make o; moas_list = Option.map Asn.Set.of_list list }
+
+let batches =
+  [
+    {
+      Src.time = 100;
+      day = None;
+      events = [| ev ~time:10 p1 (ann ~list:[ 10 ] 10) |];
+    };
+    { Src.time = 200; day = None; events = [| ev ~time:150 p1 (ann 20) |] };
+    { Src.time = 300; day = None; events = [| ev ~time:250 p2 (ann 30) |] };
+  ]
+
+let test_failing_source_degrades () =
+  let server = Server.create ~store:(store ()) () in
+  let c = Client.connect server in
+  (match Client.call c (Proto.Subscribe Q.empty) with
+  | Proto.Subscribed _ -> ()
+  | r -> Alcotest.failf "subscribe failed: %s" (Proto.render_response r));
+  let n = Server.tail server (Chaos.failing_source ~after:2 batches) in
+  Alcotest.(check int) "batches before the failure are kept" 2 n;
+  (match Server.health server with
+  | Server.Degraded reason ->
+    Testutil.check_contains ~what:"degraded reason" reason
+      "chaos: source failure"
+  | Server.Serving -> Alcotest.fail "failing source left the server serving");
+  Alcotest.(check int) "degraded tail is a no-op" 0
+    (Server.tail server (Src.of_batches (Array.of_list batches)));
+  (* read-only serving continues: queries, stats and already-queued
+     alerts all still work *)
+  (match Client.call c (Proto.Query Q.empty) with
+  | Proto.Entries { entries; _ } ->
+    Alcotest.(check int) "degraded query answers" 2 (List.length entries)
+  | r -> Alcotest.failf "degraded query failed: %s" (Proto.render_response r));
+  (match Client.call c Proto.Stats with
+  | Proto.Stats_are s ->
+    Alcotest.(check bool) "stats report degradation" true s.Proto.st_degraded
+  | r -> Alcotest.failf "degraded stats failed: %s" (Proto.render_response r));
+  Alcotest.(check bool) "pre-failure alerts were delivered" true
+    (Client.poll c <> []);
+  Client.close c
+
+let test_failing_source_after_end () =
+  (* a list shorter than [after] ends normally: no failure, still serving *)
+  let server = Server.create ~store:(store ()) () in
+  Alcotest.(check int) "whole list ingested" 3
+    (Server.tail server (Chaos.failing_source ~after:10 batches));
+  match Server.health server with
+  | Server.Serving -> ()
+  | Server.Degraded r -> Alcotest.failf "unexpected degradation: %s" r
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "clock",
+        [ Alcotest.test_case "virtual clock" `Quick test_clock ] );
+      ( "plans",
+        [
+          Alcotest.test_case "validation and presets" `Quick
+            test_plan_validation;
+        ] );
+      ( "mutilation",
+        [ prop_corrupt_frame_differs; prop_truncate_frame_shorter ] );
+      ( "transport",
+        [
+          Alcotest.test_case "answer-or-fail-cleanly invariant" `Quick
+            test_chaos_transport_invariant;
+          Alcotest.test_case "seeded determinism" `Quick
+            test_chaos_transport_deterministic;
+        ] );
+      ( "degraded",
+        [
+          Alcotest.test_case "failing source degrades the server" `Quick
+            test_failing_source_degrades;
+          Alcotest.test_case "source ending before the failure" `Quick
+            test_failing_source_after_end;
+        ] );
+    ]

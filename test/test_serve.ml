@@ -12,6 +12,7 @@ module Store = Collect.Store
 module Proto = Serve.Proto
 module Server = Serve.Server
 module Client = Serve.Client
+module Transport = Serve.Transport
 
 let p1 = Prefix.of_string "192.0.2.0/24"
 let p2 = Prefix.of_string "198.51.100.0/24"
@@ -81,6 +82,10 @@ let sample_stats =
     st_live_updates = 473;
     st_live_open = 65;
     st_live_days = 7;
+    st_degraded = true;
+    st_shed = 12;
+    st_timeouts = 3;
+    st_evicted = 1;
   }
 
 let sample_requests =
@@ -183,6 +188,59 @@ let test_response_rejects_corruption () =
        { vantage_count = 3; entries = Store.entries (sample_store ()) });
   exercise_corruption Proto.encode_response Proto.decode_response
     (Proto.Alert { sub = 1; alert = sample_alert Proto.Flagged })
+
+(* ---------------- protocol fuzzing: mutated frames ---------------- *)
+
+let req_frames = Array.of_list (List.map Proto.encode_request sample_requests)
+
+let resp_frames =
+  Array.of_list (List.map Proto.encode_response sample_responses)
+
+let apply_mutations frame muts =
+  let b = Bytes.copy frame in
+  List.iter
+    (fun (pos, mask) ->
+      let i = pos mod Bytes.length b in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor mask)))
+    muts;
+  b
+
+(* a decoder for either direction, picked by the generator *)
+let pick_frame is_req fi =
+  if is_req then
+    ( req_frames.(fi mod Array.length req_frames),
+      fun b -> ignore (Proto.decode_request b) )
+  else
+    ( resp_frames.(fi mod Array.length resp_frames),
+      fun b -> ignore (Proto.decode_response b) )
+
+let prop_mutated_frames_never_crash =
+  (* flip random octets of valid frames: the decoder must either return a
+     value or raise Corrupt — any other exception (or a hang / over-read)
+     fails the property *)
+  Testutil.qtest ~count:2000 "mutated frame decodes or raises Corrupt"
+    QCheck2.Gen.(
+      triple bool (int_range 0 10_000)
+        (list_size (int_range 1 8)
+           (pair (int_range 0 10_000) (int_range 1 255))))
+    (fun (is_req, fi, muts) ->
+      let frame, decode = pick_frame is_req fi in
+      match decode (apply_mutations frame muts) with
+      | () -> true
+      | exception Proto.Corrupt _ -> true)
+
+let prop_single_octet_corruption_caught =
+  (* the frame checksum guarantee: corrupting exactly one octet can never
+     yield a different valid frame — it is always surfaced as Corrupt *)
+  Testutil.qtest ~count:2000 "single-octet corruption is always Corrupt"
+    QCheck2.Gen.(
+      triple bool (int_range 0 10_000)
+        (pair (int_range 0 10_000) (int_range 1 255)))
+    (fun (is_req, fi, mut) ->
+      let frame, decode = pick_frame is_req fi in
+      match decode (apply_mutations frame [ mut ]) with
+      | () -> false
+      | exception Proto.Corrupt _ -> true)
 
 (* ---------------- the unified query ---------------- *)
 
@@ -358,6 +416,197 @@ let test_tail_within_one_batch () =
     (rendered (Client.poll c));
   Client.close c
 
+(* ---------------- resilience: deadlines, shedding, eviction ----------- *)
+
+let ping_frame = Proto.encode_request Proto.Ping
+
+let expect_rejected ~what ~needle frame =
+  match Proto.decode_response frame with
+  | Proto.Rejected reason -> Testutil.check_contains ~what reason needle
+  | r -> Alcotest.failf "%s was answered: %s" what (Proto.render_response r)
+
+let test_deadline_budget () =
+  let clock = ref 100.0 in
+  let limits = { Server.default_limits with Server.deadline = 1.0 } in
+  let server =
+    Server.create ~limits ~now:(fun () -> !clock) ~store:(sample_store ()) ()
+  in
+  let sid = Server.open_session server in
+  (match
+     Proto.decode_response (Server.handle server ~session:sid ping_frame)
+   with
+  | Proto.Pong -> ()
+  | r -> Alcotest.failf "fresh ping failed: %s" (Proto.render_response r));
+  (* the budget is measured from arrival: a frame that spent two seconds
+     in transit is dead on arrival, no work done *)
+  expect_rejected ~what:"stale arrival" ~needle:"deadline exceeded"
+    (Server.handle ~arrival:(!clock -. 2.0) server ~session:sid ping_frame);
+  Alcotest.(check int) "timeout counted" 1 (Server.timeout_total server);
+  Alcotest.(check int) "stats see the timeout" 1
+    (Server.live_stats server).Proto.st_timeouts
+
+let test_overload_shed () =
+  let limits = { Server.default_limits with Server.max_inflight = 0 } in
+  let server = Server.create ~limits ~store:(sample_store ()) () in
+  let sid = Server.open_session server in
+  expect_rejected ~what:"overload refusal" ~needle:"overloaded"
+    (Server.handle server ~session:sid ping_frame);
+  Alcotest.(check int) "shed counted" 1 (Server.shed_total server)
+
+let test_queue_shed_and_evict () =
+  (* queue_high_water 2: batch 1's three alerts overflow each outbox once,
+     shedding the OLDEST alert; a session that keeps overflowing
+     (evict_after 2) is dropped wholesale *)
+  let limits =
+    { Server.default_limits with Server.queue_high_water = 2; evict_after = 2 }
+  in
+  let server =
+    Server.create ~limits ~store:(Store.empty ~vantages:[ "v" ]) ()
+  in
+  let a = Client.connect server and b = Client.connect server in
+  List.iter
+    (fun c ->
+      match Client.call c (Proto.Subscribe Q.empty) with
+      | Proto.Subscribed _ -> ()
+      | r -> Alcotest.failf "subscribe failed: %s" (Proto.render_response r))
+    [ a; b ];
+  let source = Src.of_batches tail_batches in
+  Alcotest.(check int) "first batch tailed" 1
+    (Server.tail ~max_batches:1 server source);
+  Alcotest.(check int) "one shed per session" 2 (Server.shed_total server);
+  (* the newest suffix survives, in the original order *)
+  Alcotest.(check (list string)) "oldest alert shed first"
+    [
+      "alert #1 flagged 192.0.2.0/24 origins={AS10,AS20} at 40";
+      "alert #1 opened 198.51.100.128/25 origins={AS30,AS40} at 40";
+    ]
+    (rendered (Client.poll a));
+  (* a drained its outbox; b never polls, so batch 2 overflows it a second
+     time, crossing evict_after: b is evicted, a is unaffected *)
+  Alcotest.(check int) "second batch tailed" 1 (Server.tail server source);
+  Alcotest.(check int) "slow consumer evicted" 1 (Server.evicted_total server);
+  Alcotest.(check int) "well-behaved session survives" 1
+    (Server.session_count server);
+  Alcotest.(check (list string)) "evicted session polls nothing" []
+    (rendered (Client.poll b));
+  Alcotest.(check (list string)) "surviving session still gets alerts"
+    [ "alert #1 closed 192.0.2.0/24 origins={AS10,AS20} at 150" ]
+    (rendered (Client.poll a));
+  Client.close a
+
+(* ---------------- client retry ---------------- *)
+
+(* retry schedule with no real pauses: tests run at full speed *)
+let fast_retry =
+  { Client.default_retry with Client.base_delay = 0.; max_delay = 0. }
+
+(* a transport whose next [fail_first] requests raise Unavailable *)
+let flaky_transport server fail_first =
+  let inner = Transport.of_server server in
+  let remaining = ref fail_first in
+  ( {
+      inner with
+      Transport.request =
+        (fun ~arrival ~session data ->
+          if !remaining > 0 then begin
+            decr remaining;
+            raise (Transport.Unavailable "flaky")
+          end;
+          inner.Transport.request ~arrival ~session data);
+    },
+    remaining )
+
+let test_retry_transient_then_success () =
+  let server = Server.create ~store:(sample_store ()) () in
+  let transport, _ = flaky_transport server 2 in
+  let c = Client.connect_via ~retry:fast_retry ~sleep:(fun _ -> ()) transport in
+  (match Client.call c Proto.Ping with
+  | Proto.Pong -> ()
+  | r -> Alcotest.failf "ping failed: %s" (Proto.render_response r));
+  Alcotest.(check int) "two re-sends" 2 (Client.retries c);
+  Alcotest.(check int) "no failures" 0 (Client.failures c);
+  Client.close c
+
+let test_retry_exhaustion_raises () =
+  let server = Server.create ~store:(sample_store ()) () in
+  let transport, _ = flaky_transport server 100 in
+  let c = Client.connect_via ~retry:fast_retry ~sleep:(fun _ -> ()) transport in
+  (match Client.call c (Proto.Query Q.empty) with
+  | _ -> Alcotest.fail "exhausted retries did not raise"
+  | exception Client.Failed (Client.Unreachable _) -> ());
+  Alcotest.(check int) "all attempts used" 2 (Client.retries c);
+  Alcotest.(check int) "failure counted" 1 (Client.failures c)
+
+let test_no_blind_retry_of_subscribe () =
+  (* a Subscribe whose fate is unknown must not be re-sent — it could
+     double-subscribe: one transport failure fails the call immediately *)
+  let server = Server.create ~store:(sample_store ()) () in
+  let transport, remaining = flaky_transport server 1 in
+  let c = Client.connect_via ~retry:fast_retry ~sleep:(fun _ -> ()) transport in
+  (match Client.call c (Proto.Subscribe Q.empty) with
+  | _ -> Alcotest.fail "non-idempotent call was retried"
+  | exception Client.Failed (Client.Unreachable _) -> ());
+  Alcotest.(check int) "no re-send happened" 0 (Client.retries c);
+  Alcotest.(check int) "the fault was consumed" 0 !remaining;
+  Alcotest.(check int) "no subscription leaked" 0
+    (Server.subscription_count server)
+
+let test_subscribe_retried_after_preexec_refusal () =
+  (* an overload shed provably happens before execution, so even a
+     Subscribe is safe to re-send after one *)
+  let server = Server.create ~store:(sample_store ()) () in
+  let inner = Transport.of_server server in
+  let first = ref true in
+  let transport =
+    {
+      inner with
+      Transport.request =
+        (fun ~arrival ~session data ->
+          if !first then begin
+            first := false;
+            Proto.encode_response
+              (Proto.Rejected "overloaded: too many requests in flight")
+          end
+          else inner.Transport.request ~arrival ~session data);
+    }
+  in
+  let c = Client.connect_via ~retry:fast_retry ~sleep:(fun _ -> ()) transport in
+  (match Client.call c (Proto.Subscribe Q.empty) with
+  | Proto.Subscribed 1 -> ()
+  | r -> Alcotest.failf "subscribe failed: %s" (Proto.render_response r));
+  Alcotest.(check int) "one re-send" 1 (Client.retries c);
+  Alcotest.(check int) "exactly one subscription" 1
+    (Server.subscription_count server);
+  Client.close c
+
+let test_call_timeout () =
+  (* replies slower than the per-call budget (on the injected clock) are
+     a transport failure: retried, then Failed (Timed_out _) *)
+  let server = Server.create ~store:(sample_store ()) () in
+  let inner = Transport.of_server server in
+  let t = ref 0.0 in
+  let transport =
+    {
+      inner with
+      Transport.request =
+        (fun ~arrival ~session data ->
+          t := !t +. 5.0;
+          inner.Transport.request ~arrival ~session data);
+    }
+  in
+  let c =
+    Client.connect_via
+      ~retry:{ fast_retry with Client.attempts = 2 }
+      ~timeout:1.0
+      ~clock:(fun () -> !t)
+      ~sleep:(fun _ -> ())
+      transport
+  in
+  (match Client.call c Proto.Ping with
+  | _ -> Alcotest.fail "slow reply was accepted"
+  | exception Client.Failed (Client.Timed_out _) -> ());
+  Alcotest.(check int) "retried once before giving up" 1 (Client.retries c)
+
 (* ---------------- client/server integration smoke ---------------- *)
 
 let test_serve_smoke () =
@@ -458,6 +707,8 @@ let () =
             test_request_rejects_corruption;
           Alcotest.test_case "response corruption rejected" `Quick
             test_response_rejects_corruption;
+          prop_mutated_frames_never_crash;
+          prop_single_octet_corruption_caught;
         ] );
       ( "query",
         [
@@ -472,6 +723,25 @@ let () =
             test_subscription_delivery_ordering;
           Alcotest.test_case "whole episode in one batch" `Quick
             test_tail_within_one_batch;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "deadline budget" `Quick test_deadline_budget;
+          Alcotest.test_case "overload shedding" `Quick test_overload_shed;
+          Alcotest.test_case "queue shedding and eviction" `Quick
+            test_queue_shed_and_evict;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "transient then success" `Quick
+            test_retry_transient_then_success;
+          Alcotest.test_case "exhaustion raises Failed" `Quick
+            test_retry_exhaustion_raises;
+          Alcotest.test_case "no blind retry of subscribe" `Quick
+            test_no_blind_retry_of_subscribe;
+          Alcotest.test_case "subscribe retried after pre-exec refusal"
+            `Quick test_subscribe_retried_after_preexec_refusal;
+          Alcotest.test_case "per-call timeout" `Quick test_call_timeout;
         ] );
       ( "integration",
         [

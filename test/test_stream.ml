@@ -453,6 +453,30 @@ let test_ingest_source_since_skips () =
   in
   Alcotest.(check int) "only later batches ingested" expected skipped
 
+exception Boom
+
+let test_ingest_source_closes_on_failure () =
+  (* a failing pull must not leak the source: ingest_source closes it
+     before the exception escapes, and the monitor stops exactly at the
+     last completed batch *)
+  let batches = Src.archive_batches ~annotate smoke_params in
+  let keep = 3 in
+  let rec seq n bs () =
+    if n = 0 then raise Boom
+    else
+      match bs with
+      | [] -> Seq.Nil
+      | b :: tl -> Seq.Cons (b, seq (n - 1) tl)
+  in
+  let s = Src.of_seq (seq keep (Array.to_list batches)) in
+  let t = Sh.create ~jobs:1 M.default_config in
+  (match Sh.ingest_source t s with
+  | _ -> Alcotest.fail "the source failure was swallowed"
+  | exception Boom -> ());
+  Alcotest.(check int) "batches before the failure are ingested" keep
+    (Sh.day_count t);
+  Alcotest.(check bool) "the failed source was closed" true (Src.next s = None)
+
 (* ---------------- qcheck properties ---------------- *)
 
 let script_prefixes =
@@ -604,6 +628,8 @@ let () =
             test_ingest_source_equals_batch_loop;
           Alcotest.test_case "ingest_source resume skips" `Quick
             test_ingest_source_since_skips;
+          Alcotest.test_case "ingest_source closes a failed source" `Quick
+            test_ingest_source_closes_on_failure;
         ] );
       ( "properties",
         [
