@@ -278,10 +278,23 @@ let take_attributes c ~stop =
     communities = !communities;
   }
 
-let decode data =
-  let total = Bytes.length data in
+(* Decode a path-attribute section in place — a slice view over [len]
+   octets at [pos], no copy of the blob.  This is the MRT TABLE_DUMP
+   record path: the per-record attribute blob parses where it lies
+   instead of being wrapped into a rebuilt UPDATE message first. *)
+let decode_attributes data ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length data then
+    malformed "attribute slice [%d,%d) out of bounds" pos (pos + len);
+  take_attributes { data; pos; limit = pos + len } ~stop:(pos + len)
+
+(* Decode a full message from a slice of a larger byte string (a framed
+   feed, an MRT file) without [Bytes.sub]-ing it out first. *)
+let decode_sub data ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length data then
+    malformed "message slice [%d,%d) out of bounds" pos (pos + len);
+  let total = len in
   if total < marker_length + 3 then malformed "shorter than a BGP header";
-  let c = { data; pos = 0; limit = total } in
+  let c = { data; pos; limit = pos + total } in
   for _ = 1 to marker_length do
     if take_u8 c <> 0xff then malformed "bad marker"
   done;
@@ -312,6 +325,8 @@ let decode data =
     attributes;
     nlri = List.rev !nlri;
   }
+
+let decode data = decode_sub data ~pos:0 ~len:(Bytes.length data)
 
 (* ------------------------------------------------------------------ *)
 (* Bridging to the simulator's Update.t *)

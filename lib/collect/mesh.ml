@@ -15,7 +15,13 @@ let compare_action (a : M.action) (b : M.action) =
     if c <> 0 then c else Option.compare Asn.Set.compare la lb
 
 let compare_event (a : M.event) (b : M.event) =
-  let c = compare a.M.time b.M.time in
+  (* physical equality first: cross-vantage duplicates share the one
+     record the replay split fanned out, and walking the full comparator
+     (including a set compare) on every such tie dominates the merge *)
+  if a == b then 0
+  else
+    (* Int.compare, not polymorphic compare: this runs once per heap step *)
+    let c = Int.compare a.M.time b.M.time in
   if c <> 0 then c
   else
     let c = Prefix.compare a.M.prefix b.M.prefix in
@@ -24,30 +30,146 @@ let compare_event (a : M.event) (b : M.event) =
       let c = compare_action a.M.action b.M.action in
       if c <> 0 then c else Asn.compare a.M.peer b.M.peer
 
+(* Timestamps discriminate almost every pair, so the merge machinery
+   below runs on flat per-stream int arrays of times and only touches
+   the scattered event records on a time tie: one contiguous int compare
+   instead of a pointer chase per step. *)
+let times_of events = Array.map (fun (e : M.event) -> e.M.time) events
+
+let is_sorted times events =
+  let ok = ref true in
+  for i = 1 to Array.length events - 1 do
+    if
+      times.(i - 1) > times.(i)
+      || (times.(i - 1) = times.(i)
+         && compare_event events.(i - 1) events.(i) > 0)
+    then ok := false
+  done;
+  !ok
+
+(* K-way binary-heap merge over per-vantage arrays, each sorted by
+   {!compare_event} (already-sorted inputs are used in place; unsorted
+   ones are copied and sorted once).  Heap ties break toward the smaller
+   vantage index — vantages are in name order — so runs of equal events
+   pop first-observer-first, and collapsing consecutive equals
+   reproduces the old global sort-by-(event, tag) + fold dedup exactly:
+   same output order, same duplicate count.  Returns the merged events,
+   the source-vantage index of each survivor, the duplicate count, and
+   the name-ordered vantage names. *)
+let merge_core streams =
+  let streams =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) streams
+  in
+  let names = Array.of_list (List.map fst streams) in
+  let arrs =
+    Array.of_list
+      (List.map
+         (fun (_, events) ->
+           let times = times_of events in
+           if is_sorted times events then (times, events)
+           else begin
+             (* equal-under-comparator events are structurally equal on
+                every modelled field, so an unstable sort is safe *)
+             let copy = Array.copy events in
+             Array.sort compare_event copy;
+             (times_of copy, copy)
+           end)
+         streams)
+  in
+  let times = Array.map fst arrs in
+  let arrs = Array.map snd arrs in
+  let k = Array.length arrs in
+  let total = Array.fold_left (fun a arr -> a + Array.length arr) 0 arrs in
+  if total = 0 then ([||], [||], 0, names)
+  else begin
+    let pos = Array.make k 0 in
+    (* current head timestamp per stream, mirrored out of [times] so the
+       hot comparison is two flat loads instead of a double subscript *)
+    let head_t =
+      Array.init k (fun v ->
+          if Array.length arrs.(v) > 0 then times.(v).(0) else max_int)
+    in
+    let heap = Array.make k 0 in
+    let hn = ref 0 in
+    let less i j =
+      let ta = head_t.(i) and tb = head_t.(j) in
+      if ta <> tb then ta < tb
+      else
+        let c = compare_event arrs.(i).(pos.(i)) arrs.(j).(pos.(j)) in
+        if c <> 0 then c < 0 else i < j
+    in
+    let swap a b =
+      let tmp = heap.(a) in
+      heap.(a) <- heap.(b);
+      heap.(b) <- tmp
+    in
+    let rec up i =
+      if i > 0 then begin
+        let p = (i - 1) / 2 in
+        if less heap.(i) heap.(p) then begin
+          swap i p;
+          up p
+        end
+      end
+    in
+    let rec down i =
+      let l = (2 * i) + 1 and r = (2 * i) + 2 in
+      let m = ref i in
+      if l < !hn && less heap.(l) heap.(!m) then m := l;
+      if r < !hn && less heap.(r) heap.(!m) then m := r;
+      if !m <> i then begin
+        swap i !m;
+        down !m
+      end
+    in
+    for v = k - 1 downto 0 do
+      if Array.length arrs.(v) > 0 then begin
+        heap.(!hn) <- v;
+        incr hn;
+        up (!hn - 1)
+      end
+    done;
+    let dummy =
+      let rec first v = if Array.length arrs.(v) > 0 then arrs.(v).(0) else first (v + 1) in
+      first 0
+    in
+    let out_ev = Array.make total dummy in
+    let out_src = Array.make total 0 in
+    let n = ref 0 in
+    let dups = ref 0 in
+    let last_t = ref min_int in
+    while !hn > 0 do
+      let v = heap.(0) in
+      let p0 = pos.(v) in
+      let ev = arrs.(v).(p0) in
+      let tv = head_t.(v) in
+      pos.(v) <- p0 + 1;
+      if p0 + 1 < Array.length arrs.(v) then begin
+        head_t.(v) <- times.(v).(p0 + 1);
+        down 0
+      end
+      else begin
+        decr hn;
+        heap.(0) <- heap.(!hn);
+        if !hn > 0 then down 0
+      end;
+      if !n > 0 && tv = !last_t && compare_event out_ev.(!n - 1) ev = 0 then
+        incr dups
+      else begin
+        out_ev.(!n) <- ev;
+        out_src.(!n) <- v;
+        incr n;
+        last_t := tv
+      end
+    done;
+    (Array.sub out_ev 0 !n, Array.sub out_src 0 !n, !dups, names)
+  end
+
 let merge_streams streams =
-  let all =
-    List.concat_map
-      (fun (name, events) ->
-        Array.to_list (Array.map (fun event -> { tag = name; event }) events))
-      streams
-  in
-  let sorted =
-    List.sort
-      (fun a b ->
-        let c = compare_event a.event b.event in
-        if c <> 0 then c else String.compare a.tag b.tag)
-      all
-  in
-  (* collapse runs of equal events, keeping the name-order first observer *)
-  let merged, dups =
-    List.fold_left
-      (fun (acc, dups) t ->
-        match acc with
-        | prev :: _ when compare_event prev.event t.event = 0 -> (acc, dups + 1)
-        | _ -> (t :: acc, dups))
-      ([], 0) sorted
-  in
-  (Array.of_list (List.rev merged), dups)
+  let ev, src, dups, names = merge_core streams in
+  ( Array.init (Array.length ev) (fun i ->
+        { tag = names.(src.(i)); event = ev.(i) }),
+    dups )
 
 type result = {
   r_vantages : string list;
@@ -78,7 +200,7 @@ let run ?(metrics = Registry.noop) ?jobs ?settle config streams =
           Array.fold_left (fun acc (ev : M.event) -> max acc ev.M.time) acc events)
         0 streams
   in
-  let merged_stream, duplicates = merge_streams streams in
+  let merged_events, _, duplicates, _ = merge_core streams in
   let live = not (Registry.is_noop metrics) in
   if live && duplicates > 0 then
     Registry.Counter.add
@@ -88,8 +210,7 @@ let run ?(metrics = Registry.noop) ?jobs ?settle config streams =
      builds its own monitor and registry so the pool contract holds *)
   let tasks =
     Array.of_list
-      (Array.map (fun t -> t.event) merged_stream
-      :: List.map (fun (_, events) -> events) streams)
+      (merged_events :: List.map (fun (_, events) -> events) streams)
   in
   let outcomes =
     Exec.Pool.map ?jobs
@@ -120,6 +241,6 @@ let run ?(metrics = Registry.noop) ?jobs ?settle config streams =
     r_vantages = List.map fst streams;
     r_per_vantage = per_vantage;
     r_merged = merged;
-    r_merged_events = Array.length merged_stream;
+    r_merged_events = Array.length merged_events;
     r_duplicates = duplicates;
   }

@@ -8,27 +8,34 @@ let spec ~name peers =
   if peers = [] then invalid_arg "Vantage.spec: empty peer list";
   { v_name = name; v_peers = Asn.Set.of_list peers }
 
+(* Session-view tables are keyed by packed ints rather than tuples:
+   {!Prefix.to_key} is 38 bits and ASNs 16, so both composites fit an
+   OCaml int and lookups hash an immediate instead of allocating and
+   structurally hashing a tuple on every tap callback. *)
+let last_key src prefix = (Asn.to_int src lsl 38) lor Prefix.to_key prefix
+let po_key prefix origin = (Prefix.to_key prefix lsl 16) lor Asn.to_int origin
+
 type t = {
   name : string;
   peers : Asn.Set.t;
   (* last (origin, advertised list) exported per (feed AS, prefix): the
      collector-session view that dedups the per-destination fan-out *)
-  last : (Asn.t * Prefix.t, Asn.t * Asn.Set.t option) Hashtbl.t;
+  last : (int, Asn.t * Asn.Set.t option) Hashtbl.t;
   (* feeds currently announcing each (prefix, origin): the vantage emits
      origin-level transitions, so one feed re-routing away from an origin
      other feeds still carry retracts nothing — exactly the refcounted
      view a collector has of its peer set *)
-  live : (Prefix.t * Asn.t, int) Hashtbl.t;
+  live : (int, int) Hashtbl.t;
   (* MOAS list last emitted per announced (prefix, origin) *)
-  adv : (Prefix.t * Asn.t, Asn.Set.t option) Hashtbl.t;
-  mutable acc : M.event list; (* reverse capture order *)
+  adv : (int, Asn.Set.t option) Hashtbl.t;
+  mutable evs : M.event array; (* capture order; first [count] are live *)
   mutable count : int;
 }
 
 let name t = t.name
 let peers t = t.peers
 let event_count t = t.count
-let events t = Array.of_list (List.rev t.acc)
+let events t = Array.sub t.evs 0 t.count
 let streams vs = List.map (fun v -> (v.name, events v)) vs
 
 let millis time = int_of_float (Float.round (time *. 1000.0))
@@ -38,7 +45,13 @@ let bump ?labels metrics name =
   Obs.Registry.Counter.incr (Obs.Registry.counter metrics ?labels name)
 
 let push v ev =
-  v.acc <- ev :: v.acc;
+  if v.count >= Array.length v.evs then begin
+    let cap = max 64 (2 * Array.length v.evs) in
+    let grown = Array.make cap ev in
+    Array.blit v.evs 0 grown 0 v.count;
+    v.evs <- grown
+  end;
+  v.evs.(v.count) <- ev;
   v.count <- v.count + 1
 
 let record metrics v ~time ~src (update : Bgp.Update.t) =
@@ -53,7 +66,7 @@ let record metrics v ~time ~src (update : Bgp.Update.t) =
   in
   (* one feed stops carrying [origin]: retract only when it was the last *)
   let drop prefix origin =
-    let key = (prefix, origin) in
+    let key = po_key prefix origin in
     match Hashtbl.find_opt v.live key with
     | Some 1 ->
       Hashtbl.remove v.live key;
@@ -64,7 +77,7 @@ let record metrics v ~time ~src (update : Bgp.Update.t) =
   in
   (* one feed starts (or keeps) carrying [origin] with [moas_list] *)
   let raise_origin prefix origin moas_list =
-    let key = (prefix, origin) in
+    let key = po_key prefix origin in
     match Hashtbl.find_opt v.live key with
     | None ->
       Hashtbl.replace v.live key 1;
@@ -83,13 +96,13 @@ let record metrics v ~time ~src (update : Bgp.Update.t) =
     let prefix = route.Bgp.Route.prefix in
     let origin = Bgp.Route.origin_as ~self:src route in
     let moas_list = Moas.Moas_list.decode route.Bgp.Route.communities in
-    let key = (src, prefix) in
+    let key = last_key src prefix in
     (match Hashtbl.find_opt v.last key with
     | Some (prev, prev_list) when Asn.equal prev origin ->
       (* same origin re-exported: a new event only if the list changed *)
       if not (Option.equal Asn.Set.equal prev_list moas_list) then begin
         Hashtbl.replace v.last key (origin, moas_list);
-        let lk = (prefix, origin) in
+        let lk = po_key prefix origin in
         if not
              (Option.equal (Option.equal Asn.Set.equal)
                 (Hashtbl.find_opt v.adv lk) (Some moas_list))
@@ -107,9 +120,10 @@ let record metrics v ~time ~src (update : Bgp.Update.t) =
       Hashtbl.add v.last key (origin, moas_list);
       raise_origin prefix origin moas_list)
   | Bgp.Update.Withdraw prefix -> (
-    match Hashtbl.find_opt v.last (src, prefix) with
+    let key = last_key src prefix in
+    match Hashtbl.find_opt v.last key with
     | Some (prev, _) ->
-      Hashtbl.remove v.last (src, prefix);
+      Hashtbl.remove v.last key;
       drop prefix prev
     | None -> () (* a withdrawal for a route this session never carried *))
 
@@ -137,7 +151,7 @@ let attach ?(metrics = Obs.Registry.noop) network specs =
           last = Hashtbl.create 64;
           live = Hashtbl.create 64;
           adv = Hashtbl.create 64;
-          acc = [];
+          evs = [||];
           count = 0;
         })
       specs

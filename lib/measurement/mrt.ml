@@ -105,42 +105,21 @@ let decode_record c =
   let _peer_ip = take_u32 c in
   let peer_as = Asn.make (take_u16 c) in
   let attr_len = take_u16 c in
-  let attr_end = c.pos + attr_len in
-  if attr_end > Bytes.length c.data then malformed "attributes overrun";
-  (* rebuild a BGP UPDATE around the attribute blob so the wire codec can
-     parse it *)
-  let prefix = Prefix.make (Ipv4.of_int network) mask in
-  let update_payload = Buffer.create (attr_len + 32) in
-  put_u16 update_payload 0 (* withdrawn length *);
-  put_u16 update_payload attr_len;
-  Buffer.add_bytes update_payload (Bytes.sub c.data c.pos attr_len);
-  c.pos <- attr_end;
-  (* one NLRI so the wire decoder accepts the attributes *)
-  let nlri = Buffer.create 8 in
-  put_u8 nlri (Prefix.length prefix);
-  let net = Ipv4.to_int (Prefix.network prefix) in
-  for i = 0 to ((Prefix.length prefix + 7) / 8) - 1 do
-    put_u8 nlri ((net lsr (24 - (8 * i))) land 0xff)
-  done;
-  Buffer.add_buffer update_payload nlri;
-  let total = Bgp.Wire.marker_length + 3 + Buffer.length update_payload in
-  let whole = Buffer.create total in
-  for _ = 1 to Bgp.Wire.marker_length do
-    Buffer.add_char whole '\xff'
-  done;
-  put_u16 whole total;
-  put_u8 whole 2;
-  Buffer.add_buffer whole update_payload;
-  let message =
-    try Bgp.Wire.decode (Buffer.to_bytes whole)
+  if c.pos + attr_len > Bytes.length c.data then malformed "attributes overrun";
+  if attr_len = 0 then malformed "record without attributes";
+  (* the attribute blob parses where it lies — a zero-copy slice view,
+     no rebuilt UPDATE message, no intermediate buffers *)
+  let attrs =
+    try Bgp.Wire.decode_attributes c.data ~pos:c.pos ~len:attr_len
     with Bgp.Wire.Malformed m -> malformed "attribute blob: %s" m
   in
-  let as_path =
-    match message.Bgp.Wire.attributes with
-    | Some attrs -> attrs.Bgp.Wire.as_path
-    | None -> malformed "record without attributes"
-  in
-  { timestamp; peer_as; prefix; as_path }
+  c.pos <- c.pos + attr_len;
+  {
+    timestamp;
+    peer_as;
+    prefix = Prefix.make (Ipv4.of_int network) mask;
+    as_path = attrs.Bgp.Wire.as_path;
+  }
 
 let fold_records data ~init ~f =
   let c = { data; pos = 0 } in

@@ -65,12 +65,50 @@ let crc32 ?(seed = 0) data ~pos ~len =
   done;
   !crc lxor 0xFFFFFFFF
 
-type cursor = { data : bytes; mutable pos : int; fail : string -> exn }
+(* Direct writers into preallocated bytes, for callers that assemble a
+   frame in place (single allocation, no Buffer-to-bytes copy). *)
 
-let cursor ~fail data = { data; pos = 0; fail }
+let set_u8 b off v = Bytes.set b off (Char.chr (v land 0xff))
+
+let set_u16 b off v =
+  set_u8 b off (v lsr 8);
+  set_u8 b (off + 1) v
+
+let set_u32 b off v =
+  set_u16 b off (v lsr 16);
+  set_u16 b (off + 2) (v land 0xffff)
+
+type cursor = {
+  data : bytes;
+  mutable pos : int;
+  limit : int; (* exclusive upper bound: a slice view decodes [pos, limit) *)
+  fail : string -> exn;
+}
+
+let cursor ~fail data = { data; pos = 0; limit = Bytes.length data; fail }
+
+let cursor_slice ~fail data ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length data then
+    invalid_arg "Net.Codec.cursor_slice: slice out of bounds";
+  { data; pos; limit = pos + len; fail }
+
 let pos c = c.pos
-let remaining c = Bytes.length c.data - c.pos
+let remaining c = c.limit - c.pos
 let corrupt c fmt = Printf.ksprintf (fun s -> raise (c.fail s)) fmt
+
+(* A child cursor over the next [len] octets of the parent, sharing the
+   underlying bytes (no [Bytes.sub]); the parent skips past them. *)
+let sub_cursor c len =
+  if len < 0 || c.pos + len > c.limit then
+    corrupt c "truncated slice of %d octets at %d" len c.pos;
+  let child = { data = c.data; pos = c.pos; limit = c.pos + len; fail = c.fail } in
+  c.pos <- c.pos + len;
+  child
+
+let advance c n =
+  if n < 0 || c.pos + n > c.limit then
+    corrupt c "truncated skip of %d octets at %d" n c.pos;
+  c.pos <- c.pos + n
 
 let check_crc c ~seed ~expect =
   let actual = crc32 ~seed c.data ~pos:c.pos ~len:(remaining c) in
@@ -79,7 +117,7 @@ let check_crc c ~seed ~expect =
       actual
 
 let take_u8 c =
-  if c.pos >= Bytes.length c.data then corrupt c "truncated at octet %d" c.pos;
+  if c.pos >= c.limit then corrupt c "truncated at octet %d" c.pos;
   let v = Char.code (Bytes.get c.data c.pos) in
   c.pos <- c.pos + 1;
   v
@@ -144,8 +182,7 @@ let take_list c take =
 
 let take_string c =
   let n = take_u16 c in
-  if c.pos + n > Bytes.length c.data then
-    corrupt c "truncated string at %d" c.pos;
+  if c.pos + n > c.limit then corrupt c "truncated string at %d" c.pos;
   let s = Bytes.sub_string c.data c.pos n in
   c.pos <- c.pos + n;
   s

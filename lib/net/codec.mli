@@ -33,6 +33,16 @@ val put_list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
 val put_string : Buffer.t -> string -> unit
 (** u16 length, then the raw octets. *)
 
+(** {2 In-place writers}
+
+    Direct stores into preallocated bytes, for callers that assemble a
+    frame in a single allocation (header fields patched after the payload
+    is measured) instead of chaining [Buffer.to_bytes] copies. *)
+
+val set_u8 : bytes -> int -> int -> unit
+val set_u16 : bytes -> int -> int -> unit
+val set_u32 : bytes -> int -> int -> unit
+
 (** {2 Frame integrity} *)
 
 val crc32 : ?seed:int -> bytes -> pos:int -> len:int -> int
@@ -46,15 +56,30 @@ val crc32 : ?seed:int -> bytes -> pos:int -> len:int -> int
 (** {2 Readers} *)
 
 type cursor
-(** A read position over a byte string, with a per-format failure
-    exception. *)
+(** A read position over a [pos, limit) window of a byte string, with a
+    per-format failure exception.  Slice cursors ({!cursor_slice},
+    {!sub_cursor}) share the underlying bytes — decoding an embedded
+    region never copies it out first. *)
 
 val cursor : fail:(string -> exn) -> bytes -> cursor
-(** [cursor ~fail data] starts at offset 0.  Every malformed-input
-    condition raises [fail message]. *)
+(** [cursor ~fail data] starts at offset 0 over the whole byte string.
+    Every malformed-input condition raises [fail message]. *)
+
+val cursor_slice : fail:(string -> exn) -> bytes -> pos:int -> len:int -> cursor
+(** A cursor over the [len] octets starting at [pos], without copying.
+    @raise Invalid_argument when the slice exceeds the byte string. *)
+
+val sub_cursor : cursor -> int -> cursor
+(** [sub_cursor c len] is a child cursor over the next [len] octets of
+    [c] (zero-copy view; the replacement for take-bytes copies); [c]
+    itself skips past them.  Fails through [c] on truncation. *)
+
+val advance : cursor -> int -> unit
+(** Skip [n] octets; fails on truncation. *)
 
 val pos : cursor -> int
 val remaining : cursor -> int
+(** Octets left before the cursor's limit. *)
 
 val corrupt : cursor -> ('a, unit, string, 'b) format4 -> 'a
 (** Raise the cursor's failure exception with a formatted message. *)

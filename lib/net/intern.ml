@@ -1,0 +1,107 @@
+(* Dense interning over values with an injective int key.  See intern.mli
+   for the contract.
+
+   The key -> id index is a hand-rolled open-addressing table (linear
+   probing, power-of-two capacity, load factor <= 1/2) rather than a
+   [Hashtbl]: keys are already unboxed ints, so a multiplicative hash and
+   an array probe beat the polymorphic [caml_hash] call and bucket chase
+   on every lookup, and the hit path touches two flat arrays. *)
+
+type 'a t = {
+  key : 'a -> int;
+  mutable keys : int array; (* probe-slot -> packed key *)
+  mutable slots : int array; (* probe-slot -> id + 1; 0 = empty *)
+  mutable mask : int; (* capacity - 1; capacity is a power of two *)
+  mutable values : 'a array; (* dense id -> value, [count] entries live *)
+  mutable count : int;
+}
+
+(* Multiplicative hash with the high product bits folded back into the
+   low ones.  Callers mask the result down to the table capacity, so the
+   fold matters: packed prefix keys are strided (network lsl 6), and the
+   low bits of [k * C] alone are constant across such a stride — masking
+   them directly would collapse the whole table into one probe chain. *)
+let hash k =
+  let h = k * 0x2545F4914F6CDD1D in
+  h lxor (h lsr 31)
+
+let rec pow2_at_least n c = if c >= n then c else pow2_at_least n (2 * c)
+
+let create ?(size = 256) ~key () =
+  let cap = pow2_at_least (2 * size) 16 in
+  {
+    key;
+    keys = Array.make cap 0;
+    slots = Array.make cap 0;
+    mask = cap - 1;
+    values = [||];
+    count = 0;
+  }
+
+let count t = t.count
+
+(* First slot that either holds [k] or is empty. *)
+let rec probe t k i =
+  let s = t.slots.(i) in
+  if s = 0 || t.keys.(i) = k then i else probe t k ((i + 1) land t.mask)
+
+let grow_index t =
+  let ncap = 2 * Array.length t.slots in
+  let keys = Array.make ncap 0 and slots = Array.make ncap 0 in
+  let nmask = ncap - 1 in
+  for i = 0 to Array.length t.slots - 1 do
+    let s = t.slots.(i) in
+    if s <> 0 then begin
+      let k = t.keys.(i) in
+      let j = ref (hash k land nmask) in
+      while slots.(!j) <> 0 do
+        j := (!j + 1) land nmask
+      done;
+      keys.(!j) <- k;
+      slots.(!j) <- s
+    end
+  done;
+  t.keys <- keys;
+  t.slots <- slots;
+  t.mask <- nmask
+
+let ensure_room t v =
+  if t.count >= Array.length t.values then begin
+    let cap = max 8 (2 * Array.length t.values) in
+    let grown = Array.make cap v in
+    Array.blit t.values 0 grown 0 t.count;
+    t.values <- grown
+  end
+
+let id t v =
+  let k = t.key v in
+  let i = probe t k (hash k land t.mask) in
+  if t.slots.(i) <> 0 then t.slots.(i) - 1
+  else begin
+    let n = t.count in
+    ensure_room t v;
+    t.values.(n) <- v;
+    t.count <- n + 1;
+    t.keys.(i) <- k;
+    t.slots.(i) <- n + 1;
+    if 2 * t.count >= Array.length t.slots then grow_index t;
+    n
+  end
+
+let find t v =
+  let k = t.key v in
+  (* empty slot holds 0, so this is -1 exactly when [v] was never seen *)
+  t.slots.(probe t k (hash k land t.mask)) - 1
+
+let of_id t i =
+  if i < 0 || i >= t.count then
+    invalid_arg (Printf.sprintf "Intern.of_id: %d outside [0,%d)" i t.count);
+  t.values.(i)
+
+let iter t f =
+  for i = 0 to t.count - 1 do
+    f i t.values.(i)
+  done
+
+let prefixes ?size () = create ?size ~key:Prefix.to_key ()
+let asns ?size () = create ?size ~key:Asn.to_int ()

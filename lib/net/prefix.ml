@@ -57,6 +57,17 @@ let bit t i =
 
 let hash t = (Ipv4.to_int t.network * 31) lxor t.length
 
+(* Injective packing into a native int: 32 network bits shifted over the
+   6 bits that hold the mask length (0..32).  38 bits total, so the key
+   is collision-free on 63-bit OCaml ints — an exact int identity usable
+   as an unboxed hash-table key or interning handle. *)
+let to_key t = (Ipv4.to_int t.network lsl 6) lor t.length
+
+let of_key k =
+  let length = k land 0x3f in
+  if length > 32 then invalid_arg "Prefix.of_key: length out of range";
+  { network = Ipv4.of_int (k lsr 6); length }
+
 module Ord = struct
   type nonrec t = t
 

@@ -54,5 +54,16 @@ val bit : t -> int -> bool
 val hash : t -> int
 (** Hash compatible with {!equal}. *)
 
+val to_key : t -> int
+(** Injective packing into a non-negative native int (38 bits: the
+    network address over the mask length).  [to_key a = to_key b] iff
+    [equal a b], so the key works as an exact unboxed hash-table key —
+    no structural comparison, no allocation — and composes into wider
+    packed keys (e.g. [(asn lsl 38) lor to_key p] for session tables). *)
+
+val of_key : int -> t
+(** Inverse of {!to_key}. @raise Invalid_argument on a key no prefix
+    produces. *)
+
 module Map : Map.S with type key = t
 module Set : Set.S with type elt = t

@@ -60,22 +60,35 @@ let magic = "MOASSERV"
    payload mutation — can turn one valid frame into a different valid
    one: it is caught as [Corrupt] instead (chaos-harness invariant). *)
 
-let kind_crc kind = Codec.crc32 (Bytes.make 1 (Char.chr kind)) ~pos:0 ~len:1
+(* CRC of each possible kind octet, computed once instead of hashing a
+   freshly allocated one-octet byte string per frame *)
+let kind_crcs =
+  lazy
+    (let b = Bytes.create 1 in
+     Array.init 256 (fun k ->
+         Bytes.set b 0 (Char.chr k);
+         Codec.crc32 b ~pos:0 ~len:1))
+
+let kind_crc kind = (Lazy.force kind_crcs).(kind)
+
+let header_len = 18 (* magic 8 · version 1 · kind 1 · u32 length · u32 CRC *)
 
 let frame kind put_payload =
   let payload = Buffer.create 64 in
   put_payload payload;
-  let pbytes = Buffer.to_bytes payload in
-  let plen = Bytes.length pbytes in
-  let crc = Codec.crc32 ~seed:(kind_crc kind) pbytes ~pos:0 ~len:plen in
-  let buf = Buffer.create (plen + 20) in
-  Buffer.add_string buf magic;
-  put_u8 buf version;
-  put_u8 buf kind;
-  put_u32 buf plen;
-  put_u32 buf crc;
-  Buffer.add_bytes buf pbytes;
-  Buffer.to_bytes buf
+  let plen = Buffer.length payload in
+  (* single-copy assembly: the frame bytes are allocated once, the
+     payload blitted straight out of the buffer, and length and CRC
+     patched into the header — no [Buffer.to_bytes] intermediate *)
+  let out = Bytes.create (header_len + plen) in
+  Bytes.blit_string magic 0 out 0 8;
+  set_u8 out 8 version;
+  set_u8 out 9 kind;
+  set_u32 out 10 plen;
+  Buffer.blit payload 0 out header_len plen;
+  let crc = Codec.crc32 ~seed:(kind_crc kind) out ~pos:header_len ~len:plen in
+  set_u32 out 14 crc;
+  out
 
 let open_frame data =
   let c = cursor ~fail:(fun m -> Corrupt m) data in

@@ -113,8 +113,8 @@ let compare_episode a b =
   let c = Prefix.compare a.e_prefix b.e_prefix in
   if c <> 0 then c
   else
-    let c = compare a.e_started b.e_started in
-    if c <> 0 then c else compare a.e_seq b.e_seq
+    let c = Int.compare a.e_started b.e_started in
+    if c <> 0 then c else Int.compare a.e_seq b.e_seq
 
 (* Counters of disjoint shards add; [c_days] is the exception because a
    day mark is delivered to every shard, so each shard already holds the
@@ -191,8 +191,60 @@ type open_state = {
   mutable os_clean : bool;
 }
 
+(* Tiny per-prefix origin table: parallel arrays kept sorted by Asn so
+   the snapshot's binding order matches the old [Asn.Map] exactly.  MOAS
+   origin sets are a handful of ASes, so a linear scan beats a balanced
+   tree and — the point of the exercise — a repeat announcement mutates
+   the slot in place instead of allocating a fresh tree path. *)
+type otab = {
+  mutable o_asn : Asn.t array; (* sorted ascending; [o_n] live entries *)
+  mutable o_adv : Asn.Set.t option array;
+  mutable o_n : int;
+}
+
+let otab_create () = { o_asn = [||]; o_adv = [||]; o_n = 0 }
+
+(* index of [origin] when present, otherwise [-(insertion point + 1)] *)
+let otab_search ot origin =
+  let n = ot.o_n in
+  let rec go i =
+    if i >= n then -(i + 1)
+    else
+      let c = Asn.compare ot.o_asn.(i) origin in
+      if c < 0 then go (i + 1) else if c = 0 then i else -(i + 1)
+  in
+  go 0
+
+let otab_insert ot pos origin adv =
+  let n = ot.o_n in
+  if n = Array.length ot.o_asn then begin
+    let cap = max 4 (2 * n) in
+    let asn = Array.make cap origin and advs = Array.make cap None in
+    Array.blit ot.o_asn 0 asn 0 n;
+    Array.blit ot.o_adv 0 advs 0 n;
+    ot.o_asn <- asn;
+    ot.o_adv <- advs
+  end;
+  for i = n downto pos + 1 do
+    ot.o_asn.(i) <- ot.o_asn.(i - 1);
+    ot.o_adv.(i) <- ot.o_adv.(i - 1)
+  done;
+  ot.o_asn.(pos) <- origin;
+  ot.o_adv.(pos) <- adv;
+  ot.o_n <- n + 1
+
+let otab_remove ot pos =
+  let n = ot.o_n in
+  for i = pos to n - 2 do
+    ot.o_asn.(i) <- ot.o_asn.(i + 1);
+    ot.o_adv.(i) <- ot.o_adv.(i + 1)
+  done;
+  ot.o_adv.(n - 1) <- None;
+  (* don't pin the dropped Set *)
+  ot.o_n <- n - 1
+
 type pstate = {
-  mutable origins : Asn.Set.t option Asn.Map.t;
+  ot : otab;
   mutable open_ep : open_state option;
   mutable closed_count : int;
 }
@@ -204,13 +256,34 @@ type wstate = {
   mutable wa : int;
 }
 
+(* Prefixes are interned to dense int ids ({!Net.Intern}) the first time
+   they announce; all per-prefix live state lives in an array indexed by
+   that id and the open/dirty sets are int-keyed.  The hot ingest loop
+   therefore touches only unboxed int keys — no structural hashing of
+   prefix records, no option boxing on the hit path.  Ids are an
+   in-memory handle: a monitor rebuilt from a snapshot re-interns in
+   snapshot order and behaves identically (the snapshot itself is keyed
+   by prefix, never by id). *)
 type t = {
   cfg : config;
-  tbl : (Prefix.t, pstate) Hashtbl.t;
-  open_tbl : (Prefix.t, pstate) Hashtbl.t;
-  dirty : (Prefix.t, unit) Hashtbl.t;
+  interner : Prefix.t Intern.t;
+  mutable states : pstate option array; (* dense prefix id -> live state *)
+  (* open and dirty sets as flag-bytes + id stacks: ids are dense, so
+     membership is a byte load and insertion a byte store + push — no
+     hashing, no allocation on the steady path.  The open stack may hold
+     stale ids of since-closed episodes; [mark_day] sweeps them out and
+     [open_live] tracks the exact live count. *)
+  mutable open_flag : Bytes.t;
+  mutable open_ids : int array;
+  mutable open_n : int;
+  mutable open_live : int;
+  mutable dirty_flag : Bytes.t;
+  mutable dirty_ids : int array;
+  mutable dirty_n : int;
   mutable closed : episode list;  (* reverse completion order *)
   windows : (int, wstate) Hashtbl.t;
+  mutable cur_widx : int; (* cached window slot: feeds are time-monotone *)
+  mutable cur_w : wstate;
   mutable updates : int;
   mutable announces : int;
   mutable withdraws : int;
@@ -231,11 +304,19 @@ let create ?(metrics = Registry.noop) cfg =
   validate_config cfg;
   {
     cfg;
-    tbl = Hashtbl.create 1024;
-    open_tbl = Hashtbl.create 256;
-    dirty = Hashtbl.create 256;
+    interner = Intern.prefixes ~size:1024 ();
+    states = [||];
+    open_flag = Bytes.empty;
+    open_ids = [||];
+    open_n = 0;
+    open_live = 0;
+    dirty_flag = Bytes.empty;
+    dirty_ids = [||];
+    dirty_n = 0;
     closed = [];
     windows = Hashtbl.create 64;
+    cur_widx = min_int;
+    cur_w = { wu = 0; wo = 0; wc = 0; wa = 0 };
     updates = 0;
     announces = 0;
     withdraws = 0;
@@ -253,31 +334,82 @@ let create ?(metrics = Registry.noop) cfg =
   }
 
 let config t = t.cfg
-let open_count t = Hashtbl.length t.open_tbl
+let open_count t = t.open_live
 let update_count t = t.updates
 let day_count t = t.days
 
 let wslot t time =
   let idx = time / t.cfg.window in
-  match Hashtbl.find_opt t.windows idx with
-  | Some w -> w
-  | None ->
-    let w = { wu = 0; wo = 0; wc = 0; wa = 0 } in
-    Hashtbl.add t.windows idx w;
+  if idx = t.cur_widx then t.cur_w
+  else begin
+    let w =
+      match Hashtbl.find t.windows idx with
+      | w -> w
+      | exception Not_found ->
+        let w = { wu = 0; wo = 0; wc = 0; wa = 0 } in
+        Hashtbl.add t.windows idx w;
+        w
+    in
+    t.cur_widx <- idx;
+    t.cur_w <- w;
     w
+  end
 
-let pstate_of t prefix =
-  match Hashtbl.find_opt t.tbl prefix with
+let grow_flags b id =
+  if Bytes.length b > id then b
+  else begin
+    let cap = max 1024 (2 * Bytes.length b) in
+    let nb = Bytes.make (max cap (id + 1)) '\000' in
+    Bytes.blit b 0 nb 0 (Bytes.length b);
+    nb
+  end
+
+let grow_ids a n =
+  if n < Array.length a then a
+  else begin
+    let cap = max 1024 (2 * n) in
+    let na = Array.make cap 0 in
+    Array.blit a 0 na 0 n;
+    na
+  end
+
+let mark_dirty t id =
+  t.dirty_flag <- grow_flags t.dirty_flag id;
+  if Bytes.get t.dirty_flag id = '\000' then begin
+    Bytes.set t.dirty_flag id '\001';
+    t.dirty_ids <- grow_ids t.dirty_ids t.dirty_n;
+    t.dirty_ids.(t.dirty_n) <- id;
+    t.dirty_n <- t.dirty_n + 1
+  end
+
+let mark_open t id =
+  t.open_live <- t.open_live + 1;
+  t.open_flag <- grow_flags t.open_flag id;
+  if Bytes.get t.open_flag id = '\000' then begin
+    Bytes.set t.open_flag id '\001';
+    t.open_ids <- grow_ids t.open_ids t.open_n;
+    t.open_ids.(t.open_n) <- id;
+    t.open_n <- t.open_n + 1
+  end
+
+let pstate_of t id =
+  if id >= Array.length t.states then begin
+    let cap = max 1024 (2 * Array.length t.states) in
+    let grown = Array.make (max cap (id + 1)) None in
+    Array.blit t.states 0 grown 0 (Array.length t.states);
+    t.states <- grown
+  end;
+  match t.states.(id) with
   | Some ps -> ps
   | None ->
-    let ps = { origins = Asn.Map.empty; open_ep = None; closed_count = 0 } in
-    Hashtbl.add t.tbl prefix ps;
+    let ps = { ot = otab_create (); open_ep = None; closed_count = 0 } in
+    t.states.(id) <- Some ps;
     ps
 
 let close_episode t prefix ps os ~time =
   ps.open_ep <- None;
   ps.closed_count <- ps.closed_count + 1;
-  Hashtbl.remove t.open_tbl prefix;
+  t.open_live <- t.open_live - 1;
   t.closed <-
     {
       e_prefix = prefix;
@@ -305,31 +437,37 @@ let ingest t ev =
   | Announce { origin; moas_list } ->
     t.announces <- t.announces + 1;
     Registry.Counter.incr t.m_announces;
-    let ps = pstate_of t ev.prefix in
-    ps.origins <- Asn.Map.add origin moas_list ps.origins;
-    let card = Asn.Map.cardinal ps.origins in
+    let id = Intern.id t.interner ev.prefix in
+    let ps = pstate_of t id in
+    let ot = ps.ot in
+    (match otab_search ot origin with
+    | i when i >= 0 -> ot.o_adv.(i) <- moas_list
+    | neg -> otab_insert ot (-neg - 1) origin moas_list);
+    let card = ot.o_n in
     (match ps.open_ep with
     | Some os ->
       if card > os.os_max_origins then os.os_max_origins <- card;
       os.os_origins_ever <- Asn.Set.add origin os.os_origins_ever;
-      Hashtbl.replace t.dirty ev.prefix ()
+      mark_dirty t id
     | None ->
       if card > 1 then begin
+        let origins_ever = ref Asn.Set.empty in
+        for i = 0 to ot.o_n - 1 do
+          origins_ever := Asn.Set.add ot.o_asn.(i) !origins_ever
+        done;
         let os =
           {
             os_seq = ps.closed_count + 1;
             os_started = ev.time;
             os_days = 0;
             os_max_origins = card;
-            os_origins_ever =
-              Asn.Map.fold (fun o _ s -> Asn.Set.add o s) ps.origins
-                Asn.Set.empty;
+            os_origins_ever = !origins_ever;
             os_clean = true;
           }
         in
         ps.open_ep <- Some os;
-        Hashtbl.replace t.open_tbl ev.prefix ps;
-        Hashtbl.replace t.dirty ev.prefix ();
+        mark_open t id;
+        mark_dirty t id;
         t.opened <- t.opened + 1;
         Registry.Counter.incr t.m_opened;
         w.wo <- w.wo + 1
@@ -337,20 +475,24 @@ let ingest t ev =
   | Withdraw { origin } -> (
     t.withdraws <- t.withdraws + 1;
     Registry.Counter.incr t.m_withdraws;
-    match Hashtbl.find_opt t.tbl ev.prefix with
-    | None -> ()
-    | Some ps ->
-      if Asn.Map.mem origin ps.origins then begin
-        ps.origins <- Asn.Map.remove origin ps.origins;
-        (match ps.open_ep with
-        | Some os when Asn.Map.cardinal ps.origins <= 1 ->
-          close_episode t ev.prefix ps os ~time:ev.time
-        | _ -> ());
-        if
-          Asn.Map.is_empty ps.origins && ps.open_ep = None
-          && ps.closed_count = 0
-        then Hashtbl.remove t.tbl ev.prefix
-      end)
+    (* [find] never interns: a withdraw for a prefix that never
+       announced stays a no-op without growing the table *)
+    let id = Intern.find t.interner ev.prefix in
+    if id >= 0 then
+      match t.states.(id) with
+      | None -> ()
+      | Some ps ->
+        let ot = ps.ot in
+        let i = otab_search ot origin in
+        if i >= 0 then begin
+          otab_remove ot i;
+          (match ps.open_ep with
+          | Some os when ot.o_n <= 1 ->
+            close_episode t ev.prefix ps os ~time:ev.time
+          | _ -> ());
+          if ot.o_n = 0 && ps.open_ep = None && ps.closed_count = 0 then
+            t.states.(id) <- None
+        end)
 
 (* The paper's consistency criterion, evaluated over the settled state of
    a conflicted prefix: every current origin must advertise a MOAS list,
@@ -369,34 +511,64 @@ let origins_validated origins =
         rest
       && Asn.Map.for_all (fun o _ -> Asn.Set.mem o list) origins)
 
+(* Same predicate evaluated directly on the live origin table, so
+   [settle] never materialises a map.  Mirrors [origins_validated]: the
+   reference list is the binding of the largest origin (the head of the
+   old fold's accumulator). *)
+let otab_validated ot =
+  let n = ot.o_n in
+  if n <= 1 then true
+  else
+    match ot.o_adv.(n - 1) with
+    | None -> false
+    | Some list ->
+      let ok = ref true in
+      for i = 0 to n - 2 do
+        match ot.o_adv.(i) with
+        | None -> ok := false
+        | Some l -> if not (Moas.Moas_list.consistent l list) then ok := false
+      done;
+      for i = 0 to n - 1 do
+        if not (Asn.Set.mem ot.o_asn.(i) list) then ok := false
+      done;
+      !ok
+
 let settle t ~time =
-  if Hashtbl.length t.dirty > 0 then begin
-    Hashtbl.iter
-      (fun prefix () ->
-        match Hashtbl.find_opt t.tbl prefix with
-        | Some ({ open_ep = Some os; _ } as ps) when os.os_clean ->
-          if not (origins_validated ps.origins) then begin
-            os.os_clean <- false;
-            t.alerts <- t.alerts + 1;
-            Registry.Counter.incr t.m_alerts;
-            let w = wslot t time in
-            w.wa <- w.wa + 1
-          end
-        | _ -> ())
-      t.dirty;
-    Hashtbl.reset t.dirty
+  if t.dirty_n > 0 then begin
+    for k = 0 to t.dirty_n - 1 do
+      let id = t.dirty_ids.(k) in
+      Bytes.set t.dirty_flag id '\000';
+      match t.states.(id) with
+      | Some ({ open_ep = Some os; _ } as ps) when os.os_clean ->
+        if not (otab_validated ps.ot) then begin
+          os.os_clean <- false;
+          t.alerts <- t.alerts + 1;
+          Registry.Counter.incr t.m_alerts;
+          let w = wslot t time in
+          w.wa <- w.wa + 1
+        end
+      | _ -> ()
+    done;
+    t.dirty_n <- 0
   end
 
 let mark_day t ~time =
   settle t ~time;
   t.days <- t.days + 1;
   if time > t.last_time then t.last_time <- time;
-  Hashtbl.iter
-    (fun _ ps ->
-      match ps.open_ep with
-      | Some os -> os.os_days <- os.os_days + 1
-      | None -> ())
-    t.open_tbl
+  (* sweep the open stack: bump live episodes, compact out entries whose
+     episode closed and never reopened *)
+  let kept = ref 0 in
+  for k = 0 to t.open_n - 1 do
+    let id = t.open_ids.(k) in
+    match t.states.(id) with
+    | Some { open_ep = Some os; _ } ->
+      os.os_days <- os.os_days + 1;
+      t.open_ids.(!kept) <- id;
+      incr kept
+    | _ -> Bytes.set t.open_flag id '\000'
+  done;
+  t.open_n <- !kept
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot / restore *)
@@ -412,32 +584,94 @@ let counters t =
     c_days = t.days;
   }
 
+(* Permutation that sorts [keys] ascending, via LSD radix sort: four
+   10-bit counting passes cover the 38-bit packed prefix key space.
+   Keys are injective and order-compatible with [Prefix.compare] (see
+   [Prefix.to_key]), and each live prefix appears once, so applying the
+   permutation reproduces the comparator sort exactly — without the
+   ~n log n closure calls the list sort pays on every snapshot. *)
+let radix_perm keys =
+  let n = Array.length keys in
+  let perm = Array.init n Fun.id in
+  let tmp = Array.make (max n 1) 0 in
+  let counts = Array.make 1024 0 in
+  let src = ref perm and dst = ref tmp in
+  for pass = 0 to 3 do
+    let shift = 10 * pass in
+    Array.fill counts 0 1024 0;
+    let s = !src in
+    for i = 0 to n - 1 do
+      let d = (keys.(s.(i)) lsr shift) land 1023 in
+      counts.(d) <- counts.(d) + 1
+    done;
+    let off = ref 0 in
+    for d = 0 to 1023 do
+      let c = counts.(d) in
+      counts.(d) <- !off;
+      off := !off + c
+    done;
+    let t = !dst in
+    for i = 0 to n - 1 do
+      let idx = s.(i) in
+      let d = (keys.(idx) lsr shift) land 1023 in
+      t.(counts.(d)) <- idx;
+      counts.(d) <- counts.(d) + 1
+    done;
+    src := t;
+    dst := s
+  done;
+  (* four passes: the final result landed back in [perm] *)
+  !src
+
 let snapshot t =
+  let prefixes = ref [] in
+  for id = min (Intern.count t.interner) (Array.length t.states) - 1 downto 0 do
+    match t.states.(id) with
+    | None -> ()
+    | Some ps ->
+      let p_origins =
+        (* ascending Asn order: identical to the old [Asn.Map.bindings] *)
+        let ot = ps.ot in
+        let rec build i acc =
+          if i < 0 then acc
+          else
+            build (i - 1)
+              ({ origin = ot.o_asn.(i); adv_list = ot.o_adv.(i) } :: acc)
+        in
+        build (ot.o_n - 1) []
+      in
+      let p_open =
+        Option.map
+          (fun os ->
+            {
+              o_seq = os.os_seq;
+              o_started = os.os_started;
+              o_days = os.os_days;
+              o_max_origins = os.os_max_origins;
+              o_origins_ever = os.os_origins_ever;
+              o_clean = os.os_clean;
+            })
+          ps.open_ep
+      in
+      prefixes :=
+        {
+          p_prefix = Intern.of_id t.interner id;
+          p_origins;
+          p_open;
+          p_closed_count = ps.closed_count;
+        }
+        :: !prefixes
+  done;
+  (* ids reflect first-announce order; the snapshot stays canonical by
+     sorting on the prefix key, exactly as the old comparator sort did *)
   let prefixes =
-    Hashtbl.fold
-      (fun prefix ps acc ->
-        let p_origins =
-          List.map
-            (fun (origin, adv_list) -> { origin; adv_list })
-            (Asn.Map.bindings ps.origins)
-        in
-        let p_open =
-          Option.map
-            (fun os ->
-              {
-                o_seq = os.os_seq;
-                o_started = os.os_started;
-                o_days = os.os_days;
-                o_max_origins = os.os_max_origins;
-                o_origins_ever = os.os_origins_ever;
-                o_clean = os.os_clean;
-              })
-            ps.open_ep
-        in
-        { p_prefix = prefix; p_origins; p_open; p_closed_count = ps.closed_count }
-        :: acc)
-      t.tbl []
-    |> List.sort (fun a b -> Prefix.compare a.p_prefix b.p_prefix)
+    let recs = Array.of_list !prefixes in
+    let keys = Array.map (fun p -> Prefix.to_key p.p_prefix) recs in
+    let perm = radix_perm keys in
+    let rec build i acc =
+      if i < 0 then acc else build (i - 1) (recs.(perm.(i)) :: acc)
+    in
+    build (Array.length recs - 1) []
   in
   let windows =
     Hashtbl.fold
@@ -460,11 +694,6 @@ let restore ?metrics snap =
   let t = create ?metrics snap.s_config in
   List.iter
     (fun p ->
-      let origins =
-        List.fold_left
-          (fun m e -> Asn.Map.add e.origin e.adv_list m)
-          Asn.Map.empty p.p_origins
-      in
       let open_ep =
         Option.map
           (fun o ->
@@ -478,9 +707,18 @@ let restore ?metrics snap =
             })
           p.p_open
       in
-      let ps = { origins; open_ep; closed_count = p.p_closed_count } in
-      Hashtbl.replace t.tbl p.p_prefix ps;
-      if open_ep <> None then Hashtbl.replace t.open_tbl p.p_prefix ps)
+      let id = Intern.id t.interner p.p_prefix in
+      let ps0 = pstate_of t id in
+      (* last binding wins on duplicate origins, as [Asn.Map.add] did *)
+      List.iter
+        (fun e ->
+          match otab_search ps0.ot e.origin with
+          | i when i >= 0 -> ps0.ot.o_adv.(i) <- e.adv_list
+          | neg -> otab_insert ps0.ot (-neg - 1) e.origin e.adv_list)
+        p.p_origins;
+      ps0.open_ep <- open_ep;
+      ps0.closed_count <- p.p_closed_count;
+      if open_ep <> None then mark_open t id)
     snap.s_prefixes;
   t.closed <- List.rev snap.s_closed;
   List.iter

@@ -5,6 +5,14 @@ type t = {
   shards : Monitor.t array;
   shard_metrics : Registry.t array;
   driver : Registry.t;
+  (* persistent counting-sort scratch for {!ingest_batch}: the batch path
+     allocates nothing per event once these have grown to the steady
+     batch size *)
+  p_counts : int array;
+  p_offsets : int array;
+  p_cursors : int array;
+  mutable p_shard_idx : int array;
+  mutable p_scratch : Monitor.event array;
   m_batches : Registry.Counter.t;
   m_days : Registry.Counter.t;
   h_batch : Registry.Histogram.t;
@@ -12,6 +20,46 @@ type t = {
 }
 
 let shard_of t prefix = Net.Prefix.hash prefix mod t.jobs
+
+(* Stable counting-sort partition: one pass to count per-shard sizes, a
+   prefix sum for offsets, one pass to scatter.  Stability matters — it
+   preserves per-prefix event order inside each shard, which is what the
+   jobs-invariance contract rests on. *)
+let partition_into ~jobs ~shard ~shard_idx ~counts ~offsets ~cursors ~out items =
+  let n = Array.length items in
+  Array.fill counts 0 jobs 0;
+  for i = 0 to n - 1 do
+    let s = shard items.(i) in
+    shard_idx.(i) <- s;
+    counts.(s) <- counts.(s) + 1
+  done;
+  let off = ref 0 in
+  for s = 0 to jobs - 1 do
+    offsets.(s) <- !off;
+    cursors.(s) <- !off;
+    off := !off + counts.(s)
+  done;
+  for i = 0 to n - 1 do
+    let s = shard_idx.(i) in
+    out.(cursors.(s)) <- items.(i);
+    cursors.(s) <- cursors.(s) + 1
+  done
+
+(* Fresh-buffer wrapper for cold paths (snapshot repartitioning);
+   returns per-shard [counts], [offsets] and the scattered array. *)
+let partition ~jobs ~shard items =
+  let n = Array.length items in
+  let counts = Array.make jobs 0 and offsets = Array.make jobs 0 in
+  if n = 0 then (counts, offsets, [||])
+  else begin
+    let out = Array.make n items.(0) in
+    let shard_idx = Array.make n 0 in
+    let cursors = Array.make jobs 0 in
+    partition_into ~jobs ~shard ~shard_idx ~counts ~offsets ~cursors ~out items;
+    (counts, offsets, out)
+  end
+
+let slice_list arr off len = List.init len (fun i -> arr.(off + i))
 
 let make ?(metrics = Registry.noop) ?jobs ~init_shard () =
   let jobs =
@@ -27,6 +75,11 @@ let make ?(metrics = Registry.noop) ?jobs ~init_shard () =
     shards;
     shard_metrics;
     driver = metrics;
+    p_counts = Array.make jobs 0;
+    p_offsets = Array.make jobs 0;
+    p_cursors = Array.make jobs 0;
+    p_shard_idx = [||];
+    p_scratch = [||];
     m_batches = Registry.counter metrics "stream_batches_total";
     m_days = Registry.counter metrics "stream_days_total";
     h_batch = Registry.histogram metrics "stream_batch_seconds";
@@ -53,29 +106,47 @@ let parallel_threshold = 2048
 
 let ingest_batch ?(day_end = false) t ~time events =
   let t0 = Unix.gettimeofday () in
-  (* stable partition by prefix hash: per-prefix event order is preserved
-     inside each shard, and distinct prefixes never share state, so any
-     shard count yields the same per-prefix trajectories *)
-  let buckets = Array.make t.jobs [] in
-  Array.iter
-    (fun (ev : Monitor.event) ->
-      let s = shard_of t ev.Monitor.prefix in
-      buckets.(s) <- ev :: buckets.(s))
-    events;
-  let parts = Array.map (fun evs -> Array.of_list (List.rev evs)) buckets in
-  let run_shard s =
-    let m = t.shards.(s) in
-    Array.iter (Monitor.ingest m) parts.(s);
+  (* stable partition by prefix hash into the persistent scratch buffers:
+     per-prefix event order is preserved inside each shard, and distinct
+     prefixes never share state, so any shard count yields the same
+     per-prefix trajectories *)
+  let n = Array.length events in
+  if t.jobs = 1 then begin
+    (* single shard: the partition is the identity, so feed the monitor
+       straight from the caller's array — no scatter, no scratch *)
+    let m = t.shards.(0) in
+    for i = 0 to n - 1 do
+      Monitor.ingest m events.(i)
+    done;
     if day_end then Monitor.mark_day m ~time else Monitor.settle m ~time
-  in
-  (* shards share no state, so dispatching them serially or on the pool
-     yields identical per-shard trajectories; small batches stay inline
-     because a domain spawn costs more than they do *)
-  if Array.length events < parallel_threshold then
-    for s = 0 to t.jobs - 1 do
-      run_shard s
-    done
-  else ignore (Exec.Pool.map ~jobs:t.jobs run_shard (Array.init t.jobs Fun.id));
+  end
+  else begin
+    if n > Array.length t.p_shard_idx then begin
+      let cap = max n (2 * Array.length t.p_shard_idx) in
+      t.p_shard_idx <- Array.make cap 0;
+      t.p_scratch <- Array.make cap events.(0)
+    end;
+    partition_into ~jobs:t.jobs
+      ~shard:(fun (ev : Monitor.event) -> shard_of t ev.Monitor.prefix)
+      ~shard_idx:t.p_shard_idx ~counts:t.p_counts ~offsets:t.p_offsets
+      ~cursors:t.p_cursors ~out:t.p_scratch events;
+    let run_shard s =
+      let m = t.shards.(s) in
+      let stop = t.p_offsets.(s) + t.p_counts.(s) in
+      for i = t.p_offsets.(s) to stop - 1 do
+        Monitor.ingest m t.p_scratch.(i)
+      done;
+      if day_end then Monitor.mark_day m ~time else Monitor.settle m ~time
+    in
+    (* shards share no state, so dispatching them serially or on the pool
+       yields identical per-shard trajectories; small batches stay inline
+       because a domain spawn costs more than they do *)
+    if Array.length events < parallel_threshold then
+      for s = 0 to t.jobs - 1 do
+        run_shard s
+      done
+    else ignore (Exec.Pool.map ~jobs:t.jobs run_shard (Array.init t.jobs Fun.id))
+  end;
   Registry.Counter.incr t.m_batches;
   if day_end then Registry.Counter.incr t.m_days;
   if not (Registry.is_noop t.driver) then begin
@@ -129,18 +200,18 @@ let of_snapshot ?metrics ?jobs (snap : Monitor.snapshot) =
         Monitor.create snap.Monitor.s_config)
   in
   let open Monitor in
-  let part_prefixes = Array.make t.jobs [] in
-  List.iter
-    (fun p ->
-      let s = shard_of t p.p_prefix in
-      part_prefixes.(s) <- p :: part_prefixes.(s))
-    (List.rev snap.s_prefixes);
-  let part_closed = Array.make t.jobs [] in
-  List.iter
-    (fun e ->
-      let s = shard_of t e.e_prefix in
-      part_closed.(s) <- e :: part_closed.(s))
-    (List.rev snap.s_closed);
+  (* the same stable counting-sort partition as the batch path, with
+     fresh buffers (cold path): each shard's slice keeps snapshot order *)
+  let pc, po, prefixes =
+    partition ~jobs:t.jobs
+      ~shard:(fun p -> shard_of t p.p_prefix)
+      (Array.of_list snap.s_prefixes)
+  in
+  let cc, co, closed =
+    partition ~jobs:t.jobs
+      ~shard:(fun e -> shard_of t e.e_prefix)
+      (Array.of_list snap.s_closed)
+  in
   Array.iteri
     (fun s _ ->
       (* windows and event counters live once, in shard 0; day counts and
@@ -155,8 +226,8 @@ let of_snapshot ?metrics ?jobs (snap : Monitor.snapshot) =
           s_config = snap.s_config;
           s_counters = counters;
           s_last_time = snap.s_last_time;
-          s_prefixes = part_prefixes.(s);
-          s_closed = part_closed.(s);
+          s_prefixes = slice_list prefixes po.(s) pc.(s);
+          s_closed = slice_list closed co.(s) cc.(s);
           s_windows = (if s = 0 then snap.s_windows else []);
         }
       in

@@ -190,6 +190,68 @@ let prop_jobs_and_order_invariance =
            a.Mesh.r_per_vantage b.Mesh.r_per_vantage
       && a.Mesh.r_duplicates = b.Mesh.r_duplicates)
 
+(* The pre-heap reference merge: global sort by (event, tag) and a fold
+   that collapses runs of equal events, keeping the name-order first
+   observer.  The k-way heap merge must reproduce it exactly — same
+   output order, same tags, same duplicate count. *)
+let reference_merge streams =
+  let all =
+    List.concat_map
+      (fun (name, events) ->
+        Array.to_list (Array.map (fun event -> (name, event)) events))
+      streams
+  in
+  let sorted =
+    List.sort
+      (fun (ta, a) (tb, b) ->
+        let c = Mesh.compare_event a b in
+        if c <> 0 then c else String.compare ta tb)
+      all
+  in
+  let merged, dups =
+    List.fold_left
+      (fun (acc, dups) (tag, event) ->
+        match acc with
+        | (_, prev) :: _ when Mesh.compare_event prev event = 0 ->
+          (acc, dups + 1)
+        | _ -> ((tag, event) :: acc, dups))
+      ([], 0) sorted
+  in
+  (List.rev merged, dups)
+
+(* per-event (vantage, action kind) + (prefix, origin, time): times are
+   drawn from a small range and not sorted, so the streams arrive
+   unsorted and full of cross- and intra-vantage duplicates *)
+let merge_script_gen =
+  QCheck2.Gen.(
+    list_size (int_range 0 120)
+      (pair
+         (pair (int_range 0 2) (int_range 0 3))
+         (triple (int_range 0 3) (int_range 1 6) (int_range 0 30))))
+
+let prop_heap_merge_matches_reference =
+  Testutil.qtest ~count:200 "heap merge equals the sort-based reference"
+    merge_script_gen (fun script ->
+      let accs = Array.make 3 [] in
+      List.iter
+        (fun ((v, k), (pi, o, time)) ->
+          accs.(v) <-
+            ev ~time:(time * 10) script_prefixes.(pi) (act o k) :: accs.(v))
+        script;
+      let streams =
+        List.init 3 (fun v ->
+            (Printf.sprintf "v%d" v, Array.of_list (List.rev accs.(v))))
+      in
+      let merged, dups = Mesh.merge_streams streams in
+      let ref_merged, ref_dups = reference_merge streams in
+      dups = ref_dups
+      && Array.length merged = List.length ref_merged
+      && List.for_all2
+           (fun t (tag, event) ->
+             String.equal t.Mesh.tag tag
+             && Mesh.compare_event t.Mesh.event event = 0)
+           (Array.to_list merged) ref_merged)
+
 (* ---------------- store ---------------- *)
 
 let entry ?(seq = 1) ?ended ?(days = 1) ?(max_origins = 2) ?(clean = true)
@@ -387,6 +449,7 @@ let () =
           prop_merged_equals_global;
           prop_full_coverage_vantages_agree;
           prop_jobs_and_order_invariance;
+          prop_heap_merge_matches_reference;
         ] );
       ( "store",
         [

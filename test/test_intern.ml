@@ -1,0 +1,122 @@
+(* Tests for Net.Intern (dense interning) and the injective int packing
+   of Net.Prefix.to_key/of_key that the hot ingest paths key on. *)
+
+open Net
+
+let prefix_gen =
+  QCheck2.Gen.(
+    map
+      (fun (n, l) -> Prefix.make (Ipv4.of_int n) l)
+      (pair (int_range 0 0xffffffff) (int_range 0 32)))
+
+let prefix_list_gen = QCheck2.Gen.(list_size (int_range 0 200) prefix_gen)
+
+(* ---------------- key packing ---------------- *)
+
+let prop_key_roundtrip =
+  Testutil.qtest ~count:300 "to_key/of_key roundtrip" prefix_gen (fun p ->
+      Prefix.equal p (Prefix.of_key (Prefix.to_key p)))
+
+let prop_key_injective =
+  Testutil.qtest ~count:300 "to_key injective"
+    QCheck2.Gen.(pair prefix_gen prefix_gen)
+    (fun (a, b) -> Prefix.equal a b = (Prefix.to_key a = Prefix.to_key b))
+
+let test_key_bounds () =
+  let check p =
+    let k = Prefix.to_key p in
+    Alcotest.(check bool)
+      (Prefix.to_string p ^ " key fits 38 bits")
+      true
+      (k >= 0 && k < 1 lsl 38)
+  in
+  check (Prefix.of_string "0.0.0.0/0");
+  check (Prefix.of_string "255.255.255.255/32");
+  check (Prefix.of_string "192.0.2.0/24");
+  Alcotest.check_raises "of_key rejects bad length"
+    (Invalid_argument "Prefix.of_key: length out of range") (fun () ->
+      ignore (Prefix.of_key 33))
+
+(* ---------------- interning laws ---------------- *)
+
+let prop_id_of_id =
+  Testutil.qtest ~count:200 "of_id (id v) = v" prefix_list_gen (fun ps ->
+      let t = Intern.prefixes () in
+      List.for_all
+        (fun p -> Prefix.equal p (Intern.of_id t (Intern.id t p)))
+        ps)
+
+let prop_equal_keys_equal_ids =
+  Testutil.qtest ~count:200 "equal values get equal ids; ids are dense"
+    prefix_list_gen (fun ps ->
+      let t = Intern.prefixes () in
+      let ids = List.map (fun p -> (p, Intern.id t p)) ps in
+      let distinct =
+        List.sort_uniq Prefix.compare ps |> List.length
+      in
+      Intern.count t = distinct
+      && List.for_all (fun (p, i) -> i >= 0 && i < distinct && Intern.id t p = i) ids
+      && List.for_all
+           (fun (p, i) ->
+             List.for_all
+               (fun (q, j) -> Prefix.equal p q = (i = j))
+               ids)
+           ids)
+
+let prop_find_never_interns =
+  Testutil.qtest ~count:200 "find is -1 on unseen and never interns"
+    QCheck2.Gen.(pair prefix_list_gen prefix_gen)
+    (fun (ps, probe) ->
+      let t = Intern.prefixes () in
+      List.iter (fun p -> ignore (Intern.id t p)) ps;
+      let before = Intern.count t in
+      let found = Intern.find t probe in
+      Intern.count t = before
+      && (found >= 0) = List.exists (Prefix.equal probe) ps
+      && (found < 0 || Prefix.equal probe (Intern.of_id t found)))
+
+(* Rebuilding an interner from its value sequence (the checkpoint-restore
+   path: ids are never serialised, a restored table re-interns in
+   snapshot order) reproduces the same id assignment. *)
+let prop_rebuild_same_ids =
+  Testutil.qtest ~count:200 "re-interning in id order reproduces ids"
+    prefix_list_gen (fun ps ->
+      let t = Intern.prefixes () in
+      List.iter (fun p -> ignore (Intern.id t p)) ps;
+      let t2 = Intern.prefixes () in
+      Intern.iter t (fun _ p -> ignore (Intern.id t2 p));
+      let ok = ref (Intern.count t = Intern.count t2) in
+      Intern.iter t (fun i p ->
+          if not (Intern.id t2 p = i && Prefix.equal (Intern.of_id t2 i) p) then
+            ok := false);
+      !ok)
+
+let test_of_id_bounds () =
+  let t = Intern.asns () in
+  ignore (Intern.id t (Asn.make 65000));
+  Alcotest.(check int) "asn interner keys by number" 0 (Intern.find t (Asn.make 65000));
+  Alcotest.check_raises "of_id below range"
+    (Invalid_argument "Intern.of_id: -1 outside [0,1)") (fun () ->
+      ignore (Intern.of_id t (-1)));
+  Alcotest.check_raises "of_id above range"
+    (Invalid_argument "Intern.of_id: 1 outside [0,1)") (fun () ->
+      ignore (Intern.of_id t 1))
+
+let () =
+  Alcotest.run "intern"
+    [
+      ( "keys",
+        [
+          Alcotest.test_case "packing bounds" `Quick test_key_bounds;
+          prop_key_roundtrip;
+          prop_key_injective;
+        ] );
+      ( "laws",
+        [
+          Alcotest.test_case "of_id bounds" `Quick test_of_id_bounds;
+          prop_id_of_id;
+          prop_equal_keys_equal_ids;
+          prop_find_never_interns;
+          prop_rebuild_same_ids;
+        ] );
+    ]

@@ -583,6 +583,32 @@ let prop_checkpoint_roundtrip =
       Bytes.equal bytes (Ck.encode sn2)
       && String.equal (Rp.render sn) (Rp.render sn2))
 
+(* Prefix ids are an in-memory handle: a monitor rebuilt from a snapshot
+   re-interns in snapshot order, not first-announce order, so resuming
+   from a mid-stream checkpoint must be invisible in every later output. *)
+let prop_restore_midstream =
+  Testutil.qtest ~count:60 "mid-stream restore is invisible"
+    (QCheck2.Gen.pair script_gen script_gen)
+    (fun (s1, s2) ->
+      let events_at off s =
+        List.mapi
+          (fun i (pi, o, k) -> ev ~time:((off + i) * 1000) script_prefixes.(pi) (act o k))
+          s
+      in
+      let evs1 = events_at 0 s1 and evs2 = events_at (List.length s1) s2 in
+      let t_mid = List.length s1 * 1000 in
+      let t_end = (List.length s1 + List.length s2) * 1000 in
+      let run resume =
+        let m = M.create M.default_config in
+        List.iter (M.ingest m) evs1;
+        M.settle m ~time:t_mid;
+        let m = if resume then M.restore (M.snapshot m) else m in
+        List.iter (M.ingest m) evs2;
+        M.settle m ~time:t_end;
+        Ck.encode (M.snapshot m)
+      in
+      Bytes.equal (run false) (run true))
+
 let () =
   Alcotest.run "stream"
     [
@@ -636,5 +662,6 @@ let () =
           prop_episode_invariants;
           prop_jobs_invariance;
           prop_checkpoint_roundtrip;
+          prop_restore_midstream;
         ] );
     ]
