@@ -1378,6 +1378,153 @@ let run_ingest_bench ~smoke ~budget ~out () =
   say "ingest dump written to %s" out
 
 (* ------------------------------------------------------------------ *)
+(* Part 11: classifier corpus/training grid (BENCH_9.json).  The
+   lib/classify pipeline staged — parallel corpus capture, logistic +
+   stump training, full train/eval — across corpus size × job count.
+   Per grid point: stage wall-clocks and training throughput
+   (examples/s), with the rendered evaluation report asserted
+   byte-identical at every job count, exactly the CLI's determinism
+   contract.  A zero training throughput fails the suite outright, so
+   the CI smoke run guards against a silently-empty corpus. *)
+
+let classify_jobs = [ 1; 2; 4; 8 ]
+let classify_seed = 0xC1A55L
+
+let run_classify_bench ~smoke ~out () =
+  banner "Classifier corpus/training grid";
+  let cores_n = Domain.recommended_domain_count () in
+  say "   cores online: %d (Domain.recommended_domain_count)" cores_n;
+  let cores = string_of_int cores_n in
+  let oc = open_out out in
+  (* the paper topologies are memoised: build them outside the timed
+     region so the first grid point is not charged for derivation *)
+  if smoke then ignore (Topology.Paper_topologies.topology_25 ())
+  else ignore (Topology.Paper_topologies.all ());
+  let corpora =
+    if smoke then [ ("smoke", true) ] else [ ("smoke", true); ("full", false) ]
+  in
+  List.iter
+    (fun (label, corpus_smoke) ->
+      say "";
+      say "-- corpus %s --" label;
+      let measured =
+        List.map
+          (fun jobs ->
+            let t0 = Unix.gettimeofday () in
+            let corpus =
+              Classify.Corpus.build ~jobs ~smoke:corpus_smoke
+                ~seed:classify_seed ()
+            in
+            let t_corpus = Unix.gettimeofday () -. t0 in
+            let train, _ = Classify.Corpus.split corpus in
+            let training =
+              List.map
+                (fun ex ->
+                  (ex.Classify.Corpus.ex_features, ex.Classify.Corpus.ex_label))
+                train
+            in
+            let t1 = Unix.gettimeofday () in
+            ignore
+              (Classify.Model.train_logistic ~dim:Classify.Features.dim
+                 training);
+            ignore
+              (Classify.Model.train_stumps ~dim:Classify.Features.dim training);
+            let t_train = Unix.gettimeofday () -. t1 in
+            let t2 = Unix.gettimeofday () in
+            let ev = Classify.Eval.of_corpus corpus in
+            let t_eval = Unix.gettimeofday () -. t2 in
+            let report = Classify.Eval.render ev.Classify.Eval.ev_report in
+            ( jobs,
+              corpus,
+              List.length train,
+              t_corpus,
+              t_train,
+              t_eval,
+              report ))
+          classify_jobs
+      in
+      print_string
+        (Mutil.Text_table.render
+           ~header:
+             [
+               "jobs";
+               "corpus";
+               "train";
+               "train+eval";
+               "examples";
+               "train ex/s";
+             ]
+           (List.map
+              (fun (jobs, corpus, train_n, t_corpus, t_train, t_eval, _) ->
+                [
+                  string_of_int jobs;
+                  Printf.sprintf "%.3f s" t_corpus;
+                  Printf.sprintf "%.3f s" t_train;
+                  Printf.sprintf "%.3f s" t_eval;
+                  string_of_int
+                    (List.length corpus.Classify.Corpus.c_examples);
+                  Printf.sprintf "%.0f" (float_of_int train_n /. t_train);
+                ])
+              measured));
+      (match measured with
+      | (_, _, _, _, _, _, r0) :: rest ->
+        let deterministic =
+          List.for_all (fun (_, _, _, _, _, _, r) -> String.equal r r0) rest
+        in
+        say "   reports byte-identical at every job count: %b" deterministic;
+        if not deterministic then (
+          close_out oc;
+          failwith
+            (Printf.sprintf
+               "classify suite: %s reports differ across job counts" label))
+      | [] -> ());
+      List.iter
+        (fun (jobs, corpus, train_n, t_corpus, t_train, t_eval, _) ->
+          let throughput = float_of_int train_n /. t_train in
+          if not (throughput > 0.0) then (
+            close_out oc;
+            failwith
+              (Printf.sprintf
+                 "classify suite: %s training throughput is zero at jobs=%d"
+                 label jobs));
+          let reg = Obs.Registry.create () in
+          Obs.Registry.Counter.add
+            (Obs.Registry.counter reg "classify_runs")
+            corpus.Classify.Corpus.c_runs;
+          Obs.Registry.Counter.add
+            (Obs.Registry.counter reg "classify_examples")
+            (List.length corpus.Classify.Corpus.c_examples);
+          Obs.Registry.Counter.add
+            (Obs.Registry.counter reg "classify_train_examples")
+            train_n;
+          Obs.Registry.Gauge.set
+            (Obs.Registry.gauge reg "classify_corpus_seconds")
+            t_corpus;
+          Obs.Registry.Gauge.set
+            (Obs.Registry.gauge reg "classify_train_seconds")
+            t_train;
+          Obs.Registry.Gauge.set
+            (Obs.Registry.gauge reg "classify_eval_seconds")
+            t_eval;
+          Obs.Registry.Gauge.set
+            (Obs.Registry.gauge reg "classify_train_examples_per_second")
+            throughput;
+          output_string oc
+            (Obs.Registry.to_json_lines
+               ~extra:
+                 (("workload", "classify")
+                 :: ("corpus", label)
+                 :: ("jobs", string_of_int jobs)
+                 :: ("cores", cores)
+                 :: [ saturated jobs ])
+               reg))
+        measured)
+    corpora;
+  close_out oc;
+  say "";
+  say "classify dump written to %s" out
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let smoke = ref false in
@@ -1393,6 +1540,8 @@ let () =
   let no_chaos = ref false in
   let ingest_only = ref false in
   let no_ingest = ref false in
+  let classify_only = ref false in
+  let no_classify = ref false in
   let ingest_budget = ref 0.0 in
   let out = ref "BENCH_1.json" in
   let scaling_out = ref "BENCH_3.json" in
@@ -1401,6 +1550,7 @@ let () =
   let serve_out = ref "BENCH_6.json" in
   let chaos_out = ref "BENCH_7.json" in
   let ingest_out = ref "BENCH_8.json" in
+  let classify_out = ref "BENCH_9.json" in
   let jobs = ref 0 in
   let spec =
     [
@@ -1424,6 +1574,9 @@ let () =
       ("--ingest-only", Arg.Set ingest_only, " run only the GC-stamped ingest grid");
       ("--no-ingest", Arg.Set no_ingest, " skip the GC-stamped ingest grid");
       ("--ingest-out", Arg.Set_string ingest_out, "FILE ingest-grid dump destination (default BENCH_8.json)");
+      ("--classify-only", Arg.Set classify_only, " run only the classifier corpus/training grid");
+      ("--no-classify", Arg.Set no_classify, " skip the classifier corpus/training grid");
+      ("--classify-out", Arg.Set_string classify_out, "FILE classifier-grid dump destination (default BENCH_9.json)");
       ("--ingest-budget", Arg.Set_float ingest_budget, "WORDS fail if jobs=1 ingest allocates more minor words per event (default: off)");
       ("--jobs", Arg.Set_int jobs, "N worker domains for the figure sweeps (default MOAS_JOBS or the core count)");
     ]
@@ -1435,6 +1588,7 @@ let () =
      [--collect-only] [--no-collect] [--collect-out FILE] [--serve-only] \
      [--no-serve] [--serve-out FILE] [--chaos-only] [--no-chaos] \
      [--chaos-out FILE] [--ingest-only] [--no-ingest] [--ingest-out FILE] \
+     [--classify-only] [--no-classify] [--classify-out FILE] \
      [--ingest-budget WORDS] [--jobs N]";
   let jobs = if !jobs >= 1 then Some !jobs else None in
   if !scaling_only then run_scaling ~out:!scaling_out ()
@@ -1444,6 +1598,8 @@ let () =
   else if !chaos_only then run_chaos_bench ~smoke:!smoke ~out:!chaos_out ()
   else if !ingest_only then
     run_ingest_bench ~smoke:!smoke ~budget:!ingest_budget ~out:!ingest_out ()
+  else if !classify_only then
+    run_classify_bench ~smoke:!smoke ~out:!classify_out ()
   else begin
     let tracer = Obs.Span.create () in
     regenerate_figures ~tracer ?jobs ();
@@ -1460,7 +1616,9 @@ let () =
       if not !no_chaos then run_chaos_bench ~smoke:false ~out:!chaos_out ();
       if not !no_ingest then
         run_ingest_bench ~smoke:false ~budget:!ingest_budget
-          ~out:!ingest_out ()
+          ~out:!ingest_out ();
+      if not !no_classify then
+        run_classify_bench ~smoke:false ~out:!classify_out ()
     end
   end;
   say "";

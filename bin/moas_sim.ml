@@ -291,7 +291,8 @@ let run_collect vantages jobs smoke seed store_path query metrics_out order =
     say "";
     say "-- partition arm: isolating the first vantage with lib/faults --";
     let partitioned =
-      Collect.Scenario.capture ~metrics ~isolate:true ~seed ~vantages topology
+      Collect.Scenario.capture ~metrics ~arm:Collect.Scenario.Partitioned ~seed
+        ~vantages topology
     in
     print_string (Collect.Scenario.describe partitioned);
     let part_mesh = mesh partitioned.Collect.Scenario.s_streams in
@@ -336,6 +337,40 @@ let run_collect vantages jobs smoke seed store_path query metrics_out order =
            metrics);
       close_out oc;
       say "metrics dump written to %s" path)
+
+(* ------------------------------------------------------------------ *)
+(* classify: learned per-episode verdicts over the scenario corpus *)
+
+let run_classify smoke jobs seed features_out report_out metrics_out =
+  let seed = Option.value seed ~default:0xC1A55L in
+  let metrics =
+    if metrics_out = None then Obs.Registry.noop else Obs.Registry.create ()
+  in
+  let ev = Classify.Eval.evaluate ~metrics ?jobs ~smoke ~seed () in
+  let report = Classify.Eval.render ev.Classify.Eval.ev_report in
+  print_string report;
+  (match report_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc report;
+    close_out oc;
+    say "report written to %s" path);
+  (match features_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Classify.Eval.features_csv ev.Classify.Eval.ev_corpus);
+    close_out oc;
+    say "feature matrix written to %s" path);
+  match metrics_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc
+      (Obs.Registry.to_json_lines ~extra:[ ("workload", "classify") ] metrics);
+    close_out oc;
+    say "metrics dump written to %s" path
 
 (* ------------------------------------------------------------------ *)
 (* serve: the query/alert daemon over the MOASSERV wire protocol *)
@@ -906,7 +941,8 @@ let collect_cmd =
              ~doc:"Skip the simulation and query an existing $(b,--store) \
                    FILE instead: comma-separated key=value clauses among \
                    $(b,prefix=P), $(b,covered=BOOL), $(b,origin=AS), \
-                   $(b,since=T), $(b,until=T), $(b,min_visibility=K).")
+                   $(b,since=T), $(b,until=T), $(b,min_visibility=K), \
+                   $(b,bucket=short|medium|long).")
   in
   let metrics_out =
     Arg.(value & opt (some string) None
@@ -930,6 +966,38 @@ let collect_cmd =
           order."
     Term.(const run_collect $ vantages $ jobs_arg $ smoke $ seed_arg $ store
           $ query $ metrics_out $ order)
+
+let classify_cmd =
+  let smoke =
+    Arg.(value & flag & info [ "smoke" ]
+           ~doc:"Build the corpus from the 25-AS topology only instead of \
+                 all three paper topologies, for CI.")
+  in
+  let features =
+    Arg.(value & opt (some string) None
+         & info [ "features" ] ~docv:"FILE"
+             ~doc:"Write the labelled feature matrix (CSV) to FILE.")
+  in
+  let report =
+    Arg.(value & opt (some string) None
+         & info [ "report" ] ~docv:"FILE"
+             ~doc:"Also write the evaluation report to FILE (it always \
+                   prints to stdout).")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Write the merged lib/obs metrics dump (JSON lines) to FILE.")
+  in
+  cmd "classify"
+    ~doc:"Learned episode classifier: capture the attack / partition / \
+          fault-churn scenario corpus, label it with the ROA ground-truth \
+          oracle, train logistic-regression and boosted-stump models, and \
+          evaluate them against the MOAS-list and always-flag baselines \
+          with per-arm precision/recall/F1.  The report is byte-identical \
+          at any $(b,--jobs) count, which CI asserts."
+    Term.(const run_classify $ smoke $ jobs_arg $ seed_arg $ features
+          $ report $ metrics_out)
 
 let store_arg =
   Arg.(value & opt (some string) None
@@ -991,8 +1059,8 @@ let query_client_cmd =
          & info [ "query" ] ~docv:"QUERY"
              ~doc:"Typed query, comma-separated key=value clauses among \
                    $(b,prefix=P), $(b,covered=BOOL), $(b,origin=AS), \
-                   $(b,since=T), $(b,until=T), $(b,min_visibility=K); \
-                   empty matches everything.")
+                   $(b,since=T), $(b,until=T), $(b,min_visibility=K), \
+                   $(b,bucket=short|medium|long); empty matches everything.")
   in
   let count_only =
     Arg.(value & flag & info [ "count" ]
@@ -1085,6 +1153,7 @@ let main_cmd =
       robustness_cmd;
       monitor_cmd;
       collect_cmd;
+      classify_cmd;
       serve_cmd;
       query_client_cmd;
       chaos_cmd;

@@ -1,0 +1,155 @@
+open Net
+
+type roa = {
+  roa_prefix : Prefix.t;
+  roa_origin : Asn.t;
+  roa_max_length : int;
+}
+
+let compare_roa a b =
+  let c = Prefix.compare a.roa_prefix b.roa_prefix in
+  if c <> 0 then c
+  else
+    let c = Asn.compare a.roa_origin b.roa_origin in
+    if c <> 0 then c else compare a.roa_max_length b.roa_max_length
+
+(* per-prefix ROA lists kept sorted and deduplicated, so [roas] and
+   [to_string] are canonical without a final sort *)
+type t = roa list Prefix_trie.t
+
+type validity = Valid | Invalid | Unknown
+
+let validity_to_string = function
+  | Valid -> "valid"
+  | Invalid -> "invalid"
+  | Unknown -> "unknown"
+
+let empty = Prefix_trie.empty
+
+let add ?max_length prefix origin t =
+  let len = Prefix.length prefix in
+  let max_length = Option.value max_length ~default:len in
+  if max_length < len || max_length > 32 then
+    invalid_arg
+      (Printf.sprintf "Roa_registry.add: max_length %d outside [%d, 32]"
+         max_length len);
+  let roa = { roa_prefix = prefix; roa_origin = origin; roa_max_length = max_length } in
+  Prefix_trie.update prefix
+    (fun existing ->
+      let rs = Option.value existing ~default:[] in
+      Some (List.sort_uniq compare_roa (roa :: rs)))
+    t
+
+let roas t =
+  List.concat_map snd (Prefix_trie.bindings t)
+
+let cardinal t = List.length (roas t)
+
+let covering t route_prefix =
+  Prefix_trie.matches (Prefix.network route_prefix) t
+  |> List.filter (fun (p, _) -> Prefix.subsumes p route_prefix)
+  |> List.rev (* matches is most specific first; canonical order is not *)
+  |> List.concat_map snd
+
+let validate t route_prefix origin =
+  match covering t route_prefix with
+  | [] -> Unknown
+  | candidates ->
+    if
+      List.exists
+        (fun r ->
+          Asn.equal r.roa_origin origin
+          && Prefix.length route_prefix <= r.roa_max_length)
+        candidates
+    then Valid
+    else Invalid
+
+let classify_conflict t prefix origins =
+  let verdicts =
+    List.map (validate t prefix) (Asn.Set.elements origins)
+  in
+  if List.mem Invalid verdicts then Invalid
+  else if List.mem Valid verdicts then Valid
+  else Unknown
+
+(* ------------------------------------------------------------------ *)
+(* Text codec *)
+
+let to_string t =
+  roas t
+  |> List.map (fun r ->
+         Printf.sprintf "%s %d %d"
+           (Prefix.to_string r.roa_prefix)
+           (Asn.to_int r.roa_origin)
+           r.roa_max_length)
+  |> List.map (fun line -> line ^ "\n")
+  |> String.concat ""
+
+let of_string text =
+  let parse_line lineno acc line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    match
+      String.split_on_char ' ' (String.trim line)
+      |> List.filter (fun f -> f <> "")
+    with
+    | [] -> Ok acc
+    | prefix :: origin :: rest -> (
+      let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+      match Prefix.of_string prefix with
+      | exception Invalid_argument _ ->
+        err "line %d: bad prefix %S" lineno prefix
+      | p -> (
+        match int_of_string_opt origin with
+        | None -> err "line %d: bad origin %S" lineno origin
+        | Some o -> (
+          match Asn.make o with
+          | exception Invalid_argument _ ->
+            err "line %d: bad origin %S" lineno origin
+          | origin -> (
+            match rest with
+            | [] -> Ok (add p origin acc)
+            | [ ml ] -> (
+              match int_of_string_opt ml with
+              | None -> err "line %d: bad max_length %S" lineno ml
+              | Some max_length -> (
+                match add ~max_length p origin acc with
+                | t -> Ok t
+                | exception Invalid_argument m -> err "line %d: %s" lineno m))
+            | _ -> err "line %d: trailing fields" lineno))))
+    | [ _ ] -> Error (Printf.sprintf "line %d: missing origin" lineno)
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok acc
+    | line :: rest -> (
+      match parse_line lineno acc line with
+      | Ok acc -> go (lineno + 1) acc rest
+      | Error _ as e -> e)
+  in
+  go 1 empty lines
+
+(* ------------------------------------------------------------------ *)
+(* Synthesis *)
+
+let synthesize ?(coverage = 1.0) ?(max_length_slack = 0) ~seed ground_truth =
+  if max_length_slack < 0 then
+    invalid_arg "Roa_registry.synthesize: negative max_length_slack";
+  let rng = Mutil.Rng.create ~seed in
+  List.fold_left
+    (fun t (prefix, origins) ->
+      if not (Mutil.Rng.chance rng coverage) then t
+      else
+        Asn.Set.fold
+          (fun origin t ->
+            let slack =
+              if max_length_slack = 0 then 0
+              else Mutil.Rng.int rng (max_length_slack + 1)
+            in
+            let max_length = min 32 (Prefix.length prefix + slack) in
+            add ~max_length prefix origin t)
+          origins t)
+    empty ground_truth

@@ -1,0 +1,109 @@
+open Net
+module Scenario = Collect.Scenario
+module Corr = Collect.Correlator
+module Roa = Baselines.Roa_registry
+
+type example = {
+  ex_arm : Scenario.arm;
+  ex_run : int;
+  ex_entry : Corr.entry;
+  ex_features : float array;
+  ex_label : bool;
+  ex_validity : Roa.validity;
+  ex_moas_flagged : bool;
+}
+
+type t = { c_examples : example list; c_runs : int }
+
+let registry_of_scenario (s : Scenario.t) =
+  Roa.synthesize ~seed:0L
+    [
+      (s.Scenario.s_attacked, Asn.Set.singleton s.Scenario.s_legit);
+      (s.Scenario.s_multihomed, s.Scenario.s_homes);
+      (s.Scenario.s_quiet, Asn.Set.singleton s.Scenario.s_quiet_origin);
+    ]
+
+(* the mesh's monitor config: same window the collect CLI uses *)
+let mesh_config =
+  { Stream.Monitor.default_config with Stream.Monitor.window = 10_000 }
+
+type run_spec = {
+  rs_index : int;
+  rs_arm : Scenario.arm;
+  rs_topology : Topology.Paper_topologies.t;
+  rs_vantages : int;
+  rs_seed : int64;
+}
+
+let grid ~smoke ~seed =
+  (* topologies are memoised; force them here, before the pool fans out *)
+  let topologies =
+    if smoke then [ Topology.Paper_topologies.topology_25 () ]
+    else Topology.Paper_topologies.all ()
+  in
+  let root = Mutil.Rng.create ~seed in
+  let specs =
+    List.concat_map
+      (fun arm ->
+        List.concat_map
+          (fun topo ->
+            List.map (fun vantages -> (arm, topo, vantages)) [ 3; 4 ])
+          topologies)
+      Scenario.all_arms
+  in
+  List.mapi
+    (fun i (arm, topo, vantages) ->
+      {
+        rs_index = i;
+        rs_arm = arm;
+        rs_topology = topo;
+        rs_vantages = vantages;
+        (* pre-split by index: stable no matter the job count *)
+        rs_seed = Mutil.Rng.bits64 (Mutil.Rng.split_at root i);
+      })
+    specs
+
+let run_one spec =
+  let s =
+    Scenario.capture ~arm:spec.rs_arm ~seed:spec.rs_seed
+      ~vantages:spec.rs_vantages spec.rs_topology
+  in
+  let mesh = Collect.Mesh.run ~jobs:1 mesh_config s.Scenario.s_streams in
+  let corr = Corr.of_result mesh in
+  let relationships =
+    Topology.Relationships.infer_by_degree
+      spec.rs_topology.Topology.Paper_topologies.graph
+  in
+  let cx = Features.of_scenario ~relationships s in
+  let registry = registry_of_scenario s in
+  List.map
+    (fun (e : Corr.entry) ->
+      let validity =
+        Roa.classify_conflict registry e.Corr.x_prefix e.Corr.x_origins
+      in
+      {
+        ex_arm = spec.rs_arm;
+        ex_run = spec.rs_index;
+        ex_entry = e;
+        ex_features = Features.extract cx e;
+        ex_label = validity = Roa.Invalid;
+        ex_validity = validity;
+        ex_moas_flagged = not e.Corr.x_clean;
+      })
+    corr.Corr.c_entries
+
+let build ?(metrics = Obs.Registry.noop) ?jobs ~smoke ~seed () =
+  let specs = grid ~smoke ~seed in
+  let per_run = Exec.Pool.map_list ?jobs run_one specs in
+  let examples = List.concat per_run in
+  Obs.Registry.Counter.add (Obs.Registry.counter metrics "classify_runs")
+    (List.length specs);
+  Obs.Registry.Counter.add (Obs.Registry.counter metrics "classify_examples")
+    (List.length examples);
+  { c_examples = examples; c_runs = List.length specs }
+
+let split t =
+  List.partition (fun ex -> ex.ex_run mod 2 = 0) t.c_examples
+
+let positives examples =
+  List.length (List.filter (fun ex -> ex.ex_label) examples)

@@ -1,0 +1,188 @@
+module Scenario = Collect.Scenario
+module Corr = Collect.Correlator
+module Stats = Mutil.Stats
+
+type arm_report = {
+  ar_arm : Scenario.arm;
+  ar_examples : int;
+  ar_positives : int;
+  ar_detectors : (string * Stats.confusion) list;
+}
+
+type report = {
+  r_runs : int;
+  r_train : int;
+  r_train_positives : int;
+  r_eval : int;
+  r_eval_positives : int;
+  r_arms : arm_report list;
+  r_overall : (string * Stats.confusion) list;
+  r_auc_logistic : float;
+  r_auc_stumps : float;
+  r_verdicts : (Model.verdict * int) list;
+  r_stump_rounds : int;
+  r_weights : (string * float) array;
+}
+
+type evaluation = {
+  ev_corpus : Corpus.t;
+  ev_logistic : Model.logistic;
+  ev_report : report;
+}
+
+let detectors logistic stumps =
+  [
+    ("logistic", fun ex -> Model.flagged (Model.predict logistic ex.Corpus.ex_features));
+    ("stumps", fun ex -> Model.flagged (Model.stumps_predict stumps ex.Corpus.ex_features));
+    ("moas-list", fun ex -> ex.Corpus.ex_moas_flagged);
+    ("always-flag", fun _ -> true);
+  ]
+
+let confusion_of flag examples =
+  List.fold_left
+    (fun c ex -> Stats.confusion_add c ~truth:ex.Corpus.ex_label ~flagged:(flag ex))
+    Stats.no_confusion examples
+
+let of_corpus corpus =
+  let train, eval = Corpus.split corpus in
+  let training =
+    List.map (fun ex -> (ex.Corpus.ex_features, ex.Corpus.ex_label)) train
+  in
+  let logistic = Model.train_logistic ~dim:Features.dim training in
+  let stumps = Model.train_stumps ~dim:Features.dim training in
+  let dets = detectors logistic stumps in
+  let arm_reports =
+    List.map
+      (fun arm ->
+        let examples =
+          List.filter (fun ex -> ex.Corpus.ex_arm = arm) eval
+        in
+        {
+          ar_arm = arm;
+          ar_examples = List.length examples;
+          ar_positives = Corpus.positives examples;
+          ar_detectors =
+            List.map (fun (name, flag) -> (name, confusion_of flag examples)) dets;
+        })
+      Scenario.all_arms
+  in
+  let scored predict =
+    List.map (fun ex -> (predict ex.Corpus.ex_features, ex.Corpus.ex_label)) eval
+  in
+  let verdict_counts =
+    List.map
+      (fun v ->
+        ( v,
+          List.length
+            (List.filter
+               (fun ex ->
+                 Model.verdict_of_score (Model.predict logistic ex.Corpus.ex_features)
+                 = v)
+               eval) ))
+      [ Model.Benign; Model.Suspicious; Model.Invalid ]
+  in
+  let report =
+    {
+      r_runs = corpus.Corpus.c_runs;
+      r_train = List.length train;
+      r_train_positives = Corpus.positives train;
+      r_eval = List.length eval;
+      r_eval_positives = Corpus.positives eval;
+      r_arms = arm_reports;
+      r_overall =
+        List.map (fun (name, flag) -> (name, confusion_of flag eval)) dets;
+      r_auc_logistic = Stats.auc (scored (Model.predict logistic));
+      r_auc_stumps = Stats.auc (scored (Model.stumps_predict stumps));
+      r_verdicts = verdict_counts;
+      r_stump_rounds = Model.stumps_size stumps;
+      r_weights = Model.weights logistic;
+    }
+  in
+  { ev_corpus = corpus; ev_logistic = logistic; ev_report = report }
+
+let evaluate ?(metrics = Obs.Registry.noop) ?jobs ~smoke ~seed () =
+  of_corpus (Corpus.build ~metrics ?jobs ~smoke ~seed ())
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let f3 x = Printf.sprintf "%.3f" x
+
+let detector_table rows =
+  Mutil.Text_table.render
+    ~header:[ "detector"; "tp"; "fp"; "tn"; "fn"; "precision"; "recall"; "f1" ]
+    (List.map
+       (fun (name, c) ->
+         [
+           name;
+           string_of_int c.Stats.tp;
+           string_of_int c.Stats.fp;
+           string_of_int c.Stats.tn;
+           string_of_int c.Stats.fn;
+           f3 (Stats.precision c);
+           f3 (Stats.recall c);
+           f3 (Stats.f1 c);
+         ])
+       rows)
+
+let render r =
+  let buf = Buffer.create 4096 in
+  let say fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  say "== episode classifier ==";
+  say "corpus: %d captures; %d train examples (%d invalid), %d eval examples \
+       (%d invalid)"
+    r.r_runs r.r_train r.r_train_positives r.r_eval r.r_eval_positives;
+  say "models: logistic regression + %d boosted stumps; flag at p >= %s"
+    r.r_stump_rounds (f3 Model.flag_threshold);
+  say "";
+  say "-- eval (all arms) --";
+  Buffer.add_string buf (detector_table r.r_overall);
+  say "ranking: AUC %s (logistic), %s (stumps)" (f3 r.r_auc_logistic)
+    (f3 r.r_auc_stumps);
+  List.iter
+    (fun ar ->
+      say "";
+      say "-- arm %s: %d episodes, %d invalid --"
+        (Scenario.arm_to_string ar.ar_arm)
+        ar.ar_examples ar.ar_positives;
+      Buffer.add_string buf (detector_table ar.ar_detectors))
+    r.r_arms;
+  say "";
+  say "-- verdict bands (logistic, eval half) --";
+  Buffer.add_string buf
+    (Mutil.Text_table.render ~header:[ "verdict"; "episodes" ]
+       (List.map
+          (fun (v, n) -> [ Model.verdict_to_string v; string_of_int n ])
+          r.r_verdicts));
+  say "";
+  say "-- learned weights (standardised features) --";
+  Buffer.add_string buf
+    (Mutil.Text_table.render ~header:[ "feature"; "weight" ]
+       (Array.to_list
+          (Array.map (fun (name, w) -> [ name; f3 w ]) r.r_weights)));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* CSV export *)
+
+let features_csv (corpus : Corpus.t) =
+  let header =
+    [ "arm"; "run"; "prefix"; "seq"; "label"; "validity"; "moas_flagged" ]
+    @ Array.to_list Features.names
+  in
+  let rows =
+    List.map
+      (fun ex ->
+        [
+          Scenario.arm_to_string ex.Corpus.ex_arm;
+          string_of_int ex.Corpus.ex_run;
+          Net.Prefix.to_string ex.Corpus.ex_entry.Corr.x_prefix;
+          string_of_int ex.Corpus.ex_entry.Corr.x_seq;
+          (if ex.Corpus.ex_label then "1" else "0");
+          Baselines.Roa_registry.validity_to_string ex.Corpus.ex_validity;
+          (if ex.Corpus.ex_moas_flagged then "1" else "0");
+        ]
+        @ Array.to_list (Array.map (Printf.sprintf "%.6f") ex.Corpus.ex_features))
+      corpus.Corpus.c_examples
+  in
+  Mutil.Csv.to_string ~header rows

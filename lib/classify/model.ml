@@ -1,0 +1,192 @@
+type scaler = { sc_means : float array; sc_stds : float array }
+
+let check_dim ~dim v =
+  if Array.length v <> dim then
+    invalid_arg
+      (Printf.sprintf "Classify.Model: feature vector has %d coordinates, \
+                       expected %d"
+         (Array.length v) dim)
+
+let fit_scaler ~dim vectors =
+  let n = List.length vectors in
+  if n = 0 then invalid_arg "Classify.Model.fit_scaler: empty sample";
+  let means = Array.make dim 0. and stds = Array.make dim 0. in
+  List.iter
+    (fun v ->
+      check_dim ~dim v;
+      Array.iteri (fun i x -> means.(i) <- means.(i) +. x) v)
+    vectors;
+  let nf = float_of_int n in
+  Array.iteri (fun i s -> means.(i) <- s /. nf) means;
+  List.iter
+    (fun v ->
+      Array.iteri
+        (fun i x ->
+          let d = x -. means.(i) in
+          stds.(i) <- stds.(i) +. (d *. d))
+        v)
+    vectors;
+  Array.iteri
+    (fun i s ->
+      let sd = sqrt (s /. nf) in
+      stds.(i) <- (if sd > 1e-12 then sd else 0.))
+    stds;
+  { sc_means = means; sc_stds = stds }
+
+let transform sc v =
+  check_dim ~dim:(Array.length sc.sc_means) v;
+  Array.mapi
+    (fun i x ->
+      if sc.sc_stds.(i) = 0. then 0. else (x -. sc.sc_means.(i)) /. sc.sc_stds.(i))
+    v
+
+let sigmoid z =
+  if z >= 0. then 1. /. (1. +. exp (-.z))
+  else
+    let e = exp z in
+    e /. (1. +. e)
+
+(* ------------------------------------------------------------------ *)
+(* Logistic regression *)
+
+type logistic = { l_scaler : scaler; l_weights : float array; l_bias : float }
+
+let train_logistic ?(epochs = 400) ?(learning_rate = 0.5) ?(l2 = 1e-3) ~dim
+    examples =
+  if examples = [] then invalid_arg "Classify.Model.train_logistic: no examples";
+  let scaler = fit_scaler ~dim (List.map fst examples) in
+  let xs =
+    List.map (fun (v, label) -> (transform scaler v, if label then 1. else 0.))
+      examples
+  in
+  let n = float_of_int (List.length xs) in
+  let w = Array.make dim 0. in
+  let b = ref 0. in
+  for _ = 1 to epochs do
+    let gw = Array.make dim 0. and gb = ref 0. in
+    List.iter
+      (fun (x, y) ->
+        let z = ref !b in
+        Array.iteri (fun i xi -> z := !z +. (w.(i) *. xi)) x;
+        let err = sigmoid !z -. y in
+        Array.iteri (fun i xi -> gw.(i) <- gw.(i) +. (err *. xi)) x;
+        gb := !gb +. err)
+      xs;
+    Array.iteri
+      (fun i g -> w.(i) <- w.(i) -. (learning_rate *. ((g /. n) +. (l2 *. w.(i)))))
+      gw;
+    b := !b -. (learning_rate *. !gb /. n)
+  done;
+  { l_scaler = scaler; l_weights = w; l_bias = !b }
+
+let predict m v =
+  let x = transform m.l_scaler v in
+  let z = ref m.l_bias in
+  Array.iteri (fun i xi -> z := !z +. (m.l_weights.(i) *. xi)) x;
+  sigmoid !z
+
+let weights m =
+  Array.append
+    (Array.mapi (fun i w -> (Features.names.(i), w)) m.l_weights)
+    [| ("(bias)", m.l_bias) |]
+
+(* ------------------------------------------------------------------ *)
+(* Boosted depth-1 stumps *)
+
+type stump = { st_feature : int; st_threshold : float; st_gt : bool }
+(* predicts positive when (x > threshold) = gt *)
+
+type stumps = { e_stumps : (stump * float) list (* stump, alpha *) }
+
+let stump_predicts s x = x.(s.st_feature) > s.st_threshold = s.st_gt
+
+(* candidate thresholds: midpoints between consecutive distinct values *)
+let thresholds values =
+  let sorted = List.sort_uniq compare values in
+  let rec mids = function
+    | a :: (b :: _ as rest) -> ((a +. b) /. 2.) :: mids rest
+    | _ -> []
+  in
+  mids sorted
+
+let train_stumps ?(rounds = 30) ~dim examples =
+  if examples = [] then invalid_arg "Classify.Model.train_stumps: no examples";
+  List.iter (fun (v, _) -> check_dim ~dim v) examples;
+  let xs = Array.of_list examples in
+  let n = Array.length xs in
+  let candidates =
+    List.concat
+      (List.init dim (fun f ->
+           thresholds
+             (Array.to_list (Array.map (fun (v, _) -> v.(f)) xs))
+           |> List.concat_map (fun t ->
+                  [
+                    { st_feature = f; st_threshold = t; st_gt = true };
+                    { st_feature = f; st_threshold = t; st_gt = false };
+                  ])))
+  in
+  if candidates = [] then { e_stumps = [] }
+  else begin
+    let weights = Array.make n (1. /. float_of_int n) in
+    let picked = ref [] in
+    (try
+       for _ = 1 to rounds do
+         (* the first candidate in enumeration order wins error ties, so
+            selection is deterministic *)
+         let best, best_err =
+           List.fold_left
+             (fun (bs, be) s ->
+               let err = ref 0. in
+               Array.iteri
+                 (fun i (v, label) ->
+                   if stump_predicts s v <> label then err := !err +. weights.(i))
+                 xs;
+               if !err < be -. 1e-12 then (Some s, !err) else (bs, be))
+             (None, infinity) candidates
+         in
+         match best with
+         | None -> raise Exit
+         | Some s ->
+           if best_err >= 0.5 -. 1e-9 then raise Exit;
+           let eps = Float.max best_err 1e-10 in
+           let alpha = 0.5 *. log ((1. -. eps) /. eps) in
+           picked := (s, alpha) :: !picked;
+           let total = ref 0. in
+           Array.iteri
+             (fun i (v, label) ->
+               let sign = if stump_predicts s v = label then -1. else 1. in
+               weights.(i) <- weights.(i) *. exp (sign *. alpha);
+               total := !total +. weights.(i))
+             xs;
+           Array.iteri (fun i w -> weights.(i) <- w /. !total) weights
+       done
+     with Exit -> ());
+    { e_stumps = List.rev !picked }
+  end
+
+let stumps_predict e v =
+  let margin =
+    List.fold_left
+      (fun acc (s, alpha) ->
+        acc +. if stump_predicts s v then alpha else -.alpha)
+      0. e.e_stumps
+  in
+  sigmoid (2. *. margin)
+
+let stumps_size e = List.length e.e_stumps
+
+(* ------------------------------------------------------------------ *)
+(* Verdicts *)
+
+type verdict = Benign | Suspicious | Invalid
+
+let verdict_to_string = function
+  | Benign -> "benign"
+  | Suspicious -> "suspicious"
+  | Invalid -> "invalid"
+
+let verdict_of_score p =
+  if p < 0.3 then Benign else if p < 0.7 then Suspicious else Invalid
+
+let flag_threshold = 0.5
+let flagged p = p >= flag_threshold

@@ -1,0 +1,79 @@
+(** Pure-OCaml learned detectors — layer 3 of the classifier.
+
+    Two deterministic models over {!Features} vectors, no external
+    dependencies:
+
+    - {e logistic regression}, trained by full-batch gradient descent on
+      standardised features with L2 regularisation.  Weights start at
+      zero and the batch gradient is a fixed fold over the training
+      list, so training is a pure function of the (ordered) training
+      set — byte-identical at any job count once the corpus order is
+      canonical.
+    - {e boosted depth-1 decision stumps} (discrete AdaBoost).  Stump
+      selection breaks error ties on the lowest (feature, threshold,
+      direction), so the ensemble is equally deterministic.
+
+    Scores from both land in [0, 1] through the logistic link; the
+    {!verdict} bands turn a calibrated score into the benign /
+    suspicious / invalid labels the serving surface reports. *)
+
+type scaler
+(** Per-feature affine standardisation fitted on a training set. *)
+
+val fit_scaler : dim:int -> float array list -> scaler
+(** Mean/variance per coordinate; a constant feature scales to zero. *)
+
+val transform : scaler -> float array -> float array
+
+type logistic
+(** A trained logistic model (scaler + weights + bias). *)
+
+val train_logistic :
+  ?epochs:int ->
+  ?learning_rate:float ->
+  ?l2:float ->
+  dim:int ->
+  (float array * bool) list ->
+  logistic
+(** Full-batch gradient descent ([epochs] default 400, [learning_rate]
+    default 0.5, [l2] default 1e-3).  @raise Invalid_argument on an
+    empty training set or a vector of the wrong dimension. *)
+
+val predict : logistic -> float array -> float
+(** Probability that the episode is invalid, in [0, 1]. *)
+
+val weights : logistic -> (string * float) array
+(** Learned weights paired with {!Features.names} (standardised space),
+    plus a final ["(bias)"] row — for the report's explanation table. *)
+
+type stumps
+(** A boosted ensemble of depth-1 stumps. *)
+
+val train_stumps :
+  ?rounds:int -> dim:int -> (float array * bool) list -> stumps
+(** Discrete AdaBoost for [rounds] (default 30) rounds; stops early when
+    a round's best stump is no better than chance.
+    @raise Invalid_argument on an empty training set. *)
+
+val stumps_predict : stumps -> float array -> float
+(** Ensemble score through the logistic link, in [0, 1]. *)
+
+val stumps_size : stumps -> int
+(** Rounds actually kept. *)
+
+(** {2 Verdicts} *)
+
+type verdict = Benign | Suspicious | Invalid
+
+val verdict_to_string : verdict -> string
+(** ["benign"], ["suspicious"], ["invalid"]. *)
+
+val verdict_of_score : float -> verdict
+(** Score bands: below 0.3 benign, below 0.7 suspicious, else invalid. *)
+
+val flag_threshold : float
+(** [0.5] — the operating point used when comparing against the binary
+    baseline detectors. *)
+
+val flagged : float -> bool
+(** [score >= flag_threshold]. *)

@@ -7,6 +7,7 @@ type t = {
   q_since : int option;
   q_until : int option;
   q_min_visibility : int option;
+  q_bucket : Stream.Monitor.bucket option;
 }
 
 exception Corrupt of string
@@ -19,6 +20,7 @@ let empty =
     q_since = None;
     q_until = None;
     q_min_visibility = None;
+    q_bucket = None;
   }
 
 let nonneg what v =
@@ -35,12 +37,21 @@ let until v q = { q with q_until = Some (nonneg "until" v) }
 let min_visibility v q =
   { q with q_min_visibility = Some (nonneg "min_visibility" v) }
 
+let bucket b q = { q with q_bucket = Some b }
+
+(* one bucket definition: the Stream.Monitor Section 3 boundaries on the
+   default config (short <= 1 observed day < medium <= 60 < long) *)
+let entry_bucket (e : Correlator.entry) =
+  Stream.Monitor.bucket_of_days Stream.Monitor.default_config
+    e.Correlator.x_days
+
 let target q = q.q_prefix
 let wants_covered q = q.q_covered
 let origin_filter q = q.q_origin
 let since_bound q = q.q_since
 let until_bound q = q.q_until
 let visibility_floor q = q.q_min_visibility
+let bucket_filter q = q.q_bucket
 let compare = Stdlib.compare
 let equal a b = compare a b = 0
 
@@ -57,6 +68,9 @@ let matches q (e : Correlator.entry) =
   && (match q.q_until with Some u -> e.Correlator.x_started <= u | None -> true)
   && (match q.q_min_visibility with
      | Some k -> Correlator.visibility e >= k
+     | None -> true)
+  && (match q.q_bucket with
+     | Some b -> Stream.Monitor.compare_bucket (entry_bucket e) b = 0
      | None -> true)
 
 (* ------------------------------------------------------------------ *)
@@ -95,6 +109,10 @@ let parse s =
       | "until" -> Result.map (fun v -> until v q) (nonneg_int "until")
       | "min_visibility" ->
         Result.map (fun v -> min_visibility v q) (nonneg_int "min_visibility")
+      | "bucket" ->
+        Result.map
+          (fun b -> bucket b q)
+          (Stream.Monitor.bucket_of_string value)
       | _ -> Error (Printf.sprintf "unknown query key %S" key))
   in
   let clauses =
@@ -120,12 +138,25 @@ let to_string q =
              q.q_origin
              (opt "since" string_of_int q.q_since
                 (opt "until" string_of_int q.q_until
-                   (opt "min_visibility" string_of_int q.q_min_visibility []))))))
+                   (opt "min_visibility" string_of_int q.q_min_visibility
+                      (opt "bucket" Stream.Monitor.bucket_to_string q.q_bucket
+                         [])))))))
 
 let pp fmt q = Format.pp_print_string fmt (to_string q)
 
 (* ------------------------------------------------------------------ *)
 (* One binary codec *)
+
+let bucket_tag = function
+  | Stream.Monitor.Short -> 0
+  | Stream.Monitor.Medium -> 1
+  | Stream.Monitor.Long -> 2
+
+let bucket_of_tag c = function
+  | 0 -> Stream.Monitor.Short
+  | 1 -> Stream.Monitor.Medium
+  | 2 -> Stream.Monitor.Long
+  | n -> Codec.corrupt c "bad bucket tag %d" n
 
 let write buf q =
   Codec.put_option buf Codec.put_prefix q.q_prefix;
@@ -133,7 +164,10 @@ let write buf q =
   Codec.put_option buf Codec.put_asn q.q_origin;
   Codec.put_option buf Codec.put_i63 q.q_since;
   Codec.put_option buf Codec.put_i63 q.q_until;
-  Codec.put_option buf Codec.put_u32 q.q_min_visibility
+  Codec.put_option buf Codec.put_u32 q.q_min_visibility;
+  Codec.put_option buf
+    (fun buf b -> Codec.put_u8 buf (bucket_tag b))
+    q.q_bucket
 
 let read c =
   let q_prefix = Codec.take_option c Codec.take_prefix in
@@ -142,7 +176,18 @@ let read c =
   let q_since = Codec.take_option c Codec.take_i63 in
   let q_until = Codec.take_option c Codec.take_i63 in
   let q_min_visibility = Codec.take_option c Codec.take_u32 in
-  { q_prefix; q_covered; q_origin; q_since; q_until; q_min_visibility }
+  let q_bucket =
+    Codec.take_option c (fun c -> bucket_of_tag c (Codec.take_u8 c))
+  in
+  {
+    q_prefix;
+    q_covered;
+    q_origin;
+    q_since;
+    q_until;
+    q_min_visibility;
+    q_bucket;
+  }
 
 let encode q =
   let buf = Buffer.create 32 in

@@ -52,6 +52,12 @@ val min_visibility : int -> t -> t
 (** At least [k] vantages saw the episode.
     @raise Invalid_argument on a negative floor. *)
 
+val bucket : Stream.Monitor.bucket -> t -> t
+(** Restrict to episodes whose observed day count falls in the given
+    Section 3 duration bucket, per {!Stream.Monitor.bucket_of_days} on
+    the default config (short <= 1 observed day < medium <= 60 < long) —
+    the same boundaries the stream report prints. *)
+
 (** {2 Accessors} *)
 
 val target : t -> Prefix.t option
@@ -60,6 +66,7 @@ val origin_filter : t -> Asn.t option
 val since_bound : t -> int option
 val until_bound : t -> int option
 val visibility_floor : t -> int option
+val bucket_filter : t -> Stream.Monitor.bucket option
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
@@ -73,8 +80,8 @@ val matches : t -> Correlator.entry -> bool
 val parse : string -> (t, string) result
 (** Parse a comma-separated [key=value] list: [prefix=198.51.100.0/24],
     [covered=true], [origin=65001], [since=0], [until=90000],
-    [min_visibility=2].  An empty string is {!empty}.  Times and the
-    visibility floor must be non-negative. *)
+    [min_visibility=2], [bucket=short|medium|long].  An empty string is
+    {!empty}.  Times and the visibility floor must be non-negative. *)
 
 val to_string : t -> string
 (** Canonical rendering in the {!parse} syntax (clauses in fixed key

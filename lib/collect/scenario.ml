@@ -122,8 +122,32 @@ let pick_actors (topo : Topo.t) specs =
   | quiet :: _ -> (legit, attacker, legit_feed, attack_feed, quiet)
   | _ -> invalid_arg "Scenario.capture: topology has too few stub ASes"
 
+type arm = Baseline | Partitioned | Fault_churn
+
+let arm_to_string = function
+  | Baseline -> "baseline"
+  | Partitioned -> "partitioned"
+  | Fault_churn -> "fault-churn"
+
+let arm_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "baseline" -> Ok Baseline
+  | "partitioned" -> Ok Partitioned
+  | "fault-churn" | "fault_churn" -> Ok Fault_churn
+  | other -> Error (Printf.sprintf "unknown scenario arm %S" other)
+
+let all_arms = [ Baseline; Partitioned; Fault_churn ]
+
+(* fault-churn flap cadence: outages while the attack-free capture is
+   still interesting, several full cycles before quiescence *)
+let flap_start = 10.0
+let flap_period = 8.0
+let flap_down_for = 3.0
+let flap_until = 40.0
+
 type t = {
   s_topology : string;
+  s_arm : arm;
   s_specs : Vantage.spec list;
   s_streams : (string * Stream.Monitor.event array) list;
   s_end_time : int;
@@ -132,11 +156,13 @@ type t = {
   s_quiet : Prefix.t;
   s_legit : Asn.t;
   s_attacker : Asn.t;
+  s_homes : Asn.Set.t;
+  s_quiet_origin : Asn.t;
   s_isolated : string option;
   s_faults_injected : int;
 }
 
-let capture ?(metrics = Obs.Registry.noop) ?(isolate = false) ~seed ~vantages
+let capture ?(metrics = Obs.Registry.noop) ?(arm = Baseline) ~seed ~vantages
     (topo : Topo.t) =
   let specs = design_vantages ~count:vantages topo in
   let legit, attacker, home_a, home_b, quiet = pick_actors topo specs in
@@ -147,46 +173,73 @@ let capture ?(metrics = Obs.Registry.noop) ?(isolate = false) ~seed ~vantages
   in
   let recorders = Vantage.attach ~metrics network specs in
   (* the invalid-origin conflict: the victim advertises its singleton MOAS
-     list, the attacker none — the §4.2 detectable case *)
+     list, the attacker none — the §4.2 detectable case.  The fault-churn
+     arm has no attacker: its MOAS conflicts are all operational. *)
   Bgp.Network.originate ~at:0.0
     ~communities:(Moas.Moas_list.encode (Asn.Set.singleton legit))
     network legit attacked_prefix;
-  Bgp.Network.originate ~at:attack_at network attacker attacked_prefix;
-  (* the legitimate multihomed MOAS: both homes agree on the list *)
+  if arm <> Fault_churn then
+    Bgp.Network.originate ~at:attack_at network attacker attacked_prefix;
+  (* the legitimate multihomed MOAS.  In the attack arms both homes agree
+     on the advertised list; in the fault-churn arm they multihome
+     {e without} lists — the paper's unregistered-but-legitimate case, the
+     one the MOAS-list check false-alarms on. *)
   let homes = Asn.Set.of_list [ home_a; home_b ] in
-  Bgp.Network.originate ~at:0.0
-    ~communities:(Moas.Moas_list.encode homes)
-    network home_a multihomed_prefix;
-  Bgp.Network.originate ~at:second_home_at
-    ~communities:(Moas.Moas_list.encode homes)
+  let home_communities =
+    if arm = Fault_churn then None else Some (Moas.Moas_list.encode homes)
+  in
+  Bgp.Network.originate ~at:0.0 ?communities:home_communities network home_a
+    multihomed_prefix;
+  Bgp.Network.originate ~at:second_home_at ?communities:home_communities
     network home_b multihomed_prefix;
   (* the control prefix: one origin, no conflict, no list *)
   Bgp.Network.originate ~at:0.0 network quiet quiet_prefix;
-  let isolated, injector =
-    if not isolate then (None, None)
-    else
+  let plan =
+    match arm with
+    | Baseline -> Plan.empty
+    | Partitioned -> (
       match specs with
-      | [] -> (None, None)
+      | [] -> Plan.empty
       | first :: _ ->
         (* sever every peering of the first vantage's feeds after the
            valid routes converge, before the attack lands *)
-        let plan =
-          Asn.Set.fold
-            (fun feed acc ->
-              Asn.Set.fold
-                (fun peer acc ->
-                  Plan.union acc (Plan.fail ~at:cut_at (Plan.link feed peer)))
-                (Graph.neighbors topo.Topo.graph feed)
-                acc)
-            first.Vantage.v_peers Plan.empty
-        in
-        let rng = Mutil.Rng.create ~seed in
-        ( Some first.Vantage.v_name,
-          Some (Faults.Injector.arm ~metrics ~rng network plan) )
+        Asn.Set.fold
+          (fun feed acc ->
+            Asn.Set.fold
+              (fun peer acc ->
+                Plan.union acc (Plan.fail ~at:cut_at (Plan.link feed peer)))
+              (Graph.neighbors topo.Topo.graph feed)
+              acc)
+          first.Vantage.v_peers Plan.empty)
+    | Fault_churn ->
+      (* periodically flap every peering of the second home: during each
+         outage the rest of the mesh loses its origin, so the multihomed
+         episode closes and reopens — recurrence and churn with no
+         attacker anywhere *)
+      Asn.Set.fold
+        (fun peer acc ->
+          Plan.union acc
+            (Plan.flap ~start:flap_start ~period:flap_period
+               ~down_for:flap_down_for ~until:flap_until
+               (Plan.link home_b peer)))
+        (Graph.neighbors topo.Topo.graph home_b)
+        Plan.empty
+  in
+  let isolated =
+    match (arm, specs) with
+    | Partitioned, first :: _ -> Some first.Vantage.v_name
+    | _ -> None
+  in
+  let injector =
+    if plan = Plan.empty then None
+    else
+      let rng = Mutil.Rng.create ~seed in
+      Some (Faults.Injector.arm ~metrics ~rng network plan)
   in
   ignore (Bgp.Network.run network);
   {
     s_topology = topo.Topo.name;
+    s_arm = arm;
     s_specs = specs;
     s_streams = Vantage.streams recorders;
     s_end_time = Vantage.millis (Sim.Engine.now (Bgp.Network.engine network));
@@ -195,6 +248,8 @@ let capture ?(metrics = Obs.Registry.noop) ?(isolate = false) ~seed ~vantages
     s_quiet = quiet_prefix;
     s_legit = legit;
     s_attacker = attacker;
+    s_homes = homes;
+    s_quiet_origin = quiet;
     s_isolated = isolated;
     s_faults_injected =
       (match injector with Some i -> Faults.Injector.injected i | None -> 0);
@@ -203,7 +258,8 @@ let capture ?(metrics = Obs.Registry.noop) ?(isolate = false) ~seed ~vantages
 let describe t =
   let buf = Buffer.create 256 in
   Buffer.add_string buf
-    (Printf.sprintf "topology %s, %d vantages:\n" t.s_topology
+    (Printf.sprintf "topology %s (%s arm), %d vantages:\n" t.s_topology
+       (arm_to_string t.s_arm)
        (List.length t.s_specs));
   List.iter2
     (fun s (_, events) ->

@@ -9,15 +9,39 @@
     best-connected transit ASes, adjacent vantages sharing one feed so the
     merge stage has real duplicates to collapse.
 
-    The partition arm ([isolate = true]) cuts, at [t=20] — after the valid
+    The scenario now comes in three {!arm}s.  [Baseline] is the workload
+    above.  [Partitioned] additionally cuts, at [t=20] — after the valid
     routes converge but before the [t=30] attack — every peering of the
     first vantage's feed ASes via a {!Faults.Fault_plan}, blinding that
     vantage to the attack while the rest of the mesh still observes it:
     the "every-path blocking is implausible" experiment of paper §4 in
-    miniature.  Both arms pick identical actors, so their captures differ
-    only through the partition. *)
+    miniature.  [Fault_churn] has {e no attacker at all}: the homes
+    multihome the legitimate prefix {e without} MOAS lists (the paper's
+    unregistered-but-legitimate case, which the MOAS-list consistency
+    check false-alarms on) and the second home's peerings flap
+    periodically, so the operational episode recurs and churns.  All arms
+    pick identical actors, so their captures differ only through the
+    originations and the fault plan. *)
 
 open Net
+
+(** {2 Arms} *)
+
+type arm =
+  | Baseline  (** attack + listed multihoming, no faults *)
+  | Partitioned  (** attack + listed multihoming, first vantage cut off *)
+  | Fault_churn
+      (** no attacker; unlisted multihoming with periodic link flaps *)
+
+val arm_to_string : arm -> string
+(** ["baseline"], ["partitioned"], ["fault-churn"]. *)
+
+val arm_of_string : string -> (arm, string) result
+(** Inverse of {!arm_to_string} (case-insensitive; accepts
+    ["fault_churn"] too). *)
+
+val all_arms : arm list
+(** The three arms, in declaration order — the scenario-corpus axes. *)
 
 val design_vantages :
   ?count:int -> Topology.Paper_topologies.t -> Vantage.spec list
@@ -29,29 +53,33 @@ val design_vantages :
 
 type t = {
   s_topology : string;  (** topology name *)
+  s_arm : arm;
   s_specs : Vantage.spec list;
   s_streams : (string * Stream.Monitor.event array) list;
       (** captured per-vantage streams, the {!Mesh.run} input *)
   s_end_time : int;  (** capture end, integer milliseconds *)
   s_attacked : Prefix.t;  (** the invalid-origin conflict prefix *)
-  s_multihomed : Prefix.t;  (** the clean MOAS prefix *)
+  s_multihomed : Prefix.t;  (** the legitimate MOAS prefix *)
   s_quiet : Prefix.t;  (** the single-origin control prefix *)
   s_legit : Asn.t;  (** legitimate origin of [s_attacked] *)
   s_attacker : Asn.t;
+      (** would-be hijacker (originates nothing in [Fault_churn]) *)
+  s_homes : Asn.Set.t;  (** the two origins of [s_multihomed] *)
+  s_quiet_origin : Asn.t;  (** origin of [s_quiet] *)
   s_isolated : string option;  (** partitioned vantage, if any *)
   s_faults_injected : int;
 }
 
 val capture :
   ?metrics:Obs.Registry.t ->
-  ?isolate:bool ->
+  ?arm:arm ->
   seed:int64 ->
   vantages:int ->
   Topology.Paper_topologies.t ->
   t
-(** Build the network, attach the mesh, originate the workload, arm the
-    partition when [isolate] (default false), and run to quiescence.
-    Deterministic from [seed] and the topology. *)
+(** Build the network, attach the mesh, originate the [arm]'s workload
+    (default [Baseline]), arm its fault plan, and run to quiescence.
+    Deterministic from [seed], the arm and the topology. *)
 
 val describe : t -> string
 (** One-paragraph run summary (topology, roster, actors, event counts). *)

@@ -70,19 +70,26 @@ let community_droppers ?(seed = 0x41424c31L) ?jobs
               attacked_outcome.Attack.Scenario.fraction_adopting ))
           (Array.init runs_per_point Fun.id)
       in
-      let count p = Array.fold_left (fun n r -> if p r then n + 1 else n) 0 results in
-      let false_alarms = count (fun (benign_detected, _, _) -> benign_detected) in
-      let missed = count (fun (_, detected, _) -> not detected) in
+      (* each run contributes one benign (truth=false) and one attacked
+         (truth=true) prediction; the dropper's false-alarm and miss rates
+         are then the standard confusion-matrix fallout and miss rate *)
+      let c =
+        Array.fold_left
+          (fun c (benign_detected, attacked_detected, _) ->
+            Stats.confusion_add
+              (Stats.confusion_add c ~truth:false ~flagged:benign_detected)
+              ~truth:true ~flagged:attacked_detected)
+          Stats.no_confusion results
+      in
       (* fold_left/cons rebuilds the reverse-run-order list the former
          loop accumulated, keeping the mean's summation order *)
       let adopting =
         Array.fold_left (fun acc (_, _, f) -> f :: acc) [] results
       in
-      let rate n = float_of_int n /. float_of_int runs_per_point in
       {
         dropper_fraction;
-        false_alarm_rate = rate false_alarms;
-        missed_detection_rate = rate missed;
+        false_alarm_rate = Stats.fallout c;
+        missed_detection_rate = Stats.miss_rate c;
         mean_adopting = Stats.mean adopting;
       })
     fractions

@@ -328,15 +328,19 @@ let loss_study ?(seed = default_seed) ?(runs = 6) ?jobs
       let floats f =
         Array.fold_left (fun acc r -> f r :: acc) [] results
       in
-      let detected =
+      (* every run is an attacked run, so the detection rate is the
+         recall of a confusion tallying (truth=true, flagged=detected) *)
+      let c =
         Array.fold_left
-          (fun n (o, _) -> if o.Attack.Scenario.detected then n + 1 else n)
-          0 results
+          (fun c (o, _) ->
+            Mutil.Stats.confusion_add c ~truth:true
+              ~flagged:o.Attack.Scenario.detected)
+          Mutil.Stats.no_confusion results
       in
       {
         loss;
         runs;
-        detection_rate = float_of_int detected /. float_of_int runs;
+        detection_rate = Mutil.Stats.recall c;
         mean_adopting =
           mean (floats (fun (o, _) -> o.Attack.Scenario.fraction_adopting));
         mean_messages_dropped =

@@ -45,7 +45,8 @@ type response =
 
 exception Corrupt of string
 
-let version = 2
+(* v3: the query payload grew a trailing bucket clause *)
+let version = 3
 let magic = "MOASSERV"
 
 (* {2 Framing}

@@ -70,10 +70,11 @@ type response =
 exception Corrupt of string
 
 val version : int
-(** Current protocol version (2).  Version 2 extended the [Stats_are]
+(** Current protocol version (3).  Version 2 extended the [Stats_are]
     payload with the health/shed/timeout/eviction fields and added the
-    frame checksum; peers speaking version 1 are rejected with [Corrupt]
-    at the frame header. *)
+    frame checksum; version 3 grew the query payload by a trailing
+    duration-bucket clause.  Peers speaking older versions are rejected
+    with [Corrupt] at the frame header. *)
 
 val magic : string
 

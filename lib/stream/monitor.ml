@@ -30,6 +30,40 @@ let validate_config c =
     invalid_arg "Stream.Monitor: need 1 <= short_max_days < medium_max_days"
 
 (* ------------------------------------------------------------------ *)
+(* Duration buckets (paper Section 3) *)
+
+type bucket = Short | Medium | Long
+
+let bucket_of_days cfg days =
+  let days = max 1 days in
+  if days <= cfg.short_max_days then Short
+  else if days <= cfg.medium_max_days then Medium
+  else Long
+
+let bucket_to_string = function
+  | Short -> "short"
+  | Medium -> "medium"
+  | Long -> "long"
+
+let bucket_of_string s =
+  match String.lowercase_ascii s with
+  | "short" -> Ok Short
+  | "medium" -> Ok Medium
+  | "long" -> Ok Long
+  | other ->
+    Error
+      (Printf.sprintf "unknown bucket %S (expected short, medium or long)"
+         other)
+
+let bucket_label = function
+  | Short -> "short-lived"
+  | Medium -> "medium-lived"
+  | Long -> "long-lived"
+
+let bucket_rank = function Short -> 0 | Medium -> 1 | Long -> 2
+let compare_bucket a b = Int.compare (bucket_rank a) (bucket_rank b)
+
+(* ------------------------------------------------------------------ *)
 (* Canonical (snapshot) representation *)
 
 type origin_entry = { origin : Asn.t; adv_list : Asn.Set.t option }

@@ -49,6 +49,34 @@ val default_config : config
     the Section 3 buckets of the paper (one-day operational faults,
     multi-day churn, standing multi-homing). *)
 
+(** {2 Duration buckets}
+
+    The paper's Section 3 short/medium/long episode classes, shared by
+    the stream report, the [Collect.Query] [bucket=] clause and the
+    classifier's bucket feature — one definition, one parser. *)
+
+type bucket = Short | Medium | Long
+
+val bucket_of_days : config -> int -> bucket
+(** Classify an episode's observed day count against the config's
+    boundaries.  Day counts below 1 are clamped to 1 (an episode observed
+    at all was observed for at least a day, as in the paper's duration
+    definition). *)
+
+val bucket_to_string : bucket -> string
+(** Machine name: ["short"], ["medium"], ["long"] — the [bucket=] query
+    syntax. *)
+
+val bucket_of_string : string -> (bucket, string) result
+(** Inverse of {!bucket_to_string} (case-insensitive). *)
+
+val bucket_label : bucket -> string
+(** Human label for reports: ["short-lived"], ["medium-lived"],
+    ["long-lived"]. *)
+
+val compare_bucket : bucket -> bucket -> int
+(** Short < Medium < Long. *)
+
 (** {2 Live monitor} *)
 
 type t

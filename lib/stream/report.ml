@@ -54,18 +54,12 @@ let episodes snap =
         if c <> 0 then c else compare a.v_seq b.v_seq)
     (closed @ opened)
 
-type duration_class = Short | Medium | Long
+(* the short/medium/long classes live on Monitor.bucket so the query
+   layer and the classifier share the exact same boundaries *)
+type duration_class = Monitor.bucket = Short | Medium | Long
 
-let classify cfg days =
-  let days = max 1 days in
-  if days <= cfg.short_max_days then Short
-  else if days <= cfg.medium_max_days then Medium
-  else Long
-
-let class_label = function
-  | Short -> "short-lived"
-  | Medium -> "medium-lived"
-  | Long -> "long-lived"
+let classify = Monitor.bucket_of_days
+let class_label = Monitor.bucket_label
 
 (* the Figure 5 buckets of Measurement.Moas_cases, on episode day counts *)
 let paper_buckets eps =
@@ -147,7 +141,7 @@ let render ?(top_windows = 5) snap =
     (Mutil.Text_table.render ~header:[ "class"; "episodes" ]
        (List.map
           (fun cls -> [ class_label cls; string_of_int (count cls) ])
-          [ Short; Medium; Long ]));
+          [ Monitor.Short; Monitor.Medium; Monitor.Long ]));
   say "";
   say "-- paper duration buckets (Figure 5) --";
   Buffer.add_string buf

@@ -20,11 +20,14 @@ val episodes : Monitor.snapshot -> episode_view list
 (** Closed and still-open episodes in one list, sorted by
     (prefix, start time, recurrence index). *)
 
-type duration_class = Short | Medium | Long
+type duration_class = Monitor.bucket = Short | Medium | Long
+(** Deprecated spelling of {!Monitor.bucket}, kept for existing callers;
+    the one definition now lives on the monitor so queries and the
+    classifier share it. *)
 
 val classify : Monitor.config -> int -> duration_class
-(** Bucket a day count per the config (a not-yet-marked episode counts as
-    one day). *)
+(** {!Monitor.bucket_of_days}: bucket a day count per the config (a
+    not-yet-marked episode counts as one day). *)
 
 val paper_buckets : episode_view list -> (string * int) list
 (** Episode counts in the Figure 5 duration buckets

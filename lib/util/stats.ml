@@ -84,3 +84,68 @@ let int_histogram ~max_value xs =
   in
   List.iter place xs;
   counts
+
+(* ------------------------------------------------------------------ *)
+(* Binary-classification metrics *)
+
+type confusion = { tp : int; fp : int; tn : int; fn : int }
+
+let no_confusion = { tp = 0; fp = 0; tn = 0; fn = 0 }
+
+let confusion_add c ~truth ~flagged =
+  match (truth, flagged) with
+  | true, true -> { c with tp = c.tp + 1 }
+  | false, true -> { c with fp = c.fp + 1 }
+  | false, false -> { c with tn = c.tn + 1 }
+  | true, false -> { c with fn = c.fn + 1 }
+
+let confusion pairs =
+  List.fold_left
+    (fun c (truth, flagged) -> confusion_add c ~truth ~flagged)
+    no_confusion pairs
+
+let ratio num den ~empty =
+  if den = 0 then empty else float_of_int num /. float_of_int den
+
+let precision c = ratio c.tp (c.tp + c.fp) ~empty:1.0
+let recall c = ratio c.tp (c.tp + c.fn) ~empty:1.0
+let fallout c = ratio c.fp (c.fp + c.tn) ~empty:0.0
+let miss_rate c = ratio c.fn (c.tp + c.fn) ~empty:0.0
+
+let accuracy c =
+  ratio (c.tp + c.tn) (c.tp + c.fp + c.tn + c.fn) ~empty:1.0
+
+let f1 c =
+  let p = precision c and r = recall c in
+  if p +. r = 0.0 then 0.0 else 2.0 *. p *. r /. (p +. r)
+
+(* Mann-Whitney with average ranks: AUC = (R+ - n+(n+ + 1)/2) / (n+ n-),
+   where R+ is the positive class's rank sum.  Ties get the mean of the
+   rank range they span, so equal scores across classes contribute
+   exactly half a concordant pair each. *)
+let auc scored =
+  let a = Array.of_list scored in
+  let n = Array.length a in
+  let n_pos = Array.fold_left (fun k (_, t) -> if t then k + 1 else k) 0 a in
+  let n_neg = n - n_pos in
+  if n_pos = 0 || n_neg = 0 then 0.5
+  else begin
+    Array.sort (fun (x, _) (y, _) -> Float.compare x y) a;
+    let rank_sum_pos = ref 0.0 in
+    let i = ref 0 in
+    while !i < n do
+      let j = ref !i in
+      while !j < n && fst a.(!j) = fst a.(!i) do
+        incr j
+      done;
+      (* a.(!i .. !j-1) are tied: ranks !i+1 .. !j, averaged *)
+      let avg_rank = float_of_int (!i + 1 + !j) /. 2.0 in
+      for k = !i to !j - 1 do
+        if snd a.(k) then rank_sum_pos := !rank_sum_pos +. avg_rank
+      done;
+      i := !j
+    done;
+    let np = float_of_int n_pos in
+    (!rank_sum_pos -. (np *. (np +. 1.0) /. 2.0))
+    /. (np *. float_of_int n_neg)
+  end

@@ -1,0 +1,431 @@
+(* Tests for the lib/classify subsystem: the ROA ground-truth oracle
+   (RFC 6811 tri-state, text codec, seeded synthesis), feature
+   extraction (golden vector + CSV, MOASSTOR round-trip stability),
+   model sanity, and the end-to-end determinism contract of the
+   evaluation harness. *)
+
+open Net
+module Roa = Baselines.Roa_registry
+module Features = Classify.Features
+module Model = Classify.Model
+module Corpus = Classify.Corpus
+module Eval = Classify.Eval
+module Corr = Collect.Correlator
+module Store = Collect.Store
+module Stats = Mutil.Stats
+
+let validity_testable =
+  Alcotest.testable
+    (fun fmt v -> Format.pp_print_string fmt (Roa.validity_to_string v))
+    ( = )
+
+let p24 = Prefix.of_string "192.0.2.0/24"
+let p25 = Prefix.of_string "192.0.2.0/25"
+let p26 = Prefix.of_string "192.0.2.64/26"
+let other = Prefix.of_string "198.51.100.0/24"
+let a1 = Asn.make 65001
+let a2 = Asn.make 65002
+
+(* ---------------- ROA oracle: unit tests ---------------- *)
+
+let test_roa_tri_state () =
+  let t = Roa.add ~max_length:25 p24 a1 Roa.empty in
+  let check what expected route origin =
+    Alcotest.check validity_testable what expected (Roa.validate t route origin)
+  in
+  check "authorised origin" Roa.Valid p24 a1;
+  check "more specific within max_length" Roa.Valid p25 a1;
+  check "more specific beyond max_length" Roa.Invalid p26 a1;
+  check "covered but wrong origin" Roa.Invalid p24 a2;
+  check "uncovered prefix" Roa.Unknown other a1
+
+let test_roa_conflict () =
+  let both = Roa.add p24 a2 (Roa.add p24 a1 Roa.empty) in
+  let only_a1 = Roa.add p24 a1 Roa.empty in
+  let set l = Asn.Set.of_list l in
+  Alcotest.check validity_testable "both origins authorised" Roa.Valid
+    (Roa.classify_conflict both p24 (set [ a1; a2 ]));
+  Alcotest.check validity_testable "one unauthorised origin poisons"
+    Roa.Invalid
+    (Roa.classify_conflict only_a1 p24 (set [ a1; a2 ]));
+  Alcotest.check validity_testable "uncovered conflict stays unknown"
+    Roa.Unknown
+    (Roa.classify_conflict only_a1 other (set [ a1; a2 ]))
+
+let test_roa_add_validation () =
+  let rejected ml =
+    match Roa.add ~max_length:ml p24 a1 Roa.empty with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "max_length below the prefix length" true (rejected 23);
+  Alcotest.(check bool) "max_length beyond 32" true (rejected 33);
+  Alcotest.(check bool) "max_length at the prefix length" false (rejected 24);
+  let t = Roa.add p24 a1 (Roa.add p24 a1 Roa.empty) in
+  Alcotest.(check int) "duplicate ROAs collapse" 1 (Roa.cardinal t)
+
+let test_roa_text_codec () =
+  let text =
+    "# victim prefix\n192.0.2.0/24 65001\n\n198.51.100.0/24 65010 25  # slack\n"
+  in
+  (match Roa.of_string text with
+  | Error m -> Alcotest.failf "hand-written registry rejected: %s" m
+  | Ok t ->
+    Alcotest.(check int) "two ROAs parsed" 2 (Roa.cardinal t);
+    Alcotest.(check string) "canonical rendering"
+      "192.0.2.0/24 65001 24\n198.51.100.0/24 65010 25\n" (Roa.to_string t));
+  let rejected text =
+    match Roa.of_string text with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "bad prefix rejected" true (rejected "not-a-prefix 1");
+  Alcotest.(check bool) "missing origin rejected" true (rejected "192.0.2.0/24");
+  Alcotest.(check bool) "bad max_length rejected" true
+    (rejected "192.0.2.0/24 65001 12")
+
+(* ---------------- ROA oracle: properties ---------------- *)
+
+let roa_spec_gen =
+  QCheck2.Gen.(
+    list_size (int_range 0 12)
+      (triple Testutil.prefix_gen Testutil.asn_gen (int_range 0 4)))
+
+let registry_of_specs specs =
+  List.fold_left
+    (fun t (p, o, slack) ->
+      let max_length = min 32 (Prefix.length p + slack) in
+      Roa.add ~max_length p (Asn.make o) t)
+    Roa.empty specs
+
+let prop_validate_partition =
+  Testutil.qtest ~count:300 "tri-state verdict agrees with the covering set"
+    QCheck2.Gen.(triple roa_spec_gen Testutil.prefix_gen Testutil.asn_gen)
+    (fun (specs, route, origin) ->
+      let t = registry_of_specs specs in
+      let origin = Asn.make origin in
+      let cov = Roa.covering t route in
+      let matches r =
+        Asn.equal r.Roa.roa_origin origin
+        && Prefix.length route <= r.Roa.roa_max_length
+      in
+      match Roa.validate t route origin with
+      | Roa.Unknown -> cov = []
+      | Roa.Valid -> List.exists matches cov
+      | Roa.Invalid -> cov <> [] && not (List.exists matches cov))
+
+let prop_conflict_consistency =
+  Testutil.qtest ~count:300
+    "conflict verdict folds the per-origin verdicts"
+    QCheck2.Gen.(triple roa_spec_gen Testutil.prefix_gen Testutil.asn_set_gen)
+    (fun (specs, route, origins) ->
+      let t = registry_of_specs specs in
+      let verdicts =
+        List.map (Roa.validate t route) (Asn.Set.elements origins)
+      in
+      let expected =
+        if List.mem Roa.Invalid verdicts then Roa.Invalid
+        else if List.mem Roa.Valid verdicts then Roa.Valid
+        else Roa.Unknown
+      in
+      Roa.classify_conflict t route origins = expected)
+
+let prop_text_roundtrip =
+  Testutil.qtest ~count:300 "of_string (to_string t) rebuilds the registry"
+    roa_spec_gen
+    (fun specs ->
+      let t = registry_of_specs specs in
+      match Roa.of_string (Roa.to_string t) with
+      | Ok t' -> Roa.to_string t' = Roa.to_string t
+      | Error _ -> false)
+
+let ground_truth_gen =
+  QCheck2.Gen.(
+    pair
+      (list_size (int_range 0 8) (pair Testutil.prefix_gen Testutil.asn_set_gen))
+      (int_range 0 10_000))
+
+let prop_synthesize_covers =
+  Testutil.qtest ~count:200
+    "full-coverage synthesis validates every authorised origin"
+    ground_truth_gen
+    (fun (truth, seed) ->
+      let t = Roa.synthesize ~seed:(Int64.of_int seed) truth in
+      List.for_all
+        (fun (p, origins) ->
+          Asn.Set.for_all (fun o -> Roa.validate t p o = Roa.Valid) origins)
+        truth)
+
+let prop_synthesize_deterministic =
+  Testutil.qtest ~count:100 "synthesis is deterministic from the seed"
+    ground_truth_gen
+    (fun (truth, seed) ->
+      let build () =
+        Roa.synthesize ~coverage:0.5 ~max_length_slack:3
+          ~seed:(Int64.of_int seed) truth
+      in
+      Roa.to_string (build ()) = Roa.to_string (build ()))
+
+(* ---------------- features ---------------- *)
+
+(* A hand-built episode with every feature pinned by arithmetic:
+   20 s capture, starts at 3 s, ends at 10 s, 40 churn events on the
+   prefix, flagged by the MOAS-list check, seen by both vantages. *)
+let golden_entry =
+  {
+    Corr.x_prefix = p24;
+    x_seq = 1;
+    x_started = 3_000;
+    x_ended = Some 10_000;
+    x_days = 1;
+    x_max_origins = 2;
+    x_origins = Asn.Set.of_list [ Asn.make 64999; a1 ];
+    x_clean = false;
+    x_seen_by = [ "vp00"; "vp01" ];
+    x_first_detect = Some 3_000;
+    x_last_detect = Some 4_000;
+  }
+
+let golden_context =
+  {
+    Features.cx_vantages = 2;
+    cx_span = 20_000;
+    cx_churn = Prefix.Map.singleton p24 40;
+    cx_relationships = None;
+  }
+
+let test_features_golden () =
+  Alcotest.(check (array (float 1e-12)))
+    "feature vector matches the hand computation"
+    [| 0.15; 0.35; 1.; 0.; 1.; 1.; 2.; 2.; 2.; 0.; 0.; 0. |]
+    (Features.extract golden_context golden_entry);
+  Alcotest.(check int) "names and vector agree on the dimension"
+    Features.dim
+    (Array.length (Features.extract golden_context golden_entry))
+
+let test_features_open_episode () =
+  let still_open = { golden_entry with Corr.x_ended = None } in
+  let v = Features.extract golden_context still_open in
+  Alcotest.(check (float 1e-12)) "open episodes extend to the capture end"
+    0.85 v.(1);
+  Alcotest.(check (float 1e-12)) "still_open is set" 1.0 v.(11)
+
+let test_features_csv_golden () =
+  let ex =
+    {
+      Corpus.ex_arm = Collect.Scenario.Baseline;
+      ex_run = 0;
+      ex_entry = golden_entry;
+      ex_features = Features.extract golden_context golden_entry;
+      ex_label = true;
+      ex_validity = Roa.Invalid;
+      ex_moas_flagged = true;
+    }
+  in
+  let corpus = { Corpus.c_examples = [ ex ]; c_runs = 1 } in
+  let expected =
+    "arm,run,prefix,seq,label,validity,moas_flagged,start_frac,duration_frac,\
+     days,bucket,recurrence,visibility_frac,max_origins,origins,churn_rate,\
+     relation,list_clean,still_open\n\
+     baseline,0,192.0.2.0/24,1,1,invalid,1,0.150000,0.350000,1.000000,\
+     0.000000,1.000000,1.000000,2.000000,2.000000,2.000000,0.000000,\
+     0.000000,0.000000\n"
+  in
+  Alcotest.(check string) "golden CSV" expected (Eval.features_csv corpus)
+
+(* round-trip stability: for a fixed context the feature vectors of a
+   captured correlation survive the MOASSTOR encode/decode byte-for-byte *)
+
+let topo25 = lazy (Topology.Paper_topologies.topology_25 ())
+let mesh_config =
+  { Stream.Monitor.default_config with Stream.Monitor.window = 10_000 }
+
+let prop_features_store_roundtrip =
+  Testutil.qtest ~count:5 "features survive the MOASSTOR round-trip"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let c =
+        Collect.Scenario.capture ~seed:(Int64.of_int seed) ~vantages:3
+          (Lazy.force topo25)
+      in
+      let corr =
+        Corr.of_result
+          (Collect.Mesh.run ~jobs:1 mesh_config c.Collect.Scenario.s_streams)
+      in
+      let cx = Features.of_scenario c in
+      let store = Store.of_correlation corr in
+      let store' = Store.decode (Store.encode store) in
+      let features s = List.map (Features.extract cx) (Store.entries s) in
+      features store <> [] && features store = features store')
+
+(* ---------------- models ---------------- *)
+
+let verdict_testable =
+  Alcotest.testable
+    (fun fmt v -> Format.pp_print_string fmt (Model.verdict_to_string v))
+    ( = )
+
+let test_verdict_bands () =
+  let check what expected score =
+    Alcotest.check verdict_testable what expected (Model.verdict_of_score score)
+  in
+  check "low score is benign" Model.Benign 0.1;
+  check "lower band edge" Model.Suspicious 0.3;
+  check "mid score is suspicious" Model.Suspicious 0.5;
+  check "upper band edge" Model.Invalid 0.7;
+  check "high score is invalid" Model.Invalid 0.95;
+  Alcotest.(check bool) "flag at the threshold" true (Model.flagged 0.5);
+  Alcotest.(check bool) "no flag below it" false (Model.flagged 0.499)
+
+let test_scaler_constant_feature () =
+  let sc = Model.fit_scaler ~dim:2 [ [| 5.; 1. |]; [| 5.; 3. |] ] in
+  let t = Model.transform sc [| 5.; 2. |] in
+  Alcotest.(check (float 1e-9)) "constant feature scales to zero" 0.0 t.(0);
+  Alcotest.(check (float 1e-9)) "mean input scales to zero" 0.0 t.(1)
+
+(* a linearly separable toy set: x <= 0.9 negative, x >= 1.5 positive *)
+let separable =
+  List.concat
+    (List.init 10 (fun i ->
+         let x = float_of_int i /. 10. in
+         [ ([| x |], false); ([| x +. 1.5 |], true) ]))
+
+let test_logistic_separates () =
+  let m = Model.train_logistic ~dim:1 separable in
+  Alcotest.(check bool) "positive side flagged" true
+    (Model.flagged (Model.predict m [| 2.0 |]));
+  Alcotest.(check bool) "negative side clean" false
+    (Model.flagged (Model.predict m [| 0.2 |]));
+  let rows = Model.weights m in
+  Alcotest.(check int) "one weight per feature plus the bias"
+    2 (Array.length rows);
+  Alcotest.(check string) "bias row is labelled" "(bias)" (fst rows.(1))
+
+let test_stumps_separate () =
+  let m = Model.train_stumps ~dim:1 separable in
+  Alcotest.(check bool) "at least one stump kept" true (Model.stumps_size m >= 1);
+  Alcotest.(check bool) "positive side flagged" true
+    (Model.flagged (Model.stumps_predict m [| 2.0 |]));
+  Alcotest.(check bool) "negative side clean" false
+    (Model.flagged (Model.stumps_predict m [| 0.2 |]))
+
+let test_empty_training_rejected () =
+  let rejects f = match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "logistic" true
+    (rejects (fun () -> Model.train_logistic ~dim:1 []));
+  Alcotest.(check bool) "stumps" true
+    (rejects (fun () -> Model.train_stumps ~dim:1 []));
+  Alcotest.(check bool) "dimension mismatch" true
+    (rejects (fun () -> Model.train_logistic ~dim:2 [ ([| 1.0 |], true) ]))
+
+let test_training_deterministic () =
+  let train () = Model.train_logistic ~dim:1 separable in
+  Alcotest.(check bool) "weights identical across retrains" true
+    (Model.weights (train ()) = Model.weights (train ()))
+
+(* ---------------- end-to-end evaluation ---------------- *)
+
+let smoke_eval jobs = Eval.evaluate ~jobs ~smoke:true ~seed:0xC1A55L ()
+let smoke = lazy (smoke_eval 1)
+
+let test_eval_jobs_determinism () =
+  let a = Lazy.force smoke and b = smoke_eval 4 in
+  Alcotest.(check string) "report byte-identical across jobs"
+    (Eval.render a.Eval.ev_report)
+    (Eval.render b.Eval.ev_report);
+  Alcotest.(check string) "feature CSV byte-identical across jobs"
+    (Eval.features_csv a.Eval.ev_corpus)
+    (Eval.features_csv b.Eval.ev_corpus)
+
+let test_eval_split_covers_arms () =
+  let corpus = (Lazy.force smoke).Eval.ev_corpus in
+  let train, eval = Corpus.split corpus in
+  let arms exs =
+    List.sort_uniq compare (List.map (fun ex -> ex.Corpus.ex_arm) exs)
+  in
+  Alcotest.(check int) "train half sees every arm"
+    (List.length Collect.Scenario.all_arms)
+    (List.length (arms train));
+  Alcotest.(check int) "eval half sees every arm"
+    (List.length Collect.Scenario.all_arms)
+    (List.length (arms eval));
+  Alcotest.(check bool) "both halves carry positives" true
+    (Corpus.positives train > 0 && Corpus.positives eval > 0)
+
+let test_classifier_beats_strawman () =
+  (* the acceptance criterion: on the attack arm the learned model must
+     beat always-flag on precision without giving up recall *)
+  let r = (Lazy.force smoke).Eval.ev_report in
+  let arm =
+    List.find
+      (fun ar -> ar.Eval.ar_arm = Collect.Scenario.Baseline)
+      r.Eval.r_arms
+  in
+  let conf name = List.assoc name arm.Eval.ar_detectors in
+  let logistic = conf "logistic" and strawman = conf "always-flag" in
+  Alcotest.(check bool) "strictly better precision" true
+    (Stats.precision logistic > Stats.precision strawman);
+  Alcotest.(check bool) "no recall given up" true
+    (Stats.recall logistic >= Stats.recall strawman)
+
+let test_eval_report_shape () =
+  let r = (Lazy.force smoke).Eval.ev_report in
+  Testutil.check_contains ~what:"report" (Eval.render r)
+    "== episode classifier ==";
+  Alcotest.(check int) "one arm report per arm"
+    (List.length Collect.Scenario.all_arms)
+    (List.length r.Eval.r_arms);
+  Alcotest.(check (list string)) "fixed detector order"
+    [ "logistic"; "stumps"; "moas-list"; "always-flag" ]
+    (List.map fst r.Eval.r_overall);
+  Alcotest.(check int) "verdict bands partition the eval half"
+    r.Eval.r_eval
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 r.Eval.r_verdicts)
+
+let () =
+  Alcotest.run "classify"
+    [
+      ( "roa oracle",
+        [
+          Alcotest.test_case "RFC 6811 tri-state" `Quick test_roa_tri_state;
+          Alcotest.test_case "conflict verdicts" `Quick test_roa_conflict;
+          Alcotest.test_case "add validation" `Quick test_roa_add_validation;
+          Alcotest.test_case "text codec" `Quick test_roa_text_codec;
+        ] );
+      ( "roa properties",
+        [
+          prop_validate_partition;
+          prop_conflict_consistency;
+          prop_text_roundtrip;
+          prop_synthesize_covers;
+          prop_synthesize_deterministic;
+        ] );
+      ( "features",
+        [
+          Alcotest.test_case "golden vector" `Quick test_features_golden;
+          Alcotest.test_case "open episode" `Quick test_features_open_episode;
+          Alcotest.test_case "golden CSV" `Quick test_features_csv_golden;
+          prop_features_store_roundtrip;
+        ] );
+      ( "models",
+        [
+          Alcotest.test_case "verdict bands" `Quick test_verdict_bands;
+          Alcotest.test_case "scaler" `Quick test_scaler_constant_feature;
+          Alcotest.test_case "logistic separates" `Quick test_logistic_separates;
+          Alcotest.test_case "stumps separate" `Quick test_stumps_separate;
+          Alcotest.test_case "empty training rejected" `Quick
+            test_empty_training_rejected;
+          Alcotest.test_case "training is deterministic" `Quick
+            test_training_deterministic;
+        ] );
+      ( "evaluation",
+        [
+          Alcotest.test_case "jobs determinism" `Quick test_eval_jobs_determinism;
+          Alcotest.test_case "split covers every arm" `Quick
+            test_eval_split_covers_arms;
+          Alcotest.test_case "beats the always-flag strawman" `Quick
+            test_classifier_beats_strawman;
+          Alcotest.test_case "report shape" `Quick test_eval_report_shape;
+        ] );
+    ]

@@ -344,7 +344,18 @@ let test_store_queries () =
     [ "198.51.100.0/24" ] (q "since=5000");
   Alcotest.(check (list string)) "visibility floor"
     [ "198.51.100.0/24" ] (q "min_visibility=3");
-  Alcotest.(check int) "empty query matches all" 3 (List.length (q ""))
+  Alcotest.(check int) "empty query matches all" 3 (List.length (q ""));
+  (* every sample episode lasts a single day, so they are all short *)
+  Alcotest.(check int) "bucket=short matches the day-long episodes" 3
+    (List.length (q "bucket=short"));
+  Alcotest.(check (list string)) "bucket=long matches none" []
+    (q "bucket=long");
+  match Store.parse_query "bucket=medium" with
+  | Error m -> Alcotest.failf "bucket=medium rejected: %s" m
+  | Ok qm ->
+    Alcotest.(check string) "printer restores the bucket clause"
+      "bucket=medium"
+      (Collect.Query.to_string qm)
 
 let test_store_parse_errors () =
   let rejected s =
@@ -353,7 +364,8 @@ let test_store_parse_errors () =
   Alcotest.(check bool) "unknown key" true (rejected "frobnicate=1");
   Alcotest.(check bool) "missing value" true (rejected "prefix");
   Alcotest.(check bool) "bad integer" true (rejected "since=soon");
-  Alcotest.(check bool) "bad prefix" true (rejected "prefix=999.0.0.0/44")
+  Alcotest.(check bool) "bad prefix" true (rejected "prefix=999.0.0.0/44");
+  Alcotest.(check bool) "bad bucket" true (rejected "bucket=forever")
 
 (* ---------------- scenario: partial visibility under partition -------- *)
 
@@ -364,8 +376,8 @@ let baseline =
 
 let partitioned =
   lazy
-    (Collect.Scenario.capture ~isolate:true ~seed:1L ~vantages:3
-       (Lazy.force topo))
+    (Collect.Scenario.capture ~arm:Collect.Scenario.Partitioned ~seed:1L
+       ~vantages:3 (Lazy.force topo))
 
 let correlate capture =
   Corr.of_result (Mesh.run config capture.Collect.Scenario.s_streams)
@@ -417,6 +429,35 @@ let test_scenario_partition () =
        (fun e -> Corr.visibility e >= 1 && Corr.visibility e < 3)
        attacked)
 
+let fault_churn =
+  lazy
+    (Collect.Scenario.capture ~arm:Collect.Scenario.Fault_churn ~seed:1L
+       ~vantages:3 (Lazy.force topo))
+
+let test_scenario_fault_churn () =
+  let c = Lazy.force fault_churn in
+  Alcotest.(check bool) "the flaps actually fired" true
+    (c.Collect.Scenario.s_faults_injected > 0);
+  let corr = correlate c in
+  Alcotest.(check (list string)) "no attacker, so no conflict there" []
+    (List.map
+       (fun e -> Prefix.to_string e.Corr.x_prefix)
+       (find_entries corr c.Collect.Scenario.s_attacked));
+  (match find_entries corr c.Collect.Scenario.s_multihomed with
+  | [] -> Alcotest.fail "unlisted multihomed MOAS not observed"
+  | entries ->
+    List.iter
+      (fun e ->
+        Alcotest.(check bool)
+          "unlisted multihoming false-alarms the MOAS-list check" false
+          e.Corr.x_clean;
+        Alcotest.(check Testutil.asn_set_testable)
+          "origins are exactly the homes" c.Collect.Scenario.s_homes
+          e.Corr.x_origins)
+      entries;
+    Alcotest.(check bool) "flaps make the episode recur" true
+      (List.exists (fun e -> e.Corr.x_seq > 1) entries))
+
 let test_scenario_determinism () =
   let c = Lazy.force baseline in
   let report r = Stream.Report.render r.Mesh.r_merged in
@@ -464,6 +505,8 @@ let () =
           Alcotest.test_case "baseline visibility" `Quick test_scenario_baseline;
           Alcotest.test_case "partition keeps detection" `Quick
             test_scenario_partition;
+          Alcotest.test_case "fault-churn arm false-alarms the list check"
+            `Quick test_scenario_fault_churn;
           Alcotest.test_case "jobs/order determinism" `Quick
             test_scenario_determinism;
         ] );

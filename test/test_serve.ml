@@ -62,7 +62,7 @@ let sample_store () =
 
 let sample_query =
   Q.(empty |> prefix p2 |> covered |> origin (Asn.make 30) |> since 10
-    |> until 90_000 |> min_visibility 2)
+    |> until 90_000 |> min_visibility 2 |> bucket Stream.Monitor.Short)
 
 let sample_alert kind =
   {
@@ -247,14 +247,16 @@ let prop_single_octet_corruption_caught =
 let query_gen =
   QCheck2.Gen.(
     map2
-      (fun (p, cov, o) (s, u, k) -> (p, cov, o, s, u, k))
+      (fun (p, cov, o) (s, u, k, b) -> (p, cov, o, s, u, k, b))
       (triple (option Testutil.prefix_gen) bool (option Testutil.asn_gen))
-      (triple
+      (quad
          (option (int_range 0 200_000))
          (option (int_range 0 200_000))
-         (option (int_range 0 5))))
+         (option (int_range 0 5))
+         (option
+            (oneofl Stream.Monitor.[ Short; Medium; Long ]))))
 
-let build_query (p, cov, o, s, u, k) =
+let build_query (p, cov, o, s, u, k, b) =
   let q = Q.empty in
   let q = match p with Some p -> Q.prefix p q | None -> q in
   let q = if cov then Q.covered q else q in
@@ -262,6 +264,7 @@ let build_query (p, cov, o, s, u, k) =
   let q = match s with Some s -> Q.since s q | None -> q in
   let q = match u with Some u -> Q.until u q | None -> q in
   let q = match k with Some k -> Q.min_visibility k q | None -> q in
+  let q = match b with Some b -> Q.bucket b q | None -> q in
   q
 
 let prop_builder_parse_equivalence =

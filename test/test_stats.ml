@@ -62,6 +62,70 @@ let test_int_histogram () =
   let h = Stats.int_histogram ~max_value:3 [ 0; 1; 1; 2; 7; -1 ] in
   Alcotest.(check (array int)) "counts with clamping" [| 2; 2; 1; 1 |] h
 
+(* ---------------- binary-classification metrics ---------------- *)
+
+let test_confusion () =
+  let c =
+    Stats.confusion
+      [
+        (true, true); (true, true); (false, true);
+        (false, false); (false, false); (false, false);
+        (true, false);
+      ]
+  in
+  Alcotest.(check int) "tp" 2 c.Stats.tp;
+  Alcotest.(check int) "fp" 1 c.Stats.fp;
+  Alcotest.(check int) "tn" 3 c.Stats.tn;
+  Alcotest.(check int) "fn" 1 c.Stats.fn;
+  feq "precision" (2. /. 3.) (Stats.precision c);
+  feq "recall" (2. /. 3.) (Stats.recall c);
+  feq "f1" (2. /. 3.) (Stats.f1 c);
+  feq "accuracy" (5. /. 7.) (Stats.accuracy c);
+  feq "fallout" 0.25 (Stats.fallout c);
+  feq "miss rate" (1. /. 3.) (Stats.miss_rate c)
+
+let test_confusion_empty () =
+  let c = Stats.no_confusion in
+  feq "precision of nothing" 1.0 (Stats.precision c);
+  feq "recall of nothing" 1.0 (Stats.recall c);
+  feq "f1 of nothing" 1.0 (Stats.f1 c);
+  feq "accuracy of nothing" 1.0 (Stats.accuracy c);
+  feq "fallout of nothing" 0.0 (Stats.fallout c);
+  feq "miss rate of nothing" 0.0 (Stats.miss_rate c)
+
+let test_auc () =
+  feq "perfect ranking" 1.0 (Stats.auc [ (0.9, true); (0.8, true); (0.1, false) ]);
+  feq "inverted ranking" 0.0 (Stats.auc [ (0.1, true); (0.9, false) ]);
+  feq "tied scores count half" 0.5 (Stats.auc [ (0.5, true); (0.5, false) ]);
+  (* one concordant pair, one tie: (1 + 0.5) / 2 *)
+  feq "mixed ties" 0.75
+    (Stats.auc [ (0.5, true); (0.5, false); (0.9, true) ]);
+  feq "single class degenerates to chance" 0.5 (Stats.auc [ (0.4, true) ]);
+  feq "empty degenerates to chance" 0.5 (Stats.auc [])
+
+let outcome_gen =
+  QCheck2.Gen.(list_size (int_range 0 60) (pair bool bool))
+
+let prop_confusion_rates_bounded =
+  Testutil.qtest "precision/recall/f1/accuracy stay in [0, 1]" outcome_gen
+    (fun pairs ->
+      let c = Stats.confusion pairs in
+      List.for_all
+        (fun v -> v >= 0.0 && v <= 1.0)
+        [
+          Stats.precision c; Stats.recall c; Stats.f1 c; Stats.accuracy c;
+          Stats.fallout c; Stats.miss_rate c;
+        ]
+      && c.Stats.tp + c.Stats.fp + c.Stats.tn + c.Stats.fn = List.length pairs)
+
+let prop_auc_bounded =
+  Testutil.qtest "AUC stays in [0, 1]"
+    QCheck2.Gen.(
+      list_size (int_range 0 40) (pair (float_range 0.0 1.0) bool))
+    (fun scored ->
+      let a = Stats.auc scored in
+      a >= 0.0 && a <= 1.0)
+
 let prop_mean_bounds =
   Testutil.qtest "mean lies within min..max"
     QCheck2.Gen.(list_size (int_range 1 50) (float_range (-1000.) 1000.))
@@ -104,6 +168,19 @@ let () =
           Alcotest.test_case "bad edges" `Quick test_histogram_bad_edges;
           Alcotest.test_case "int histogram" `Quick test_int_histogram;
         ] );
+      ( "classification",
+        [
+          Alcotest.test_case "confusion and derived rates" `Quick test_confusion;
+          Alcotest.test_case "empty confusion conventions" `Quick
+            test_confusion_empty;
+          Alcotest.test_case "rank AUC" `Quick test_auc;
+        ] );
       ( "properties",
-        [ prop_mean_bounds; prop_median_bounds; prop_histogram_total ] );
+        [
+          prop_mean_bounds;
+          prop_median_bounds;
+          prop_histogram_total;
+          prop_confusion_rates_bounded;
+          prop_auc_bounded;
+        ] );
     ]
