@@ -1524,6 +1524,135 @@ let run_classify_bench ~smoke ~out () =
   say "";
   say "classify dump written to %s" out
 
+(* Part 12: community-telemetry head-to-head grid (BENCH_10.json).  The
+   Experiments.Community evaluation — every scenario arm against five
+   detectors under the community usage-policy model — at each job count.
+   Per grid point: wall-clock, watch-observation throughput (events/s)
+   and the per-arm precision/recall/F1 of every detector, with the
+   rendered report asserted byte-identical across the whole grid.  Zero
+   detection throughput or a broken Section-4.3 gap (scrubbing must
+   blind the MOAS list while the community backend keeps firing) fails
+   the suite outright. *)
+
+let community_bench_jobs = [ 1; 2; 4; 8 ]
+
+let run_community_bench ~smoke ~out () =
+  banner "Community-telemetry head-to-head grid";
+  let cores_n = Domain.recommended_domain_count () in
+  say "   cores online: %d (Domain.recommended_domain_count)" cores_n;
+  let cores = string_of_int cores_n in
+  let oc = open_out out in
+  (* memoised topologies: derive them outside the timed region *)
+  if smoke then ignore (Topology.Paper_topologies.topology_25 ())
+  else ignore (Topology.Paper_topologies.all ());
+  let measured =
+    List.map
+      (fun jobs ->
+        let t0 = Unix.gettimeofday () in
+        let result = Experiments.Community.evaluate ~smoke ~jobs () in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        (jobs, result, elapsed, Experiments.Community.render result))
+      community_bench_jobs
+  in
+  print_string
+    (Mutil.Text_table.render
+       ~header:[ "jobs"; "eval"; "runs"; "events"; "events/s"; "gap" ]
+       (List.map
+          (fun (jobs, result, elapsed, _) ->
+            [
+              string_of_int jobs;
+              Printf.sprintf "%.3f s" elapsed;
+              string_of_int result.Experiments.Community.r_runs;
+              string_of_int result.Experiments.Community.r_events;
+              Printf.sprintf "%.0f"
+                (float_of_int result.Experiments.Community.r_events
+                /. elapsed);
+              (if Experiments.Community.scrubbing_gap_holds result then
+                 "holds"
+               else "BROKEN");
+            ])
+          measured));
+  (match measured with
+  | (_, _, _, r0) :: rest ->
+    let deterministic =
+      List.for_all (fun (_, _, _, r) -> String.equal r r0) rest
+    in
+    say "   reports byte-identical at every job count: %b" deterministic;
+    if not deterministic then (
+      close_out oc;
+      failwith "community suite: reports differ across job counts")
+  | [] -> ());
+  List.iter
+    (fun (jobs, result, elapsed, _) ->
+      let open Experiments.Community in
+      let throughput = float_of_int result.r_events /. elapsed in
+      if not (throughput > 0.0) then (
+        close_out oc;
+        failwith
+          (Printf.sprintf
+             "community suite: detection throughput is zero at jobs=%d" jobs));
+      if not (scrubbing_gap_holds result) then (
+        close_out oc;
+        failwith
+          (Printf.sprintf
+             "community suite: scrubbing gap does not hold at jobs=%d" jobs));
+      let reg = Obs.Registry.create () in
+      Obs.Registry.Counter.add
+        (Obs.Registry.counter reg "community_runs")
+        result.r_runs;
+      Obs.Registry.Counter.add
+        (Obs.Registry.counter reg "community_watch_events")
+        result.r_events;
+      Obs.Registry.Counter.add
+        (Obs.Registry.counter reg "community_values_scrubbed")
+        result.r_scrubbed_values;
+      List.iter
+        (fun (reason, n) ->
+          Obs.Registry.Counter.add
+            (Obs.Registry.counter reg
+               ~labels:
+                 [ ("reason", Moas.Community_watch.reason_to_string reason) ]
+               "community_alarms")
+            n)
+        result.r_reasons;
+      Obs.Registry.Gauge.set
+        (Obs.Registry.gauge reg "community_eval_seconds")
+        elapsed;
+      Obs.Registry.Gauge.set
+        (Obs.Registry.gauge reg "community_events_per_second")
+        throughput;
+      List.iter
+        (fun sc ->
+          let arm =
+            match sc.sc_arm with
+            | Some a -> Collect.Scenario.arm_to_string a
+            | None -> "overall"
+          in
+          let labels = [ ("arm", arm); ("detector", sc.sc_detector) ] in
+          Obs.Registry.Gauge.set
+            (Obs.Registry.gauge reg ~labels "community_precision")
+            (Mutil.Stats.precision sc.sc_confusion);
+          Obs.Registry.Gauge.set
+            (Obs.Registry.gauge reg ~labels "community_recall")
+            (Mutil.Stats.recall sc.sc_confusion);
+          Obs.Registry.Gauge.set
+            (Obs.Registry.gauge reg ~labels "community_f1")
+            (Mutil.Stats.f1 sc.sc_confusion))
+        result.r_scores;
+      output_string oc
+        (Obs.Registry.to_json_lines
+           ~extra:
+             (("workload", "community")
+             :: ("corpus", if smoke then "smoke" else "full")
+             :: ("jobs", string_of_int jobs)
+             :: ("cores", cores)
+             :: [ saturated jobs ])
+           reg))
+    measured;
+  close_out oc;
+  say "";
+  say "community dump written to %s" out
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -1542,6 +1671,8 @@ let () =
   let no_ingest = ref false in
   let classify_only = ref false in
   let no_classify = ref false in
+  let community_only = ref false in
+  let no_community = ref false in
   let ingest_budget = ref 0.0 in
   let out = ref "BENCH_1.json" in
   let scaling_out = ref "BENCH_3.json" in
@@ -1551,6 +1682,7 @@ let () =
   let chaos_out = ref "BENCH_7.json" in
   let ingest_out = ref "BENCH_8.json" in
   let classify_out = ref "BENCH_9.json" in
+  let community_out = ref "BENCH_10.json" in
   let jobs = ref 0 in
   let spec =
     [
@@ -1577,6 +1709,9 @@ let () =
       ("--classify-only", Arg.Set classify_only, " run only the classifier corpus/training grid");
       ("--no-classify", Arg.Set no_classify, " skip the classifier corpus/training grid");
       ("--classify-out", Arg.Set_string classify_out, "FILE classifier-grid dump destination (default BENCH_9.json)");
+      ("--community-only", Arg.Set community_only, " run only the community-telemetry head-to-head grid");
+      ("--no-community", Arg.Set no_community, " skip the community-telemetry head-to-head grid");
+      ("--community-out", Arg.Set_string community_out, "FILE community-grid dump destination (default BENCH_10.json)");
       ("--ingest-budget", Arg.Set_float ingest_budget, "WORDS fail if jobs=1 ingest allocates more minor words per event (default: off)");
       ("--jobs", Arg.Set_int jobs, "N worker domains for the figure sweeps (default MOAS_JOBS or the core count)");
     ]
@@ -1589,6 +1724,7 @@ let () =
      [--no-serve] [--serve-out FILE] [--chaos-only] [--no-chaos] \
      [--chaos-out FILE] [--ingest-only] [--no-ingest] [--ingest-out FILE] \
      [--classify-only] [--no-classify] [--classify-out FILE] \
+     [--community-only] [--no-community] [--community-out FILE] \
      [--ingest-budget WORDS] [--jobs N]";
   let jobs = if !jobs >= 1 then Some !jobs else None in
   if !scaling_only then run_scaling ~out:!scaling_out ()
@@ -1600,6 +1736,8 @@ let () =
     run_ingest_bench ~smoke:!smoke ~budget:!ingest_budget ~out:!ingest_out ()
   else if !classify_only then
     run_classify_bench ~smoke:!smoke ~out:!classify_out ()
+  else if !community_only then
+    run_community_bench ~smoke:!smoke ~out:!community_out ()
   else begin
     let tracer = Obs.Span.create () in
     regenerate_figures ~tracer ?jobs ();
@@ -1618,7 +1756,9 @@ let () =
         run_ingest_bench ~smoke:false ~budget:!ingest_budget
           ~out:!ingest_out ();
       if not !no_classify then
-        run_classify_bench ~smoke:false ~out:!classify_out ()
+        run_classify_bench ~smoke:false ~out:!classify_out ();
+      if not !no_community then
+        run_community_bench ~smoke:false ~out:!community_out ()
     end
   end;
   say "";

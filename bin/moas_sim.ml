@@ -373,6 +373,34 @@ let run_classify smoke jobs seed features_out report_out metrics_out =
     say "metrics dump written to %s" path
 
 (* ------------------------------------------------------------------ *)
+(* community: the community-telemetry detector head-to-head *)
+
+let run_community smoke jobs seed report_out metrics_out =
+  let seed = Option.value seed ~default:Experiments.Community.default_seed in
+  let metrics =
+    if metrics_out = None then Obs.Registry.noop else Obs.Registry.create ()
+  in
+  let report = Experiments.Community.report ~metrics ?jobs ~smoke ~seed () in
+  print_string report;
+  (match report_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc report;
+    close_out oc;
+    say "report written to %s" path);
+  match metrics_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc
+      (Obs.Registry.to_json_lines
+         ~extra:[ ("workload", "community") ]
+         metrics);
+    close_out oc;
+    say "metrics dump written to %s" path
+
+(* ------------------------------------------------------------------ *)
 (* serve: the query/alert daemon over the MOASSERV wire protocol *)
 
 let read_store = function
@@ -999,6 +1027,34 @@ let classify_cmd =
     Term.(const run_classify $ smoke $ jobs_arg $ seed_arg $ features
           $ report $ metrics_out)
 
+let community_cmd =
+  let smoke =
+    Arg.(value & flag & info [ "smoke" ]
+           ~doc:"Run the 25-AS topology with 2 replicates only instead of \
+                 all three paper topologies with 3, for CI.")
+  in
+  let report =
+    Arg.(value & opt (some string) None
+         & info [ "report" ] ~docv:"FILE"
+             ~doc:"Also write the comparison report to FILE (it always \
+                   prints to stdout).")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Write the merged lib/obs metrics dump (JSON lines) to FILE.")
+  in
+  cmd "community"
+    ~doc:"Community-telemetry detection head-to-head: run every scenario \
+          arm (including the Section 4.3 scrubbing arm) under the per-AS \
+          community usage model and score the community-dynamics backend \
+          against the MOAS-list check, the footnote-3 detector and the \
+          IRR / S-BGP baselines with per-arm precision/recall/F1.  The \
+          report is byte-identical at any $(b,--jobs) count, which CI \
+          asserts."
+    Term.(const run_community $ smoke $ jobs_arg $ seed_arg $ report
+          $ metrics_out)
+
 let store_arg =
   Arg.(value & opt (some string) None
        & info [ "store" ] ~docv:"FILE"
@@ -1154,6 +1210,7 @@ let main_cmd =
       monitor_cmd;
       collect_cmd;
       classify_cmd;
+      community_cmd;
       serve_cmd;
       query_client_cmd;
       chaos_cmd;

@@ -14,7 +14,29 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
-let to_string t = Printf.sprintf "%d:%d" (Asn.to_int t.asn) t.value
+(* RFC 1997 reserves 0xFFFF0000-0xFFFFFFFF; the handful of assigned
+   values below have planet-wide meaning and deserve their names in
+   experiment reports instead of bare numbers *)
+let well_known_asn = Asn.make 0xffff
+let no_export = { asn = well_known_asn; value = 0xff01 }
+let no_advertise = { asn = well_known_asn; value = 0xff02 }
+let no_export_subconfed = { asn = well_known_asn; value = 0xff03 }
+let blackhole = { asn = well_known_asn; value = 666 } (* RFC 7999 *)
+
+let well_known_name t =
+  if not (Asn.equal t.asn well_known_asn) then None
+  else
+    match t.value with
+    | 0xff01 -> Some "NO_EXPORT"
+    | 0xff02 -> Some "NO_ADVERTISE"
+    | 0xff03 -> Some "NO_EXPORT_SUBCONFED"
+    | 666 -> Some "BLACKHOLE"
+    | _ -> None
+
+let to_string t =
+  match well_known_name t with
+  | Some name -> name
+  | None -> Printf.sprintf "%d:%d" (Asn.to_int t.asn) t.value
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
 

@@ -18,9 +18,33 @@ val equal : t -> t -> bool
 (** Equality. *)
 
 val pp : Format.formatter -> t -> unit
-(** Prints ["AS:value"]. *)
+(** Prints {!to_string}. *)
 
 val to_string : t -> string
-(** ["<asn>:<value>"] in the conventional notation. *)
+(** ["<asn>:<value>"] in the conventional notation, except for the
+    assigned well-known values of the RFC 1997 reserved range
+    (65535:65281 and friends), which render by name — ["NO_EXPORT"],
+    ["NO_ADVERTISE"], ["NO_EXPORT_SUBCONFED"], ["BLACKHOLE"] — so
+    experiment reports stay readable. *)
+
+(** {2 Well-known values} *)
+
+val well_known_asn : Asn.t
+(** 65535, the RFC 1997 reserved first-two-octets. *)
+
+val no_export : t
+(** 65535:65281 (RFC 1997 NO_EXPORT). *)
+
+val no_advertise : t
+(** 65535:65282 (RFC 1997 NO_ADVERTISE). *)
+
+val no_export_subconfed : t
+(** 65535:65283 (RFC 1997 NO_EXPORT_SUBCONFED). *)
+
+val blackhole : t
+(** 65535:666 (RFC 7999 BLACKHOLE). *)
+
+val well_known_name : t -> string option
+(** The assigned name of a reserved-range value, if it has one. *)
 
 module Set : Set.S with type elt = t

@@ -1,0 +1,178 @@
+open Net
+module Graph = Topology.As_graph
+
+type usage_class = Location | Path | Blackhole | Scrub
+
+let class_to_string = function
+  | Location -> "location"
+  | Path -> "path"
+  | Blackhole -> "blackhole"
+  | Scrub -> "scrub"
+
+let all_classes = [ Location; Path; Blackhole; Scrub ]
+
+(* The model's tag value space.  Everything the policies add or rewrite
+   lives in [100, 299]; values outside it — MOAS-list members, well-known
+   values, whatever an experiment attaches by hand — are never touched by
+   the propagation rewrite, only by a scrubber's export. *)
+let tag_base = 100
+let tag_limit = 300
+let is_tag_value v = v >= tag_base && v < tag_limit
+
+let region_count = 8
+let location_tag region = tag_base + region
+let blackhole_tag = tag_base + 99
+let ingress_base = tag_base + 100
+
+(* peer-relationship code from the degree order, the same heuristic the
+   topology library's relationship inference uses: the better-connected
+   side is the provider *)
+let relationship_code ~self_degree ~peer_degree =
+  if peer_degree < self_degree then 1 (* customer *)
+  else if peer_degree > self_degree then 3 (* provider *)
+  else 2 (* peer *)
+
+type t = {
+  graph : Graph.t;
+  classes : usage_class Asn.Map.t;
+  regions : int Asn.Map.t;
+}
+
+let make ?(scrub_fraction = 0.0) ?(blackhole_fraction = 0.25) ~seed ~transit
+    graph =
+  if scrub_fraction < 0.0 || scrub_fraction > 1.0 then
+    invalid_arg "Community_policy.make: scrub_fraction outside [0,1]";
+  if blackhole_fraction < 0.0 || blackhole_fraction > 1.0 then
+    invalid_arg "Community_policy.make: blackhole_fraction outside [0,1]";
+  let root = Mutil.Rng.create ~seed in
+  let classify asn =
+    (* one child stream per AS, indexed by the AS number: the class is a
+       pure function of (seed, asn), independent of iteration order *)
+    let rng = Mutil.Rng.split_at root (Asn.to_int asn) in
+    let region = Mutil.Rng.int rng region_count in
+    let cls =
+      if Asn.Set.mem asn transit then
+        if Mutil.Rng.chance rng scrub_fraction then Scrub else Path
+      else if Mutil.Rng.chance rng blackhole_fraction then Blackhole
+      else Location
+    in
+    (cls, region)
+  in
+  let classes, regions =
+    Graph.fold_nodes
+      (fun asn (cs, rs) ->
+        let cls, region = classify asn in
+        (Asn.Map.add asn cls cs, Asn.Map.add asn region rs))
+      graph
+      (Asn.Map.empty, Asn.Map.empty)
+  in
+  { graph; classes; regions }
+
+let force_class t asns cls =
+  {
+    t with
+    classes =
+      Asn.Set.fold (fun asn acc -> Asn.Map.add asn cls acc) asns t.classes;
+  }
+
+let class_of t asn =
+  match Asn.Map.find_opt asn t.classes with
+  | Some cls -> cls
+  | None -> Location
+
+let region_of t asn =
+  match Asn.Map.find_opt asn t.regions with Some r -> r | None -> 0
+
+let scrubbers t =
+  Asn.Map.fold
+    (fun asn cls acc -> if cls = Scrub then Asn.Set.add asn acc else acc)
+    t.classes Asn.Set.empty
+
+let tally t =
+  List.map
+    (fun cls ->
+      ( cls,
+        Asn.Map.fold
+          (fun _ c n -> if c = cls then n + 1 else n)
+          t.classes 0 ))
+    all_classes
+
+let origination_tag t asn =
+  match class_of t asn with
+  | Location -> Some (Community.make asn (location_tag (region_of t asn)))
+  | Blackhole -> Some (Community.make asn blackhole_tag)
+  | Path | Scrub -> None
+
+let ingress_tag t ~self ~peer =
+  let code =
+    relationship_code
+      ~self_degree:(Graph.degree t.graph self)
+      ~peer_degree:(Graph.degree t.graph peer)
+  in
+  Community.make self (ingress_base + code)
+
+let is_own_tag ~self (c : Community.t) =
+  Asn.equal c.Community.asn self && is_tag_value c.Community.value
+
+let policy ?(metrics = Obs.Registry.noop) t self =
+  let labels = [ ("as", Asn.to_string self) ] in
+  let scrub_events =
+    Obs.Registry.counter metrics ~labels "community_scrub_events"
+  in
+  let scrubbed_values =
+    Obs.Registry.counter metrics ~labels "community_scrubbed_values"
+  in
+  let tagged_values =
+    Obs.Registry.counter metrics ~labels "community_tagged_values"
+  in
+  let cls = class_of t self in
+  let locally_originated (route : Route.t) =
+    Asn.equal route.Route.learned_from self
+  in
+  let import ~peer route =
+    match cls with
+    | Location | Blackhole -> Some route
+    | Path | Scrub ->
+      (* propagation-with-rewrite: drop any stale tag of ours, then stamp
+         where the route entered our network.  Only our own tag space is
+         rewritten; foreign values (including MOAS lists) pass through. *)
+      let kept =
+        Community.Set.filter
+          (fun c -> not (is_own_tag ~self c))
+          route.Route.communities
+      in
+      let stamped = Community.Set.add (ingress_tag t ~self ~peer) kept in
+      Obs.Registry.Counter.incr tagged_values;
+      Some (Route.with_communities stamped route)
+  in
+  let export ~peer:_ route =
+    if locally_originated route then
+      (* tagging-on-origination: location/blackhole ASes stamp their own
+         announcements; a scrubber's own announcements leave untouched *)
+      match origination_tag t self with
+      | None -> Some route
+      | Some tag ->
+        Obs.Registry.Counter.incr tagged_values;
+        Some
+          (Route.with_communities
+             (Community.Set.add tag route.Route.communities)
+             route)
+    else
+      match cls with
+      | Location | Path | Blackhole -> Some route
+      | Scrub ->
+        (* scrubbing-on-transit: every foreign community dies at our edge;
+           only values we applied ourselves survive the export *)
+        let kept, dropped =
+          Community.Set.partition
+            (fun c -> Asn.equal c.Community.asn self)
+            route.Route.communities
+        in
+        let n = Community.Set.cardinal dropped in
+        if n > 0 then begin
+          Obs.Registry.Counter.incr scrub_events;
+          Obs.Registry.Counter.add scrubbed_values n
+        end;
+        Some (Route.with_communities kept route)
+  in
+  { Policy.import; export }

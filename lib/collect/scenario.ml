@@ -122,21 +122,26 @@ let pick_actors (topo : Topo.t) specs =
   | quiet :: _ -> (legit, attacker, legit_feed, attack_feed, quiet)
   | _ -> invalid_arg "Scenario.capture: topology has too few stub ASes"
 
-type arm = Baseline | Partitioned | Fault_churn
+type arm = Baseline | Partitioned | Fault_churn | Scrubbed
 
 let arm_to_string = function
   | Baseline -> "baseline"
   | Partitioned -> "partitioned"
   | Fault_churn -> "fault-churn"
+  | Scrubbed -> "scrubbed"
 
 let arm_of_string s =
   match String.lowercase_ascii (String.trim s) with
   | "baseline" -> Ok Baseline
   | "partitioned" -> Ok Partitioned
   | "fault-churn" | "fault_churn" -> Ok Fault_churn
+  | "scrubbed" -> Ok Scrubbed
   | other -> Error (Printf.sprintf "unknown scenario arm %S" other)
 
-let all_arms = [ Baseline; Partitioned; Fault_churn ]
+(* [Scrubbed] is appended last so the run indices (and therefore the
+   pre-split per-run random streams) of the three original arms never
+   move — existing corpus captures stay byte-identical *)
+let all_arms = [ Baseline; Partitioned; Fault_churn; Scrubbed ]
 
 (* fault-churn flap cadence: outages while the attack-free capture is
    still interesting, several full cycles before quiescence *)
@@ -144,6 +149,105 @@ let flap_start = 10.0
 let flap_period = 8.0
 let flap_down_for = 3.0
 let flap_until = 40.0
+
+type design = {
+  d_specs : Vantage.spec list;
+  d_legit : Asn.t;
+  d_attacker : Asn.t;
+  d_home_a : Asn.t;
+  d_home_b : Asn.t;
+  d_quiet : Asn.t;
+  d_scrubbers : Asn.Set.t;
+}
+
+let design ?(vantages = 3) (topo : Topo.t) =
+  let specs = design_vantages ~count:vantages topo in
+  let legit, attacker, home_a, home_b, quiet = pick_actors topo specs in
+  {
+    d_specs = specs;
+    d_legit = legit;
+    d_attacker = attacker;
+    d_home_a = home_a;
+    d_home_b = home_b;
+    d_quiet = quiet;
+    (* the Scrubbed arm's scrub set: every neighbor of the victim.  This
+       is the minimal cut that erases the victim's MOAS list everywhere —
+       each of its paths starts with one of these hops — while the
+       attacker's side of the topology keeps its community hygiene, the
+       asymmetry of Section 4.3: the defender depends on its providers'
+       behaviour, the attacker chooses its own *)
+    d_scrubbers = Graph.neighbors topo.Topo.graph legit;
+  }
+
+(* the invalid-origin conflict: the victim advertises its singleton MOAS
+   list, the attacker none — the §4.2 detectable case.  The fault-churn
+   arm has no attacker: its MOAS conflicts are all operational.  The
+   legitimate multihomed MOAS advertises the agreed list in every arm
+   except fault-churn, where the homes multihome {e without} lists — the
+   paper's unregistered-but-legitimate case, the one the MOAS-list check
+   false-alarms on. *)
+let originate_arm arm network d =
+  Bgp.Network.originate ~at:0.0
+    ~communities:(Moas.Moas_list.encode (Asn.Set.singleton d.d_legit))
+    network d.d_legit attacked_prefix;
+  if arm <> Fault_churn then
+    Bgp.Network.originate ~at:attack_at network d.d_attacker attacked_prefix;
+  let homes = Asn.Set.of_list [ d.d_home_a; d.d_home_b ] in
+  let home_communities =
+    if arm = Fault_churn then None else Some (Moas.Moas_list.encode homes)
+  in
+  Bgp.Network.originate ~at:0.0 ?communities:home_communities network
+    d.d_home_a multihomed_prefix;
+  Bgp.Network.originate ~at:second_home_at ?communities:home_communities
+    network d.d_home_b multihomed_prefix;
+  (* the control prefix: one origin, no conflict, no list *)
+  Bgp.Network.originate ~at:0.0 network d.d_quiet quiet_prefix
+
+let fault_plan arm (topo : Topo.t) d =
+  match arm with
+  | Baseline | Scrubbed -> Plan.empty
+  | Partitioned -> (
+    match d.d_specs with
+    | [] -> Plan.empty
+    | first :: _ ->
+      (* sever every peering of the first vantage's feeds after the
+         valid routes converge, before the attack lands *)
+      Asn.Set.fold
+        (fun feed acc ->
+          Asn.Set.fold
+            (fun peer acc ->
+              Plan.union acc (Plan.fail ~at:cut_at (Plan.link feed peer)))
+            (Graph.neighbors topo.Topo.graph feed)
+            acc)
+        first.Vantage.v_peers Plan.empty)
+  | Fault_churn ->
+    (* periodically flap every peering of the second home: during each
+       outage the rest of the mesh loses its origin, so the multihomed
+       episode closes and reopens — recurrence and churn with no
+       attacker anywhere *)
+    Asn.Set.fold
+      (fun peer acc ->
+        Plan.union acc
+          (Plan.flap ~start:flap_start ~period:flap_period
+             ~down_for:flap_down_for ~until:flap_until
+             (Plan.link d.d_home_b peer)))
+      (Graph.neighbors topo.Topo.graph d.d_home_b)
+      Plan.empty
+
+(* the Scrubbed arm runs the full per-AS community usage model with the
+   victim's neighbors forced to the scrubbing class; every other arm keeps
+   the default (community-transparent) policies *)
+let arm_policy_of ?(metrics = Obs.Registry.noop) arm ~seed (topo : Topo.t) d =
+  match arm with
+  | Baseline | Partitioned | Fault_churn -> None
+  | Scrubbed ->
+    let model =
+      Bgp.Community_policy.force_class
+        (Bgp.Community_policy.make ~seed ~transit:topo.Topo.transit
+           topo.Topo.graph)
+        d.d_scrubbers Bgp.Community_policy.Scrub
+    in
+    Some (Bgp.Community_policy.policy ~metrics model)
 
 type t = {
   s_topology : string;
@@ -159,74 +263,25 @@ type t = {
   s_homes : Asn.Set.t;
   s_quiet_origin : Asn.t;
   s_isolated : string option;
+  s_scrubbers : Asn.Set.t;
   s_faults_injected : int;
 }
 
 let capture ?(metrics = Obs.Registry.noop) ?(arm = Baseline) ~seed ~vantages
     (topo : Topo.t) =
-  let specs = design_vantages ~count:vantages topo in
-  let legit, attacker, home_a, home_b, quiet = pick_actors topo specs in
-  let network =
-    Bgp.Network.make
-      ~config:Bgp.Network.Config.(default |> with_metrics metrics)
-      topo.Topo.graph
+  let d = design ~vantages topo in
+  let config =
+    let base = Bgp.Network.Config.(default |> with_metrics metrics) in
+    match arm_policy_of ~metrics arm ~seed topo d with
+    | None -> base
+    | Some policy_of -> Bgp.Network.Config.with_policy_of policy_of base
   in
-  let recorders = Vantage.attach ~metrics network specs in
-  (* the invalid-origin conflict: the victim advertises its singleton MOAS
-     list, the attacker none — the §4.2 detectable case.  The fault-churn
-     arm has no attacker: its MOAS conflicts are all operational. *)
-  Bgp.Network.originate ~at:0.0
-    ~communities:(Moas.Moas_list.encode (Asn.Set.singleton legit))
-    network legit attacked_prefix;
-  if arm <> Fault_churn then
-    Bgp.Network.originate ~at:attack_at network attacker attacked_prefix;
-  (* the legitimate multihomed MOAS.  In the attack arms both homes agree
-     on the advertised list; in the fault-churn arm they multihome
-     {e without} lists — the paper's unregistered-but-legitimate case, the
-     one the MOAS-list check false-alarms on. *)
-  let homes = Asn.Set.of_list [ home_a; home_b ] in
-  let home_communities =
-    if arm = Fault_churn then None else Some (Moas.Moas_list.encode homes)
-  in
-  Bgp.Network.originate ~at:0.0 ?communities:home_communities network home_a
-    multihomed_prefix;
-  Bgp.Network.originate ~at:second_home_at ?communities:home_communities
-    network home_b multihomed_prefix;
-  (* the control prefix: one origin, no conflict, no list *)
-  Bgp.Network.originate ~at:0.0 network quiet quiet_prefix;
-  let plan =
-    match arm with
-    | Baseline -> Plan.empty
-    | Partitioned -> (
-      match specs with
-      | [] -> Plan.empty
-      | first :: _ ->
-        (* sever every peering of the first vantage's feeds after the
-           valid routes converge, before the attack lands *)
-        Asn.Set.fold
-          (fun feed acc ->
-            Asn.Set.fold
-              (fun peer acc ->
-                Plan.union acc (Plan.fail ~at:cut_at (Plan.link feed peer)))
-              (Graph.neighbors topo.Topo.graph feed)
-              acc)
-          first.Vantage.v_peers Plan.empty)
-    | Fault_churn ->
-      (* periodically flap every peering of the second home: during each
-         outage the rest of the mesh loses its origin, so the multihomed
-         episode closes and reopens — recurrence and churn with no
-         attacker anywhere *)
-      Asn.Set.fold
-        (fun peer acc ->
-          Plan.union acc
-            (Plan.flap ~start:flap_start ~period:flap_period
-               ~down_for:flap_down_for ~until:flap_until
-               (Plan.link home_b peer)))
-        (Graph.neighbors topo.Topo.graph home_b)
-        Plan.empty
-  in
+  let network = Bgp.Network.make ~config topo.Topo.graph in
+  let recorders = Vantage.attach ~metrics network d.d_specs in
+  originate_arm arm network d;
+  let plan = fault_plan arm topo d in
   let isolated =
-    match (arm, specs) with
+    match (arm, d.d_specs) with
     | Partitioned, first :: _ -> Some first.Vantage.v_name
     | _ -> None
   in
@@ -240,17 +295,18 @@ let capture ?(metrics = Obs.Registry.noop) ?(arm = Baseline) ~seed ~vantages
   {
     s_topology = topo.Topo.name;
     s_arm = arm;
-    s_specs = specs;
+    s_specs = d.d_specs;
     s_streams = Vantage.streams recorders;
     s_end_time = Vantage.millis (Sim.Engine.now (Bgp.Network.engine network));
     s_attacked = attacked_prefix;
     s_multihomed = multihomed_prefix;
     s_quiet = quiet_prefix;
-    s_legit = legit;
-    s_attacker = attacker;
-    s_homes = homes;
-    s_quiet_origin = quiet;
+    s_legit = d.d_legit;
+    s_attacker = d.d_attacker;
+    s_homes = Asn.Set.of_list [ d.d_home_a; d.d_home_b ];
+    s_quiet_origin = d.d_quiet;
     s_isolated = isolated;
+    s_scrubbers = (if arm = Scrubbed then d.d_scrubbers else Asn.Set.empty);
     s_faults_injected =
       (match injector with Some i -> Faults.Injector.injected i | None -> 0);
   }
@@ -281,6 +337,11 @@ let describe t =
        (Asn.to_string t.s_attacker)
        (Prefix.to_string t.s_multihomed)
        (Prefix.to_string t.s_quiet));
+  if not (Asn.Set.is_empty t.s_scrubbers) then
+    Buffer.add_string buf
+      (Printf.sprintf "community scrubbers: {%s}\n"
+         (Asn.Set.elements t.s_scrubbers
+         |> List.map Asn.to_string |> String.concat ","));
   if t.s_faults_injected > 0 then
     Buffer.add_string buf
       (Printf.sprintf "faults injected: %d\n" t.s_faults_injected);

@@ -9,7 +9,7 @@
     best-connected transit ASes, adjacent vantages sharing one feed so the
     merge stage has real duplicates to collapse.
 
-    The scenario now comes in three {!arm}s.  [Baseline] is the workload
+    The scenario now comes in four {!arm}s.  [Baseline] is the workload
     above.  [Partitioned] additionally cuts, at [t=20] — after the valid
     routes converge but before the [t=30] attack — every peering of the
     first vantage's feed ASes via a {!Faults.Fault_plan}, blinding that
@@ -19,9 +19,14 @@
     multihome the legitimate prefix {e without} MOAS lists (the paper's
     unregistered-but-legitimate case, which the MOAS-list consistency
     check false-alarms on) and the second home's peerings flap
-    periodically, so the operational episode recurs and churns.  All arms
-    pick identical actors, so their captures differ only through the
-    originations and the fault plan. *)
+    periodically, so the operational episode recurs and churns.
+    [Scrubbed] is the Baseline attack under the paper's Section 4.3
+    failure mode: every neighbor of the victim runs the
+    {!Bgp.Community_policy} scrubbing class, so the victim's MOAS list is
+    erased one hop out and never reaches a collector, while the
+    attacker's side keeps its community behaviour.  All arms pick
+    identical actors, so their captures differ only through the
+    originations, the routing policies and the fault plan. *)
 
 open Net
 
@@ -32,16 +37,21 @@ type arm =
   | Partitioned  (** attack + listed multihoming, first vantage cut off *)
   | Fault_churn
       (** no attacker; unlisted multihoming with periodic link flaps *)
+  | Scrubbed
+      (** attack + listed multihoming; the victim's neighbors scrub
+          communities, blinding the MOAS-list check (Section 4.3) *)
 
 val arm_to_string : arm -> string
-(** ["baseline"], ["partitioned"], ["fault-churn"]. *)
+(** ["baseline"], ["partitioned"], ["fault-churn"], ["scrubbed"]. *)
 
 val arm_of_string : string -> (arm, string) result
 (** Inverse of {!arm_to_string} (case-insensitive; accepts
     ["fault_churn"] too). *)
 
 val all_arms : arm list
-(** The three arms, in declaration order — the scenario-corpus axes. *)
+(** The four arms — the scenario-corpus axes.  [Scrubbed] is appended
+    last so the run indices (and pre-split random streams) of the three
+    original arms never move. *)
 
 val design_vantages :
   ?count:int -> Topology.Paper_topologies.t -> Vantage.spec list
@@ -50,6 +60,69 @@ val design_vantages :
     degree-ranked transit list (wrapping), so adjacent vantages overlap on
     one feed.  @raise Invalid_argument on [count < 1] or a topology with
     no transit AS. *)
+
+(** {2 Workload design}
+
+    The deterministic casting shared by every arm, exposed so other
+    harnesses (the community head-to-head in [Experiments]) can rebuild
+    the exact scenario workload on networks of their own configuration. *)
+
+type design = {
+  d_specs : Vantage.spec list;  (** the vantage roster *)
+  d_legit : Asn.t;  (** legitimate origin of the attacked prefix *)
+  d_attacker : Asn.t;  (** the hijacker (idle in [Fault_churn]) *)
+  d_home_a : Asn.t;  (** first home of the multihomed prefix *)
+  d_home_b : Asn.t;  (** second home, announced at [t=5] *)
+  d_quiet : Asn.t;  (** origin of the quiet control prefix *)
+  d_scrubbers : Asn.Set.t;
+      (** the [Scrubbed] arm's scrub set: every neighbor of the victim —
+          the minimal cut that erases its MOAS list everywhere *)
+}
+
+val design : ?vantages:int -> Topology.Paper_topologies.t -> design
+(** Cast actors and vantages for a topology ([vantages] defaults to 3);
+    a pure function of the topology. *)
+
+val attacked_prefix : Prefix.t
+(** [192.0.2.0/24], the invalid-origin conflict prefix. *)
+
+val multihomed_prefix : Prefix.t
+(** [198.51.100.0/24], the legitimate MOAS prefix. *)
+
+val quiet_prefix : Prefix.t
+(** [203.0.113.0/24], the single-origin control prefix. *)
+
+val originate_arm : arm -> Bgp.Network.t -> design -> unit
+(** Schedule the arm's originations (victim at [t=0] with its singleton
+    list, attack at [t=30] unless [Fault_churn], the multihomed pair,
+    the quiet control) on an already-built network. *)
+
+val fault_plan :
+  arm -> Topology.Paper_topologies.t -> design -> Faults.Fault_plan.t
+(** The arm's fault plan (empty for [Baseline] and [Scrubbed]). *)
+
+val arm_policy_of :
+  ?metrics:Obs.Registry.t ->
+  arm ->
+  seed:int64 ->
+  Topology.Paper_topologies.t ->
+  design ->
+  (Asn.t -> Bgp.Policy.t) option
+(** The arm's per-AS routing policy, if it overrides the default: the
+    [Scrubbed] arm runs the {!Bgp.Community_policy} usage model with
+    [d_scrubbers] forced to the scrubbing class. *)
+
+val attack_at : float
+(** Attack origination time ([t=30]). *)
+
+val cut_at : float
+(** Partition time of the [Partitioned] arm ([t=20]). *)
+
+val second_home_at : float
+(** Second home's origination time ([t=5]). *)
+
+val flap_until : float
+(** End of the [Fault_churn] flap window ([t=40]). *)
 
 type t = {
   s_topology : string;  (** topology name *)
@@ -67,6 +140,8 @@ type t = {
   s_homes : Asn.Set.t;  (** the two origins of [s_multihomed] *)
   s_quiet_origin : Asn.t;  (** origin of [s_quiet] *)
   s_isolated : string option;  (** partitioned vantage, if any *)
+  s_scrubbers : Asn.Set.t;
+      (** the ASes scrubbing communities (empty outside [Scrubbed]) *)
   s_faults_injected : int;
 }
 

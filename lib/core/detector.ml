@@ -8,10 +8,12 @@ type backend =
   | Oracle of Origin_verification.t
   | Custom of verify
   | Detect_only
+  | Community of Community_watch.t
 
 type t = {
   self : Asn.t;
   verifier : verify option;
+  watch : Community_watch.t option;
   on_alarm : Alarm.t -> unit;
   check_self_consistency : bool;
   mutable seen_signatures : StringSet.t;
@@ -35,12 +37,14 @@ let create ?(backend = Detect_only) ?(on_alarm = fun _ -> ())
     | Custom v -> Some v
     | Oracle oracle ->
       Some (fun ~now:_ prefix -> Origin_verification.query oracle prefix)
-    | Detect_only -> None
+    | Detect_only | Community _ -> None
   in
+  let watch = match backend with Community w -> Some w | _ -> None in
   let labels = [ ("as", Asn.to_string self) ] in
   {
     self;
     verifier;
+    watch;
     on_alarm;
     check_self_consistency;
     seen_signatures = StringSet.empty;
@@ -80,8 +84,31 @@ let filter_entitled t entitled routes =
     (List.length routes - List.length kept);
   kept
 
+(* the Community backend replaces the list-consistency machinery wholesale:
+   the watch judges community dynamics, each anomaly becomes an alarm (the
+   established vs observed tagger sets standing in for conflicting lists),
+   and routing is never filtered — community telemetry alone cannot say
+   which origin is entitled, only that something moved *)
+let community_validator t watch : Bgp.Router.validator =
+ fun ~now ~prefix routes ->
+  let anomalies = Community_watch.observe watch ~now ~prefix routes in
+  List.iter
+    (fun a ->
+      let lists =
+        distinct_lists
+          [
+            a.Community_watch.a_taggers_before; a.Community_watch.a_taggers_now;
+          ]
+      in
+      raise_alarm t ~now ~prefix ~lists ~origins:a.Community_watch.a_origins)
+    anomalies;
+  routes
+
 let validator t : Bgp.Router.validator =
  fun ~now ~prefix routes ->
+  match t.watch with
+  | Some watch -> community_validator t watch ~now ~prefix routes
+  | None ->
   let routes =
     if t.check_self_consistency then
       List.filter (Moas_list.self_consistent ~self:t.self) routes

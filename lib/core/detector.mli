@@ -27,6 +27,15 @@ type backend =
       (** consult the origin registry on every conflict *)
   | Custom of verify  (** a caller-supplied backend, e.g. a DNS lookup *)
   | Detect_only  (** alarm but never filter (off-line monitoring) *)
+  | Community of Community_watch.t
+      (** judge community {e dynamics} instead of MOAS lists: every
+          candidate is fed to the watch, each anomaly raises an alarm
+          whose conflicting lists are the established-vs-observed tagger
+          sets, and routing is never filtered.  This backend keeps
+          detecting when transit ASes scrub the community attribute and
+          the list check of Section 4.2 goes blind (Section 4.3); pair it
+          with [~check_self_consistency:false], as list checks do not
+          apply. *)
 (** What the detector does after alarming.  One explicit variant instead
     of the former [?oracle]/[?verify] optional-argument pair, whose
     silent precedence rule ([verify] won when both were given) was a

@@ -206,6 +206,97 @@ let prop_encoded_size_exact =
     message_gen
     (fun message -> Wire.encoded_size message = Bytes.length (Wire.encode message))
 
+(* ---------------- community attribute ---------------- *)
+
+(* Arbitrary community sets — not just MOAS lists: the usage-policy model
+   tags routes with location/ingress/blackhole values anywhere in the
+   16-bit × 16-bit space, and all of them must survive the wire. *)
+let community_set_gen =
+  QCheck2.Gen.(
+    map
+      (fun pairs ->
+        List.fold_left
+          (fun acc (asn, value) ->
+            Bgp.Community.Set.add (Bgp.Community.make (Asn.make asn) value) acc)
+          Bgp.Community.Set.empty pairs)
+      (list_size (int_range 0 12)
+         (pair (int_range 1 65535) (int_range 0 65535))))
+
+let announce_with communities =
+  {
+    Wire.withdrawn = [];
+    attributes = Some (attrs ~communities (Bgp.As_path.of_list [ 3; 2; 1 ]));
+    nlri = [ victim ];
+  }
+
+let decoded_communities message =
+  match (Wire.decode (Wire.encode message)).Wire.attributes with
+  | Some a -> a.Wire.communities
+  | None -> Alcotest.fail "attributes lost"
+
+let prop_community_roundtrip =
+  Testutil.qtest ~count:300 "arbitrary community sets roundtrip"
+    community_set_gen
+    (fun communities ->
+      Bgp.Community.Set.equal communities
+        (decoded_communities (announce_with communities)))
+
+(* Every strict prefix of an encoded update must be rejected: the header
+   declares the total length, so a truncated community attribute can
+   never be silently read as a shorter valid set. *)
+let prop_community_truncation_rejected =
+  Testutil.qtest ~count:60 "truncating a community-bearing update is Malformed"
+    community_set_gen
+    (fun communities ->
+      let b = Wire.encode (announce_with communities) in
+      let ok = ref true in
+      for cut = 0 to Bytes.length b - 1 do
+        (match Wire.decode (Bytes.sub b 0 cut) with
+        | exception Wire.Malformed _ -> ()
+        | _ -> ok := false)
+      done;
+      !ok)
+
+let test_community_empty_and_maximal () =
+  (* the empty set costs nothing on the wire and decodes back empty *)
+  let empty = announce_with Bgp.Community.Set.empty in
+  Alcotest.(check int) "empty set adds no octets"
+    (Wire.encoded_size empty)
+    (Wire.encoded_size (announce_with (Testutil.moas_communities [])));
+  Alcotest.(check bool) "empty set roundtrips" true
+    (Bgp.Community.Set.is_empty (decoded_communities empty));
+  (* the maximal set: the largest community count that still fits the
+     4096-octet ceiling roundtrips intact, one more value refuses to
+     encode *)
+  let set_of n =
+    List.fold_left
+      (fun acc i ->
+        Bgp.Community.Set.add
+          (Bgp.Community.make (Asn.make (1 + (i lsr 8))) (i land 0xff))
+          acc)
+      Bgp.Community.Set.empty
+      (List.init n (fun i -> i))
+  in
+  let fits n = Wire.encoded_size (announce_with (set_of n)) <= Wire.max_message_size in
+  let rec search lo hi =
+    (* invariant: fits lo, not (fits hi) *)
+    if hi - lo <= 1 then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if fits mid then search mid hi else search lo mid
+  in
+  let max_n = search 0 2048 in
+  Alcotest.(check bool) "maximal set is large" true (max_n > 900);
+  let maximal = set_of max_n in
+  Alcotest.(check int) "maximal cardinality" max_n
+    (Bgp.Community.Set.cardinal maximal);
+  Alcotest.(check bool) "maximal set roundtrips" true
+    (Bgp.Community.Set.equal maximal
+       (decoded_communities (announce_with maximal)));
+  match Wire.encode (announce_with (set_of (max_n + 1))) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "oversized community set accepted"
+
 (* ---------------- MRT ---------------- *)
 
 let test_mrt_roundtrip () =
@@ -327,6 +418,8 @@ let () =
           Alcotest.test_case "update bridge" `Quick test_update_bridge;
           Alcotest.test_case "overhead in octets" `Quick test_update_size_overhead;
           Alcotest.test_case "4096-octet boundary" `Quick test_max_size_boundary;
+          Alcotest.test_case "community empty/maximal sets" `Quick
+            test_community_empty_and_maximal;
         ] );
       ( "mrt",
         [
@@ -337,5 +430,11 @@ let () =
           Alcotest.test_case "streaming fold" `Quick test_mrt_fold_streaming;
         ] );
       ( "properties",
-        [ prop_wire_roundtrip; prop_encoded_size_exact; prop_boundary_exact ] );
+        [
+          prop_wire_roundtrip;
+          prop_encoded_size_exact;
+          prop_boundary_exact;
+          prop_community_roundtrip;
+          prop_community_truncation_rejected;
+        ] );
     ]
